@@ -1,0 +1,67 @@
+// Baseline comparison — Qiu-Srikant fluid model vs this paper's
+// availability model vs the block-level simulator.
+//
+// Related Work: "A naive adaptation of the fluid model in [17] to bundles
+// suggests strictly longer download times under bundling, whereas our model
+// shows that bundling can decrease download times by improving
+// availability." This bench makes the disagreement concrete on the
+// Figure 6(a) scenario: the fluid baseline grows linearly in K and never
+// predicts an interior optimum; the availability model and the simulator
+// both place the optimum at moderate K.
+#include <iostream>
+
+#include "model/bundling.hpp"
+#include "model/fluid_baseline.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::model;
+
+    print_banner(std::cout,
+                 "Baseline: Qiu-Srikant fluid model vs the availability model");
+
+    // Figure 6(a) parameters, file-normalized for the fluid model:
+    // mu = 50 KBps / 4 MB = 1/80 copies/s; seeds leave immediately
+    // (gamma large); eta ~ 1.
+    FluidParams fluid;
+    fluid.lambda = 1.0 / 60.0;
+    fluid.mu = 1.0 / 80.0;
+    fluid.c = 1.0 / 20.0;  // download cap 200 KBps
+    fluid.eta = 1.0;
+    fluid.gamma = 1.0;  // selfish peers: seeds vanish almost instantly
+
+    SwarmParams ours;
+    ours.peer_arrival_rate = 1.0 / 60.0;
+    ours.content_size = 80.0;
+    ours.download_rate = 1.0;
+    ours.publisher_arrival_rate = 1.0 / 900.0;
+    ours.publisher_residence = 300.0;
+
+    BundleSweepConfig config;
+    config.max_k = 8;
+    config.model = DownloadModel::kSinglePublisher;
+    config.coverage_threshold = 9;
+    const auto sweep = sweep_bundle_sizes(ours, config);
+
+    TableWriter table{{"K", "fluid E[T] (s)", "availability model E[T] (s)",
+                       "sim (Fig 6a mean, s)"}};
+    // Representative simulator means from bench_fig6a (committed protocol).
+    const std::vector<std::string> sim{"717", "1019", "779", "627",
+                                       "789", "886",  "863", "1259"};
+    for (std::size_t k = 1; k <= 8; ++k) {
+        table.add_row({std::to_string(k),
+                       format_double(fluid_bundle_download_time(fluid, k), 5),
+                       format_double(sweep[k - 1].download_time, 5),
+                       k <= sim.size() ? sim[k - 1] : "-"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: the fluid baseline is availability-blind -- its state\n"
+                 "space assumes the swarm never empties -- so bundling only\n"
+                 "multiplies work and T grows ~K with no interior optimum. The\n"
+                 "availability model and the simulator both show the crossover\n"
+                 "the paper reports (T falls until the bundle bridges publisher\n"
+                 "downtime, then grows).\n";
+    return 0;
+}

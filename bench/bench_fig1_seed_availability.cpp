@@ -1,0 +1,63 @@
+// Figure 1 — CDF of seed availability across monitored swarms.
+//
+// Paper: 45,693 swarms monitored >= 1 month over 7 months of PlanetLab
+// scraping. Solid curve (first month after creation): <35% of swarms have a
+// seed available all the time. Dotted curve (whole trace): ~80% of swarms
+// are unavailable >= 80% of the time.
+//
+// Here: a synthetic catalog (1/10 scale) is pushed through the same
+// monitoring + analysis pipeline; we print both CDFs.
+#include <iostream>
+
+#include "measurement/analysis.hpp"
+#include "measurement/monitor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::measurement;
+
+    print_banner(std::cout, "Figure 1: CDF of seed availability");
+
+    CatalogConfig catalog_config;  // defaults: 1/10-scale category mix
+    const auto catalog = generate_catalog(catalog_config);
+    MonitorConfig monitor_config;
+    monitor_config.duration_hours = 24 * 30 * 7;  // the paper's 7 months
+    const auto traces = monitor_catalog(catalog, monitor_config);
+
+    const auto first_month = availability_fractions(traces, 0, 24 * 30);
+    const auto whole_trace =
+        availability_fractions(traces, 0, monitor_config.duration_hours);
+
+    const EmpiricalCdf cdf_month{first_month};
+    const EmpiricalCdf cdf_whole{whole_trace};
+
+    TableWriter table{{"seed availability a", "CDF first month P[A<=a]",
+                       "CDF whole trace P[A<=a]"}};
+    for (int i = 0; i <= 20; ++i) {
+        const double a = static_cast<double>(i) / 20.0;
+        table.add_row({format_double(a, 3), format_double(cdf_month(a), 4),
+                       format_double(cdf_whole(a), 4)});
+    }
+    table.print(std::cout);
+
+    std::size_t always_first = 0;
+    for (double a : first_month) {
+        always_first += a >= 0.999 ? 1 : 0;
+    }
+    std::size_t mostly_unavailable = 0;
+    for (double a : whole_trace) {
+        mostly_unavailable += a <= 0.2 ? 1 : 0;
+    }
+    std::cout << "\nswarms monitored: " << traces.size() << "\n";
+    std::cout << "fraction always seeded in first month: "
+              << static_cast<double>(always_first) /
+                     static_cast<double>(first_month.size())
+              << "   (paper: < 0.35)\n";
+    std::cout << "fraction unavailable >= 80% of whole trace: "
+              << static_cast<double>(mostly_unavailable) /
+                     static_cast<double>(whole_trace.size())
+              << "   (paper: ~ 0.80)\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3 — bundles may reduce download time (model evaluation).
+//
+// Paper: eqs. (11) and (9) evaluated for eleven publisher interarrival
+// times. For 1/R in [500, 1100] the optimal bundle size is K = 3; for the
+// remaining four (smaller 1/R) K = 1 is best; benefits grow as R falls.
+//
+// The figure legend's exact parameters are not recoverable from the text;
+// the values below were calibrated so the reported optima match exactly
+// (see EXPERIMENTS.md).
+#include <iostream>
+
+#include "model/bundling.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::model;
+
+    print_banner(std::cout, "Figure 3: E[T] vs bundle size K (eq. 11 over eq. 9)");
+
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 120.0;  // calibrated legend values
+    params.content_size = 80.0;              // s/mu = 80 s
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;  // overwritten per curve
+    params.publisher_residence = 400.0;
+
+    const std::vector<double> interarrivals{100.0, 200.0, 300.0, 400.0,  500.0, 600.0,
+                                            700.0, 800.0, 900.0, 1000.0, 1100.0};
+    const std::size_t max_k = 8;
+    const auto curves = figure3_curves(params, interarrivals, max_k);
+
+    std::vector<std::string> header{"1/R (s)"};
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        header.push_back("E[T] K=" + std::to_string(k));
+    }
+    header.push_back("opt K");
+    header.push_back("paper opt K");
+    TableWriter table{header};
+    for (const auto& curve : curves) {
+        std::vector<std::string> row{format_double(curve.publisher_interarrival, 5)};
+        for (const auto& point : curve.points) {
+            row.push_back(format_double(point.download_time, 5));
+        }
+        row.push_back(std::to_string(curve.optimal_k));
+        row.push_back(curve.publisher_interarrival >= 500.0 ? "3" : "1");
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nlambda = 1/120 /s, s/mu = 80 s, u = 400 s (calibrated; legend\n"
+                 "unreadable in the source). Shape checks: interior minimum for\n"
+                 "1/R >= 500; gains grow with 1/R.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 4 — availability of seedless swarms and the bundle-size tradeoff.
+//
+// Paper setup: lambda = 1/150 peers/s per file, s = 4 MB, mu = 33 KBps,
+// publisher capacity 50 KBps; the publisher leaves forever once the first
+// peer completes. For K in {1,2,4} only a handful of further peers complete
+// before pieces disappear; for K in {6,8,10} completions grow linearly
+// (self-sustaining). B(m=9) from eq. 13 explains the boundary, and the
+// paper notes K=10's download time is ~66% above K=6's.
+#include <iostream>
+#include <memory>
+
+#include "queueing/busy_period.hpp"
+#include "swarm/observables.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::swarm;
+
+    print_banner(std::cout, "Figure 4: seedless swarms (publisher leaves after 1st copy)");
+
+    const double service_per_file = 4000.0 / 33.0;  // s/mu in seconds
+    TableWriter model_table{{"K", "B(m=9) from eq. 13 (s)", "self-sustaining @1500s?"}};
+    for (std::size_t k : {1, 2, 3, 4, 5, 6, 8, 10}) {
+        const double bm = queueing::steady_state_residual_busy_period(
+            9, {static_cast<double>(k) / 150.0,
+                static_cast<double>(k) * service_per_file});
+        model_table.add_row({std::to_string(k), format_double(bm, 5),
+                             bm > 1500.0 ? "yes" : "no"});
+    }
+    std::cout << "model (eq. 13), paper reports (0, 0, 47, 569, 2816, 8835, ...):\n";
+    model_table.print(std::cout);
+
+    std::cout << "\nblock-level simulation, 5 runs x 1500 s per K:\n";
+    TableWriter sim_table{{"K", "arrivals", "served", "served t<=750s", "served t<=1500s",
+                           "last completion (s)", "mean T (s)"}};
+    SwarmSimConfig config;
+    config.file_size = 4.0e6 * 8.0;
+    config.peer_arrival_rate = 1.0 / 150.0;
+    config.peer_capacity = std::make_shared<HomogeneousCapacity>(33.0 * kKBps);
+    config.publisher_capacity = 50.0 * kKBps;
+    config.publisher = PublisherBehavior::kLeaveAfterFirstCompletion;
+    config.horizon = 1500.0;
+    config.seed = 7;
+
+    double t_k6 = 0.0;
+    double t_k10 = 0.0;
+    for (std::size_t k : {1, 2, 4, 6, 8, 10}) {
+        config.bundle_size = k;
+        const auto runs = run_swarm_replications(config, 5);
+        std::uint64_t arrivals = 0;
+        std::uint64_t served = 0;
+        std::size_t at_750 = 0;
+        std::size_t at_1500 = 0;
+        double last = 0.0;
+        const auto merged = merge_download_times(runs);
+        for (const auto& run : runs) {
+            arrivals += run.arrivals;
+            served += run.completions;
+            const auto counts =
+                completions_over_time(run.completion_times, {750.0, 1500.0});
+            at_750 += counts[0];
+            at_1500 += counts[1];
+            last = std::max(last, run.last_completion);
+        }
+        const double mean_t = merged.empty() ? 0.0 : merged.mean();
+        if (k == 6) {
+            t_k6 = mean_t;
+        }
+        if (k == 10) {
+            t_k10 = mean_t;
+        }
+        sim_table.add_row({std::to_string(k), std::to_string(arrivals),
+                           std::to_string(served), std::to_string(at_750),
+                           std::to_string(at_1500), format_double(last, 5),
+                           format_double(mean_t, 5)});
+    }
+    sim_table.print(std::cout);
+
+    if (t_k6 > 0.0) {
+        std::cout << "\nmean T(K=10) / mean T(K=6) = " << t_k10 / t_k6
+                  << "   (paper: ~1.66 -- bundling beyond the availability\n"
+                     "    gap only inflates service time)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6(b) — download time vs bundle size with heterogeneous
+// (BitTyrant-measured) upload capacities.
+//
+// Paper: replaying the BitTyrant capacity distribution (mean ~280 KBps,
+// median 50 KBps) does not change the curve qualitatively, but the larger
+// average capacity shifts the optimal bundle size from 4 to 5: a bigger
+// bundle is needed to stretch busy periods across publisher downtime.
+#include <iostream>
+#include <memory>
+
+#include "fig6_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::bench;
+
+    print_banner(std::cout,
+                 "Figure 6(b): download time vs K, BitTyrant upload capacities");
+
+    const auto capacity = std::make_shared<swarm::BitTyrantCapacity>();
+    std::cout << "capacity mixture: mean = " << capacity->mean() / swarm::kKBps
+              << " KBps, median = " << capacity->median() / swarm::kKBps
+              << " KBps   (paper: mean 280, median 50)\n\n";
+
+    std::cout << "with reciprocity cap (tit-for-tat proxy: transfers run at\n"
+                 "min(src, dst) capacity):\n";
+    const auto capped = run_fig6_sweep(capacity, 8, 1.0 / 60.0, 40,
+                                       /*reciprocity_cap=*/true);
+    print_fig6_table(capped, {});
+
+    std::cout << "\nwithout reciprocity cap (altruistic fast uploaders):\n";
+    const auto uncapped = run_fig6_sweep(capacity, 8, 1.0 / 60.0, 40,
+                                         /*reciprocity_cap=*/false);
+    print_fig6_table(uncapped, {});
+
+    std::cout << "(paper: optimum shifts from K=4 to K=5 with the faster mix;\n"
+                 " shape unchanged: high mean/variance at small K, linear tail)\n";
+    return 0;
+}

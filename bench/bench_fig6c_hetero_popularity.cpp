@@ -1,0 +1,125 @@
+// Figure 6(c) — heterogeneous file popularities: lambda_i = 1/(8 i) for
+// i = 1..4; experiments 1-4 serve each file in isolation, experiment 5
+// bundles all four (lambda = sum = 1/3.84).
+//
+// Paper: isolated download time grows as popularity falls (329 s for file 1,
+// more for files 2-4); the bundle lands at 405 s -- worse than file 1 alone
+// but better than files 2-4 alone. Bundling taxes the popular file and
+// subsidizes the unpopular ones.
+#include <iostream>
+#include <memory>
+
+#include "model/zipf_demand.hpp"
+#include "swarm/observables.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Runs one Figure 6(c) experiment: a swarm with aggregate arrival rate
+/// `lambda` carrying `files` files of 4 MB each.
+swarmavail::SampleSet run_experiment(double lambda, std::size_t files,
+                                     std::uint64_t seed) {
+    using namespace swarmavail::swarm;
+    SwarmSimConfig config;
+    config.bundle_size = files;
+    // The harness scales demand by bundle_size internally; feed the per-file
+    // rate so that bundle_size * rate equals the intended aggregate.
+    config.peer_arrival_rate = lambda / static_cast<double>(files);
+    config.peer_capacity = std::make_shared<HomogeneousCapacity>(50.0 * kKBps);
+    config.publisher_capacity = 100.0 * kKBps;
+    config.publisher = PublisherBehavior::kOnOff;
+    config.publisher_on_mean = 300.0;
+    config.publisher_off_mean = 900.0;
+    config.horizon = 1200.0;
+    // Teardown latency: on the PlanetLab testbed, completed clients were
+    // killed by the controller over ssh, leaving each an O(10 s) lingering
+    // window as an unintended seed. Without it the popular isolated file
+    // cannot self-sustain at all and the Figure 6(c) popularity gradient
+    // washes out (see EXPERIMENTS.md).
+    config.peers_linger = true;
+    config.linger_mean = 30.0;
+    config.drain_after_horizon = true;
+    config.drain_deadline_factor = 3.0;
+    config.seed = seed;
+
+    // The paper's protocol: 10 independent 1200 s runs; peers still blocked
+    // when a run tears down are unobservable.
+    swarmavail::SampleSet samples;
+    for (std::uint64_t replicate = 0; replicate < 20; ++replicate) {
+        auto run_config = config;
+        run_config.seed = seed + 1000 * replicate;
+        const auto result = run_swarm_sim(run_config);
+        for (const auto& peer : result.peers) {
+            if (peer.completion >= 0.0) {
+                samples.add(peer.completion - peer.arrival);
+            }
+        }
+    }
+    return samples;
+}
+
+}  // namespace
+
+int main() {
+    using namespace swarmavail;
+
+    print_banner(std::cout, "Figure 6(c): heterogeneous popularities lambda_i = 1/(8i)");
+
+    const std::vector<double> lambdas{1.0 / 8.0, 1.0 / 16.0, 1.0 / 24.0, 1.0 / 32.0};
+    double aggregate = 0.0;
+    for (double l : lambdas) {
+        aggregate += l;
+    }
+
+    TableWriter table{{"experiment", "lambda (1/s)", "n", "mean T (s)", "median",
+                       "p25", "p75", "paper mean"}};
+    const std::vector<std::string> paper{"329", "> bundle", "> bundle", "> bundle"};
+    std::vector<double> isolated_means;
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+        const auto samples = run_experiment(lambdas[i], 1, 60 + i);
+        isolated_means.push_back(samples.mean());
+        table.add_row({"file " + std::to_string(i + 1) + " isolated",
+                       format_double(lambdas[i], 4), std::to_string(samples.size()),
+                       format_double(samples.mean(), 5),
+                       format_double(samples.median(), 5),
+                       format_double(samples.quantile(0.25), 5),
+                       format_double(samples.quantile(0.75), 5), paper[i]});
+    }
+    const auto bundle = run_experiment(aggregate, 4, 99);
+    table.add_row({"bundle of 4", format_double(aggregate, 4),
+                   std::to_string(bundle.size()), format_double(bundle.mean(), 5),
+                   format_double(bundle.median(), 5),
+                   format_double(bundle.quantile(0.25), 5),
+                   format_double(bundle.quantile(0.75), 5), "405"});
+    table.print(std::cout);
+
+    std::cout << "\nchecks (paper's qualitative claims):\n";
+    std::cout << "  bundle worse than file 1 alone:  "
+              << (bundle.mean() > isolated_means[0] ? "yes" : "NO") << "\n";
+    std::size_t helped = 0;
+    for (std::size_t i = 1; i < isolated_means.size(); ++i) {
+        helped += bundle.mean() < isolated_means[i] ? 1 : 0;
+    }
+    std::cout << "  bundle better than files 2-4 alone: " << helped << "/3\n";
+
+    std::cout << "\nmodel-side comparison (patient-peer model, eq. 11):\n";
+    model::SwarmParams params;
+    params.peer_arrival_rate = 1.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    model::HeterogeneousDemandConfig config;
+    config.lambdas = lambdas;
+    config.single_publisher = false;
+    TableWriter model_table{{"file", "isolated E[T]", "bundled E[T]", "gain"}};
+    for (const auto& row : model::compare_isolated_vs_bundle(params, config)) {
+        model_table.add_row({std::to_string(row.file),
+                             format_double(row.isolated_time, 5),
+                             format_double(row.bundled_time, 5),
+                             format_double(row.gain, 5)});
+    }
+    model_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Section 5 — mixed vs pure bundling economics.
+//
+// Paper: "Even a small fraction of users opting to download more content
+// than they strictly sought can significantly improve availability."
+// This bench sweeps the opt-in fraction q of a mixed-bundling deployment
+// (individual torrents + a bundle torrent) and reports per-file and
+// aggregate unavailability, pure bundling (q = 1) and isolated swarms
+// (q = 0) as the endpoints.
+#include <iostream>
+
+#include "model/mixed_bundling.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::model;
+
+    print_banner(std::cout, "Section 5: mixed bundling -- availability vs opt-in fraction");
+
+    SwarmParams base;
+    base.peer_arrival_rate = 1.0;  // per-file demands below
+    base.content_size = 80.0;
+    base.download_rate = 1.0;
+    base.publisher_arrival_rate = 1.0 / 900.0;
+    base.publisher_residence = 300.0;
+
+    MixedBundlingConfig config;
+    config.lambdas = {1.0 / 60.0, 1.0 / 120.0, 1.0 / 240.0, 1.0 / 480.0};
+
+    TableWriter table{{"opt-in q", "P bundle swarm", "P file 1 (popular)",
+                       "P file 4 (unpopular)", "aggregate request P",
+                       "E[T] single-file peer (file 4)"}};
+    for (double q : {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+        config.bundle_opt_in = q;
+        const auto rows = evaluate_mixed_bundling(base, config);
+        table.add_row({format_double(q, 3), format_double(rows.front().p_bundle, 4),
+                       format_double(rows.front().p_mixed, 4),
+                       format_double(rows.back().p_mixed, 4),
+                       format_double(request_unavailability(rows, q), 4),
+                       format_double(rows.back().download_time_single, 5)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: by q ~ 0.1-0.2 the bundle swarm is already nearly\n"
+                 "self-sustaining and every file's unavailability collapses --\n"
+                 "the individual swarms keep serving impatient majorities while\n"
+                 "the bundle provides the availability backstop. Pure bundling\n"
+                 "(q = 1) maximizes availability but forces the full download\n"
+                 "cost on everyone.\n";
+    return 0;
+}

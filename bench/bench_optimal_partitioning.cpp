@@ -1,0 +1,86 @@
+// Future work (Section 5) — how should a publisher optimally bundle files?
+//
+// The paper poses but does not solve the catalog-partitioning problem. This
+// bench applies the Section 3 model inside a partition optimizer: a catalog
+// with Zipf demand is split into bundles minimizing the demand-weighted
+// mean download time, with an optional per-extra-file traffic penalty (the
+// ISP-cost concern the paper also raises).
+#include <iostream>
+
+#include "model/partitioning.hpp"
+#include "model/zipf_demand.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace swarmavail;
+using namespace swarmavail::model;
+
+std::string render(const Partition& partition) {
+    std::string out;
+    for (const auto& bundle : partition) {
+        out += "{";
+        for (std::size_t i = 0; i < bundle.size(); ++i) {
+            out += std::to_string(bundle[i] + 1);
+            if (i + 1 < bundle.size()) {
+                out += ",";
+            }
+        }
+        out += "} ";
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace swarmavail::model;
+
+    swarmavail::print_banner(std::cout,
+                             "Future work: optimal catalog partitioning into bundles");
+
+    SwarmParams base;
+    base.peer_arrival_rate = 1.0;
+    base.content_size = 80.0;
+    base.download_rate = 1.0;
+    base.publisher_arrival_rate = 1.0 / 900.0;
+    base.publisher_residence = 300.0;
+
+    // A 12-file catalog with Zipf(1.1) demand, total one request per 20 s.
+    const auto popularity = zipf_popularities(12, 1.1);
+    PartitionConfig config;
+    for (double p : popularity) {
+        config.lambdas.push_back(p * 0.05);
+    }
+
+    swarmavail::TableWriter table{
+        {"traffic penalty (s/file)", "optimal partition (files by rank)",
+         "weighted E[T] (s)", "vs all-solo", "vs one-bundle"}};
+    Partition all_solo;
+    Partition one_bundle(1);
+    for (std::size_t i = 0; i < config.lambdas.size(); ++i) {
+        all_solo.push_back({i});
+        one_bundle[0].push_back(i);
+    }
+    for (double penalty : {0.0, 40.0, 160.0}) {
+        config.per_extra_file_penalty = penalty;
+        const auto partition = optimal_partition_contiguous(base, config);
+        const double cost = partition_cost(base, partition, config);
+        table.add_row({swarmavail::format_double(penalty, 4), render(partition),
+                       swarmavail::format_double(cost, 5),
+                       swarmavail::format_double(
+                           partition_cost(base, all_solo, config) / cost, 3) +
+                           "x",
+                       swarmavail::format_double(
+                           partition_cost(base, one_bundle, config) / cost, 3) +
+                           "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: the optimizer leaves the popular head solo (it is\n"
+                 "already self-sustaining), glues the unpopular tail into larger\n"
+                 "bundles whose pooled demand bridges publisher downtime, and\n"
+                 "shrinks bundles as the traffic penalty grows -- quantifying the\n"
+                 "paper's closing intuition about what makes good bundles.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Section 2.3.2 — bundled content is more available.
+//
+// Paper: 62% of plain book swarms had no seed on the snapshot day vs 36%
+// for collections; mean downloads 2,578 (plain) vs 4,216 (collections).
+// After subset analysis (the Garfield example: a seedless collection whose
+// wider super-collection is seeded still delivers the content), effective
+// collection unavailability drops to 210/841 = 25%.
+#include <iostream>
+
+#include "measurement/analysis.hpp"
+#include "measurement/monitor.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::measurement;
+
+    print_banner(std::cout, "Section 2.3.2: availability of bundled vs plain content");
+
+    CatalogConfig catalog_config;
+    catalog_config.book_swarms = 20000;  // enough collections for tight stats
+    const auto catalog = generate_catalog(catalog_config);
+    MonitorConfig monitor_config;
+    monitor_config.duration_hours = 24 * 90;
+    const auto traces = monitor_catalog(catalog, monitor_config);
+    const std::uint32_t snapshot_hour = 24 * 60;  // a "May 6"-style snapshot day
+
+    const auto collections = compare_availability(catalog, traces, Category::kBooks,
+                                                  /*use_collections=*/true, snapshot_hour);
+    const auto bundles = compare_availability(catalog, traces, Category::kBooks,
+                                              /*use_collections=*/false, snapshot_hour);
+
+    TableWriter table{{"book swarm class", "swarms", "seedless %", "mean downloads",
+                       "paper seedless %"}};
+    table.add_row({"plain (vs collections)", std::to_string(collections.plain_swarms),
+                   format_double(100.0 * collections.plain_seedless_fraction(), 3),
+                   format_double(collections.plain_mean_downloads, 4), "62"});
+    table.add_row({"collections", std::to_string(collections.bundled_swarms),
+                   format_double(100.0 * collections.bundled_seedless_fraction(), 3),
+                   format_double(collections.bundled_mean_downloads, 4), "36"});
+    table.add_row({"plain (vs ext. bundles)", std::to_string(bundles.plain_swarms),
+                   format_double(100.0 * bundles.plain_seedless_fraction(), 3),
+                   format_double(bundles.plain_mean_downloads, 4), "-"});
+    table.add_row({"extension bundles", std::to_string(bundles.bundled_swarms),
+                   format_double(100.0 * bundles.bundled_seedless_fraction(), 3),
+                   format_double(bundles.bundled_mean_downloads, 4), "-"});
+    table.print(std::cout);
+
+    const auto subsets = analyze_collection_subsets(catalog, traces, snapshot_hour);
+    std::cout << "\ncollection subset analysis (the Garfield effect):\n";
+    std::cout << "  collections: " << subsets.collections
+              << "  seedless: " << subsets.seedless
+              << "  seedless without a seeded superset: "
+              << subsets.seedless_without_superset << "\n";
+    std::cout << "  effective unavailability: " << subsets.effective_unavailability()
+              << "   (paper: 0.25, down from the raw seedless fraction)\n";
+    return 0;
+}

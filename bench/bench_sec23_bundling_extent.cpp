@@ -1,0 +1,46 @@
+// Section 2.3.1 — extent of bundling per category.
+//
+// Paper (May 6, 2009 Mininova snapshot, 1,087,933 swarms):
+//   music: 193,491 of 267,117 swarms are bundles (72.4%)
+//   tv:     25,990 of 164,930 swarms are bundles (15.8%)
+//   books:     841 collections; +6,270 extension bundles of 66,387 (9.4%)
+//
+// Here: a 1/10-scale synthetic snapshot classified with the same
+// extension/keyword rules.
+#include <iostream>
+
+#include "measurement/analysis.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::measurement;
+
+    print_banner(std::cout, "Section 2.3.1: extent of bundling (1/10-scale snapshot)");
+
+    const auto catalog = generate_catalog(CatalogConfig{});
+    const auto extent = bundling_extent(catalog);
+
+    TableWriter table{{"category", "swarms", "bundles", "bundle %", "collections",
+                       "paper bundle %"}};
+    for (const auto& row : extent) {
+        std::string paper = "-";
+        if (row.category == Category::kMusic) {
+            paper = "72.4";
+        } else if (row.category == Category::kTv) {
+            paper = "15.8";
+        } else if (row.category == Category::kBooks) {
+            paper = "9.4 (+1.3 collections)";
+        }
+        table.add_row({to_string(row.category), std::to_string(row.swarms),
+                       std::to_string(row.bundles),
+                       format_double(100.0 * row.bundle_fraction(), 3),
+                       std::to_string(row.collections), paper});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntotal swarms in snapshot: " << catalog.size() << "\n";
+    std::cout << "classifier: >=2 files with category media extensions; book\n"
+                 "collections matched on the 'collection' title keyword.\n";
+    return 0;
+}

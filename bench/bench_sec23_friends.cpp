@@ -1,0 +1,54 @@
+// Section 2.3.2 — the "Friends" case study: availability correlates with
+// bundling within one show's swarms.
+//
+// Paper: 52 swarms for the show; the 23 with seeds comprised 21 bundles and
+// 2 single episodes; the 29 without seeds comprised only 7 bundles.
+//
+// Here: a synthetic TV category pushed through the monitoring pipeline;
+// the contingency table is computed from observed bitmaps + the extension
+// classifier, exactly like the paper's analysis.
+#include <iostream>
+
+#include "measurement/analysis.hpp"
+#include "measurement/monitor.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::measurement;
+
+    print_banner(std::cout, "Section 2.3.2: bundling/availability contingency (TV swarms)");
+
+    CatalogConfig catalog_config;
+    catalog_config.music_swarms = 0;
+    catalog_config.tv_swarms = 5200;  // 100 "Friends"-sized shows worth
+    catalog_config.book_swarms = 0;
+    catalog_config.movie_swarms = 0;
+    catalog_config.other_swarms = 0;
+    catalog_config.tv_bundle_fraction = 0.54;  // 28/52 as in the case study
+    const auto catalog = generate_catalog(catalog_config);
+
+    MonitorConfig monitor_config;
+    monitor_config.duration_hours = 24 * 90;
+    const auto traces = monitor_catalog(catalog, monitor_config);
+
+    const auto table =
+        bundling_availability_contingency(catalog, traces, Category::kTv, 24 * 60);
+
+    TableWriter out{{"", "bundles", "single episodes", "total"}};
+    out.add_row({"with seeds", std::to_string(table.available_bundles),
+                 std::to_string(table.available_singles),
+                 std::to_string(table.available())});
+    out.add_row({"without seeds", std::to_string(table.unavailable_bundles),
+                 std::to_string(table.unavailable_singles),
+                 std::to_string(table.unavailable())});
+    out.print(std::cout);
+
+    std::cout << "\nbundle share of seeded swarms:   "
+              << table.bundle_share_of_available() << "   (paper: 21/23 = 0.91)\n";
+    std::cout << "bundle share of seedless swarms: "
+              << table.bundle_share_of_unavailable() << "   (paper: 7/29 = 0.24)\n";
+    std::cout << "\n(the same correlation the paper reads off the Friends swarms:\n"
+                 " seeded swarms are overwhelmingly bundles)\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Section 4.3.4 — sensitivity to the arrival pattern.
+//
+// Paper: repeating the Figure 6 experiments with (scaled) real arrival
+// traces instead of Poisson arrivals does not qualitatively change the
+// conclusions, as long as the mean rate stays steady for long enough; a
+// decaying flash-crowd rate breaks the model's busy-period assumption.
+//
+// This bench drives the block-level simulator with three arrival inputs of
+// equal mean rate -- Poisson, a steady trace, and a decaying trace -- and
+// compares bundling's effect in each.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "sim/processes.hpp"
+#include "swarm/observables.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace swarmavail;
+
+SampleSet run_with_trace(std::size_t k, const std::vector<double>& trace,
+                         std::uint64_t seed) {
+    swarm::SwarmSimConfig config;
+    config.bundle_size = k;
+    config.peer_arrival_rate = 1.0 / 60.0;  // ignored when a trace is given
+    config.arrival_trace = trace;
+    config.peer_capacity = std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+    config.publisher_capacity = 100.0 * swarm::kKBps;
+    config.publisher = swarm::PublisherBehavior::kOnOff;
+    config.publisher_on_mean = 300.0;
+    config.publisher_off_mean = 900.0;
+    config.horizon = 1200.0;
+    config.drain_after_horizon = true;
+    config.drain_deadline_factor = 2.0;
+    config.seed = seed;
+    const auto result = swarm::run_swarm_sim(config);
+    SampleSet samples;
+    for (const auto& peer : result.peers) {
+        if (peer.completion >= 0.0) {
+            samples.add(peer.completion - peer.arrival);
+        }
+    }
+    return samples;
+}
+
+}  // namespace
+
+int main() {
+    using namespace swarmavail;
+
+    print_banner(std::cout, "Section 4.3.4: Poisson vs trace-driven arrivals");
+
+    TableWriter table{{"arrivals", "K", "n", "mean T (s)", "median", "p95"}};
+    Rng rng{4344};
+    for (std::size_t k : {2, 4}) {
+        const double aggregate = static_cast<double>(k) / 60.0;
+        for (int mode = 0; mode < 3; ++mode) {
+            SampleSet merged;
+            for (std::uint64_t replicate = 0; replicate < 10; ++replicate) {
+                std::vector<double> trace;
+                std::string label;
+                if (mode == 0) {
+                    label = "poisson";
+                    trace.clear();  // built-in Poisson process
+                } else if (mode == 1) {
+                    label = "steady trace";
+                    trace = sim::sample_homogeneous_poisson(rng, aggregate, 1200.0);
+                } else {
+                    label = "decaying trace";
+                    // Same expected count over the window:
+                    // lambda0 tau (1 - e^{-T/tau}) = aggregate * T.
+                    const double tau = 400.0;
+                    const double lambda0 = aggregate * 1200.0 /
+                                           (tau * (1.0 - std::exp(-1200.0 / tau)));
+                    trace = sim::sample_decaying_poisson(rng, lambda0, tau, 1200.0);
+                }
+                auto samples = run_with_trace(k, trace, 4000 + k + 100 * replicate);
+                merged.add_all(samples.samples());
+            }
+            const std::string label = mode == 0   ? "poisson"
+                                      : mode == 1 ? "steady trace"
+                                                  : "decaying trace";
+            table.add_row({label, std::to_string(k), std::to_string(merged.size()),
+                           format_double(merged.mean(), 5),
+                           format_double(merged.median(), 5),
+                           format_double(merged.quantile(0.95), 5)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: steady traces track the Poisson results (the model's\n"
+                 "conclusions survive non-Poisson but steady arrivals); the\n"
+                 "decaying flash crowd concentrates demand early, so late busy\n"
+                 "periods are shorter than the steady-rate model would predict --\n"
+                 "exactly the caveat Section 4.3.4 raises.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Catalog bundling strategy, end to end: a publisher with a 10-file
+// catalog, a flaky seed, and three tools from this library --
+//
+//  1. the partition optimizer (which files to glue into which torrents),
+//  2. the mixed-bundling analysis (publish individual torrents AND a
+//     bundle; how many users must opt into the bundle?),
+//  3. the fluid baseline (what a standard availability-blind model would
+//     have recommended, and why it is wrong here).
+#include <iostream>
+
+#include "model/fluid_baseline.hpp"
+#include "model/mixed_bundling.hpp"
+#include "model/partitioning.hpp"
+#include "model/zipf_demand.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::model;
+
+    std::cout << "=== bundling strategy for a 10-file catalog ===\n\n";
+
+    SwarmParams base;
+    base.peer_arrival_rate = 1.0;             // per-file demands below
+    base.content_size = 4.0e6 * 8.0;          // 4 MB files
+    base.download_rate = 50.0e3 * 8.0;        // 50 KBps swarm capacity
+    base.publisher_arrival_rate = 1.0 / 900.0;  // seed returns every 15 min
+    base.publisher_residence = 300.0;           // ... and stays 5 min
+
+    // Zipf(1.0) demand, one request per 30 s across the catalog.
+    const auto popularity = zipf_popularities(10, 1.0);
+    PartitionConfig partition_config;
+    for (double p : popularity) {
+        partition_config.lambdas.push_back(p / 30.0);
+    }
+
+    // 1. Partitioning: which bundles should exist?
+    const auto partition = optimal_partition_contiguous(base, partition_config);
+    std::cout << "1. optimal partition (files ranked by popularity):\n   ";
+    for (const auto& bundle : partition) {
+        std::cout << "{";
+        for (std::size_t i = 0; i < bundle.size(); ++i) {
+            std::cout << bundle[i] + 1 << (i + 1 < bundle.size() ? "," : "");
+        }
+        std::cout << "} ";
+    }
+    std::cout << "\n   weighted mean download time: "
+              << partition_cost(base, partition, partition_config) << " s\n";
+    Partition all_solo;
+    for (std::size_t i = 0; i < 10; ++i) {
+        all_solo.push_back({i});
+    }
+    std::cout << "   (all-solo publishing: "
+              << partition_cost(base, all_solo, partition_config) << " s)\n\n";
+
+    // 2. Mixed bundling: keep the individual torrents, add one bundle.
+    std::cout << "2. mixed bundling (individual torrents + one full-catalog "
+                 "bundle):\n";
+    TableWriter mixed_table{{"opt-in q", "aggregate request unavailability"}};
+    MixedBundlingConfig mixed_config;
+    mixed_config.lambdas = partition_config.lambdas;
+    for (double q : {0.0, 0.1, 0.25, 0.5}) {
+        mixed_config.bundle_opt_in = q;
+        const auto rows = evaluate_mixed_bundling(base, mixed_config);
+        mixed_table.add_row(
+            {format_double(q, 3), format_double(request_unavailability(rows, q), 4)});
+    }
+    mixed_table.print(std::cout);
+
+    // 3. What would the fluid baseline have said?
+    FluidParams fluid;
+    fluid.lambda = partition_config.lambdas.front();
+    fluid.mu = base.download_rate / base.content_size;
+    fluid.c = 4.0 * fluid.mu;
+    fluid.eta = 1.0;
+    fluid.gamma = 1.0;
+    std::cout << "\n3. fluid-baseline check: predicted download times for the "
+                 "most popular file\n   bundled at K = 1, 4, 8: "
+              << fluid_bundle_download_time(fluid, 1) << ", "
+              << fluid_bundle_download_time(fluid, 4) << ", "
+              << fluid_bundle_download_time(fluid, 8)
+              << " s -- monotone in K, i.e. \"never bundle\".\n";
+    std::cout << "   The availability-aware partition above disagrees for the "
+                 "unpopular tail,\n   which is the paper's central point.\n";
+    return 0;
+}

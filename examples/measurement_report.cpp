@@ -1,0 +1,61 @@
+// Measurement report: generate a synthetic BitTorrent ecosystem, monitor it
+// the way the paper's PlanetLab agents did (hourly scrapes, bitmap-based
+// seed detection), and print a Section 2-style availability report.
+#include <iostream>
+
+#include "measurement/analysis.hpp"
+#include "measurement/monitor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace swarmavail;
+    using namespace swarmavail::measurement;
+
+    CatalogConfig catalog_config;
+    catalog_config.music_swarms = 4000;
+    catalog_config.tv_swarms = 2500;
+    catalog_config.book_swarms = 2000;
+    catalog_config.movie_swarms = 1500;
+    catalog_config.other_swarms = 1000;
+    const auto catalog = generate_catalog(catalog_config);
+
+    MonitorConfig monitor_config;
+    monitor_config.duration_hours = 24 * 60;  // two months of hourly scrapes
+    const auto traces = monitor_catalog(catalog, monitor_config);
+
+    std::cout << "=== synthetic ecosystem measurement report ===\n\n";
+    std::cout << "swarms monitored: " << catalog.size() << " for "
+              << monitor_config.duration_hours << " hours\n\n";
+
+    std::cout << "bundling extent by category (extension classifier):\n";
+    TableWriter extent_table{{"category", "swarms", "bundles", "bundle %"}};
+    for (const auto& row : bundling_extent(catalog)) {
+        extent_table.add_row({to_string(row.category), std::to_string(row.swarms),
+                              std::to_string(row.bundles),
+                              format_double(100.0 * row.bundle_fraction(), 3)});
+    }
+    extent_table.print(std::cout);
+
+    const auto fractions = availability_fractions(traces, 0, monitor_config.duration_hours);
+    const EmpiricalCdf cdf{fractions};
+    std::cout << "\nseed availability over the whole window:\n";
+    TableWriter cdf_table{{"availability <=", "fraction of swarms"}};
+    for (double a : {0.0, 0.2, 0.5, 0.8, 0.99}) {
+        cdf_table.add_row({format_double(a, 3), format_double(cdf(a), 4)});
+    }
+    cdf_table.print(std::cout);
+
+    const auto books = compare_availability(catalog, traces, Category::kBooks,
+                                            /*use_collections=*/true, 24 * 45);
+    std::cout << "\nbook swarms on the snapshot day (hour " << 24 * 45 << "):\n";
+    std::cout << "  plain:       " << books.plain_swarms << " swarms, "
+              << 100.0 * books.plain_seedless_fraction() << "% seedless, mean "
+              << books.plain_mean_downloads << " downloads\n";
+    std::cout << "  collections: " << books.bundled_swarms << " swarms, "
+              << 100.0 * books.bundled_seedless_fraction() << "% seedless, mean "
+              << books.bundled_mean_downloads << " downloads\n";
+    std::cout << "\nconclusion: bundled content is more available -- the effect the\n"
+                 "paper measures in Section 2.3.2 and explains with its model.\n";
+    return 0;
+}

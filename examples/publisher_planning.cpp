@@ -1,0 +1,82 @@
+// Publisher planning: a content publisher with a catalog of episodes and a
+// limited seeding budget decides how to bundle them.
+//
+// The publisher can only keep its seed online 25% of the time (on 300 s,
+// off 900 s). Larger bundles stretch peer-sustained busy periods across the
+// off periods, but force every peer to download more. This example sweeps
+// bundle sizes under three demand scenarios and prints the recommendation,
+// using both the closed-form model (eq. 16) and the block-level simulator
+// as a cross-check.
+#include <iostream>
+#include <memory>
+
+#include "model/bundling.hpp"
+#include "swarm/observables.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace swarmavail;
+
+void plan(const std::string& label, double per_file_rate) {
+    std::cout << "\n=== scenario: " << label << " (lambda = " << per_file_rate
+              << " peers/s per episode) ===\n";
+
+    model::SwarmParams params;
+    params.peer_arrival_rate = per_file_rate;
+    params.content_size = 4.0e6 * 8.0;
+    params.download_rate = 50.0e3 * 8.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;  // mean off time
+    params.publisher_residence = 300.0;           // mean on time
+
+    model::BundleSweepConfig config;
+    config.max_k = 8;
+    config.model = model::DownloadModel::kSinglePublisher;
+    config.coverage_threshold = 9;
+    const auto sweep = model::sweep_bundle_sizes(params, config);
+
+    TableWriter table{{"episodes per torrent K", "model E[T] (s)", "model P"}};
+    for (const auto& point : sweep) {
+        table.add_row({std::to_string(point.k), format_double(point.download_time, 5),
+                       format_double(point.unavailability, 4)});
+    }
+    table.print(std::cout);
+    const std::size_t best = model::optimal_bundle_size(sweep);
+    std::cout << "model recommendation: bundle " << best << " episodes per torrent\n";
+
+    // Cross-check the recommended and the unbundled option in the
+    // block-level simulator.
+    swarm::SwarmSimConfig sim_config;
+    sim_config.peer_arrival_rate = per_file_rate;
+    sim_config.peer_capacity =
+        std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+    sim_config.publisher_capacity = 100.0 * swarm::kKBps;
+    sim_config.publisher = swarm::PublisherBehavior::kOnOff;
+    sim_config.publisher_on_mean = 300.0;
+    sim_config.publisher_off_mean = 900.0;
+    sim_config.horizon = 9600.0;
+    sim_config.drain_after_horizon = true;
+    sim_config.seed = 12;
+    for (std::size_t k : {std::size_t{1}, best}) {
+        sim_config.bundle_size = k;
+        const auto runs = swarm::run_swarm_replications(sim_config, 3);
+        const auto times = swarm::merge_download_times(runs);
+        std::cout << "  simulated mean download time at K=" << k << ": "
+                  << (times.empty() ? 0.0 : times.mean()) << " s over " << times.size()
+                  << " peers\n";
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "Publisher planning: choosing a bundle size for a 25%-available seed\n";
+    plan("niche show", 1.0 / 300.0);
+    plan("steady audience", 1.0 / 60.0);
+    plan("popular show", 1.0 / 15.0);
+    std::cout << "\nRule of thumb from the paper: bundle enough content that the\n"
+                 "swarm's peer-sustained busy period bridges the publisher's off\n"
+                 "periods -- and no more.\n";
+    return 0;
+}

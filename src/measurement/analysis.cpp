@@ -1,0 +1,212 @@
+#include "measurement/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace swarmavail::measurement {
+namespace {
+
+/// Extensions the classifier counts per category (Section 2.3.1).
+std::array<const char*, 3> classifier_extensions(Category category) {
+    switch (category) {
+        case Category::kMusic:
+            return {".mp3", ".mid", ".wav"};
+        case Category::kTv:
+            return {".mpg", ".avi", ".mkv"};
+        case Category::kBooks:
+            return {".pdf", ".djvu", ".epub"};
+        case Category::kMovies:
+        case Category::kOther:
+            return {"", "", ""};  // no automatic classification (Section 2.3.1)
+    }
+    return {"", "", ""};
+}
+
+const SwarmTrace& trace_for(const Catalog& catalog, const std::vector<SwarmTrace>& traces,
+                            std::size_t index) {
+    require(traces.size() == catalog.size(),
+            "analysis: traces must be index-aligned with the catalog");
+    require(traces[index].swarm_id == catalog[index].id,
+            "analysis: trace/catalog id mismatch");
+    return traces[index];
+}
+
+bool seeded_at(const SwarmTrace& trace, std::uint32_t hour) {
+    for (const auto& obs : trace.observations) {
+        if (obs.hour == hour) {
+            return obs.seeds > 0;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+bool has_extension(const std::string& name, const std::string& extension) {
+    if (extension.empty() || name.size() < extension.size()) {
+        return false;
+    }
+    return name.compare(name.size() - extension.size(), extension.size(), extension) == 0;
+}
+
+bool classify_bundle(const SwarmEntry& swarm) {
+    const auto extensions = classifier_extensions(swarm.category);
+    std::size_t media = 0;
+    for (const auto& file : swarm.files) {
+        for (const char* ext : extensions) {
+            if (ext[0] != '\0' && has_extension(file.name, ext)) {
+                ++media;
+                break;
+            }
+        }
+        if (media >= 2) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool classify_collection(const SwarmEntry& swarm) {
+    return swarm.category == Category::kBooks &&
+           swarm.title.find("collection") != std::string::npos;
+}
+
+std::vector<BundlingExtent> bundling_extent(const Catalog& catalog) {
+    std::unordered_map<int, BundlingExtent> rows;
+    for (const auto& swarm : catalog) {
+        auto& row = rows[static_cast<int>(swarm.category)];
+        row.category = swarm.category;
+        ++row.swarms;
+        if (classify_bundle(swarm)) {
+            ++row.bundles;
+        }
+        if (classify_collection(swarm)) {
+            ++row.collections;
+        }
+    }
+    std::vector<BundlingExtent> out;
+    out.reserve(rows.size());
+    for (auto& [key, row] : rows) {
+        out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(), [](const BundlingExtent& a, const BundlingExtent& b) {
+        return static_cast<int>(a.category) < static_cast<int>(b.category);
+    });
+    return out;
+}
+
+AvailabilityComparison compare_availability(const Catalog& catalog,
+                                            const std::vector<SwarmTrace>& traces,
+                                            Category category, bool use_collections,
+                                            std::uint32_t snapshot_hour) {
+    AvailabilityComparison out;
+    double plain_downloads = 0.0;
+    double bundled_downloads = 0.0;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto& swarm = catalog[i];
+        if (swarm.category != category) {
+            continue;
+        }
+        const bool special =
+            use_collections ? classify_collection(swarm) : classify_bundle(swarm);
+        const bool seedless = !seeded_at(trace_for(catalog, traces, i), snapshot_hour);
+        if (special) {
+            ++out.bundled_swarms;
+            out.bundled_seedless += seedless ? 1 : 0;
+            bundled_downloads += static_cast<double>(swarm.downloads);
+        } else {
+            ++out.plain_swarms;
+            out.plain_seedless += seedless ? 1 : 0;
+            plain_downloads += static_cast<double>(swarm.downloads);
+        }
+    }
+    out.plain_mean_downloads =
+        out.plain_swarms == 0 ? 0.0 : plain_downloads / static_cast<double>(out.plain_swarms);
+    out.bundled_mean_downloads =
+        out.bundled_swarms == 0
+            ? 0.0
+            : bundled_downloads / static_cast<double>(out.bundled_swarms);
+    return out;
+}
+
+SubsetAnalysis analyze_collection_subsets(const Catalog& catalog,
+                                          const std::vector<SwarmTrace>& traces,
+                                          std::uint32_t snapshot_hour) {
+    // Widest seeded scope per series.
+    std::unordered_map<std::uint64_t, std::size_t> seeded_scope;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto& swarm = catalog[i];
+        if (swarm.series_id == 0 || !classify_collection(swarm)) {
+            continue;
+        }
+        if (seeded_at(trace_for(catalog, traces, i), snapshot_hour)) {
+            auto& scope = seeded_scope[swarm.series_id];
+            scope = std::max(scope, swarm.series_scope);
+        }
+    }
+
+    SubsetAnalysis out;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto& swarm = catalog[i];
+        if (!classify_collection(swarm)) {
+            continue;
+        }
+        ++out.collections;
+        if (seeded_at(trace_for(catalog, traces, i), snapshot_hour)) {
+            continue;
+        }
+        ++out.seedless;
+        // Covered if a strictly wider collection of the same series is seeded.
+        const auto it =
+            swarm.series_id != 0 ? seeded_scope.find(swarm.series_id) : seeded_scope.end();
+        const bool covered = it != seeded_scope.end() && it->second > swarm.series_scope;
+        if (!covered) {
+            ++out.seedless_without_superset;
+        }
+    }
+    return out;
+}
+
+BundleAvailabilityContingency bundling_availability_contingency(
+    const Catalog& catalog, const std::vector<SwarmTrace>& traces, Category category,
+    std::uint32_t snapshot_hour) {
+    BundleAvailabilityContingency table;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto& swarm = catalog[i];
+        if (swarm.category != category) {
+            continue;
+        }
+        const bool bundle = classify_bundle(swarm);
+        const bool seeded = seeded_at(trace_for(catalog, traces, i), snapshot_hour);
+        if (seeded) {
+            (bundle ? table.available_bundles : table.available_singles) += 1;
+        } else {
+            (bundle ? table.unavailable_bundles : table.unavailable_singles) += 1;
+        }
+    }
+    return table;
+}
+
+std::vector<double> availability_fractions(const std::vector<SwarmTrace>& traces,
+                                           std::uint32_t from_hour, std::uint32_t to_hour) {
+    std::vector<double> out;
+    out.reserve(traces.size());
+    for (const auto& trace : traces) {
+        bool any = false;
+        for (const auto& obs : trace.observations) {
+            if (obs.hour >= from_hour && obs.hour < to_hour) {
+                any = true;
+                break;
+            }
+        }
+        if (any) {
+            out.push_back(seed_availability(trace, from_hour, to_hour));
+        }
+    }
+    return out;
+}
+
+}  // namespace swarmavail::measurement

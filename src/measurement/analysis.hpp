@@ -1,0 +1,135 @@
+// Analysis pipeline of Section 2: bundle classification from file
+// extensions, bundling-extent statistics (2.3.1), bundling-vs-availability
+// statistics (2.3.2), collection subset analysis, and the seed-availability
+// CDF of Figure 1.
+//
+// Everything here operates on observable catalog fields (titles, file
+// names, traces) -- never on the generator's hidden parameters -- mirroring
+// what the paper's measurement code could see.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "measurement/catalog.hpp"
+#include "measurement/monitor.hpp"
+
+namespace swarmavail::measurement {
+
+/// True if `name` ends with `extension` (case-sensitive, includes the dot).
+[[nodiscard]] bool has_extension(const std::string& name, const std::string& extension);
+
+/// Section 2.3.1 classifier: a swarm is a bundle if it contains two or more
+/// files with extensions typical of its category (.mp3/.mid/.wav for music,
+/// .mpg/.avi/.mkv for TV, .pdf/.djvu/.epub for books).
+[[nodiscard]] bool classify_bundle(const SwarmEntry& swarm);
+
+/// A book swarm whose title contains the keyword "collection".
+[[nodiscard]] bool classify_collection(const SwarmEntry& swarm);
+
+/// Per-category bundling-extent row (the 2.3.1 numbers).
+struct BundlingExtent {
+    Category category = Category::kOther;
+    std::size_t swarms = 0;
+    std::size_t bundles = 0;
+    std::size_t collections = 0;  ///< keyword collections (books only)
+    [[nodiscard]] double bundle_fraction() const {
+        return swarms == 0 ? 0.0
+                           : static_cast<double>(bundles) / static_cast<double>(swarms);
+    }
+};
+
+/// Computes bundling extent for the given categories.
+[[nodiscard]] std::vector<BundlingExtent> bundling_extent(const Catalog& catalog);
+
+/// Section 2.3.2 comparison: availability and downloads of bundled vs
+/// unbundled swarms within one category, judged from the monitoring traces
+/// (a swarm is "seedless" if no seed was observed in the snapshot hour).
+struct AvailabilityComparison {
+    std::size_t plain_swarms = 0;
+    std::size_t plain_seedless = 0;
+    double plain_mean_downloads = 0.0;
+    std::size_t bundled_swarms = 0;
+    std::size_t bundled_seedless = 0;
+    double bundled_mean_downloads = 0.0;
+
+    [[nodiscard]] double plain_seedless_fraction() const {
+        return plain_swarms == 0 ? 0.0
+                                 : static_cast<double>(plain_seedless) /
+                                       static_cast<double>(plain_swarms);
+    }
+    [[nodiscard]] double bundled_seedless_fraction() const {
+        return bundled_swarms == 0 ? 0.0
+                                   : static_cast<double>(bundled_seedless) /
+                                         static_cast<double>(bundled_swarms);
+    }
+};
+
+/// Compares collections (or bundles, per `use_collections`) against plain
+/// swarms of `category`, sampling seed presence at `snapshot_hour` of each
+/// trace. Traces must be index-aligned with the catalog.
+[[nodiscard]] AvailabilityComparison compare_availability(
+    const Catalog& catalog, const std::vector<SwarmTrace>& traces, Category category,
+    bool use_collections, std::uint32_t snapshot_hour);
+
+/// Collection-subset analysis (the Garfield example): a seedless collection
+/// does not count as unavailable if a wider-scope collection of the same
+/// series is seeded.
+struct SubsetAnalysis {
+    std::size_t collections = 0;
+    std::size_t seedless = 0;                ///< collections with no seed
+    std::size_t seedless_without_superset = 0;  ///< ... and no seeded superset
+    [[nodiscard]] double effective_unavailability() const {
+        return collections == 0 ? 0.0
+                                : static_cast<double>(seedless_without_superset) /
+                                      static_cast<double>(collections);
+    }
+};
+
+[[nodiscard]] SubsetAnalysis analyze_collection_subsets(
+    const Catalog& catalog, const std::vector<SwarmTrace>& traces,
+    std::uint32_t snapshot_hour);
+
+/// 2x2 bundling/availability contingency table (the "Friends" case study
+/// of Section 2.3.2: of the show's 52 swarms, the 23 with seeds were mostly
+/// bundles -- 21 of 23 -- while the 29 seedless ones were mostly singles).
+struct BundleAvailabilityContingency {
+    std::size_t available_bundles = 0;
+    std::size_t available_singles = 0;
+    std::size_t unavailable_bundles = 0;
+    std::size_t unavailable_singles = 0;
+
+    [[nodiscard]] std::size_t available() const {
+        return available_bundles + available_singles;
+    }
+    [[nodiscard]] std::size_t unavailable() const {
+        return unavailable_bundles + unavailable_singles;
+    }
+    /// Fraction of available swarms that are bundles (paper: 21/23 = 0.91).
+    [[nodiscard]] double bundle_share_of_available() const {
+        return available() == 0 ? 0.0
+                                : static_cast<double>(available_bundles) /
+                                      static_cast<double>(available());
+    }
+    /// Fraction of unavailable swarms that are bundles (paper: 7/29 = 0.24).
+    [[nodiscard]] double bundle_share_of_unavailable() const {
+        return unavailable() == 0 ? 0.0
+                                  : static_cast<double>(unavailable_bundles) /
+                                        static_cast<double>(unavailable());
+    }
+};
+
+/// Builds the contingency table for `category` at `snapshot_hour`.
+[[nodiscard]] BundleAvailabilityContingency bundling_availability_contingency(
+    const Catalog& catalog, const std::vector<SwarmTrace>& traces, Category category,
+    std::uint32_t snapshot_hour);
+
+/// Per-swarm seed availability fractions over an observation window
+/// [from_hour, to_hour) -- the data behind each Figure 1 curve. Swarms with
+/// no observations in the window are skipped.
+[[nodiscard]] std::vector<double> availability_fractions(
+    const std::vector<SwarmTrace>& traces, std::uint32_t from_hour,
+    std::uint32_t to_hour);
+
+}  // namespace swarmavail::measurement

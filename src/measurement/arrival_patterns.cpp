@@ -1,0 +1,52 @@
+#include "measurement/arrival_patterns.hpp"
+
+#include <cmath>
+
+#include "sim/processes.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::measurement {
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+}
+
+std::vector<double> new_swarm_arrivals(Rng& rng, double lambda0_per_day, double tau_days,
+                                       double horizon_days) {
+    require(horizon_days > 0.0, "new_swarm_arrivals: horizon must be > 0");
+    return sim::sample_decaying_poisson(rng, lambda0_per_day / kSecondsPerDay,
+                                        tau_days * kSecondsPerDay,
+                                        horizon_days * kSecondsPerDay);
+}
+
+std::vector<double> old_swarm_arrivals(Rng& rng, double lambda_per_day,
+                                       double horizon_days) {
+    require(horizon_days > 0.0, "old_swarm_arrivals: horizon must be > 0");
+    return sim::sample_homogeneous_poisson(rng, lambda_per_day / kSecondsPerDay,
+                                           horizon_days * kSecondsPerDay);
+}
+
+std::vector<std::size_t> daily_counts(const std::vector<double>& arrivals,
+                                      double horizon_days) {
+    require(horizon_days > 0.0, "daily_counts: horizon must be > 0");
+    const auto days = static_cast<std::size_t>(std::ceil(horizon_days));
+    std::vector<std::size_t> counts(days, 0);
+    for (double t : arrivals) {
+        const auto day = static_cast<std::size_t>(t / kSecondsPerDay);
+        if (day < counts.size()) {
+            ++counts[day];
+        }
+    }
+    return counts;
+}
+
+double count_variation(const std::vector<std::size_t>& counts) {
+    require(!counts.empty(), "count_variation: counts must not be empty");
+    StreamingStats stats;
+    for (std::size_t c : counts) {
+        stats.add(static_cast<double>(c));
+    }
+    return stats.mean() == 0.0 ? 0.0 : stats.stddev() / stats.mean();
+}
+
+}  // namespace swarmavail::measurement

@@ -1,0 +1,33 @@
+// Arrival-pattern traces of Section 4.3.4 / Figure 7: a typical newly
+// published swarm sees a decaying flash crowd, while an old swarm sees a
+// low, steady trickle. These generators feed the trace-driven arrival path
+// of the simulators and the Figure 7 bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace swarmavail::measurement {
+
+/// Arrival instants (seconds) of a newly created swarm over `horizon_days`:
+/// a non-homogeneous Poisson process with rate lambda0 * exp(-t / tau).
+[[nodiscard]] std::vector<double> new_swarm_arrivals(Rng& rng, double lambda0_per_day,
+                                                     double tau_days,
+                                                     double horizon_days);
+
+/// Arrival instants of an old swarm: homogeneous Poisson at
+/// `lambda_per_day` over `horizon_days`.
+[[nodiscard]] std::vector<double> old_swarm_arrivals(Rng& rng, double lambda_per_day,
+                                                     double horizon_days);
+
+/// Bins arrival instants (seconds) into per-day counts over `horizon_days`.
+[[nodiscard]] std::vector<std::size_t> daily_counts(const std::vector<double>& arrivals,
+                                                    double horizon_days);
+
+/// Coefficient of variation of the counts (stddev / mean): Figure 7's
+/// observation is that old swarms have much lower variation than new ones.
+[[nodiscard]] double count_variation(const std::vector<std::size_t>& counts);
+
+}  // namespace swarmavail::measurement

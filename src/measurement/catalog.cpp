@@ -1,0 +1,200 @@
+#include "measurement/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::measurement {
+namespace {
+
+constexpr double kMBit = 1.0e6 * 8.0;
+
+struct CategoryProfile {
+    Category category;
+    /// Extensions the Section 2.3.1 classifier keys on for this category.
+    std::array<const char*, 3> media_extensions;
+    /// Extensions of auxiliary files that must not trigger the classifier.
+    std::array<const char*, 2> aux_extensions;
+    double single_size_mbit;   ///< typical size of one media file
+    std::size_t bundle_min;    ///< min files in a bundle
+    std::size_t bundle_max;    ///< max files in a bundle
+};
+
+CategoryProfile profile_for(Category category) {
+    switch (category) {
+        case Category::kMusic:
+            return {category, {".mp3", ".mid", ".wav"}, {".jpg", ".nfo"}, 8.0 * 8.0,
+                    8, 16};
+        case Category::kTv:
+            return {category, {".mpg", ".avi", ".mkv"}, {".srt", ".nfo"}, 350.0 * 8.0,
+                    3, 24};
+        case Category::kBooks:
+            return {category, {".pdf", ".djvu", ".epub"}, {".jpg", ".txt"}, 6.0 * 8.0,
+                    2, 40};
+        case Category::kMovies:
+            return {category, {".avi", ".mkv", ".mp4"}, {".srt", ".nfo"}, 700.0 * 8.0,
+                    1, 1};
+        case Category::kOther:
+            return {category, {".iso", ".zip", ".exe"}, {".txt", ".nfo"}, 100.0 * 8.0,
+                    1, 1};
+    }
+    throw std::invalid_argument("profile_for: unknown category");
+}
+
+std::string make_name(const std::string& stem, std::size_t index, const char* ext) {
+    return stem + "_" + std::to_string(index) + ext;
+}
+
+/// Draws per-swarm popularity (peers/day) with a Zipf-like tail.
+double draw_popularity(Rng& rng, double exponent) {
+    // Pareto tail: most swarms see a handful of peers per day, a few see
+    // thousands (the flash-crowd head of the catalog).
+    return rng.pareto(0.5, exponent);
+}
+
+}  // namespace
+
+std::string to_string(Category category) {
+    switch (category) {
+        case Category::kMusic:
+            return "music";
+        case Category::kTv:
+            return "tv";
+        case Category::kBooks:
+            return "books";
+        case Category::kMovies:
+            return "movies";
+        case Category::kOther:
+            return "other";
+    }
+    return "unknown";
+}
+
+Catalog generate_catalog(const CatalogConfig& config) {
+    require(config.music_bundle_fraction >= 0.0 && config.music_bundle_fraction <= 1.0 &&
+                config.tv_bundle_fraction >= 0.0 && config.tv_bundle_fraction <= 1.0 &&
+                config.book_bundle_fraction >= 0.0 && config.book_bundle_fraction <= 1.0,
+            "generate_catalog: bundle fractions must lie in [0, 1]");
+    require(config.base_uptime_hours > 0.0 && config.base_downtime_hours > 0.0,
+            "generate_catalog: seed process means must be > 0");
+    require(config.dedicated_seed_fraction >= 0.0 && config.dedicated_seed_fraction <= 1.0,
+            "generate_catalog: dedicated seed fraction must lie in [0, 1]");
+    require(config.dedicated_mean_hours > 0.0,
+            "generate_catalog: dedicated phase mean must be > 0");
+
+    Rng rng{config.seed};
+    Catalog catalog;
+    std::uint64_t next_id = 1;
+    std::uint64_t next_series = 1;
+
+    const auto emit = [&](Category category, std::size_t count, double bundle_fraction,
+                          double collection_fraction) {
+        const CategoryProfile profile = profile_for(category);
+        for (std::size_t i = 0; i < count; ++i) {
+            SwarmEntry swarm;
+            swarm.id = next_id++;
+            swarm.category = category;
+            swarm.age_days = rng.uniform(1.0, 720.0);
+            swarm.popularity = draw_popularity(rng, config.popularity_exponent);
+
+            const bool collection =
+                category == Category::kBooks && rng.bernoulli(collection_fraction);
+            const bool bundled = collection || rng.bernoulli(bundle_fraction);
+            const std::string stem = to_string(category) + std::to_string(swarm.id);
+            swarm.title = collection ? stem + " ultimate collection" : stem;
+
+            std::size_t media_files = 1;
+            if (bundled) {
+                media_files = profile.bundle_min +
+                              rng.uniform_index(profile.bundle_max - profile.bundle_min + 1);
+            }
+            for (std::size_t f = 0; f < media_files; ++f) {
+                const char* ext =
+                    profile.media_extensions[rng.uniform_index(profile.media_extensions.size())];
+                swarm.files.push_back(
+                    {make_name(stem, f, ext),
+                     profile.single_size_mbit * kMBit * rng.uniform(0.6, 1.5)});
+            }
+            // Most torrents carry auxiliary files; they must not be
+            // miscounted by the extension classifier.
+            if (rng.bernoulli(0.6)) {
+                const char* ext =
+                    profile.aux_extensions[rng.uniform_index(profile.aux_extensions.size())];
+                swarm.files.push_back({make_name(stem, 999, ext), 0.1 * kMBit});
+            }
+
+            // Bundles attract the aggregate demand of their constituents
+            // (Section 3's Lambda = K lambda): a peer wanting any file takes
+            // the whole bundle.
+            if (bundled) {
+                swarm.popularity *= 0.5 * static_cast<double>(media_files);
+            }
+            // Higher demand in turn sustains seeds longer: couple uptime to
+            // demand, the correlation Section 2.3.2 measures.
+            const double demand_boost =
+                bundled ? config.bundle_uptime_boost *
+                              (1.0 + 0.1 * static_cast<double>(media_files))
+                        : 1.0;
+            // Publishers of bundled content are intrinsically more willing
+            // to keep dedicated seeds (Section 2.3.2's observation), so the
+            // dedicated-phase probability and length tilt toward bundles.
+            const double dedicated_prob =
+                std::min(1.0, config.dedicated_seed_fraction * (bundled ? 1.6 : 0.9));
+            if (rng.bernoulli(dedicated_prob)) {
+                swarm.dedicated_hours = rng.exponential_mean(
+                    config.dedicated_mean_hours * (bundled ? 2.0 : 1.0));
+            }
+            swarm.seed_uptime_hours =
+                config.base_uptime_hours * demand_boost * rng.uniform(0.5, 1.5);
+            swarm.seed_downtime_hours =
+                config.base_downtime_hours * rng.uniform(0.5, 1.5) /
+                std::sqrt(std::max(swarm.popularity, 0.1));
+
+            // Download counts accumulate with demand, age and availability.
+            const double avail = intrinsic_availability(swarm);
+            swarm.downloads = static_cast<std::uint64_t>(
+                swarm.popularity * swarm.age_days * avail * (bundled ? 1.6 : 1.0));
+
+            // A slice of book collections form nested series (the Garfield
+            // effect): the widest-scope member aggregates the others, and
+            // being the maintained "complete" edition it is far more likely
+            // to stay seeded.
+            if (collection && rng.bernoulli(0.6)) {
+                swarm.series_id = next_series;
+                swarm.series_scope = 1 + rng.uniform_index(4);
+                if (swarm.series_scope == 4) {
+                    swarm.seed_uptime_hours *= 4.0;
+                    if (swarm.dedicated_hours == 0.0) {
+                        swarm.dedicated_hours =
+                            rng.exponential_mean(config.dedicated_mean_hours * 2.0);
+                    }
+                }
+                if (rng.bernoulli(0.4)) {
+                    ++next_series;  // close the series so sizes stay small
+                }
+            }
+            catalog.push_back(std::move(swarm));
+        }
+    };
+
+    emit(Category::kMusic, config.music_swarms, config.music_bundle_fraction, 0.0);
+    emit(Category::kTv, config.tv_swarms, config.tv_bundle_fraction, 0.0);
+    // Books: collection_fraction of swarms are keyword collections; an
+    // additional bundle_fraction are plain multi-file bundles.
+    emit(Category::kBooks, config.book_swarms, config.book_bundle_fraction,
+         config.book_collection_fraction);
+    emit(Category::kMovies, config.movie_swarms, 0.0, 0.0);
+    emit(Category::kOther, config.other_swarms, 0.0, 0.0);
+    return catalog;
+}
+
+double intrinsic_availability(const SwarmEntry& swarm) {
+    require(swarm.seed_uptime_hours > 0.0 && swarm.seed_downtime_hours > 0.0,
+            "intrinsic_availability: seed process means must be > 0");
+    return swarm.seed_uptime_hours /
+           (swarm.seed_uptime_hours + swarm.seed_downtime_hours);
+}
+
+}  // namespace swarmavail::measurement

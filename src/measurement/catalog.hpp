@@ -1,0 +1,99 @@
+// Synthetic BitTorrent ecosystem catalog: the substitute for the paper's
+// Mininova snapshot (Section 2.3, 1,087,933 swarms with categories, file
+// lists, creation dates and seed/leecher counts).
+//
+// The generator produces swarms whose *distributional* knobs (category mix,
+// per-category bundling frequency, file-extension conventions, popularity
+// skew, seed uptime coupling) are set so the analysis pipeline in
+// analysis.hpp recovers the aggregates the paper reports; the analysis code
+// itself never looks at the generator's hidden labels -- it classifies from
+// file names and observed bitmaps exactly as the measurement study did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace swarmavail::measurement {
+
+/// Content categories of the Mininova taxonomy used in Section 2.3.
+enum class Category {
+    kMusic,
+    kTv,
+    kBooks,
+    kMovies,
+    kOther,
+};
+
+[[nodiscard]] std::string to_string(Category category);
+
+/// One file inside a torrent. The name carries the extension the
+/// bundle classifier keys on.
+struct FileEntry {
+    std::string name;
+    double size_bits = 0.0;
+};
+
+/// One swarm of the snapshot.
+struct SwarmEntry {
+    std::uint64_t id = 0;
+    Category category = Category::kOther;
+    std::string title;
+    std::vector<FileEntry> files;
+    double age_days = 0.0;        ///< days since swarm creation at snapshot time
+    double popularity = 0.0;      ///< peer arrival rate at creation (peers/day)
+    /// Seed on/off process parameters (hours). Together they define the
+    /// swarm's intrinsic seed availability u/(u+d).
+    double seed_uptime_hours = 0.0;
+    double seed_downtime_hours = 0.0;
+    /// Dedicated-publisher phase: for this many hours after creation the
+    /// publisher keeps its seed continuously online (0 = none). Captures
+    /// the Figure 1 population whose first-month availability is 1 before
+    /// the publisher loses interest.
+    double dedicated_hours = 0.0;
+    std::uint64_t downloads = 0;  ///< accumulated download count
+    /// For collection-subset analysis: swarms in the same series share a
+    /// series id; a larger series_scope strictly contains a smaller one
+    /// (e.g. "Garfield 1978-2000" inside "Garfield complete"). 0 = none.
+    std::uint64_t series_id = 0;
+    std::size_t series_scope = 0;
+};
+
+/// Knobs of the synthetic snapshot.
+struct CatalogConfig {
+    std::size_t music_swarms = 26712;   ///< 1/10 of the paper's 267,117
+    std::size_t tv_swarms = 16493;      ///< 1/10 of 164,930
+    std::size_t book_swarms = 6639;     ///< 1/10 of 66,387
+    std::size_t movie_swarms = 15000;
+    std::size_t other_swarms = 12000;
+    double music_bundle_fraction = 0.724;  ///< 193,491 / 267,117
+    double tv_bundle_fraction = 0.158;     ///< 25,990 / 164,930
+    double book_bundle_fraction = 0.094;   ///< 6,270 / 66,387
+    double book_collection_fraction = 0.0127;  ///< 841 / 66,387
+    /// Pareto tail index of per-swarm popularity (must exceed 1 for the
+    /// mean download comparisons of Section 2.3.2 to concentrate).
+    double popularity_exponent = 1.5;
+    /// Base seed uptime/downtime (hours); per-swarm values are randomized
+    /// around these, and bundles receive a seed-availability boost coupled
+    /// to their higher demand (Section 2.3.2's observed correlation).
+    double base_uptime_hours = 24.0;
+    double base_downtime_hours = 72.0;
+    double bundle_uptime_boost = 3.0;
+    /// Fraction of swarms whose publisher runs a dedicated always-on seed
+    /// for an exponential initial phase, and that phase's mean (hours).
+    double dedicated_seed_fraction = 0.42;
+    double dedicated_mean_hours = 24.0 * 90.0;
+    std::uint64_t seed = 2009;
+};
+
+using Catalog = std::vector<SwarmEntry>;
+
+/// Generates the synthetic snapshot.
+[[nodiscard]] Catalog generate_catalog(const CatalogConfig& config);
+
+/// Intrinsic long-run seed availability of a swarm: u / (u + d).
+[[nodiscard]] double intrinsic_availability(const SwarmEntry& swarm);
+
+}  // namespace swarmavail::measurement

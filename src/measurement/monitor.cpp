@@ -1,0 +1,84 @@
+#include "measurement/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::measurement {
+
+std::vector<SwarmTrace> monitor_catalog(const Catalog& catalog,
+                                        const MonitorConfig& config) {
+    require(config.duration_hours > 0, "monitor_catalog: duration must be > 0");
+    require(config.downtime_growth_per_month >= 1.0,
+            "monitor_catalog: downtime growth must be >= 1");
+    Rng rng{config.seed};
+    std::vector<SwarmTrace> traces;
+    traces.reserve(catalog.size());
+
+    for (const auto& swarm : catalog) {
+        Rng swarm_rng = rng.fork();
+        SwarmTrace trace;
+        trace.swarm_id = swarm.id;
+        trace.observations.reserve(config.duration_hours);
+
+        // Alternating seed presence process in continuous hours; downtime
+        // stretches as the swarm ages past its initial wave. During the
+        // dedicated-publisher phase the seed is pinned online.
+        double t = 0.0;
+        bool seed_on = true;  // swarms begin seeded by their publisher
+        double interval_end = swarm.dedicated_hours +
+                              swarm_rng.exponential_mean(swarm.seed_uptime_hours);
+        std::uint16_t seeds_now = 1;
+
+        for (std::uint32_t hour = 0; hour < config.duration_hours; ++hour) {
+            t = static_cast<double>(hour);
+            while (t >= interval_end) {
+                seed_on = !seed_on;
+                if (seed_on) {
+                    interval_end += swarm_rng.exponential_mean(swarm.seed_uptime_hours);
+                    seeds_now = static_cast<std::uint16_t>(
+                        1 + swarm_rng.uniform_index(2));
+                } else {
+                    const double age_months = (swarm.age_days + t / 24.0) / 30.0;
+                    const double decay =
+                        std::pow(config.downtime_growth_per_month, age_months);
+                    interval_end +=
+                        swarm_rng.exponential_mean(swarm.seed_downtime_hours * decay);
+                    seeds_now = 0;
+                }
+            }
+            Observation obs;
+            obs.swarm_id = swarm.id;
+            obs.hour = hour;
+            obs.seeds = seed_on ? seeds_now : 0;
+            // Leecher counts scale with popularity and content availability.
+            const double leecher_mean =
+                swarm.popularity / 24.0 * (seed_on ? 1.0 : 0.25);
+            obs.leechers = static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(swarm_rng.poisson(leecher_mean), 60000));
+            trace.observations.push_back(obs);
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+double seed_availability(const SwarmTrace& trace, std::uint32_t from_hour,
+                         std::uint32_t to_hour) {
+    require(from_hour <= to_hour, "seed_availability: requires from <= to");
+    std::size_t observed = 0;
+    std::size_t seeded = 0;
+    for (const auto& obs : trace.observations) {
+        if (obs.hour >= from_hour && obs.hour < to_hour) {
+            ++observed;
+            if (obs.seeds > 0) {
+                ++seeded;
+            }
+        }
+    }
+    return observed == 0 ? 0.0
+                         : static_cast<double>(seeded) / static_cast<double>(observed);
+}
+
+}  // namespace swarmavail::measurement

@@ -1,0 +1,64 @@
+#include "model/asymptotics.hpp"
+
+#include <cmath>
+
+#include "model/availability.hpp"
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+
+std::vector<GrowthPoint> growth_diagnostics(const SwarmParams& base, std::size_t max_k,
+                                            PublisherScaling scaling) {
+    base.validate();
+    require(max_k >= 1, "growth_diagnostics: requires max_k >= 1");
+    std::vector<GrowthPoint> points;
+    points.reserve(max_k);
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        const SwarmParams bundle = make_bundle(base, k, scaling);
+        const auto busy = mixed_busy_period(bundle);
+        const auto avail = availability_impatient(bundle);
+        GrowthPoint point;
+        point.k = k;
+        point.log_busy_period = busy.log_value;
+        point.neg_log_unavailability = -avail.log_unavailability;
+        const auto k2 = static_cast<double>(k) * static_cast<double>(k);
+        point.busy_ratio = point.log_busy_period / k2;
+        point.unavail_ratio = point.neg_log_unavailability / k2;
+        points.push_back(point);
+    }
+    return points;
+}
+
+double least_squares_slope(const std::vector<double>& x, const std::vector<double>& y) {
+    require(x.size() == y.size(), "least_squares_slope: size mismatch");
+    require(x.size() >= 2, "least_squares_slope: requires >= 2 points");
+    const auto n = static_cast<double>(x.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    require(std::abs(denom) > 0.0, "least_squares_slope: degenerate x values");
+    return (n * sxy - sx * sy) / denom;
+}
+
+double fitted_k2_coefficient(const std::vector<GrowthPoint>& points) {
+    require(points.size() >= 4, "fitted_k2_coefficient: requires >= 4 points");
+    std::vector<double> x;
+    std::vector<double> y;
+    // Use the tail half of the run where the Theta(K^2) term dominates.
+    for (std::size_t i = points.size() / 2; i < points.size(); ++i) {
+        const auto k = static_cast<double>(points[i].k);
+        x.push_back(k * k);
+        y.push_back(points[i].log_busy_period);
+    }
+    return least_squares_slope(x, y);
+}
+
+}  // namespace swarmavail::model

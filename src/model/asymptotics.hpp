@@ -1,0 +1,38 @@
+// Asymptotic diagnostics for the paper's Theta(K^2) results (Lemma 3.1,
+// Theorems 3.1 and 3.2): fit log E[B] and -log P against K^2 and report how
+// stable the ratio is, so tests and benches can check the exponential-in-K^2
+// availability gain quantitatively rather than eyeballing it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// One point of an asymptotic growth diagnostic.
+struct GrowthPoint {
+    std::size_t k = 1;
+    double log_busy_period = 0.0;      ///< log E[B] for the K-bundle
+    double neg_log_unavailability = 0.0;  ///< -log P for the K-bundle
+    double busy_ratio = 0.0;           ///< log E[B] / K^2
+    double unavail_ratio = 0.0;        ///< -log P / K^2
+};
+
+/// Computes log E[B(K)] and -log P(K) for K = 1..max_k under the impatient
+/// model with the given publisher scaling.
+[[nodiscard]] std::vector<GrowthPoint> growth_diagnostics(const SwarmParams& base,
+                                                          std::size_t max_k,
+                                                          PublisherScaling scaling);
+
+/// Least-squares slope of y against x. Requires >= 2 points.
+[[nodiscard]] double least_squares_slope(const std::vector<double>& x,
+                                         const std::vector<double>& y);
+
+/// Fits log E[B(K)] = a + b K^2 over the tail half of a diagnostic run and
+/// returns b: by Lemma 3.1 it should approach lambda s / mu (the per-file
+/// offered load) for constant publisher scaling.
+[[nodiscard]] double fitted_k2_coefficient(const std::vector<GrowthPoint>& points);
+
+}  // namespace swarmavail::model

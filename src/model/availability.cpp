@@ -1,0 +1,59 @@
+#include "model/availability.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/series.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+/// Combines a busy-period result with the idle period 1/r into the renewal
+/// availability metrics.
+AvailabilityResult combine(const queueing::BusyPeriodResult& busy,
+                           const SwarmParams& params) {
+    AvailabilityResult out;
+    out.busy_period = busy.value;
+    out.idle_period = 1.0 / params.publisher_arrival_rate;
+    const double log_idle = std::log(out.idle_period);
+    // log P = log(1/r) - log(E[B] + 1/r), computed in log space so that the
+    // e^{Theta(K^2)} busy periods of large bundles do not flush P to 0.
+    const double log_cycle = log_add_exp(busy.log_value, log_idle);
+    out.log_unavailability = log_idle - log_cycle;
+    out.unavailability = std::exp(out.log_unavailability);
+    out.peers_per_busy_period = params.peer_arrival_rate * busy.value;
+    return out;
+}
+
+}  // namespace
+
+AvailabilityResult availability_publishers_only(const SwarmParams& params) {
+    params.validate();
+    const auto busy = queueing::busy_period_exponential(params.publisher_arrival_rate,
+                                                        params.publisher_residence);
+    return combine(busy, params);
+}
+
+AvailabilityResult availability_peers_and_publishers(const SwarmParams& params) {
+    params.validate();
+    const double beta = params.peer_arrival_rate + params.publisher_arrival_rate;
+    const auto busy = queueing::busy_period_exponential(beta, params.service_time());
+    return combine(busy, params);
+}
+
+queueing::BusyPeriodResult mixed_busy_period(const SwarmParams& params) {
+    params.validate();
+    queueing::MixedBusyPeriodParams mixed;
+    mixed.beta = params.peer_arrival_rate + params.publisher_arrival_rate;
+    mixed.theta = params.publisher_residence;
+    mixed.q1 = params.peer_arrival_rate / mixed.beta;
+    mixed.alpha1 = params.service_time();
+    mixed.alpha2 = params.publisher_residence;
+    return queueing::busy_period_mixed(mixed);
+}
+
+AvailabilityResult availability_impatient(const SwarmParams& params) {
+    return combine(mixed_busy_period(params), params);
+}
+
+}  // namespace swarmavail::model

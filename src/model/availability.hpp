@@ -1,0 +1,54 @@
+// Content-availability formulas of the paper (Sections 3.2 and 3.3.1).
+//
+// Availability is the long-run probability that an arriving peer finds the
+// content available. The swarm alternates busy periods (mean E[B]) and idle
+// periods (mean 1/r, the wait for the next publisher), so by renewal-reward
+//
+//     P{unavailable} = (1/r) / (E[B] + 1/r).
+//
+// The different model variants differ only in what sustains a busy period:
+// publishers alone (simple model), publishers plus actively downloading
+// peers (eq. 7), or the full mixed-class busy period of eq. 9.
+#pragma once
+
+#include "model/params.hpp"
+#include "queueing/busy_period.hpp"
+
+namespace swarmavail::model {
+
+/// Availability metrics of one swarm (individual file or bundle).
+struct AvailabilityResult {
+    double busy_period = 0.0;     ///< E[B], seconds (may be +infinity)
+    double idle_period = 0.0;     ///< 1/r, seconds
+    double unavailability = 0.0;  ///< P, probability an arrival finds no content
+    /// log(P); finite even when P underflows to zero, used by the
+    /// Theta(K^2) asymptotic analyses (Theorem 3.1).
+    double log_unavailability = 0.0;
+    /// Mean number of peers served per busy period, E[N] = lambda E[B].
+    double peers_per_busy_period = 0.0;
+};
+
+/// Simple model, publishers only (Section 3.2, eqs. 1-2): content is
+/// available iff a publisher is online; busy periods are those of an
+/// M/M/infinity queue fed by publishers alone.
+[[nodiscard]] AvailabilityResult availability_publishers_only(const SwarmParams& params);
+
+/// Publishers and peers jointly sustain availability, with publishers
+/// staying exactly one service time u = s/mu (Section 3.2, eqs. 7-8):
+/// busy period of an M/M/infinity queue at rate lambda + r, residence s/mu.
+/// `params.publisher_residence` is ignored by construction.
+[[nodiscard]] AvailabilityResult availability_peers_and_publishers(
+    const SwarmParams& params);
+
+/// Full model with impatient peers (Section 3.3.1, eq. 10): publishers stay
+/// u independent of the service time; the busy period is the two-class
+/// mixture of eq. 9 with beta = lambda + r, theta = alpha2 = u,
+/// alpha1 = s/mu, q1 = lambda / (lambda + r). Arrivals during idle periods
+/// leave unserved; `unavailability` is the loss probability.
+[[nodiscard]] AvailabilityResult availability_impatient(const SwarmParams& params);
+
+/// The eq.-9 busy period parameterized as in Section 3.3.1/3.3.2; shared by
+/// the availability and download-time computations.
+[[nodiscard]] queueing::BusyPeriodResult mixed_busy_period(const SwarmParams& params);
+
+}  // namespace swarmavail::model

@@ -1,0 +1,89 @@
+#include "model/bundling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+
+std::vector<BundleSweepPoint> sweep_bundle_sizes(const SwarmParams& base,
+                                                 const BundleSweepConfig& config) {
+    base.validate();
+    require(config.max_k >= 1, "sweep_bundle_sizes: requires max_k >= 1");
+
+    std::vector<BundleSweepPoint> sweep;
+    sweep.reserve(config.max_k);
+    for (std::size_t k = 1; k <= config.max_k; ++k) {
+        const SwarmParams bundle = make_bundle(base, k, config.scaling);
+        BundleSweepPoint point;
+        point.k = k;
+
+        DownloadTimeResult dt;
+        switch (config.model) {
+            case DownloadModel::kPatient:
+                dt = download_time_patient(bundle);
+                break;
+            case DownloadModel::kThreshold:
+                dt = download_time_threshold(bundle, config.coverage_threshold);
+                break;
+            case DownloadModel::kSinglePublisher:
+                dt = download_time_single_publisher(bundle, config.coverage_threshold);
+                break;
+        }
+        point.busy_period = dt.busy_period;
+        point.unavailability = dt.unavailability;
+        point.download_time = dt.download_time;
+        point.service_time = dt.service_time;
+        point.waiting_time = dt.waiting_time;
+
+        // log P from the impatient-availability computation keeps asymptotic
+        // information when P underflows (only defined for the eq. 9 models).
+        if (config.model == DownloadModel::kPatient) {
+            point.log_unavailability = availability_impatient(bundle).log_unavailability;
+        } else {
+            point.log_unavailability =
+                dt.unavailability > 0.0 ? std::log(dt.unavailability)
+                                        : -std::numeric_limits<double>::infinity();
+        }
+        sweep.push_back(point);
+    }
+    return sweep;
+}
+
+std::size_t optimal_bundle_size(const std::vector<BundleSweepPoint>& sweep) {
+    require(!sweep.empty(), "optimal_bundle_size: requires non-empty sweep");
+    const auto it = std::min_element(
+        sweep.begin(), sweep.end(), [](const BundleSweepPoint& a, const BundleSweepPoint& b) {
+            return a.download_time < b.download_time;
+        });
+    return it->k;
+}
+
+std::vector<Figure3Curve> figure3_curves(const SwarmParams& base,
+                                         const std::vector<double>& publisher_interarrivals,
+                                         std::size_t max_k) {
+    require(!publisher_interarrivals.empty(),
+            "figure3_curves: requires at least one publisher interarrival");
+    std::vector<Figure3Curve> curves;
+    curves.reserve(publisher_interarrivals.size());
+    for (double inv_r : publisher_interarrivals) {
+        require(inv_r > 0.0, "figure3_curves: publisher interarrivals must be > 0");
+        SwarmParams params = base;
+        params.publisher_arrival_rate = 1.0 / inv_r;
+
+        Figure3Curve curve;
+        curve.publisher_interarrival = inv_r;
+        BundleSweepConfig config;
+        config.max_k = max_k;
+        config.scaling = PublisherScaling::kConstant;
+        config.model = DownloadModel::kPatient;
+        curve.points = sweep_bundle_sizes(params, config);
+        curve.optimal_k = optimal_bundle_size(curve.points);
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+}  // namespace swarmavail::model

@@ -1,0 +1,65 @@
+// Bundling analysis (Sections 3.2-3.4): sweep the bundle size K, compute
+// availability and download time per constituent file, and locate the
+// optimal K -- the machinery behind Figure 3 and the model curves of
+// Figure 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/availability.hpp"
+#include "model/download_time.hpp"
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// Which download-time model evaluates each bundle size.
+enum class DownloadModel {
+    kPatient,          ///< Lemma 3.2 (eq. 11), coverage threshold 1
+    kThreshold,        ///< Theorem 3.3 (eq. 14), coverage threshold m
+    kSinglePublisher,  ///< eq. 16, one on/off publisher, threshold m
+};
+
+/// Metrics of one bundle size in a sweep.
+struct BundleSweepPoint {
+    std::size_t k = 1;            ///< bundle size
+    double busy_period = 0.0;     ///< E[B] of the bundled swarm (s)
+    double unavailability = 0.0;  ///< P of the bundled swarm
+    double log_unavailability = 0.0;
+    double download_time = 0.0;   ///< E[T] per peer for the whole bundle (s)
+    double service_time = 0.0;    ///< S/mu component (s)
+    double waiting_time = 0.0;    ///< P/R component (s)
+};
+
+/// Configuration of a bundle-size sweep.
+struct BundleSweepConfig {
+    std::size_t max_k = 10;
+    PublisherScaling scaling = PublisherScaling::kConstant;
+    DownloadModel model = DownloadModel::kPatient;
+    std::size_t coverage_threshold = 1;  ///< m (threshold / single-publisher models)
+};
+
+/// Evaluates bundle sizes K = 1..max_k starting from homogeneous
+/// constituents with parameters `base`.
+[[nodiscard]] std::vector<BundleSweepPoint> sweep_bundle_sizes(
+    const SwarmParams& base, const BundleSweepConfig& config);
+
+/// The K minimizing mean download time within a sweep. Requires a
+/// non-empty sweep.
+[[nodiscard]] std::size_t optimal_bundle_size(const std::vector<BundleSweepPoint>& sweep);
+
+/// One curve of Figure 3: download time vs K for a given publisher
+/// interarrival time 1/R (publisher process held constant in K).
+struct Figure3Curve {
+    double publisher_interarrival = 0.0;  ///< 1/R (s)
+    std::vector<BundleSweepPoint> points;
+    std::size_t optimal_k = 1;
+};
+
+/// Reproduces Figure 3: for each 1/R in `publisher_interarrivals`, sweeps
+/// K = 1..max_k with the patient-peer model (eq. 11 over eq. 9).
+[[nodiscard]] std::vector<Figure3Curve> figure3_curves(
+    const SwarmParams& base, const std::vector<double>& publisher_interarrivals,
+    std::size_t max_k);
+
+}  // namespace swarmavail::model

@@ -1,0 +1,65 @@
+#include "model/download_time.hpp"
+
+#include <cmath>
+
+#include "model/availability.hpp"
+#include "queueing/busy_period.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+DownloadTimeResult assemble(const SwarmParams& params, double unavailability,
+                            double busy_period) {
+    DownloadTimeResult out;
+    out.service_time = params.service_time();
+    out.unavailability = unavailability;
+    out.busy_period = busy_period;
+    // A peer arriving during an idle period waits a mean 1/r (memoryless
+    // publisher arrivals) for the busy period that will serve it.
+    out.waiting_time = unavailability / params.publisher_arrival_rate;
+    out.download_time = out.service_time + out.waiting_time;
+    return out;
+}
+
+}  // namespace
+
+DownloadTimeResult download_time_patient(const SwarmParams& params) {
+    params.validate();
+    const auto availability = availability_impatient(params);
+    return assemble(params, availability.unavailability, availability.busy_period);
+}
+
+DownloadTimeResult download_time_threshold(const SwarmParams& params,
+                                           std::size_t coverage_threshold) {
+    params.validate();
+    const queueing::ResidualParams residual{params.peer_arrival_rate,
+                                            params.service_time()};
+    const double bm =
+        queueing::steady_state_residual_busy_period(coverage_threshold, residual);
+    // eq. 14: each publisher visit extends availability by its stay u plus
+    // the peer-sustained residual B(m); the number of publisher cycles per
+    // busy period is geometric, giving P = exp(-r (u + B(m))).
+    const double p = std::isinf(bm)
+                         ? 0.0
+                         : std::exp(-params.publisher_arrival_rate *
+                                    (params.publisher_residence + bm));
+    return assemble(params, p, bm);
+}
+
+DownloadTimeResult download_time_single_publisher(const SwarmParams& params,
+                                                  std::size_t coverage_threshold) {
+    params.validate();
+    const queueing::ResidualParams residual{params.peer_arrival_rate,
+                                            params.service_time()};
+    const double bm =
+        queueing::steady_state_residual_busy_period(coverage_threshold, residual);
+    const double r = params.publisher_arrival_rate;
+    const double u = params.publisher_residence;
+    // eq. 16: with a single on/off publisher the fraction of time the
+    // publisher is off is 1/(u r + 1); peers bridge off periods of mean
+    // B(m), surviving one with probability exp(-r B(m)) per cycle.
+    const double p = std::isinf(bm) ? 0.0 : std::exp(-r * bm) / (u * r + 1.0);
+    return assemble(params, p, bm);
+}
+
+}  // namespace swarmavail::model

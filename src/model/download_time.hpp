@@ -1,0 +1,48 @@
+// Download-time formulas for patient peers (Sections 3.3.2 and 3.3.3).
+//
+// A patient peer's download time is the idle wait (if it arrives while the
+// content is unavailable) plus the active service time:
+//
+//     E[T] = s/mu + P / r            (Lemma 3.2, eq. 11)
+//
+// where P is the probability of arriving during an idle period and 1/r the
+// mean residual wait for the next publisher. Section 3.3.3 generalizes P to
+// a coverage threshold m via residual busy periods (Theorem 3.3, eq. 14),
+// and Section 4.3.1 adapts it to a single on/off publisher (eq. 16).
+#pragma once
+
+#include <cstddef>
+
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// Download-time metrics for one swarm (individual file or bundle).
+struct DownloadTimeResult {
+    double service_time = 0.0;    ///< s/mu: active download component (s)
+    double waiting_time = 0.0;    ///< P/r: expected idle wait component (s)
+    double download_time = 0.0;   ///< E[T] = service + waiting (s)
+    double unavailability = 0.0;  ///< P used in the waiting term
+    double busy_period = 0.0;     ///< E[B] underlying P (s); may be +infinity
+};
+
+/// Mean download time with patient peers (Lemma 3.2): busy period from
+/// eq. 9 with beta = lambda + r, alpha1 = s/mu, q1 = lambda/(lambda + r),
+/// alpha2 = theta = u; then E[T] = s/mu + P/r.
+[[nodiscard]] DownloadTimeResult download_time_patient(const SwarmParams& params);
+
+/// Mean download time with a coverage threshold m (Theorem 3.3):
+/// P = exp(-r (u + B(m))) where B(m) is the steady-state residual busy
+/// period sustained by peers alone (eq. 13); E[T] = s/mu + P/r.
+[[nodiscard]] DownloadTimeResult download_time_threshold(const SwarmParams& params,
+                                                         std::size_t coverage_threshold);
+
+/// Single intermittent publisher variant (eq. 16, used to predict the
+/// PlanetLab experiments of Section 4.3): the publisher alternates on
+/// (mean u) and off (mean 1/r); peers alone must bridge the off periods.
+///
+///     P = exp(-r * B(m)) / (u r + 1),        E[T] = s/mu + P/r
+[[nodiscard]] DownloadTimeResult download_time_single_publisher(
+    const SwarmParams& params, std::size_t coverage_threshold);
+
+}  // namespace swarmavail::model

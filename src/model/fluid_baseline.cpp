@@ -1,0 +1,91 @@
+#include "model/fluid_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+void validate(const FluidParams& p) {
+    require(p.lambda > 0.0, "fluid model: lambda must be > 0");
+    require(p.mu > 0.0, "fluid model: mu must be > 0");
+    require(p.c > 0.0, "fluid model: c must be > 0");
+    require(p.eta > 0.0 && p.eta <= 1.0, "fluid model: eta must lie in (0, 1]");
+    require(p.gamma > 0.0, "fluid model: gamma must be > 0");
+    require(p.theta >= 0.0, "fluid model: theta must be >= 0");
+}
+
+}  // namespace
+
+FluidSteadyState fluid_steady_state(const FluidParams& p) {
+    validate(p);
+    FluidSteadyState state;
+
+    // Try the download-constrained equilibrium first: completions at c x*.
+    {
+        const double x = p.lambda / (p.theta + p.c);
+        const double completions = p.c * x;
+        const double y = completions / p.gamma;
+        if (p.c * x <= p.mu * (p.eta * x + y) + 1e-12) {
+            state.leechers = x;
+            state.seeds = y;
+            state.download_time = 1.0 / p.c;
+            state.upload_constrained = false;
+            return state;
+        }
+    }
+
+    // Upload-constrained: completions d = mu (eta x + y), y = d / gamma.
+    // d (1 - mu/gamma) = mu eta x requires gamma > mu, else the seed pool
+    // alone absorbs the load and the system is download-constrained (the
+    // branch above would have accepted).
+    require(p.gamma > p.mu,
+            "fluid model: inconsistent equilibrium (gamma <= mu should be "
+            "download-constrained)");
+    const double d_per_x = p.mu * p.eta / (1.0 - p.mu / p.gamma);
+    const double x = p.lambda / (p.theta + d_per_x);
+    const double d = d_per_x * x;
+    state.leechers = x;
+    state.seeds = d / p.gamma;
+    state.download_time = x / p.lambda;  // Little's law (mean sojourn)
+    state.upload_constrained = true;
+    return state;
+}
+
+double fluid_bundle_download_time(const FluidParams& p, std::size_t bundle_size) {
+    validate(p);
+    require(bundle_size >= 1, "fluid_bundle_download_time: bundle size >= 1");
+    FluidParams bundle = p;
+    const auto k = static_cast<double>(bundle_size);
+    // K-fold content: per-copy service rates shrink by K; demand aggregates.
+    bundle.mu = p.mu / k;
+    bundle.c = p.c / k;
+    bundle.lambda = p.lambda * k;
+    return fluid_steady_state(bundle).download_time;
+}
+
+FluidSteadyState fluid_integrate(const FluidParams& p, double horizon, double step) {
+    validate(p);
+    require(horizon > 0.0 && step > 0.0 && step < horizon,
+            "fluid_integrate: invalid horizon/step");
+    double x = 0.0;
+    double y = 1.0;  // the publisher's seed starts the swarm
+    const auto steps = static_cast<std::size_t>(horizon / step);
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double service = std::min(p.c * x, p.mu * (p.eta * x + y));
+        const double dx = p.lambda - p.theta * x - service;
+        const double dy = service - p.gamma * y;
+        x = std::max(0.0, x + step * dx);
+        y = std::max(0.0, y + step * dy);
+    }
+    FluidSteadyState state;
+    state.leechers = x;
+    state.seeds = y;
+    state.download_time = x / p.lambda;
+    state.upload_constrained = p.c * x > p.mu * (p.eta * x + y);
+    return state;
+}
+
+}  // namespace swarmavail::model

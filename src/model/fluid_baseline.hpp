@@ -1,0 +1,63 @@
+// Baseline comparator: the Qiu-Srikant fluid model (SIGCOMM'04), which the
+// paper contrasts against in Related Work: "A naive adaptation of the fluid
+// model in [17] to bundles suggests strictly longer download times under
+// bundling, whereas our model shows that bundling can decrease download
+// times by improving availability."
+//
+// The fluid model tracks leecher/seed populations
+//
+//     dx/dt = lambda - theta x - min(c x, mu (eta x + y))
+//     dy/dt = min(c x, mu (eta x + y)) - gamma y
+//
+// (x leechers, y seeds, lambda arrivals, c download cap, mu upload
+// capacity, eta sharing effectiveness, gamma seed departure rate; rates are
+// file-normalized, i.e. mu is in copies/s). Its steady state assumes the
+// swarm never empties -- availability simply is not in the state space --
+// so bundling K files only multiplies the work per peer and the predicted
+// download time grows ~K. These functions implement the steady state and
+// the naive bundle adaptation so benches can quantify exactly where the
+// baseline breaks.
+#pragma once
+
+#include <cstddef>
+
+namespace swarmavail::model {
+
+/// Parameters of the fluid model, file-normalized (mu, c in copies/s).
+struct FluidParams {
+    double lambda = 0.0;  ///< peer arrival rate (1/s)
+    double mu = 0.0;      ///< per-node upload capacity (copies/s)
+    double c = 0.0;       ///< per-node download capacity (copies/s)
+    double eta = 1.0;     ///< leecher sharing effectiveness, in (0, 1]
+    double gamma = 0.0;   ///< seed departure rate (1/s)
+    double theta = 0.0;   ///< leecher abandonment rate (1/s), usually 0
+};
+
+/// Steady-state outcome of the fluid model.
+struct FluidSteadyState {
+    double leechers = 0.0;       ///< x*
+    double seeds = 0.0;          ///< y*
+    double download_time = 0.0;  ///< T = x*/lambda_effective (Little)
+    bool upload_constrained = false;  ///< binding constraint at equilibrium
+};
+
+/// Computes the Qiu-Srikant steady state. With theta = 0 the classic
+/// closed form is T = max(1/c, (1/eta)(1/mu - 1/gamma)); a positive theta
+/// is handled by the same balance equations. Requires positive lambda, mu,
+/// c, gamma and eta in (0, 1].
+[[nodiscard]] FluidSteadyState fluid_steady_state(const FluidParams& params);
+
+/// Naive bundle adaptation: K files = K-fold content, so per-copy upload
+/// and download rates shrink by K while demand aggregates to K lambda.
+/// Returns the predicted download time for the K-bundle -- strictly
+/// increasing in K, since the fluid model cannot see availability.
+[[nodiscard]] double fluid_bundle_download_time(const FluidParams& params,
+                                                std::size_t bundle_size);
+
+/// Numerically integrates the fluid ODEs from an empty swarm (forward
+/// Euler with the given step) and returns the state at `horizon`. Used by
+/// tests to confirm the closed-form equilibrium is the ODE attractor.
+[[nodiscard]] FluidSteadyState fluid_integrate(const FluidParams& params, double horizon,
+                                               double step);
+
+}  // namespace swarmavail::model

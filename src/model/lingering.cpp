@@ -1,0 +1,79 @@
+#include "model/lingering.hpp"
+
+#include <cmath>
+
+#include "queueing/busy_period.hpp"
+#include "util/error.hpp"
+#include "util/series.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+queueing::BusyPeriodResult lingering_busy_period(const SwarmParams& params,
+                                                 double linger_time) {
+    queueing::MixedBusyPeriodParams mixed;
+    mixed.beta = params.peer_arrival_rate + params.publisher_arrival_rate;
+    mixed.theta = params.publisher_residence;
+    mixed.q1 = params.peer_arrival_rate / mixed.beta;
+    mixed.alpha1 = params.service_time() + linger_time;
+    mixed.alpha2 = params.publisher_residence;
+    return queueing::busy_period_mixed(mixed);
+}
+
+}  // namespace
+
+AvailabilityResult availability_lingering(const SwarmParams& params,
+                                          double linger_time) {
+    params.validate();
+    require(linger_time >= 0.0, "availability_lingering: requires linger_time >= 0");
+    const auto busy = lingering_busy_period(params, linger_time);
+
+    AvailabilityResult out;
+    out.busy_period = busy.value;
+    out.idle_period = 1.0 / params.publisher_arrival_rate;
+    const double log_idle = std::log(out.idle_period);
+    const double log_cycle = log_add_exp(busy.log_value, log_idle);
+    out.log_unavailability = log_idle - log_cycle;
+    out.unavailability = std::exp(out.log_unavailability);
+    out.peers_per_busy_period = params.peer_arrival_rate * busy.value;
+    return out;
+}
+
+DownloadTimeResult download_time_lingering(const SwarmParams& params,
+                                           double linger_time) {
+    const auto availability = availability_lingering(params, linger_time);
+    DownloadTimeResult out;
+    out.service_time = params.service_time();
+    out.unavailability = availability.unavailability;
+    out.busy_period = availability.busy_period;
+    out.waiting_time = availability.unavailability / params.publisher_arrival_rate;
+    out.download_time = out.service_time + out.waiting_time;
+    return out;
+}
+
+double lingering_time_for_bundle_parity(double s1, double s2, double lambda1,
+                                        double lambda2, double mu) {
+    require(s1 > 0.0 && s2 > 0.0, "lingering parity: sizes must be > 0");
+    require(lambda1 > 0.0 && lambda2 >= 0.0, "lingering parity: demands must be valid");
+    require(mu > 0.0, "lingering parity: mu must be > 0");
+    // Solve s1 l1/mu + l1/gamma = (l1 + l2)(s1 + s2)/mu for 1/gamma.
+    const double bundle_load = (lambda1 + lambda2) * (s1 + s2) / mu;
+    const double solo_service_load = s1 * lambda1 / mu;
+    const double inverse_gamma = (bundle_load - solo_service_load) / lambda1;
+    require(inverse_gamma >= 0.0,
+            "lingering parity: bundle load below solo load; no lingering needed");
+    return inverse_gamma;
+}
+
+double residence_with_parity_lingering(double s1, double s2, double lambda1,
+                                       double lambda2, double mu) {
+    return s1 / mu + lingering_time_for_bundle_parity(s1, s2, lambda1, lambda2, mu);
+}
+
+double bundle_download_time(double s1, double s2, double mu) {
+    require(s1 > 0.0 && s2 > 0.0, "bundle_download_time: sizes must be > 0");
+    require(mu > 0.0, "bundle_download_time: mu must be > 0");
+    return (s1 + s2) / mu;
+}
+
+}  // namespace swarmavail::model

@@ -1,0 +1,59 @@
+// Altruistic lingering (Section 3.3.4): peers stay online as seeds for a
+// mean 1/gamma after completing their download, either out of altruism or
+// because the publisher provides incentives.
+//
+// The busy period is the eq. 9 mixture with the peer class's residence
+// extended from s/mu to s/mu + 1/gamma (the technical report's general
+// parameterization, with the two-stage peer residence approximated by an
+// exponential of the same mean -- the busy period of an M/G/infinity queue
+// is insensitive to the residence distribution beyond its mean in eq. 17's
+// integrated-tail form only through (9)'s parameterization, and tests
+// validate the approximation against simulation).
+//
+// Section 3.3.4 also compares an unpopular file kept available by lingering
+// against bundling it with a popular file (eq. 15): the lingering time
+// needed for parity grows unboundedly as the unpopular file's demand
+// vanishes, while bundling achieves the same availability at a marginal
+// cost to the popular file's peers.
+#pragma once
+
+#include "model/availability.hpp"
+#include "model/download_time.hpp"
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// Availability with lingering peers: eq. 9 with alpha1 = s/mu + 1/gamma.
+/// `linger_time` is 1/gamma in seconds (>= 0; 0 recovers the selfish model).
+[[nodiscard]] AvailabilityResult availability_lingering(const SwarmParams& params,
+                                                        double linger_time);
+
+/// Mean download time with patient peers when completed peers linger.
+/// Lingering lengthens busy periods (shrinking the waiting term) but does
+/// not change the active service time.
+[[nodiscard]] DownloadTimeResult download_time_lingering(const SwarmParams& params,
+                                                         double linger_time);
+
+/// eq. 15 setup: two files with sizes s1, s2 and demands lambda1, lambda2
+/// share capacity mu. Returns the lingering time 1/gamma that makes the
+/// isolated swarm-1 offered load match the bundle's:
+///
+///     s1 lambda1/mu + lambda1/gamma = (lambda1 + lambda2)(s1 + s2)/mu
+///
+/// i.e. 1/gamma = (s1+s2)(1 + lambda2/lambda1)/mu - s1/mu, which diverges
+/// as lambda1 -> 0: an unpopular file needs unbounded lingering to match
+/// what bundling provides for free.
+[[nodiscard]] double lingering_time_for_bundle_parity(double s1, double s2,
+                                                      double lambda1, double lambda2,
+                                                      double mu);
+
+/// Mean residence of a swarm-1 requester under the parity lingering above
+/// (left side of eq. 15): s1/mu + 1/gamma.
+[[nodiscard]] double residence_with_parity_lingering(double s1, double s2,
+                                                     double lambda1, double lambda2,
+                                                     double mu);
+
+/// Mean download time of any peer in the two-file bundle: (s1 + s2)/mu.
+[[nodiscard]] double bundle_download_time(double s1, double s2, double mu);
+
+}  // namespace swarmavail::model

@@ -1,0 +1,86 @@
+#include "model/mixed_bundling.hpp"
+
+#include <cmath>
+
+#include "model/availability.hpp"
+#include "model/download_time.hpp"
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+
+std::vector<MixedBundlingResult> evaluate_mixed_bundling(
+    const SwarmParams& base, const MixedBundlingConfig& config) {
+    base.validate();
+    require(!config.lambdas.empty(), "evaluate_mixed_bundling: requires files");
+    require(config.bundle_opt_in >= 0.0 && config.bundle_opt_in <= 1.0,
+            "evaluate_mixed_bundling: opt-in fraction must lie in [0, 1]");
+    for (double l : config.lambdas) {
+        require(l > 0.0, "evaluate_mixed_bundling: demands must be > 0");
+    }
+
+    const double q = config.bundle_opt_in;
+    const auto k = config.lambdas.size();
+    double aggregate = 0.0;
+    for (double l : config.lambdas) {
+        aggregate += l;
+    }
+
+    // The bundle swarm: q of every file's demand, K-fold content.
+    double p_bundle = 1.0;
+    double bundle_time = static_cast<double>(k) * base.service_time();
+    if (q > 0.0) {
+        SwarmParams bundle = base;
+        bundle.peer_arrival_rate = q * aggregate;
+        bundle.content_size = static_cast<double>(k) * base.content_size;
+        const auto bundle_avail = availability_impatient(bundle);
+        p_bundle = bundle_avail.unavailability;
+        bundle_time = download_time_patient(bundle).download_time;
+    }
+
+    std::vector<MixedBundlingResult> rows;
+    rows.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        MixedBundlingResult row;
+        row.file = i + 1;
+        row.lambda = config.lambdas[i];
+        row.p_bundle = p_bundle;
+        row.download_time_bundle = bundle_time;
+
+        if (q < 1.0) {
+            SwarmParams individual = base;
+            individual.peer_arrival_rate = (1.0 - q) * config.lambdas[i];
+            row.p_individual = availability_impatient(individual).unavailability;
+        } else {
+            row.p_individual = 1.0;  // no individual swarm exists
+        }
+        // Independent swarms: the file is unavailable only if both are.
+        row.p_mixed = row.p_individual * row.p_bundle;
+        // A single-file requester waits only when both swarms are idle; the
+        // residual wait is governed by the faster of two independent
+        // publisher processes (rate 2r while both are down).
+        const double wait_rate = q > 0.0 && q < 1.0
+                                     ? 2.0 * base.publisher_arrival_rate
+                                     : base.publisher_arrival_rate;
+        row.download_time_single = base.service_time() + row.p_mixed / wait_rate;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double request_unavailability(const std::vector<MixedBundlingResult>& rows,
+                              double bundle_opt_in) {
+    require(!rows.empty(), "request_unavailability: requires rows");
+    require(bundle_opt_in >= 0.0 && bundle_opt_in <= 1.0,
+            "request_unavailability: opt-in fraction must lie in [0, 1]");
+    double total_demand = 0.0;
+    double weighted = 0.0;
+    for (const auto& row : rows) {
+        total_demand += row.lambda;
+        const double per_request = bundle_opt_in * row.p_bundle +
+                                   (1.0 - bundle_opt_in) * row.p_mixed;
+        weighted += row.lambda * per_request;
+    }
+    return weighted / total_demand;
+}
+
+}  // namespace swarmavail::model

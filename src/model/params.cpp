@@ -1,0 +1,55 @@
+#include "model/params.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+
+void SwarmParams::validate() const {
+    require(peer_arrival_rate > 0.0, "SwarmParams: peer arrival rate must be > 0");
+    require(content_size > 0.0, "SwarmParams: content size must be > 0");
+    require(download_rate > 0.0, "SwarmParams: download rate must be > 0");
+    require(publisher_arrival_rate > 0.0,
+            "SwarmParams: publisher arrival rate must be > 0");
+    require(publisher_residence > 0.0, "SwarmParams: publisher residence must be > 0");
+}
+
+SwarmParams make_bundle(const SwarmParams& base, std::size_t k,
+                        PublisherScaling scaling) {
+    require(k >= 1, "make_bundle: requires k >= 1");
+    base.validate();
+    SwarmParams bundle = base;
+    const auto kd = static_cast<double>(k);
+    bundle.peer_arrival_rate = kd * base.peer_arrival_rate;
+    bundle.content_size = kd * base.content_size;
+    if (scaling == PublisherScaling::kProportional) {
+        bundle.publisher_arrival_rate = kd * base.publisher_arrival_rate;
+        bundle.publisher_residence = kd * base.publisher_residence;
+    }
+    return bundle;
+}
+
+SwarmParams make_bundle(const std::vector<SwarmParams>& constituents,
+                        double publisher_arrival_rate, double publisher_residence) {
+    require(!constituents.empty(), "make_bundle: requires at least one constituent");
+    require(publisher_arrival_rate > 0.0,
+            "make_bundle: publisher arrival rate must be > 0");
+    require(publisher_residence > 0.0, "make_bundle: publisher residence must be > 0");
+
+    SwarmParams bundle;
+    bundle.download_rate = constituents.front().download_rate;
+    for (const auto& c : constituents) {
+        c.validate();
+        require(std::abs(c.download_rate - bundle.download_rate) <
+                    1e-9 * bundle.download_rate,
+                "make_bundle: constituent download rates must agree");
+        bundle.peer_arrival_rate += c.peer_arrival_rate;
+        bundle.content_size += c.content_size;
+    }
+    bundle.publisher_arrival_rate = publisher_arrival_rate;
+    bundle.publisher_residence = publisher_residence;
+    return bundle;
+}
+
+}  // namespace swarmavail::model

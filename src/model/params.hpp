@@ -1,0 +1,63 @@
+// Parameter types describing swarms and bundles (Table 1 of the paper).
+//
+// A swarm is characterized by the peer arrival rate lambda, content size s,
+// effective swarm capacity mu, publisher arrival rate r, and mean publisher
+// residence time u. Bundling K files multiplies demand and content size
+// (Lambda = K lambda, S = K s) while the publisher process scales according
+// to a policy: proportional (R = K r, U = K u, Section 3.2) or constant
+// (R = r, U = u, Section 3.3.1 / Lemma 3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swarmavail::model {
+
+/// Parameters of a single swarm (lower-case letters of Table 1).
+struct SwarmParams {
+    double peer_arrival_rate = 0.0;       ///< lambda, peers/s
+    double content_size = 0.0;            ///< s, bits
+    double download_rate = 0.0;           ///< mu, bits/s (effective capacity)
+    double publisher_arrival_rate = 0.0;  ///< r, publishers/s
+    double publisher_residence = 0.0;     ///< u, seconds
+
+    /// Mean time a peer spends actively downloading: s / mu seconds.
+    [[nodiscard]] double service_time() const noexcept {
+        return content_size / download_rate;
+    }
+
+    /// Offered peer load rho = lambda * s / mu (mean peers online in the
+    /// M/G/infinity steady state).
+    [[nodiscard]] double offered_load() const noexcept {
+        return peer_arrival_rate * service_time();
+    }
+
+    /// Throws std::invalid_argument unless all rates/sizes are positive.
+    void validate() const;
+};
+
+/// How the publisher process scales when K files are bundled.
+enum class PublisherScaling {
+    /// R = K r, U = K u: publishers of all constituents serve the bundle
+    /// (Section 3.2's special case).
+    kProportional,
+    /// R = r, U = u: the bundle has a single publisher process no better
+    /// than an individual file's (Section 3.3.1, Lemma 3.1; the
+    /// conservative case under which bundling still wins e^{Theta(K^2)}).
+    kConstant,
+};
+
+/// Parameters of a K-file bundle built from homogeneous constituents.
+/// Demand aggregates (Lambda = K lambda) and content concatenates (S = K s);
+/// the publisher process follows `scaling`.
+[[nodiscard]] SwarmParams make_bundle(const SwarmParams& base, std::size_t k,
+                                      PublisherScaling scaling);
+
+/// Parameters of a bundle of heterogeneous files: demand and size aggregate
+/// across constituents; the publisher process is supplied explicitly.
+/// Requires a non-empty constituent list whose download rates agree.
+[[nodiscard]] SwarmParams make_bundle(const std::vector<SwarmParams>& constituents,
+                                      double publisher_arrival_rate,
+                                      double publisher_residence);
+
+}  // namespace swarmavail::model

@@ -1,0 +1,159 @@
+#include "model/partitioning.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "model/download_time.hpp"
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+void validate(const SwarmParams& base, const PartitionConfig& config) {
+    base.validate();
+    require(!config.lambdas.empty(), "partitioning: requires at least one file");
+    for (double l : config.lambdas) {
+        require(l > 0.0, "partitioning: demands must be > 0");
+    }
+    require(config.per_extra_file_penalty >= 0.0,
+            "partitioning: penalty must be >= 0");
+}
+
+}  // namespace
+
+double bundle_cost(const SwarmParams& base, double aggregate_lambda,
+                   std::size_t bundle_files, const PartitionConfig& config) {
+    require(bundle_files >= 1, "bundle_cost: requires at least one file");
+    require(aggregate_lambda > 0.0, "bundle_cost: aggregate demand must be > 0");
+    SwarmParams bundle = base;
+    bundle.peer_arrival_rate = aggregate_lambda;
+    bundle.content_size = base.content_size * static_cast<double>(bundle_files);
+    const double time = download_time_patient(bundle).download_time;
+    return time + config.per_extra_file_penalty *
+                      static_cast<double>(bundle_files - 1);
+}
+
+double partition_cost(const SwarmParams& base, const Partition& partition,
+                      const PartitionConfig& config) {
+    validate(base, config);
+    require(!partition.empty(), "partition_cost: requires a non-empty partition");
+    double total_demand = 0.0;
+    double weighted = 0.0;
+    std::vector<bool> seen(config.lambdas.size(), false);
+    for (const auto& bundle : partition) {
+        require(!bundle.empty(), "partition_cost: empty bundle");
+        double aggregate = 0.0;
+        for (std::size_t file : bundle) {
+            require(file < config.lambdas.size(), "partition_cost: file out of range");
+            require(!seen[file], "partition_cost: file assigned twice");
+            seen[file] = true;
+            aggregate += config.lambdas[file];
+        }
+        const double cost = bundle_cost(base, aggregate, bundle.size(), config);
+        weighted += aggregate * cost;
+        total_demand += aggregate;
+    }
+    for (bool assigned : seen) {
+        require(assigned, "partition_cost: partition must cover every file");
+    }
+    return weighted / total_demand;
+}
+
+Partition optimal_partition_exhaustive(const SwarmParams& base,
+                                       const PartitionConfig& config) {
+    validate(base, config);
+    const std::size_t n = config.lambdas.size();
+    require(n <= 10, "optimal_partition_exhaustive: too many files (Bell growth)");
+
+    // Enumerate set partitions via restricted growth strings.
+    std::vector<std::size_t> assignment(n, 0);
+    Partition best;
+    double best_cost = std::numeric_limits<double>::infinity();
+
+    const auto evaluate = [&]() {
+        const std::size_t blocks =
+            1 + *std::max_element(assignment.begin(), assignment.end());
+        Partition partition(blocks);
+        for (std::size_t file = 0; file < n; ++file) {
+            partition[assignment[file]].push_back(file);
+        }
+        const double cost = partition_cost(base, partition, config);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = std::move(partition);
+        }
+    };
+
+    // Recursive restricted-growth enumeration.
+    const std::function<void(std::size_t, std::size_t)> recurse =
+        [&](std::size_t index, std::size_t max_used) {
+            if (index == n) {
+                evaluate();
+                return;
+            }
+            for (std::size_t block = 0; block <= max_used + 1 && block < n; ++block) {
+                assignment[index] = block;
+                recurse(index + 1, std::max(max_used, block));
+            }
+        };
+    assignment[0] = 0;
+    if (n == 1) {
+        evaluate();
+    } else {
+        recurse(1, 0);
+    }
+    return best;
+}
+
+Partition optimal_partition_contiguous(const SwarmParams& base,
+                                       const PartitionConfig& config) {
+    validate(base, config);
+    const std::size_t n = config.lambdas.size();
+
+    // Sort files by descending demand; bundles are contiguous runs.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return config.lambdas[a] > config.lambdas[b];
+    });
+
+    // prefix demand sums over the sorted order
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        prefix[i + 1] = prefix[i] + config.lambdas[order[i]];
+    }
+
+    // dp[i]: minimal weighted cost of covering sorted files [0, i).
+    std::vector<double> dp(n + 1, std::numeric_limits<double>::infinity());
+    std::vector<std::size_t> cut(n + 1, 0);
+    dp[0] = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            const double aggregate = prefix[i] - prefix[j];
+            const double cost = bundle_cost(base, aggregate, i - j, config);
+            const double candidate = dp[j] + aggregate * cost;
+            if (candidate < dp[i]) {
+                dp[i] = candidate;
+                cut[i] = j;
+            }
+        }
+    }
+
+    Partition partition;
+    std::size_t end = n;
+    while (end > 0) {
+        const std::size_t begin = cut[end];
+        std::vector<std::size_t> bundle;
+        for (std::size_t i = begin; i < end; ++i) {
+            bundle.push_back(order[i]);
+        }
+        partition.push_back(std::move(bundle));
+        end = begin;
+    }
+    std::reverse(partition.begin(), partition.end());
+    return partition;
+}
+
+}  // namespace swarmavail::model

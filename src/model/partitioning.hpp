@@ -1,0 +1,62 @@
+// Optimal catalog partitioning -- the paper's future-work question: "more
+// work is needed to understand how a content provider should optimally
+// bundle files to meet performance or cost objectives".
+//
+// Given a catalog of files with individual demands, a publisher must
+// partition them into disjoint bundles (each published as one torrent).
+// Each candidate bundle's mean download time comes from the Section 3
+// model; the objective is the demand-weighted mean download time across the
+// catalog.
+//
+// Two solvers are provided:
+//  - exhaustive search over all set partitions (exact, n <= ~10), and
+//  - dynamic programming over *contiguous* partitions of the
+//    popularity-sorted catalog (O(n^2) bundle evaluations). Contiguity is
+//    a natural restriction -- bundling a popular file with very unpopular
+//    ones taxes its peers most -- and the tests check DP's optimum matches
+//    the exhaustive one on small instances in the common regimes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// A partition of file indices (0-based) into bundles.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Objective configuration for partitioning.
+struct PartitionConfig {
+    /// Per-file demands lambda_k (1/s). Files share `base`'s size,
+    /// capacity, and publisher process.
+    std::vector<double> lambdas;
+    /// Extra penalty per downloaded file beyond the requested one, in
+    /// seconds of equivalent download time per file (models traffic cost /
+    /// user annoyance; 0 = pure mean-download-time objective).
+    double per_extra_file_penalty = 0.0;
+};
+
+/// Mean download time experienced by a requester of any file in a bundle
+/// holding `bundle_files` files with aggregate demand `aggregate_lambda`
+/// (patient-peer model, eq. 11), plus the extra-file penalty.
+[[nodiscard]] double bundle_cost(const SwarmParams& base, double aggregate_lambda,
+                                 std::size_t bundle_files,
+                                 const PartitionConfig& config);
+
+/// Demand-weighted objective of a full partition.
+[[nodiscard]] double partition_cost(const SwarmParams& base, const Partition& partition,
+                                    const PartitionConfig& config);
+
+/// Exact optimum by exhaustive enumeration of set partitions (Bell-number
+/// growth: requires lambdas.size() <= 10).
+[[nodiscard]] Partition optimal_partition_exhaustive(const SwarmParams& base,
+                                                     const PartitionConfig& config);
+
+/// Optimum over contiguous partitions of the files sorted by descending
+/// demand; O(n^2) bundle evaluations via dynamic programming.
+[[nodiscard]] Partition optimal_partition_contiguous(const SwarmParams& base,
+                                                     const PartitionConfig& config);
+
+}  // namespace swarmavail::model

@@ -1,0 +1,63 @@
+#include "model/zipf_demand.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::model {
+
+std::vector<double> zipf_popularities(std::size_t n, double delta) {
+    require(n >= 1, "zipf_popularities: requires n >= 1");
+    require(delta >= 0.0, "zipf_popularities: requires delta >= 0");
+    std::vector<double> p(n);
+    double total = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        p[k - 1] = std::pow(static_cast<double>(k), -delta);
+        total += p[k - 1];
+    }
+    for (auto& v : p) {
+        v /= total;
+    }
+    return p;
+}
+
+std::vector<PerFileComparison> compare_isolated_vs_bundle(
+    const SwarmParams& base, const HeterogeneousDemandConfig& config) {
+    require(!config.lambdas.empty(),
+            "compare_isolated_vs_bundle: requires at least one file");
+    for (double l : config.lambdas) {
+        require(l > 0.0, "compare_isolated_vs_bundle: demands must be > 0");
+    }
+
+    auto evaluate = [&](const SwarmParams& params) {
+        return config.single_publisher
+                   ? download_time_single_publisher(params, config.coverage_threshold)
+                   : download_time_patient(params);
+    };
+
+    // The bundle: aggregate demand, K-fold content size, same publisher.
+    SwarmParams bundle = base;
+    bundle.peer_arrival_rate = 0.0;
+    for (double l : config.lambdas) {
+        bundle.peer_arrival_rate += l;
+    }
+    bundle.content_size = base.content_size * static_cast<double>(config.lambdas.size());
+    const double bundled_time = evaluate(bundle).download_time;
+
+    std::vector<PerFileComparison> out;
+    out.reserve(config.lambdas.size());
+    for (std::size_t i = 0; i < config.lambdas.size(); ++i) {
+        SwarmParams isolated = base;
+        isolated.peer_arrival_rate = config.lambdas[i];
+        PerFileComparison cmp;
+        cmp.file = i + 1;
+        cmp.lambda = config.lambdas[i];
+        cmp.isolated_time = evaluate(isolated).download_time;
+        cmp.bundled_time = bundled_time;
+        cmp.gain = cmp.isolated_time - cmp.bundled_time;
+        out.push_back(cmp);
+    }
+    return out;
+}
+
+}  // namespace swarmavail::model

@@ -1,0 +1,50 @@
+// Heterogeneous (Zipf-skewed) per-file demand, Section 3.3.1's skewed
+// preferences and the Figure 6(c) experiment design.
+//
+// Given K contents and an aggregate demand Lambda, content k attracts
+// lambda_k = p_k Lambda with p_k = c / k^delta (Zipf's law). Bundling serves
+// every request with the whole bundle, so peers of the popular files pay a
+// service cost while peers of unpopular files gain availability; these
+// helpers quantify both sides per file.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/download_time.hpp"
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+
+/// Normalized Zipf popularity weights p_k = c / k^delta, k = 1..n
+/// (sum to 1). Requires n >= 1 and delta >= 0.
+[[nodiscard]] std::vector<double> zipf_popularities(std::size_t n, double delta);
+
+/// Per-file outcome of a heterogeneous-demand bundling decision.
+struct PerFileComparison {
+    std::size_t file = 0;            ///< 1-based file rank
+    double lambda = 0.0;             ///< per-file demand (1/s)
+    double isolated_time = 0.0;      ///< E[T] downloading the file alone (s)
+    double bundled_time = 0.0;       ///< E[T] downloading the bundle (s)
+    double gain = 0.0;               ///< isolated - bundled (s); > 0 means bundling wins
+};
+
+/// Configuration for the heterogeneous-demand comparison.
+struct HeterogeneousDemandConfig {
+    /// Per-file demands lambda_k (1/s); files share size/capacity/publisher
+    /// parameters from `base` (whose own peer_arrival_rate is ignored).
+    std::vector<double> lambdas;
+    /// Coverage threshold m for the single-publisher model.
+    std::size_t coverage_threshold = 1;
+    /// If true, evaluate with the single-publisher model (eq. 16) as in
+    /// Section 4.3; otherwise the patient-peer model (eq. 11).
+    bool single_publisher = true;
+};
+
+/// Compares each file downloaded in isolation against the all-files bundle
+/// (demand sum(lambda_k), size K s): the model-side analogue of the
+/// Figure 6(c) experiment.
+[[nodiscard]] std::vector<PerFileComparison> compare_isolated_vs_bundle(
+    const SwarmParams& base, const HeterogeneousDemandConfig& config);
+
+}  // namespace swarmavail::model

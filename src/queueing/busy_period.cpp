@@ -1,0 +1,250 @@
+#include "queueing/busy_period.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/series.hpp"
+
+namespace swarmavail::queueing {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kRelTol = 1e-13;
+constexpr std::size_t kMaxTerms = 200000;
+
+/// Finalizes a series accumulated in log space: E[B] = offset + e^{log_sum}.
+BusyPeriodResult finalize(double offset, double log_sum, std::size_t terms,
+                          bool converged) {
+    BusyPeriodResult result;
+    result.terms = terms;
+    result.converged = converged;
+    const double log_offset = offset > 0.0 ? std::log(offset) : kNegInf;
+    result.log_value = log_add_exp(log_offset, log_sum);
+    result.value = offset + std::exp(log_sum);
+    if (!std::isfinite(result.value)) {
+        result.value = kInf;
+    }
+    return result;
+}
+
+}  // namespace
+
+BusyPeriodResult busy_period_exponential(double beta, double alpha) {
+    require(beta > 0.0, "busy_period_exponential: requires beta > 0");
+    require(alpha > 0.0, "busy_period_exponential: requires alpha > 0");
+    const double x = beta * alpha;
+    BusyPeriodResult result;
+    result.terms = 1;
+    result.converged = true;
+    // log((e^x - 1)/beta) = x + log(1 - e^{-x}) - log(beta), stable for all x > 0.
+    result.log_value = x + std::log(-std::expm1(-x)) - std::log(beta);
+    result.value = expm1_over(x, beta);
+    return result;
+}
+
+BusyPeriodResult busy_period_exceptional(double beta, double alpha, double theta) {
+    require(beta > 0.0, "busy_period_exceptional: requires beta > 0");
+    require(alpha > 0.0, "busy_period_exceptional: requires alpha > 0");
+    require(theta > 0.0, "busy_period_exceptional: requires theta > 0");
+
+    const double log_x = std::log(beta * alpha);
+    const double log_scale = std::log(alpha) + std::log(theta);
+    double log_sum = kNegInf;
+    std::size_t terms = 0;
+    bool converged = false;
+    const double hump = beta * alpha;  // terms grow until i ~ beta*alpha
+    for (std::size_t i = 1; i <= kMaxTerms; ++i) {
+        const double log_term = log_scale + static_cast<double>(i) * log_x -
+                                log_factorial(i) -
+                                std::log(alpha + static_cast<double>(i) * theta);
+        log_sum = log_add_exp(log_sum, log_term);
+        terms = i;
+        if (static_cast<double>(i) > hump && log_term < log_sum + std::log(kRelTol)) {
+            converged = true;
+            break;
+        }
+    }
+    return finalize(theta, log_sum, terms, converged);
+}
+
+BusyPeriodResult busy_period_mixed(const MixedBusyPeriodParams& p) {
+    require(p.beta > 0.0, "busy_period_mixed: requires beta > 0");
+    require(p.theta > 0.0, "busy_period_mixed: requires theta > 0");
+    require(p.q1 >= 0.0 && p.q1 <= 1.0, "busy_period_mixed: requires q1 in [0, 1]");
+    require(p.alpha1 > 0.0, "busy_period_mixed: requires alpha1 > 0");
+    require(p.alpha2 > 0.0, "busy_period_mixed: requires alpha2 > 0");
+
+    // Degenerate mixtures collapse to the single-class form (eq. 19).
+    if (p.q1 >= 1.0) {
+        return busy_period_exceptional(p.beta, p.alpha1, p.theta);
+    }
+    if (p.q1 <= 0.0) {
+        return busy_period_exceptional(p.beta, p.alpha2, p.theta);
+    }
+
+    const double log_beta = std::log(p.beta);
+    const double log_w1 = std::log(p.q1 * p.alpha1);
+    const double log_w2 = std::log((1.0 - p.q1) * p.alpha2);
+    const double log_scale = std::log(p.theta) + std::log(p.alpha1) + std::log(p.alpha2);
+    const double a1a2 = p.alpha1 * p.alpha2;
+
+    double log_sum = kNegInf;
+    std::size_t terms = 0;
+    bool converged = false;
+    // Terms are dominated by (beta * max(E[X]))^i / i!, which peaks near
+    // i ~ beta * max residence.
+    const double hump = p.beta * std::max(p.alpha1, p.alpha2);
+    for (std::size_t i = 1; i <= kMaxTerms; ++i) {
+        // Inner sum over the class split j (eq. 9), in log space.
+        double log_inner = kNegInf;
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double denom = a1a2 +
+                                 p.theta * (static_cast<double>(j) * p.alpha2 +
+                                            static_cast<double>(i - j) * p.alpha1);
+            const double log_term = log_binomial(i, j) +
+                                    static_cast<double>(j) * log_w1 +
+                                    static_cast<double>(i - j) * log_w2 + log_scale -
+                                    std::log(denom);
+            log_inner = log_add_exp(log_inner, log_term);
+        }
+        const double log_outer =
+            static_cast<double>(i) * log_beta - log_factorial(i) + log_inner;
+        log_sum = log_add_exp(log_sum, log_outer);
+        terms = i;
+        if (static_cast<double>(i) > hump && log_outer < log_sum + std::log(kRelTol)) {
+            converged = true;
+            break;
+        }
+    }
+    return finalize(p.theta, log_sum, terms, converged);
+}
+
+BusyPeriodResult residual_busy_period_to_empty(std::size_t n, const ResidualParams& p) {
+    require(p.lambda > 0.0, "residual_busy_period_to_empty: requires lambda > 0");
+    require(p.service > 0.0, "residual_busy_period_to_empty: requires service > 0");
+
+    BusyPeriodResult result;
+    if (n == 0) {
+        result.log_value = kNegInf;
+        return result;
+    }
+
+    // Drain part: expected time for n memoryless residences to all finish
+    // with no arrivals is service * H_n (max of n exponentials).
+    double harmonic = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        harmonic += p.service / static_cast<double>(i);
+    }
+
+    // Series part of eq. 12. With x = lambda * service:
+    //   term_i = service * (a_i - c_i) / i,
+    //   a_i = x^i / i!,   c_i = x^i * n! / (n+i)!
+    // computed in log space; a_i >= c_i because (n+i)! >= n! i!.
+    const double x = p.lambda * p.service;
+    const double log_x = std::log(x);
+    const double log_service = std::log(p.service);
+    double log_sum = kNegInf;
+    std::size_t terms = 0;
+    bool converged = false;
+    const double log_fact_n = log_factorial(n);
+    for (std::size_t i = 1; i <= kMaxTerms; ++i) {
+        const double log_a = static_cast<double>(i) * log_x - log_factorial(i);
+        const double log_c =
+            static_cast<double>(i) * log_x - (log_factorial(n + i) - log_fact_n);
+        // log(a - c) = log a + log(1 - c/a); c/a < 1 strictly for i >= 1.
+        const double ratio = std::exp(log_c - log_a);
+        const double log_diff = log_a + std::log1p(-std::min(ratio, 1.0 - 1e-300));
+        const double log_term =
+            log_service + log_diff - std::log(static_cast<double>(i));
+        log_sum = log_add_exp(log_sum, log_term);
+        terms = i;
+        if (static_cast<double>(i) > x && log_term < log_sum + std::log(kRelTol)) {
+            converged = true;
+            break;
+        }
+    }
+    return finalize(harmonic, log_sum, terms, converged);
+}
+
+double downward_passage_time(std::size_t i, const ResidualParams& p) {
+    require(i >= 1, "downward_passage_time: requires i >= 1");
+    require(p.lambda > 0.0, "downward_passage_time: requires lambda > 0");
+    require(p.service > 0.0, "downward_passage_time: requires service > 0");
+    // First-passage time i -> i-1 of the M/M/infinity birth-death chain
+    // (births lambda, death rate j/service in state j). Unrolling
+    // d_i = (1 + lambda d_{i+1}) / (i / service) gives
+    //
+    //     d_i = service * sum_{k >= 0} rho^k (i-1)! / (i+k)!
+    //
+    // evaluated in log space: the terms peak near i + k ~ rho, so for
+    // heavily loaded swarms the sum is astronomically large -- which is
+    // exactly why it must not be computed as a difference of eq.-12 values.
+    const double rho = p.lambda * p.service;
+    const double log_rho = std::log(rho);
+    const double log_fact_prev = log_factorial(i - 1);
+    double log_sum = kNegInf;
+    const double hump = rho;
+    for (std::size_t k = 0; k <= kMaxTerms; ++k) {
+        const double log_term = static_cast<double>(k) * log_rho + log_fact_prev -
+                                log_factorial(i + k);
+        log_sum = log_add_exp(log_sum, log_term);
+        if (static_cast<double>(i + k) > hump && log_term < log_sum + std::log(kRelTol)) {
+            break;
+        }
+    }
+    return p.service * std::exp(log_sum);
+}
+
+double residual_busy_period(std::size_t n, std::size_t m, const ResidualParams& p) {
+    if (n <= m) {
+        return 0.0;
+    }
+    // B(n, m) = sum of downward passage times m+1 ... n. Equivalent to
+    // Lemma 3.3's B(n,0) - B(m,0) but immune to the catastrophic
+    // cancellation that difference suffers when rho is large.
+    double total = 0.0;
+    for (std::size_t i = m + 1; i <= n; ++i) {
+        total += downward_passage_time(i, p);
+        if (std::isinf(total)) {
+            return kInf;
+        }
+    }
+    return total;
+}
+
+double steady_state_residual_busy_period(std::size_t m, const ResidualParams& p) {
+    require(p.lambda > 0.0, "steady_state_residual_busy_period: requires lambda > 0");
+    require(p.service > 0.0, "steady_state_residual_busy_period: requires service > 0");
+
+    // Peer population when publishers depart is M/M/infinity steady state:
+    // Poisson with mean rho = lambda * service (eq. 13). B(i, m) is the
+    // cumulative sum of downward passage times, accumulated incrementally.
+    const double rho = p.lambda * p.service;
+    double total = 0.0;
+    double tail_mass = 1.0;
+    double cumulative = 0.0;  // B(i, m) built up as i grows
+    // Include terms until the remaining Poisson mass cannot move the result.
+    const auto max_i =
+        static_cast<std::size_t>(rho + 12.0 * std::sqrt(rho + 1.0) + 64.0);
+    for (std::size_t i = 0; i <= max_i; ++i) {
+        const double pmf = poisson_pmf(i, rho);
+        tail_mass -= pmf;
+        if (i <= m) {
+            continue;  // already at/below the coverage threshold: B(i, m) = 0
+        }
+        cumulative += downward_passage_time(i, p);
+        if (std::isinf(cumulative)) {
+            return pmf > 1e-300 || tail_mass > 1e-300 ? kInf : total;
+        }
+        total += pmf * cumulative;
+        if (tail_mass < 1e-14 &&
+            tail_mass * cumulative < kRelTol * std::max(total, 1e-300)) {
+            break;
+        }
+    }
+    return total;
+}
+
+}  // namespace swarmavail::queueing

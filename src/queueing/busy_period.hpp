@@ -1,0 +1,123 @@
+// Busy-period theory for the M/G/infinity queue, following Browne & Steele
+// (1993) as used in the paper (appendix eqs. 17-20 and eq. 9).
+//
+// The paper models a swarm as an M/G/infinity queue: peers/publishers arrive
+// Poisson and stay for their residence time; content is available exactly
+// during the queue's busy periods. These functions give the expected busy
+// period under the parameterizations the paper needs:
+//
+//  - all-exponential residence times               (eq. 20)
+//  - exceptional first customer                    (eq. 19)
+//  - mixed two-class exponential residence times   (eq. 9)
+//  - residual busy periods down to a coverage
+//    threshold m                                   (eqs. 12-13, Lemma 3.3)
+//
+// Everything is evaluated with log-space series so the e^{Theta(K^2)} growth
+// bundling induces does not overflow prematurely; when a busy period really
+// is astronomically large the functions saturate to +infinity, which callers
+// treat as "always available".
+#pragma once
+
+#include <cstddef>
+
+namespace swarmavail::queueing {
+
+/// Outcome of a busy-period series evaluation.
+struct BusyPeriodResult {
+    /// E[B] in seconds; +infinity when the series saturates double range.
+    double value = 0.0;
+    /// log(E[B]); finite even when `value` overflows, so asymptotic
+    /// (Theta(K^2)) analyses can work with arbitrarily large bundles.
+    double log_value = 0.0;
+    /// Number of series terms evaluated.
+    std::size_t terms = 0;
+    /// False only if the term cap was hit before the tolerance.
+    bool converged = true;
+};
+
+/// Expected busy period of an M/M/infinity queue: arrivals at rate `beta`,
+/// exponential residence with mean `alpha` (appendix eq. 20):
+///
+///     E[B] = (e^{beta * alpha} - 1) / beta
+///
+/// Requires beta > 0, alpha > 0.
+[[nodiscard]] BusyPeriodResult busy_period_exponential(double beta, double alpha);
+
+/// Expected busy period when the customer initiating the busy period has an
+/// exceptional exponential residence time with mean `theta` while all others
+/// have mean `alpha` (appendix eq. 19):
+///
+///     E[B] = theta + alpha * theta * sum_i (beta*alpha)^i / (i! (alpha + i theta))
+///
+/// Requires beta > 0, alpha > 0, theta > 0.
+[[nodiscard]] BusyPeriodResult busy_period_exceptional(double beta, double alpha,
+                                                       double theta);
+
+/// Parameters of the two-class mixed-exponential busy period (eq. 9).
+///
+/// Customers arrive Poisson at rate `beta`. The busy-period initiator stays
+/// Exp(theta). Every later customer stays Exp(alpha1) with probability q1
+/// (a peer actively downloading) or Exp(alpha2) with probability 1 - q1
+/// (a publisher residing).
+struct MixedBusyPeriodParams {
+    double beta = 0.0;    ///< aggregate Poisson arrival rate (1/s)
+    double theta = 0.0;   ///< mean residence of the initiating customer (s)
+    double q1 = 0.0;      ///< probability a later customer is class 1
+    double alpha1 = 0.0;  ///< mean residence of class-1 customers (s)
+    double alpha2 = 0.0;  ///< mean residence of class-2 customers (s)
+};
+
+/// Expected busy period under `MixedBusyPeriodParams` (eq. 9):
+///
+///   E[B] = theta + sum_i beta^i/i! sum_j C(i,j)
+///          q1^j q2^{i-j} alpha1^{1+j} alpha2^{1+i-j} theta
+///          / (alpha1 alpha2 + j theta alpha2 + (i - j) theta alpha1)
+///
+/// Requires beta > 0, theta > 0, q1 in [0, 1], alpha1 > 0, alpha2 > 0.
+/// Reduces to busy_period_exceptional(beta, alpha1, theta) at q1 = 1 and to
+/// busy_period_exponential(beta, alpha) when q1 = 1, alpha1 = theta = alpha.
+[[nodiscard]] BusyPeriodResult busy_period_mixed(const MixedBusyPeriodParams& params);
+
+/// Parameters of a peers-only swarm used by the residual busy period
+/// (Lemma 3.3): Poisson peer arrivals at rate `lambda`, exponential download
+/// times with mean `service` = s / mu seconds.
+struct ResidualParams {
+    double lambda = 0.0;   ///< peer arrival rate (1/s)
+    double service = 0.0;  ///< mean download time s/mu (s)
+};
+
+/// B(n, 0): expected time for a swarm that currently holds n peers (each
+/// with memoryless remaining residence) to empty completely (eq. 12):
+///
+///   B(n,0) = sum_{i=1}^{n} service/i
+///          + service * sum_{i>=1} (lambda*service)^i [(n+i)! - n! i!] / (i! (n+i)! i)
+///
+/// B(0, 0) = 0. Requires lambda > 0, service > 0, for n >= 1.
+[[nodiscard]] BusyPeriodResult residual_busy_period_to_empty(std::size_t n,
+                                                             const ResidualParams& params);
+
+/// Expected first-passage time from population i to i-1 in the
+/// M/M/infinity birth-death chain (births `lambda`, per-peer death rate
+/// 1/`service`): d_i = service * sum_k rho^k (i-1)!/(i+k)!. B(n, m) is the
+/// sum of these over i = m+1 .. n; exposing d_i separately lets callers
+/// (and tests) avoid the catastrophic cancellation of the textbook
+/// B(n,0) - B(m,0) difference at large offered loads.
+[[nodiscard]] double downward_passage_time(std::size_t i, const ResidualParams& params);
+
+/// B(n, m): expected time for the population to fall from n to the coverage
+/// threshold m (< n), equal to Lemma 3.3's B(n,0) - B(m,0) but computed as
+/// a sum of downward passage times. Returns 0 when n <= m.
+[[nodiscard]] double residual_busy_period(std::size_t n, std::size_t m,
+                                          const ResidualParams& params);
+
+/// B(m): mean residual busy period when publishers leave with the peer
+/// population in M/M/infinity steady state (eq. 13):
+///
+///   B(m) = sum_i Poisson(lambda*service)(i) * B(i, m)
+///
+/// The Poisson tail is truncated once the remaining mass is below 1e-12
+/// relative to the running value.
+[[nodiscard]] double steady_state_residual_busy_period(std::size_t m,
+                                                       const ResidualParams& params);
+
+}  // namespace swarmavail::queueing

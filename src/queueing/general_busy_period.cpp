@@ -1,0 +1,99 @@
+#include "queueing/general_busy_period.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/series.hpp"
+
+namespace swarmavail::queueing {
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kRelTol = 1e-13;
+constexpr std::size_t kMaxTerms = 200000;
+}  // namespace
+
+InitiatorDistribution exponential_initiator(double mean) {
+    require(mean > 0.0, "exponential_initiator: mean must be > 0");
+    InitiatorDistribution dist;
+    dist.mean = mean;
+    dist.laplace = [mean](double s) { return 1.0 / (1.0 + mean * s); };
+    return dist;
+}
+
+InitiatorDistribution deterministic_initiator(double length) {
+    require(length > 0.0, "deterministic_initiator: length must be > 0");
+    InitiatorDistribution dist;
+    dist.mean = length;
+    dist.laplace = [length](double s) { return std::exp(-length * s); };
+    return dist;
+}
+
+InitiatorDistribution hypoexponential_initiator(Hypoexponential hypo) {
+    InitiatorDistribution dist;
+    dist.mean = hypo.mean();
+    dist.laplace = [hypo = std::move(hypo)](double s) { return hypo.laplace(s); };
+    return dist;
+}
+
+BusyPeriodResult busy_period_general(double beta, double alpha,
+                                     const InitiatorDistribution& initiator) {
+    require(beta > 0.0, "busy_period_general: beta must be > 0");
+    require(alpha > 0.0, "busy_period_general: alpha must be > 0");
+    require(initiator.mean > 0.0, "busy_period_general: initiator mean must be > 0");
+    require(static_cast<bool>(initiator.laplace),
+            "busy_period_general: initiator transform required");
+
+    // eq. 18: E[B] = theta + sum_i (beta alpha)^i alpha [1 - h(i/alpha)] / (i! i).
+    const double log_x = std::log(beta * alpha);
+    const double log_alpha = std::log(alpha);
+    double log_sum = kNegInf;
+    std::size_t terms = 0;
+    bool converged = false;
+    const double hump = beta * alpha;
+    for (std::size_t i = 1; i <= kMaxTerms; ++i) {
+        const double h = initiator.laplace(static_cast<double>(i) / alpha);
+        require(h >= 0.0 && h <= 1.0,
+                "busy_period_general: Laplace transform must lie in [0, 1]");
+        const double survivor = 1.0 - h;
+        terms = i;
+        if (survivor > 0.0) {
+            const double log_term = static_cast<double>(i) * log_x - log_factorial(i) -
+                                    std::log(static_cast<double>(i)) + log_alpha +
+                                    std::log(survivor);
+            log_sum = log_add_exp(log_sum, log_term);
+            if (static_cast<double>(i) > hump &&
+                log_term < log_sum + std::log(kRelTol)) {
+                converged = true;
+                break;
+            }
+        } else if (static_cast<double>(i) > hump) {
+            converged = true;
+            break;
+        }
+    }
+    BusyPeriodResult result;
+    result.terms = terms;
+    result.converged = converged;
+    result.log_value = log_add_exp(std::log(initiator.mean), log_sum);
+    result.value = initiator.mean + std::exp(log_sum);
+    if (!std::isfinite(result.value)) {
+        result.value = std::numeric_limits<double>::infinity();
+    }
+    return result;
+}
+
+BusyPeriodResult residual_busy_period_via_initiator(std::size_t n,
+                                                    const ResidualParams& params) {
+    require(n >= 1, "residual_busy_period_via_initiator: requires n >= 1");
+    require(params.lambda > 0.0 && params.service > 0.0,
+            "residual_busy_period_via_initiator: invalid parameters");
+    // Lemma 3.3: the virtual customer starting the residual busy period is
+    // max{X_1..X_n} of memoryless residences, a hypoexponential.
+    auto initiator = hypoexponential_initiator(
+        Hypoexponential::max_of_iid_exponentials(n, 1.0 / params.service));
+    return busy_period_general(params.lambda, params.service, initiator);
+}
+
+}  // namespace swarmavail::queueing

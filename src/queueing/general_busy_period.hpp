@@ -1,0 +1,47 @@
+// General Browne-Steele busy period (appendix eqs. 17-18): the customer
+// initiating the busy period draws its residence from an arbitrary
+// distribution H with Laplace transform h, while later customers are
+// exponential with mean alpha:
+//
+//     E[B] = theta + sum_{i>=1} (beta alpha)^i alpha [1 - h(i/alpha)] / (i! i)
+//
+// This generalizes eq. 19 (exponential initiator) and is what Lemma 3.3
+// uses with a hypoexponential initiator (the max of n memoryless
+// residences) to obtain the residual busy period B(n, 0) of eq. 12.
+#pragma once
+
+#include <functional>
+
+#include "queueing/busy_period.hpp"
+#include "queueing/hypoexponential.hpp"
+
+namespace swarmavail::queueing {
+
+/// First-customer distribution: mean and Laplace transform E[e^{-sX}].
+struct InitiatorDistribution {
+    double mean = 0.0;
+    std::function<double(double)> laplace;
+};
+
+/// Exponential initiator with the given mean (recovers eq. 19).
+[[nodiscard]] InitiatorDistribution exponential_initiator(double mean);
+
+/// Deterministic initiator of fixed length.
+[[nodiscard]] InitiatorDistribution deterministic_initiator(double length);
+
+/// Hypoexponential initiator (Lemma 3.3's virtual customer).
+[[nodiscard]] InitiatorDistribution hypoexponential_initiator(Hypoexponential dist);
+
+/// Expected busy period via eq. 18: Poisson arrivals at `beta`, later
+/// customers Exp(`alpha`), first customer drawn from `initiator`.
+/// Requires beta > 0, alpha > 0, initiator.mean > 0 and a valid transform.
+[[nodiscard]] BusyPeriodResult busy_period_general(double beta, double alpha,
+                                                   const InitiatorDistribution& initiator);
+
+/// Lemma 3.3's B(n, 0) obtained through eq. 18 with the hypoexponential
+/// initiator max{X_1..X_n}: an independent derivation of eq. 12, used to
+/// cross-validate residual_busy_period_to_empty.
+[[nodiscard]] BusyPeriodResult residual_busy_period_via_initiator(
+    std::size_t n, const ResidualParams& params);
+
+}  // namespace swarmavail::queueing

@@ -1,0 +1,75 @@
+#include "queueing/hypoexponential.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/series.hpp"
+
+namespace swarmavail::queueing {
+
+Hypoexponential::Hypoexponential(std::vector<double> rates) : rates_(std::move(rates)) {
+    require(!rates_.empty(), "Hypoexponential: requires at least one stage");
+    for (double r : rates_) {
+        require(r > 0.0, "Hypoexponential: stage rates must be positive");
+    }
+}
+
+Hypoexponential Hypoexponential::max_of_iid_exponentials(std::size_t n, double rate) {
+    require(n >= 1, "max_of_iid_exponentials: requires n >= 1");
+    require(rate > 0.0, "max_of_iid_exponentials: requires rate > 0");
+    // Order statistics of exponentials: time until the first of k remaining
+    // completes is Exp(k * rate), so the max decomposes into stages with
+    // rates n*rate, (n-1)*rate, ..., 1*rate.
+    std::vector<double> rates;
+    rates.reserve(n);
+    for (std::size_t k = n; k >= 1; --k) {
+        rates.push_back(static_cast<double>(k) * rate);
+    }
+    return Hypoexponential{std::move(rates)};
+}
+
+double Hypoexponential::mean() const noexcept {
+    double acc = 0.0;
+    for (double r : rates_) {
+        acc += 1.0 / r;
+    }
+    return acc;
+}
+
+double Hypoexponential::variance() const noexcept {
+    double acc = 0.0;
+    for (double r : rates_) {
+        acc += 1.0 / (r * r);
+    }
+    return acc;
+}
+
+double Hypoexponential::laplace(double s) const {
+    require(s >= 0.0, "Hypoexponential::laplace: requires s >= 0");
+    double acc = 1.0;
+    for (double r : rates_) {
+        acc *= r / (r + s);
+    }
+    return acc;
+}
+
+double Hypoexponential::sample(Rng& rng) const {
+    double acc = 0.0;
+    for (double r : rates_) {
+        acc += rng.exponential_rate(r);
+    }
+    return acc;
+}
+
+double mginf_occupancy_pmf(std::size_t k, double rho) {
+    require(rho >= 0.0, "mginf_occupancy_pmf: requires rho >= 0");
+    return poisson_pmf(k, rho);
+}
+
+double mginf_mean_occupancy(double lambda, double mean_service) {
+    require(lambda >= 0.0, "mginf_mean_occupancy: requires lambda >= 0");
+    require(mean_service >= 0.0, "mginf_mean_occupancy: requires mean_service >= 0");
+    return lambda * mean_service;
+}
+
+}  // namespace swarmavail::queueing

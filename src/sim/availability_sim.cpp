@@ -1,0 +1,260 @@
+#include "sim/availability_sim.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/processes.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+/// Per-peer bookkeeping while the peer is in the system.
+struct PeerState {
+    SimTime arrival = 0.0;
+    double waited = 0.0;      ///< idle time accumulated so far
+    SimTime wait_start = 0.0; ///< when the current wait began (if blocked)
+    EventId completion = 0;   ///< pending completion event (if downloading)
+};
+
+/// The full simulation state machine; run_availability_sim drives it.
+class AvailabilitySim {
+ public:
+    explicit AvailabilitySim(const AvailabilitySimConfig& config)
+        : config_(config), rng_(config.seed) {
+        config_.params.validate();
+        require(config_.coverage_threshold >= 1,
+                "AvailabilitySim: coverage threshold must be >= 1");
+        require(config_.linger_time >= 0.0, "AvailabilitySim: linger_time must be >= 0");
+        require(config_.horizon > 0.0, "AvailabilitySim: horizon must be > 0");
+    }
+
+    AvailabilitySimResult run() {
+        const auto& p = config_.params;
+
+        PoissonProcess peer_arrivals{queue_, rng_, p.peer_arrival_rate,
+                                     [this] { on_peer_arrival(); }};
+        peer_arrivals.start(config_.horizon);
+
+        PoissonProcess publisher_arrivals{queue_, rng_, p.publisher_arrival_rate,
+                                          [this] { on_publisher_arrival(); }};
+        OnOffProcess on_off{queue_,
+                            rng_,
+                            p.publisher_residence,
+                            1.0 / p.publisher_arrival_rate,
+                            [this] { on_publisher_up(); },
+                            [this] { on_publisher_down(); }};
+        if (config_.publisher_mode == PublisherMode::kPoissonArrivals) {
+            publisher_arrivals.start(config_.horizon);
+        } else {
+            on_off.start(config_.horizon);
+        }
+
+        queue_.run_until(config_.horizon);
+
+        // Close the final availability interval for the time-average.
+        account_interval(config_.horizon);
+        AvailabilitySimResult out = result_;
+        const double denom = unavailable_seconds_ + available_seconds_;
+        out.unavailable_time_fraction = denom > 0.0 ? unavailable_seconds_ / denom : 1.0;
+        out.arrival_unavailability =
+            out.arrivals > 0
+                ? static_cast<double>(arrivals_blocked_) / static_cast<double>(out.arrivals)
+                : 0.0;
+        return out;
+    }
+
+ private:
+    using PeerId = std::uint64_t;
+
+    [[nodiscard]] std::size_t coverage() const noexcept {
+        return downloading_.size() + lingering_;
+    }
+
+    void account_interval(SimTime now) {
+        const double span = now - interval_start_;
+        if (span > 0.0) {
+            (available_ ? available_seconds_ : unavailable_seconds_) += span;
+        }
+        interval_start_ = now;
+    }
+
+    void become_available() {
+        account_interval(queue_.now());
+        available_ = true;
+        if (idle_open_) {
+            result_.idle_periods.add(queue_.now() - idle_start_);
+            idle_open_ = false;
+        }
+        busy_start_ = queue_.now();
+        busy_open_ = true;
+        served_this_busy_ = 0;
+        // Blocked (patient) peers immediately begin service.
+        for (PeerId id : blocked_) {
+            auto& peer = peers_.at(id);
+            peer.waited += queue_.now() - peer.wait_start;
+            start_service(id);
+        }
+        blocked_.clear();
+    }
+
+    void become_unavailable() {
+        account_interval(queue_.now());
+        available_ = false;
+        if (busy_open_) {
+            result_.busy_periods.add(queue_.now() - busy_start_);
+            result_.peers_per_busy_period.add(static_cast<double>(served_this_busy_));
+            busy_open_ = false;
+        }
+        idle_start_ = queue_.now();
+        idle_open_ = true;
+        // Downloading peers are interrupted mid-download (the dotted lines of
+        // Figure 2): they block until a publisher returns, or leave if
+        // impatient. By memorylessness their remaining service on resume is
+        // a fresh Exp(s/mu), matching the model's renewal view.
+        std::vector<PeerId> interrupted;
+        interrupted.reserve(downloading_.size());
+        for (const auto& [id, peer] : downloading_) {
+            interrupted.push_back(id);
+        }
+        for (PeerId id : interrupted) {
+            queue_.cancel(downloading_.at(id));
+            downloading_.erase(id);
+            ++result_.stranded;
+            if (config_.patient_peers) {
+                peers_.at(id).wait_start = queue_.now();
+                blocked_.push_back(id);
+            } else {
+                peers_.erase(id);
+                ++result_.lost;
+            }
+        }
+        // Lingering seeds have nothing to serve once the content is dead;
+        // they exit (their coverage contribution ended the moment the
+        // threshold was crossed). Bump the epoch so their pending departure
+        // events become no-ops.
+        lingering_ = 0;
+        ++linger_epoch_;
+    }
+
+    /// Invoked after any departure/publisher change that can end a busy period.
+    void maybe_end_busy_period() {
+        if (available_ && publishers_ == 0 && coverage() < config_.coverage_threshold) {
+            become_unavailable();
+        }
+    }
+
+    void on_peer_arrival() {
+        ++result_.arrivals;
+        const PeerId id = next_peer_id_++;
+        PeerState peer;
+        peer.arrival = queue_.now();
+        if (available_) {
+            peers_.emplace(id, peer);
+            start_service(id);
+        } else {
+            ++arrivals_blocked_;
+            if (config_.patient_peers) {
+                peer.wait_start = queue_.now();
+                peers_.emplace(id, peer);
+                blocked_.push_back(id);
+            } else {
+                ++result_.lost;
+            }
+        }
+    }
+
+    void start_service(PeerId id) {
+        const double service = rng_.exponential_mean(config_.params.service_time());
+        const EventId event =
+            queue_.schedule_at(queue_.now() + service, [this, id] { on_completion(id); });
+        downloading_[id] = event;
+        peers_.at(id).completion = event;
+    }
+
+    void on_completion(PeerId id) {
+        downloading_.erase(id);
+        const auto it = peers_.find(id);
+        ensure(it != peers_.end(), "AvailabilitySim: completion for unknown peer");
+        const PeerState peer = it->second;
+        peers_.erase(it);
+        ++result_.served;
+        ++served_this_busy_;
+        result_.download_times.add(queue_.now() - peer.arrival);
+        result_.waiting_times.add(peer.waited);
+        if (config_.linger_time > 0.0) {
+            ++lingering_;
+            const double linger = rng_.exponential_mean(config_.linger_time);
+            // The epoch guard voids this event if an intervening idle period
+            // already flushed all lingering seeds.
+            const std::uint64_t epoch = linger_epoch_;
+            queue_.schedule_at(queue_.now() + linger, [this, epoch] {
+                if (epoch == linger_epoch_ && lingering_ > 0) {
+                    --lingering_;
+                    maybe_end_busy_period();
+                }
+            });
+        }
+        maybe_end_busy_period();
+    }
+
+    void on_publisher_arrival() {
+        ++publishers_;
+        const double stay = rng_.exponential_mean(config_.params.publisher_residence);
+        queue_.schedule_at(queue_.now() + stay, [this] {
+            --publishers_;
+            maybe_end_busy_period();
+        });
+        if (!available_) {
+            become_available();
+        }
+    }
+
+    void on_publisher_up() {
+        ++publishers_;
+        if (!available_) {
+            become_available();
+        }
+    }
+
+    void on_publisher_down() {
+        --publishers_;
+        maybe_end_busy_period();
+    }
+
+    AvailabilitySimConfig config_;
+    Rng rng_;
+    EventQueue queue_;
+    AvailabilitySimResult result_;
+
+    std::unordered_map<PeerId, PeerState> peers_;
+    std::unordered_map<PeerId, EventId> downloading_;
+    std::vector<PeerId> blocked_;
+    std::size_t lingering_ = 0;
+    std::uint64_t linger_epoch_ = 0;
+    std::size_t publishers_ = 0;
+    PeerId next_peer_id_ = 1;
+
+    bool available_ = false;
+    bool busy_open_ = false;
+    bool idle_open_ = false;
+    SimTime busy_start_ = 0.0;
+    SimTime idle_start_ = 0.0;
+    std::uint64_t served_this_busy_ = 0;
+    std::uint64_t arrivals_blocked_ = 0;
+
+    SimTime interval_start_ = 0.0;
+    double available_seconds_ = 0.0;
+    double unavailable_seconds_ = 0.0;
+};
+
+}  // namespace
+
+AvailabilitySimResult run_availability_sim(const AvailabilitySimConfig& config) {
+    AvailabilitySim sim{config};
+    return sim.run();
+}
+
+}  // namespace swarmavail::sim

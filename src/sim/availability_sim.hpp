@@ -1,0 +1,63 @@
+// Flow-level swarm availability simulator.
+//
+// Implements the paper's queueing dynamics exactly, with none of the model's
+// closed-form approximations: peers arrive Poisson(lambda) and download for
+// Exp(s/mu) while content is available; publishers either arrive Poisson(r)
+// staying Exp(u) (Sections 3.2-3.3) or alternate on/off as a single source
+// (Section 4.3); content is available from a publisher's arrival until no
+// publisher is online and the peer coverage drops below the threshold m
+// (Section 3.1 / Figure 2). Peers caught by an idle period either wait
+// (patient, Section 3.3.2) or leave (impatient, Section 3.3.1), and
+// completed peers may linger as seeds (Section 3.3.4).
+//
+// The simulator is the validation target for every closed-form expression in
+// src/model: tests compare its measured busy periods, unavailability and
+// download times against eqs. 9-16.
+#pragma once
+
+#include <cstdint>
+
+#include "model/params.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::sim {
+
+/// How publishers behave.
+enum class PublisherMode {
+    /// Publishers arrive Poisson(r) and stay Exp(u); several may overlap.
+    kPoissonArrivals,
+    /// One publisher alternates on for Exp(u) / off for Exp(1/r)
+    /// (the Section 4.3 PlanetLab setup).
+    kSingleOnOff,
+};
+
+/// Configuration of one availability-simulation run.
+struct AvailabilitySimConfig {
+    model::SwarmParams params;          ///< lambda, s, mu, r, u
+    std::size_t coverage_threshold = 1; ///< m: peers needed to keep content alive
+    bool patient_peers = true;          ///< wait for a publisher vs leave
+    double linger_time = 0.0;           ///< mean post-completion seeding time (0: none)
+    PublisherMode publisher_mode = PublisherMode::kPoissonArrivals;
+    double horizon = 1.0e6;             ///< simulated seconds
+    std::uint64_t seed = 1;
+};
+
+/// Aggregate outcome of a run.
+struct AvailabilitySimResult {
+    StreamingStats busy_periods;          ///< lengths of completed busy periods (s)
+    StreamingStats idle_periods;          ///< lengths of completed idle periods (s)
+    StreamingStats download_times;        ///< arrival -> completion per served peer (s)
+    StreamingStats waiting_times;         ///< idle wait component per served peer (s)
+    StreamingStats peers_per_busy_period; ///< completions per busy period
+    std::uint64_t arrivals = 0;           ///< total peer arrivals
+    std::uint64_t served = 0;             ///< peers that completed the download
+    std::uint64_t lost = 0;               ///< impatient peers that left unserved
+    std::uint64_t stranded = 0;           ///< peers interrupted by a busy-period end
+    double unavailable_time_fraction = 0.0;  ///< time-average unavailability
+    double arrival_unavailability = 0.0;     ///< fraction of arrivals finding no content
+};
+
+/// Runs the simulation for `config.horizon` simulated seconds.
+[[nodiscard]] AvailabilitySimResult run_availability_sim(const AvailabilitySimConfig& config);
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+
+EventId EventQueue::schedule_at(SimTime when, std::function<void()> action) {
+    require(when >= now_, "EventQueue::schedule_at: cannot schedule in the past");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, next_seq_++, std::move(action)});
+    pending_.insert(id);
+    ++live_events_;
+    return id;
+}
+
+void EventQueue::cancel(EventId id) {
+    if (pending_.erase(id) != 0) {
+        --live_events_;  // the heap entry becomes a tombstone, skipped on pop
+    }
+}
+
+bool EventQueue::run_next() {
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        if (pending_.erase(entry.id) == 0) {
+            continue;  // cancelled tombstone
+        }
+        --live_events_;
+        now_ = entry.when;
+        entry.action();
+        return true;
+    }
+    return false;
+}
+
+SimTime EventQueue::next_time() {
+    while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
+        heap_.pop();  // drop cancelled tombstones at the head
+    }
+    return heap_.empty() ? -1.0 : heap_.top().when;
+}
+
+void EventQueue::run_until(SimTime horizon) {
+    while (!heap_.empty()) {
+        // Drop cancelled heads without advancing time.
+        if (pending_.count(heap_.top().id) == 0) {
+            heap_.pop();
+            continue;
+        }
+        if (heap_.top().when > horizon) {
+            break;
+        }
+        run_next();
+    }
+    if (horizon > now_) {
+        now_ = horizon;
+    }
+}
+
+}  // namespace swarmavail::sim

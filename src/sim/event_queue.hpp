@@ -1,0 +1,70 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events and O(1) logical cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace swarmavail::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Handle identifying a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+/// Min-heap event queue. Events scheduled for the same time fire in
+/// scheduling order (sequence numbers break ties), which keeps simulations
+/// deterministic for a fixed RNG seed.
+class EventQueue {
+ public:
+    /// Schedules `action` at absolute time `when` (must be >= now()).
+    /// Returns an id usable with cancel().
+    EventId schedule_at(SimTime when, std::function<void()> action);
+
+    /// Marks an event as cancelled; it is dropped when popped. Cancelling
+    /// an already-fired or unknown id is a no-op.
+    void cancel(EventId id);
+
+    /// Pops and runs the next event. Returns false when the queue is empty.
+    bool run_next();
+
+    /// Runs events until the queue empties or the next event is after
+    /// `horizon`; events beyond the horizon stay queued.
+    void run_until(SimTime horizon);
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return live_events_; }
+
+    /// Time of the next live event, or a negative value if none is queued.
+    /// Does not advance the clock (cancelled tombstones at the head are
+    /// discarded, which is why this is not const).
+    [[nodiscard]] SimTime next_time();
+
+ private:
+    struct Entry {
+        SimTime when;
+        EventId id;
+        std::uint64_t seq;
+        std::function<void()> action;
+        bool operator>(const Entry& other) const noexcept {
+            if (when != other.when) {
+                return when > other.when;
+            }
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_;  // ids still scheduled (not cancelled/fired)
+    SimTime now_ = 0.0;
+    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_events_ = 0;
+};
+
+}  // namespace swarmavail::sim

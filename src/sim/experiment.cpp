@@ -1,0 +1,67 @@
+#include "sim/experiment.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+
+ExperimentCell run_replications(const std::string& label, const Replication& body,
+                                std::size_t replications, std::uint64_t seed) {
+    require(replications >= 1, "run_replications: requires replications >= 1");
+    require(static_cast<bool>(body), "run_replications: body required");
+    ExperimentCell cell;
+    cell.label = label;
+    cell.replications = replications;
+    for (std::size_t i = 0; i < replications; ++i) {
+        const auto samples = body(seed + i);
+        if (samples.empty()) {
+            continue;
+        }
+        StreamingStats run;
+        for (double s : samples) {
+            run.add(s);
+        }
+        cell.run_means.add(run.mean());
+        cell.samples.add_all(samples);
+    }
+    return cell;
+}
+
+std::vector<SweepPoint> run_sweep(const std::vector<double>& values,
+                                  const SweepBody& body, std::size_t replications,
+                                  std::uint64_t seed) {
+    require(!values.empty(), "run_sweep: requires at least one value");
+    require(static_cast<bool>(body), "run_sweep: body required");
+    std::vector<SweepPoint> sweep;
+    sweep.reserve(values.size());
+    std::uint64_t next_seed = seed;
+    for (double value : values) {
+        SweepPoint point;
+        point.value = value;
+        point.cell = run_replications(
+            std::to_string(value),
+            [&body, value](std::uint64_t s) { return body(value, s); }, replications,
+            next_seed);
+        next_seed += replications;
+        sweep.push_back(std::move(point));
+    }
+    return sweep;
+}
+
+const SweepPoint& best_point(const std::vector<SweepPoint>& sweep) {
+    require(!sweep.empty(), "best_point: requires a non-empty sweep");
+    const SweepPoint* best = nullptr;
+    double best_mean = std::numeric_limits<double>::infinity();
+    for (const auto& point : sweep) {
+        require(!point.cell.samples.empty(), "best_point: sweep cell has no samples");
+        if (point.cell.mean() < best_mean) {
+            best_mean = point.cell.mean();
+            best = &point;
+        }
+    }
+    ensure(best != nullptr, "best_point: no candidate found");
+    return *best;
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,59 @@
+// Generic replication/sweep harness used by benches and downstream users:
+// run a stochastic experiment over independent seeds, accumulate samples,
+// and report means with confidence intervals -- the scaffolding every
+// Section 4-style experiment needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace swarmavail::sim {
+
+/// Summary of one experiment cell (one parameter setting).
+struct ExperimentCell {
+    std::string label;
+    SampleSet samples;          ///< pooled per-peer (or per-event) samples
+    StreamingStats run_means;   ///< per-replication means (for run-level CIs)
+    std::size_t replications = 0;
+
+    /// Mean of the pooled samples (0 if empty).
+    [[nodiscard]] double mean() const {
+        return samples.empty() ? 0.0 : samples.mean();
+    }
+    /// Half-width of the ~95% CI over replication means: the honest
+    /// uncertainty when samples within a run are correlated.
+    [[nodiscard]] double ci95() const { return run_means.ci95_halfwidth(); }
+};
+
+/// One replication's output: a batch of samples (may be empty).
+using Replication = std::function<std::vector<double>(std::uint64_t seed)>;
+
+/// Runs `replications` independent seeds (seed, seed+1, ...) of `body` and
+/// pools the results. Requires replications >= 1.
+[[nodiscard]] ExperimentCell run_replications(const std::string& label,
+                                              const Replication& body,
+                                              std::size_t replications,
+                                              std::uint64_t seed);
+
+/// A one-dimensional sweep: runs `body(value, seed)` for every value.
+struct SweepPoint {
+    double value = 0.0;
+    ExperimentCell cell;
+};
+
+using SweepBody = std::function<std::vector<double>(double value, std::uint64_t seed)>;
+
+[[nodiscard]] std::vector<SweepPoint> run_sweep(const std::vector<double>& values,
+                                                const SweepBody& body,
+                                                std::size_t replications,
+                                                std::uint64_t seed);
+
+/// The sweep point with the smallest pooled mean; ties break toward the
+/// earlier value. Requires a non-empty sweep with non-empty samples.
+[[nodiscard]] const SweepPoint& best_point(const std::vector<SweepPoint>& sweep);
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,81 @@
+#include "sim/monte_carlo.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+
+double sample_busy_period(Rng& rng, double beta,
+                          const std::function<double(Rng&)>& first_residence,
+                          const std::function<double(Rng&)>& residence) {
+    require(beta > 0.0, "sample_busy_period: beta must be > 0");
+    require(static_cast<bool>(first_residence) && static_cast<bool>(residence),
+            "sample_busy_period: residence samplers required");
+    // Coverage-process construction: the busy period extends while new
+    // arrivals land before the current coverage end.
+    double end = first_residence(rng);
+    double t = rng.exponential_rate(beta);
+    while (t < end) {
+        end = std::max(end, t + residence(rng));
+        t += rng.exponential_rate(beta);
+    }
+    return end;
+}
+
+StreamingStats sample_mixed_busy_periods(Rng& rng, const MixedBusyPeriodMc& p,
+                                         std::size_t n) {
+    require(p.beta > 0.0, "sample_mixed_busy_periods: beta must be > 0");
+    require(p.theta > 0.0, "sample_mixed_busy_periods: theta must be > 0");
+    require(p.q1 >= 0.0 && p.q1 <= 1.0, "sample_mixed_busy_periods: q1 in [0,1]");
+    require(p.alpha1 > 0.0 && p.alpha2 > 0.0,
+            "sample_mixed_busy_periods: alphas must be > 0");
+    const auto first = [&p](Rng& r) { return r.exponential_mean(p.theta); };
+    const auto later = [&p](Rng& r) {
+        return r.bernoulli(p.q1) ? r.exponential_mean(p.alpha1)
+                                 : r.exponential_mean(p.alpha2);
+    };
+    StreamingStats stats;
+    for (std::size_t i = 0; i < n; ++i) {
+        stats.add(sample_busy_period(rng, p.beta, first, later));
+    }
+    return stats;
+}
+
+double sample_residual_busy_period(Rng& rng, std::size_t n, std::size_t m,
+                                   double lambda, double service) {
+    require(n > m, "sample_residual_busy_period: requires n > m");
+    require(lambda > 0.0, "sample_residual_busy_period: lambda must be > 0");
+    require(service > 0.0, "sample_residual_busy_period: service must be > 0");
+    // Exact birth-death simulation: exponential races between the next
+    // arrival (rate lambda) and the next departure (rate pop / service).
+    const double death_rate_per_peer = 1.0 / service;
+    double t = 0.0;
+    std::size_t pop = n;
+    while (pop > m) {
+        const double total_rate =
+            lambda + static_cast<double>(pop) * death_rate_per_peer;
+        t += rng.exponential_rate(total_rate);
+        const double p_birth = lambda / total_rate;
+        if (rng.bernoulli(p_birth)) {
+            ++pop;
+        } else {
+            --pop;
+        }
+    }
+    return t;
+}
+
+double sample_steady_state_residual(Rng& rng, std::size_t m, double lambda,
+                                    double service) {
+    require(lambda > 0.0, "sample_steady_state_residual: lambda must be > 0");
+    require(service > 0.0, "sample_steady_state_residual: service must be > 0");
+    const std::uint64_t initial = rng.poisson(lambda * service);
+    if (initial <= m) {
+        return 0.0;
+    }
+    return sample_residual_busy_period(rng, static_cast<std::size_t>(initial), m, lambda,
+                                       service);
+}
+
+}  // namespace swarmavail::sim

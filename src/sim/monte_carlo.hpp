@@ -1,0 +1,50 @@
+// Direct Monte-Carlo samplers of M/G/infinity busy periods and residual
+// busy periods. These implement the queueing dynamics exactly (no model
+// approximations), so the tests use them as ground truth for eqs. 9, 12,
+// 13 and 20, and the ablation benches use them to quantify model error.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::sim {
+
+/// Samples one busy period of an M/G/infinity queue: the initiating
+/// customer's residence is drawn by `first_residence`, later customers'
+/// residences by `residence`; arrivals are Poisson(`beta`). The busy period
+/// is the coverage interval: it ends when all in-system residences have
+/// expired (threshold 1).
+[[nodiscard]] double sample_busy_period(Rng& rng, double beta,
+                                        const std::function<double(Rng&)>& first_residence,
+                                        const std::function<double(Rng&)>& residence);
+
+/// Convenience: samples `n` busy periods with exponential residences
+/// (initiator mean `theta`, later customers mean drawn from the two-class
+/// mixture used in eq. 9) and accumulates their statistics.
+struct MixedBusyPeriodMc {
+    double beta = 0.0;
+    double theta = 0.0;
+    double q1 = 0.0;
+    double alpha1 = 0.0;
+    double alpha2 = 0.0;
+};
+[[nodiscard]] StreamingStats sample_mixed_busy_periods(Rng& rng,
+                                                       const MixedBusyPeriodMc& params,
+                                                       std::size_t n);
+
+/// Samples the residual busy period B(n, m) of Lemma 3.3 exactly: a
+/// birth-death process starting at population n with birth rate `lambda`
+/// and per-peer death rate 1/`service`; returns the time until the
+/// population first reaches m (< n). Requires n > m.
+[[nodiscard]] double sample_residual_busy_period(Rng& rng, std::size_t n, std::size_t m,
+                                                 double lambda, double service);
+
+/// Samples the steady-state residual busy period B(m) of eq. 13: the
+/// initial population is Poisson(lambda * service); populations <= m yield 0.
+[[nodiscard]] double sample_steady_state_residual(Rng& rng, std::size_t m, double lambda,
+                                                  double service);
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,146 @@
+#include "sim/processes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+
+PoissonProcess::PoissonProcess(EventQueue& queue, Rng& rng, double rate,
+                               std::function<void()> on_arrival)
+    : queue_(queue), rng_(rng), rate_(rate), on_arrival_(std::move(on_arrival)) {
+    require(rate_ > 0.0, "PoissonProcess: rate must be > 0");
+    require(static_cast<bool>(on_arrival_), "PoissonProcess: callback required");
+}
+
+void PoissonProcess::start(SimTime horizon) {
+    require(!running_, "PoissonProcess::start: already running");
+    horizon_ = horizon;
+    running_ = true;
+    schedule_next();
+}
+
+void PoissonProcess::stop() {
+    if (running_) {
+        queue_.cancel(pending_);
+        pending_ = 0;
+        running_ = false;
+    }
+}
+
+void PoissonProcess::schedule_next() {
+    const SimTime next = queue_.now() + rng_.exponential_rate(rate_);
+    if (next > horizon_) {
+        running_ = false;
+        return;
+    }
+    pending_ = queue_.schedule_at(next, [this] {
+        on_arrival_();
+        if (running_) {
+            schedule_next();
+        }
+    });
+}
+
+OnOffProcess::OnOffProcess(EventQueue& queue, Rng& rng, double mean_on,
+                           double mean_off, std::function<void()> on_up,
+                           std::function<void()> on_down)
+    : queue_(queue),
+      rng_(rng),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      on_up_(std::move(on_up)),
+      on_down_(std::move(on_down)) {
+    require(mean_on_ > 0.0, "OnOffProcess: mean_on must be > 0");
+    require(mean_off_ > 0.0, "OnOffProcess: mean_off must be > 0");
+    require(static_cast<bool>(on_up_) && static_cast<bool>(on_down_),
+            "OnOffProcess: both callbacks required");
+}
+
+void OnOffProcess::start(SimTime horizon) {
+    require(!running_, "OnOffProcess::start: already running");
+    horizon_ = horizon;
+    running_ = true;
+    on_ = true;
+    on_up_();
+    schedule_transition();
+}
+
+void OnOffProcess::stop() {
+    if (running_) {
+        queue_.cancel(pending_);
+        pending_ = 0;
+        running_ = false;
+    }
+}
+
+void OnOffProcess::schedule_transition() {
+    const double duration = rng_.exponential_mean(on_ ? mean_on_ : mean_off_);
+    const SimTime next = queue_.now() + duration;
+    if (next > horizon_) {
+        running_ = false;
+        return;
+    }
+    pending_ = queue_.schedule_at(next, [this] {
+        on_ = !on_;
+        (on_ ? on_up_ : on_down_)();
+        if (running_) {
+            schedule_transition();
+        }
+    });
+}
+
+TraceArrivalProcess::TraceArrivalProcess(EventQueue& queue,
+                                         std::vector<SimTime> arrival_times,
+                                         std::function<void()> on_arrival)
+    : queue_(queue), times_(std::move(arrival_times)), on_arrival_(std::move(on_arrival)) {
+    require(static_cast<bool>(on_arrival_), "TraceArrivalProcess: callback required");
+    require(std::is_sorted(times_.begin(), times_.end()),
+            "TraceArrivalProcess: arrival times must be sorted ascending");
+}
+
+void TraceArrivalProcess::start() {
+    for (SimTime t : times_) {
+        queue_.schedule_at(t, [this] { on_arrival_(); });
+    }
+}
+
+std::vector<SimTime> sample_decaying_poisson(Rng& rng, double lambda0, double tau,
+                                             SimTime horizon) {
+    require(lambda0 > 0.0, "sample_decaying_poisson: lambda0 must be > 0");
+    require(tau > 0.0, "sample_decaying_poisson: tau must be > 0");
+    require(horizon >= 0.0, "sample_decaying_poisson: horizon must be >= 0");
+    // Ogata thinning against the dominating homogeneous rate lambda0.
+    std::vector<SimTime> out;
+    SimTime t = 0.0;
+    for (;;) {
+        t += rng.exponential_rate(lambda0);
+        if (t > horizon) {
+            break;
+        }
+        const double accept = std::exp(-t / tau);
+        if (rng.bernoulli(accept)) {
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+std::vector<SimTime> sample_homogeneous_poisson(Rng& rng, double rate, SimTime horizon) {
+    require(rate > 0.0, "sample_homogeneous_poisson: rate must be > 0");
+    require(horizon >= 0.0, "sample_homogeneous_poisson: horizon must be >= 0");
+    std::vector<SimTime> out;
+    SimTime t = 0.0;
+    for (;;) {
+        t += rng.exponential_rate(rate);
+        if (t > horizon) {
+            break;
+        }
+        out.push_back(t);
+    }
+    return out;
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,98 @@
+// Stochastic processes that drive the simulators: Poisson arrivals,
+// on/off (alternating renewal) sources, and trace-driven arrivals.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+
+/// Poisson arrival process: invokes `on_arrival` at exponentially spaced
+/// times until stop() is called or the horizon passed to start() is hit.
+class PoissonProcess {
+ public:
+    /// `rate` in events/s, must be > 0.
+    PoissonProcess(EventQueue& queue, Rng& rng, double rate,
+                   std::function<void()> on_arrival);
+
+    /// Schedules the first arrival; events self-reschedule until `horizon`.
+    void start(SimTime horizon);
+
+    /// Stops generating further arrivals (the pending one is cancelled).
+    void stop();
+
+ private:
+    void schedule_next();
+
+    EventQueue& queue_;
+    Rng& rng_;
+    double rate_;
+    std::function<void()> on_arrival_;
+    SimTime horizon_ = 0.0;
+    EventId pending_ = 0;
+    bool running_ = false;
+};
+
+/// On/off alternating-renewal source (the intermittent publisher of
+/// Section 4.3): exponentially distributed on and off durations, with
+/// callbacks at each transition. Starts in the "on" state.
+class OnOffProcess {
+ public:
+    /// Mean durations in seconds, both > 0.
+    OnOffProcess(EventQueue& queue, Rng& rng, double mean_on, double mean_off,
+                 std::function<void()> on_up, std::function<void()> on_down);
+
+    /// Fires `on_up` immediately (entering the on state) and schedules the
+    /// alternation until `horizon`.
+    void start(SimTime horizon);
+    void stop();
+
+    [[nodiscard]] bool is_on() const noexcept { return on_; }
+
+ private:
+    void schedule_transition();
+
+    EventQueue& queue_;
+    Rng& rng_;
+    double mean_on_;
+    double mean_off_;
+    std::function<void()> on_up_;
+    std::function<void()> on_down_;
+    SimTime horizon_ = 0.0;
+    EventId pending_ = 0;
+    bool on_ = false;
+    bool running_ = false;
+};
+
+/// Trace-driven arrivals: fires `on_arrival` at each absolute time in the
+/// trace (sorted ascending). Used for the Section 4.3.4 sensitivity study
+/// with measured/synthetic arrival patterns instead of Poisson.
+class TraceArrivalProcess {
+ public:
+    TraceArrivalProcess(EventQueue& queue, std::vector<SimTime> arrival_times,
+                        std::function<void()> on_arrival);
+
+    /// Schedules every trace arrival up front (they are already known).
+    void start();
+
+ private:
+    EventQueue& queue_;
+    std::vector<SimTime> times_;
+    std::function<void()> on_arrival_;
+};
+
+/// Samples a non-homogeneous Poisson process with exponentially decaying
+/// rate lambda(t) = lambda0 * exp(-t / tau) over [0, horizon] by thinning.
+/// Models the flash-crowd arrivals of a newly published swarm (Figure 7a).
+[[nodiscard]] std::vector<SimTime> sample_decaying_poisson(Rng& rng, double lambda0,
+                                                           double tau, SimTime horizon);
+
+/// Samples a homogeneous Poisson process over [0, horizon]: the steady
+/// arrivals of an old swarm (Figure 7b).
+[[nodiscard]] std::vector<SimTime> sample_homogeneous_poisson(Rng& rng, double rate,
+                                                              SimTime horizon);
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,51 @@
+#include "swarm/capacity.hpp"
+
+#include "util/error.hpp"
+
+namespace swarmavail::swarm {
+
+HomogeneousCapacity::HomogeneousCapacity(double bits_per_second)
+    : rate_(bits_per_second) {
+    require(rate_ > 0.0, "HomogeneousCapacity: rate must be > 0");
+}
+
+double HomogeneousCapacity::sample(Rng& /*rng*/) const {
+    return rate_;
+}
+
+double HomogeneousCapacity::mean() const {
+    return rate_;
+}
+
+BitTyrantCapacity::BitTyrantCapacity()
+    // Buckets eyeballed from the BitTyrant capacity CDF and tuned so the
+    // median is 50 KBps and the mean ~290 KBps, the statistics Section 4.3.2
+    // reports for the distribution it replays.
+    : weights_{0.10, 0.20, 0.20, 0.20, 0.15, 0.10, 0.04, 0.01},
+      rates_{10.0 * kKBps,  25.0 * kKBps,  50.0 * kKBps,   100.0 * kKBps,
+             250.0 * kKBps, 700.0 * kKBps, 1800.0 * kKBps, 8000.0 * kKBps} {}
+
+double BitTyrantCapacity::sample(Rng& rng) const {
+    return rates_[sample_discrete(rng, weights_)];
+}
+
+double BitTyrantCapacity::mean() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        acc += weights_[i] * rates_[i];
+    }
+    return acc;
+}
+
+double BitTyrantCapacity::median() const {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        mass += weights_[i];
+        if (mass >= 0.5) {
+            return rates_[i];
+        }
+    }
+    return rates_.back();
+}
+
+}  // namespace swarmavail::swarm

@@ -1,0 +1,54 @@
+// Peer upload-capacity distributions for the swarm simulator.
+//
+// Section 4 runs experiments with homogeneous capacities (33 or 50 KBps)
+// and with the heterogeneous distribution measured by the BitTyrant study
+// (Piatek et al., NSDI'07), whose summary statistics the paper quotes:
+// mean ~280 KBps, median ~50 KBps. We reproduce the latter with a discrete
+// bucket mixture matched to those moments (the raw dataset is not public).
+#pragma once
+
+#include "util/random.hpp"
+
+namespace swarmavail::swarm {
+
+/// Bits per second in one kilobyte per second.
+inline constexpr double kKBps = 8.0 * 1000.0;
+
+/// Source of per-peer upload capacities (bits/s).
+class CapacityDistribution {
+ public:
+    virtual ~CapacityDistribution() = default;
+    /// Draws one peer's upload capacity in bits/s (> 0).
+    [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+    /// Mean capacity in bits/s.
+    [[nodiscard]] virtual double mean() const = 0;
+};
+
+/// Every peer uploads at the same rate (Sections 4.2-4.3 defaults).
+class HomogeneousCapacity final : public CapacityDistribution {
+ public:
+    /// `bits_per_second` > 0.
+    explicit HomogeneousCapacity(double bits_per_second);
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+
+ private:
+    double rate_;
+};
+
+/// BitTyrant-like heavy-tailed capacity mixture (Section 4.3.2): a discrete
+/// bucket approximation with median 50 KBps and mean ~290 KBps.
+class BitTyrantCapacity final : public CapacityDistribution {
+ public:
+    BitTyrantCapacity();
+    [[nodiscard]] double sample(Rng& rng) const override;
+    [[nodiscard]] double mean() const override;
+    /// Median of the mixture in bits/s (50 KBps by construction).
+    [[nodiscard]] double median() const;
+
+ private:
+    std::vector<double> weights_;
+    std::vector<double> rates_;
+};
+
+}  // namespace swarmavail::swarm

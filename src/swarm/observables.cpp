@@ -1,0 +1,87 @@
+#include "swarm/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swarmavail::swarm {
+
+std::vector<std::size_t> completions_over_time(const std::vector<double>& completion_times,
+                                               const std::vector<double>& grid) {
+    require(std::is_sorted(completion_times.begin(), completion_times.end()),
+            "completions_over_time: completion times must be sorted");
+    std::vector<std::size_t> out;
+    out.reserve(grid.size());
+    for (double t : grid) {
+        const auto it =
+            std::upper_bound(completion_times.begin(), completion_times.end(), t);
+        out.push_back(static_cast<std::size_t>(it - completion_times.begin()));
+    }
+    return out;
+}
+
+std::vector<double> time_grid(double horizon, std::size_t points) {
+    require(horizon > 0.0, "time_grid: horizon must be > 0");
+    require(points >= 2, "time_grid: requires at least 2 points");
+    std::vector<double> grid;
+    grid.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        grid.push_back(horizon * static_cast<double>(i) /
+                       static_cast<double>(points - 1));
+    }
+    return grid;
+}
+
+std::size_t max_completion_burst(const std::vector<double>& completion_times,
+                                 double window) {
+    require(window > 0.0, "max_completion_burst: window must be > 0");
+    require(std::is_sorted(completion_times.begin(), completion_times.end()),
+            "max_completion_burst: completion times must be sorted");
+    std::size_t best = 0;
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < completion_times.size(); ++hi) {
+        while (completion_times[hi] - completion_times[lo] > window) {
+            ++lo;
+        }
+        best = std::max(best, hi - lo + 1);
+    }
+    return best;
+}
+
+std::string render_peer_timeline(const std::vector<PeerRecord>& peers, double horizon,
+                                 std::size_t width) {
+    require(horizon > 0.0, "render_peer_timeline: horizon must be > 0");
+    require(width >= 10, "render_peer_timeline: width must be >= 10");
+    std::string out;
+    const double step = horizon / static_cast<double>(width);
+    for (const auto& peer : peers) {
+        std::string row(width, ' ');
+        const auto begin = static_cast<std::size_t>(
+            std::clamp(peer.arrival / step, 0.0, static_cast<double>(width - 1)));
+        const double end_time = peer.completion >= 0.0 ? peer.completion : horizon;
+        const auto end = static_cast<std::size_t>(
+            std::clamp(end_time / step, 0.0, static_cast<double>(width - 1)));
+        for (std::size_t c = begin; c <= end; ++c) {
+            row[c] = '-';
+        }
+        row[end] = peer.completion >= 0.0 ? '|' : '?';
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+SampleSet merge_download_times(const std::vector<SwarmSimResult>& runs) {
+    SampleSet samples;
+    for (const auto& run : runs) {
+        for (const auto& peer : run.peers) {
+            if (peer.completion >= 0.0) {
+                samples.add(peer.completion - peer.arrival);
+            }
+        }
+    }
+    return samples;
+}
+
+}  // namespace swarmavail::swarm

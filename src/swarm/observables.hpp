@@ -1,0 +1,36 @@
+// Swarm-level observables derived from simulator output: completion
+// curves, blocking statistics, and Figure 5-style timelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "swarm/swarm_sim.hpp"
+
+namespace swarmavail::swarm {
+
+/// Cumulative number of completions at each time in `grid`, from a sorted
+/// completion-time vector (the Figure 4 curves).
+[[nodiscard]] std::vector<std::size_t> completions_over_time(
+    const std::vector<double>& completion_times, const std::vector<double>& grid);
+
+/// Builds an evenly spaced time grid over [0, horizon] with `points` >= 2.
+[[nodiscard]] std::vector<double> time_grid(double horizon, std::size_t points);
+
+/// Detects "flash departures" (Section 4.3 / Figure 5a): the largest number
+/// of completions falling within any window of `window` seconds. Swarms
+/// that block on an off publisher show large bursts when it returns.
+[[nodiscard]] std::size_t max_completion_burst(const std::vector<double>& completion_times,
+                                               double window);
+
+/// Renders a textual Figure 5-style timeline: one row per peer, '-' while
+/// downloading, '|' at completion, '?' if never completed. `width` columns
+/// span [0, horizon].
+[[nodiscard]] std::string render_peer_timeline(const std::vector<PeerRecord>& peers,
+                                               double horizon, std::size_t width);
+
+/// Aggregates per-run download times across replications into one sample
+/// set (the data behind each Figure 6 box).
+[[nodiscard]] SampleSet merge_download_times(const std::vector<SwarmSimResult>& runs);
+
+}  // namespace swarmavail::swarm

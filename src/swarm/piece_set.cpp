@@ -1,0 +1,31 @@
+#include "swarm/piece_set.hpp"
+
+#include "util/error.hpp"
+
+namespace swarmavail::swarm {
+
+PieceSet::PieceSet(std::size_t num_pieces) : bits_(num_pieces, false) {
+    require(num_pieces >= 1, "PieceSet: requires at least one piece");
+}
+
+PieceSet PieceSet::complete(std::size_t num_pieces) {
+    PieceSet set{num_pieces};
+    set.bits_.assign(num_pieces, true);
+    set.count_ = num_pieces;
+    return set;
+}
+
+bool PieceSet::has(std::size_t piece) const {
+    require(piece < bits_.size(), "PieceSet::has: piece index out of range");
+    return bits_[piece];
+}
+
+void PieceSet::add(std::size_t piece) {
+    require(piece < bits_.size(), "PieceSet::add: piece index out of range");
+    if (!bits_[piece]) {
+        bits_[piece] = true;
+        ++count_;
+    }
+}
+
+}  // namespace swarmavail::swarm

@@ -1,0 +1,40 @@
+// Piece bitmap of a BitTorrent peer: which pieces of the content a peer
+// holds. Mirrors the protocol bitfield our measurement agents record to
+// distinguish seeds from leechers (Section 2.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swarmavail::swarm {
+
+/// Fixed-size piece bitmap with O(1) count queries.
+class PieceSet {
+ public:
+    /// Creates an all-empty set over `num_pieces` pieces (>= 1).
+    explicit PieceSet(std::size_t num_pieces);
+
+    /// Creates a complete set (a seed's bitmap).
+    [[nodiscard]] static PieceSet complete(std::size_t num_pieces);
+
+    [[nodiscard]] bool has(std::size_t piece) const;
+    /// Marks `piece` owned. Adding an owned piece is a no-op.
+    void add(std::size_t piece);
+
+    [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] bool is_complete() const noexcept { return count_ == bits_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+    /// Fraction of pieces owned, in [0, 1].
+    [[nodiscard]] double fraction() const noexcept {
+        return bits_.empty() ? 0.0
+                             : static_cast<double>(count_) / static_cast<double>(bits_.size());
+    }
+
+ private:
+    std::vector<bool> bits_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace swarmavail::swarm

@@ -1,0 +1,715 @@
+#include "swarm/swarm_sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/event_queue.hpp"
+#include "sim/processes.hpp"
+#include "swarm/piece_set.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::swarm {
+namespace {
+
+using sim::EventId;
+using sim::EventQueue;
+using sim::SimTime;
+
+using PeerId = std::uint64_t;
+using TransferId = std::uint64_t;
+
+/// Sentinel id for the publisher as a transfer source.
+constexpr PeerId kPublisher = 0;
+
+struct Peer {
+    PieceSet have;
+    double capacity = 0.0;  ///< upload capacity, bits/s
+    std::size_t up_used = 0;
+    std::size_t down_used = 0;
+    SimTime arrival = 0.0;
+    bool seed_only = false;  ///< completed and lingering: uploads, never downloads
+    /// Offered-set version at the peer's last failed fetch attempt: the
+    /// peer is skipped by the scheduler until new pieces are offered
+    /// (UINT64_MAX = never failed / must retry).
+    std::uint64_t dormant_version = UINT64_MAX;
+    std::unordered_set<PeerId> neighbors{};          ///< visible peers (PEX/tracker)
+    std::unordered_set<std::size_t> inflight{};      ///< pieces being fetched
+    std::unordered_set<TransferId> up_transfers{};   ///< transfers it serves
+    std::unordered_set<TransferId> down_transfers{}; ///< transfers it receives
+};
+
+struct Transfer {
+    PeerId src = 0;
+    PeerId dst = 0;
+    std::size_t piece = 0;
+    EventId event = 0;
+};
+
+class SwarmSim {
+ public:
+    explicit SwarmSim(const SwarmSimConfig& config) : config_(config), rng_(config.seed) {
+        require(config_.bundle_size >= 1, "SwarmSim: bundle_size must be >= 1");
+        require(config_.file_size > 0.0, "SwarmSim: file_size must be > 0");
+        require(config_.pieces_per_file >= 1, "SwarmSim: pieces_per_file must be >= 1");
+        require(config_.peer_arrival_rate > 0.0, "SwarmSim: peer arrival rate must be > 0");
+        require(config_.peer_capacity != nullptr, "SwarmSim: peer_capacity required");
+        require(config_.publisher_capacity > 0.0, "SwarmSim: publisher capacity > 0");
+        require(config_.max_upload_slots >= 1, "SwarmSim: max_upload_slots >= 1");
+        require(config_.max_download_slots >= 1, "SwarmSim: max_download_slots >= 1");
+        require(config_.horizon > 0.0, "SwarmSim: horizon must be > 0");
+        require(config_.transfer_jitter >= 0.0 && config_.transfer_jitter < 1.0,
+                "SwarmSim: transfer_jitter must lie in [0, 1)");
+        if (config_.publisher == PublisherBehavior::kOnOff) {
+            require(config_.publisher_on_mean > 0.0 && config_.publisher_off_mean > 0.0,
+                    "SwarmSim: on/off publisher requires positive mean durations");
+        }
+        pieces_total_ = config_.bundle_size * config_.pieces_per_file;
+        piece_bits_ = config_.file_size / static_cast<double>(config_.pieces_per_file);
+        holders_.assign(pieces_total_, 0);
+        holder_list_.assign(pieces_total_, {});
+        offered_count_.assign(pieces_total_, 0);
+    }
+
+    SwarmSimResult run() {
+        // The bundle swarm aggregates the per-file demand: any peer wanting
+        // one constituent downloads the whole bundle (Section 4.1).
+        const double aggregate_rate =
+            config_.peer_arrival_rate * static_cast<double>(config_.bundle_size);
+        sim::PoissonProcess arrivals{queue_, rng_, aggregate_rate,
+                                     [this] { on_peer_arrival(); }};
+        std::vector<double> trimmed_trace;
+        for (double t : config_.arrival_trace) {
+            if (t <= config_.horizon) {
+                trimmed_trace.push_back(t);
+            }
+        }
+        sim::TraceArrivalProcess trace_arrivals{queue_, std::move(trimmed_trace),
+                                                [this] { on_peer_arrival(); }};
+        if (config_.arrival_trace.empty()) {
+            arrivals.start(config_.horizon);
+        } else {
+            trace_arrivals.start();
+        }
+
+        const double hard_deadline =
+            config_.drain_after_horizon ? config_.horizon * config_.drain_deadline_factor
+                                        : config_.horizon;
+        sim::OnOffProcess on_off{queue_,
+                                 rng_,
+                                 config_.publisher_on_mean,
+                                 config_.publisher_off_mean,
+                                 [this] { set_publisher(true); },
+                                 [this] { set_publisher(false); }};
+        if (config_.publisher == PublisherBehavior::kOnOff) {
+            on_off.start(hard_deadline);
+        } else {
+            set_publisher(true);  // kAlwaysOn / kLeaveAfterFirstCompletion start on
+        }
+
+        double end_time = config_.horizon;
+        if (config_.drain_after_horizon) {
+            // Keep running until every outstanding peer finishes (blocked
+            // peers keep waiting for the publisher) or the hard deadline:
+            // censoring blocked peers at the horizon would bias the
+            // download-time statistics of barely-available swarms downward.
+            for (;;) {
+                const sim::SimTime next = queue_.next_time();
+                if (next < 0.0 || next > hard_deadline) {
+                    break;
+                }
+                if (next > config_.horizon && leechers_.empty()) {
+                    break;  // arrivals over and nobody left downloading
+                }
+                queue_.run_next();
+            }
+            end_time = std::clamp(queue_.now(), config_.horizon, hard_deadline);
+        } else {
+            queue_.run_until(config_.horizon);
+        }
+
+        close_availability_interval(end_time);
+        SwarmSimResult out = std::move(result_);
+        out.stuck_at_horizon = 0;
+        for (const auto& [id, peer] : peers_) {
+            if (!peer.seed_only) {
+                ++out.stuck_at_horizon;
+            }
+        }
+        double covered_time = 0.0;
+        for (const auto& interval : out.available_intervals) {
+            covered_time += interval.end - interval.begin;
+        }
+        out.available_fraction = covered_time / end_time;
+        std::sort(out.completion_times.begin(), out.completion_times.end());
+        return out;
+    }
+
+ private:
+    // ---- coverage bookkeeping -------------------------------------------
+
+    [[nodiscard]] bool piece_covered(std::size_t p) const noexcept {
+        return holders_[p] > 0 || publisher_on_;
+    }
+
+    void inc_holder(std::size_t p) {
+        if (holders_[p] == 0 && !publisher_on_) {
+            ++covered_;
+        }
+        ++holders_[p];
+    }
+
+    void dec_holder(std::size_t p) {
+        ensure(holders_[p] > 0, "SwarmSim: holder count underflow");
+        --holders_[p];
+        if (holders_[p] == 0 && !publisher_on_) {
+            --covered_;
+        }
+    }
+
+    void refresh_coverage_after_publisher_toggle() {
+        covered_ = 0;
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            if (piece_covered(p)) {
+                ++covered_;
+            }
+        }
+    }
+
+    void update_availability() {
+        const bool now_available = covered_ == pieces_total_;
+        if (now_available == available_) {
+            return;
+        }
+        if (now_available) {
+            available_ = true;
+            interval_begin_ = queue_.now();
+        } else {
+            // Close the interval before flipping the flag: the close helper
+            // only records while available_ is still true.
+            close_availability_interval(queue_.now());
+            available_ = false;
+        }
+    }
+
+    void close_availability_interval(SimTime end) {
+        if (available_ && end > interval_begin_) {
+            result_.available_intervals.push_back({interval_begin_, end});
+            interval_begin_ = end;
+        }
+    }
+
+    // ---- event handlers --------------------------------------------------
+
+    void on_peer_arrival() {
+        ++result_.arrivals;
+        const PeerId id = next_peer_id_++;
+        Peer peer{.have = PieceSet{pieces_total_},
+                  .capacity = config_.peer_capacity->sample(rng_),
+                  .arrival = queue_.now()};
+        result_.peers.push_back({queue_.now(), -1.0, peer.capacity});
+        peer_record_index_[id] = result_.peers.size() - 1;
+        peers_.emplace(id, std::move(peer));
+        leechers_.push_back(id);
+        refresh_uploader_status(id);
+        if (config_.max_neighbors > 0) {
+            tracker_handout(id);
+        }
+        pump();
+    }
+
+    void set_publisher(bool on) {
+        if (publisher_on_ == on) {
+            return;
+        }
+        publisher_on_ = on;
+        if (!on) {
+            // Uploads from the publisher die with it.
+            cancel_transfers(publisher_up_transfers_, /*src_left=*/true);
+            publisher_up_transfers_.clear();
+            publisher_up_used_ = 0;
+        }
+        refresh_coverage_after_publisher_toggle();
+        update_availability();
+        if (on) {
+            ++offered_gain_version_;  // the publisher offers every piece
+            pump();
+        }
+    }
+
+    void on_transfer_complete(TransferId tid) {
+        const auto it = transfers_.find(tid);
+        ensure(it != transfers_.end(), "SwarmSim: completion for unknown transfer");
+        const Transfer transfer = it->second;
+        transfers_.erase(it);
+
+        release_src_slot(tid, transfer);
+        auto& dst = peers_.at(transfer.dst);
+        dst.down_transfers.erase(tid);
+        --dst.down_used;
+        dst.inflight.erase(transfer.piece);
+
+        if (!dst.have.has(transfer.piece)) {
+            dst.have.add(transfer.piece);
+            inc_holder(transfer.piece);
+            holder_list_[transfer.piece].push_back(transfer.dst);
+            if (free_uploaders_.count(transfer.dst) != 0) {
+                if (offered_count_[transfer.piece]++ == 0) {
+                    ++offered_gain_version_;
+                }
+            }
+            update_availability();
+        }
+
+        if (dst.have.is_complete() && !dst.seed_only) {
+            on_peer_complete(transfer.dst);
+        }
+        pump();
+    }
+
+    void on_peer_complete(PeerId id) {
+        auto& peer = peers_.at(id);
+        const double elapsed = queue_.now() - peer.arrival;
+        ++result_.completions;
+        result_.download_times.add(elapsed);
+        result_.completion_times.push_back(queue_.now());
+        result_.last_completion = queue_.now();
+        result_.peers[peer_record_index_.at(id)].completion = queue_.now();
+
+        if (config_.publisher == PublisherBehavior::kLeaveAfterFirstCompletion &&
+            !publisher_departed_) {
+            publisher_departed_ = true;
+            set_publisher(false);
+        }
+
+        if (config_.peers_linger && config_.linger_mean > 0.0) {
+            peer.seed_only = true;
+            leechers_.erase(std::remove(leechers_.begin(), leechers_.end(), id),
+                            leechers_.end());
+            const double stay = rng_.exponential_mean(config_.linger_mean);
+            queue_.schedule_at(queue_.now() + stay, [this, id] { remove_peer(id); });
+        } else {
+            remove_peer(id);
+        }
+    }
+
+    void remove_peer(PeerId id) {
+        const auto it = peers_.find(id);
+        if (it == peers_.end()) {
+            return;
+        }
+        Peer& peer = it->second;
+        // Cancel transfers in both directions.
+        cancel_transfers(peer.up_transfers, /*src_left=*/true);
+        cancel_transfers(peer.down_transfers, /*src_left=*/false);
+        // Retire its offered pieces while its bitmap is still known.
+        if (free_uploaders_.count(id) != 0) {
+            free_uploaders_.erase(id);
+            remove_offer(peer.have);
+        }
+        // Drop its pieces from the coverage map.
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            if (peer.have.has(p)) {
+                dec_holder(p);
+                auto& list = holder_list_[p];
+                list.erase(std::remove(list.begin(), list.end(), id), list.end());
+            }
+        }
+        for (const PeerId other : peer.neighbors) {
+            const auto other_it = peers_.find(other);
+            if (other_it != peers_.end()) {
+                other_it->second.neighbors.erase(id);
+            }
+        }
+        leechers_.erase(std::remove(leechers_.begin(), leechers_.end(), id),
+                        leechers_.end());
+        peers_.erase(it);
+        update_availability();
+        pump();
+    }
+
+    /// Cancels every transfer in `ids` (a copy is taken: cancellation
+    /// mutates the sets). `src_left` selects which endpoint is going away.
+    void cancel_transfers(const std::unordered_set<TransferId>& ids, bool src_left) {
+        const std::vector<TransferId> snapshot(ids.begin(), ids.end());
+        for (TransferId tid : snapshot) {
+            const auto it = transfers_.find(tid);
+            if (it == transfers_.end()) {
+                continue;
+            }
+            const Transfer transfer = it->second;
+            queue_.cancel(transfer.event);
+            transfers_.erase(it);
+            if (src_left) {
+                // The receiver keeps nothing but frees its slot.
+                const auto dst_it = peers_.find(transfer.dst);
+                if (dst_it != peers_.end()) {
+                    dst_it->second.down_transfers.erase(tid);
+                    --dst_it->second.down_used;
+                    dst_it->second.inflight.erase(transfer.piece);
+                }
+                if (transfer.src != kPublisher) {
+                    const auto src_it = peers_.find(transfer.src);
+                    if (src_it != peers_.end()) {
+                        src_it->second.up_transfers.erase(tid);
+                    }
+                }
+            } else {
+                release_src_slot(tid, transfer);
+                const auto dst_it = peers_.find(transfer.dst);
+                if (dst_it != peers_.end()) {
+                    dst_it->second.down_transfers.erase(tid);
+                }
+            }
+        }
+    }
+
+    void release_src_slot(TransferId tid, const Transfer& transfer) {
+        if (transfer.src == kPublisher) {
+            if (publisher_up_used_ > 0) {
+                --publisher_up_used_;
+            }
+        } else {
+            const auto src_it = peers_.find(transfer.src);
+            if (src_it != peers_.end()) {
+                src_it->second.up_transfers.erase(tid);
+                --src_it->second.up_used;
+                refresh_uploader_status(transfer.src);
+            }
+        }
+    }
+
+    /// Keeps the free-uploader index and the offered-piece counts in sync
+    /// with a peer's slot usage.
+    void refresh_uploader_status(PeerId id) {
+        const auto it = peers_.find(id);
+        const bool was_free = free_uploaders_.count(id) != 0;
+        const bool now_free =
+            it != peers_.end() && it->second.up_used < config_.max_upload_slots;
+        if (was_free == now_free) {
+            return;
+        }
+        if (now_free) {
+            free_uploaders_.insert(id);
+            add_offer(it->second.have);
+        } else {
+            free_uploaders_.erase(id);
+            if (it != peers_.end()) {
+                remove_offer(it->second.have);
+            }
+        }
+    }
+
+    /// Adds a free uploader's pieces to the offered set; pieces becoming
+    /// newly obtainable bump the version that wakes dormant leechers.
+    void add_offer(const PieceSet& have) {
+        bool gained = false;
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            if (have.has(p)) {
+                if (offered_count_[p]++ == 0) {
+                    gained = true;
+                }
+            }
+        }
+        if (gained) {
+            ++offered_gain_version_;
+        }
+    }
+
+    void remove_offer(const PieceSet& have) {
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            if (have.has(p)) {
+                ensure(offered_count_[p] > 0, "SwarmSim: offered count underflow");
+                --offered_count_[p];
+            }
+        }
+    }
+
+    // ---- transfer scheduling ----------------------------------------------
+
+    /// Greedily starts transfers until no leecher can make progress.
+    /// Leechers are visited in random order: freed upload slots (notably the
+    /// publisher's) rotate across the swarm like BitTorrent unchokes instead
+    /// of being monopolized by the oldest peer, which is what lets a full
+    /// copy spread over many peers before the first completion.
+    void pump() {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            std::vector<PeerId> order = leechers_;
+            for (std::size_t i = order.size(); i > 1; --i) {
+                std::swap(order[i - 1], order[rng_.uniform_index(i)]);
+            }
+            const bool publisher_free =
+                publisher_on_ && publisher_up_used_ < config_.max_upload_slots;
+            for (const PeerId id : order) {
+                auto& peer = peers_.at(id);
+                if (config_.max_neighbors == 0 && !publisher_free &&
+                    peer.dormant_version == offered_gain_version_) {
+                    continue;  // nothing new offered since its last failure
+                }
+                while (peer.down_used < config_.max_download_slots &&
+                       try_start_transfer(id)) {
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    /// Tracker bootstrap: a newcomer learns up to max_neighbors random
+    /// existing peers; edges are bidirectional (BitTorrent connections are).
+    void tracker_handout(PeerId id) {
+        std::vector<PeerId> candidates;
+        candidates.reserve(peers_.size());
+        for (const auto& [other, peer] : peers_) {
+            if (other != id) {
+                candidates.push_back(other);
+            }
+        }
+        for (std::size_t i = candidates.size(); i > 1; --i) {
+            std::swap(candidates[i - 1], candidates[rng_.uniform_index(i)]);
+        }
+        auto& me = peers_.at(id);
+        for (const PeerId other : candidates) {
+            if (me.neighbors.size() >= config_.max_neighbors) {
+                break;
+            }
+            me.neighbors.insert(other);
+            peers_.at(other).neighbors.insert(id);
+        }
+    }
+
+    /// PEX pull: adopt a random neighbor's neighbors, growing the view when
+    /// the current one offers no usable source. Returns true if any new
+    /// edge was added.
+    bool pex_expand(PeerId id) {
+        auto& me = peers_.at(id);
+        if (me.neighbors.empty()) {
+            return false;
+        }
+        std::vector<PeerId> current(me.neighbors.begin(), me.neighbors.end());
+        const PeerId via = current[rng_.uniform_index(current.size())];
+        const auto via_it = peers_.find(via);
+        if (via_it == peers_.end()) {
+            return false;
+        }
+        bool added = false;
+        for (const PeerId candidate : via_it->second.neighbors) {
+            if (candidate == id || me.neighbors.count(candidate) != 0) {
+                continue;
+            }
+            const auto candidate_it = peers_.find(candidate);
+            if (candidate_it == peers_.end()) {
+                continue;
+            }
+            me.neighbors.insert(candidate);
+            candidate_it->second.neighbors.insert(id);
+            added = true;
+            if (me.neighbors.size() >= 4 * config_.max_neighbors) {
+                break;
+            }
+        }
+        return added;
+    }
+
+    [[nodiscard]] bool has_free_visible_uploader(std::size_t piece, PeerId dst_id,
+                                                 const Peer& dst) const {
+        for (const PeerId src : holder_list_[piece]) {
+            if (src == dst_id || dst.neighbors.count(src) == 0) {
+                continue;
+            }
+            if (free_uploaders_.count(src) != 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Attempts to start one transfer toward `dst`: picks the rarest needed
+    /// piece that some free uploader holds, breaking ties uniformly.
+    ///
+    /// Candidates are enumerated from the free-uploader index rather than by
+    /// scanning every piece's holder list: when the publisher has a free
+    /// slot every missing piece is obtainable, otherwise only pieces held by
+    /// a peer with a free slot qualify. This keeps the hot path O(free
+    /// uploaders x pieces) instead of O(pieces x holders).
+    bool try_start_transfer(PeerId dst_id) {
+        auto& dst = peers_.at(dst_id);
+        const bool publisher_free =
+            publisher_on_ && publisher_up_used_ < config_.max_upload_slots;
+        std::size_t best_piece = pieces_total_;
+        std::size_t best_rarity = SIZE_MAX;
+        std::size_t ties = 0;
+        if (!publisher_free && free_uploaders_.empty()) {
+            dst.dormant_version = offered_gain_version_;
+            return false;
+        }
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            if (dst.have.has(p) || dst.inflight.count(p) != 0) {
+                continue;
+            }
+            // A piece is obtainable if the publisher has a free slot (it
+            // holds everything) or some free uploader holds it. Note the
+            // subtlety: offered_count_ counts the receiver itself if it is a
+            // free uploader, but it never lacks its own pieces, so the
+            // self-offer can only refer to pieces already skipped above.
+            // Under super-seeding the publisher withholds pieces peers
+            // already hold, so it only "offers" unheld pieces.
+            const bool publisher_offers =
+                publisher_free && (!config_.super_seeding || holders_[p] == 0);
+            if (config_.max_neighbors == 0) {
+                if (!publisher_offers && offered_count_[p] == 0) {
+                    continue;
+                }
+            } else {
+                // Limited visibility: a peer source must be a free neighbor.
+                if (!publisher_offers && !has_free_visible_uploader(p, dst_id, dst)) {
+                    continue;
+                }
+            }
+            const std::size_t rarity =
+                holders_[p] + (publisher_on_ ? std::size_t{1} : std::size_t{0});
+            if (rarity > best_rarity) {
+                continue;
+            }
+            if (rarity < best_rarity) {
+                best_rarity = rarity;
+                best_piece = p;
+                ties = 1;
+            } else {
+                // Reservoir tie-break keeps the choice uniform over ties.
+                ++ties;
+                if (rng_.uniform_index(ties) == 0) {
+                    best_piece = p;
+                }
+            }
+        }
+        if (best_piece == pieces_total_) {
+            if (config_.max_neighbors > 0) {
+                // Nothing fetchable in the current view: try to widen it
+                // via PEX once; the next pump pass retries.
+                (void)pex_expand(dst_id);
+            } else if (!publisher_free) {
+                dst.dormant_version = offered_gain_version_;
+            }
+            return false;
+        }
+        if (start_transfer(best_piece, dst_id)) {
+            dst.dormant_version = UINT64_MAX;
+            return true;
+        }
+        return false;
+    }
+
+    bool start_transfer(std::size_t piece, PeerId dst_id) {
+        // Collect eligible sources: the publisher plus free holders of the
+        // piece, chosen uniformly.
+        std::vector<PeerId> sources;
+        if (publisher_on_ && publisher_up_used_ < config_.max_upload_slots &&
+            (!config_.super_seeding || holders_[piece] == 0)) {
+            sources.push_back(kPublisher);
+        }
+        const auto& dst_view = peers_.at(dst_id);
+        for (PeerId src : holder_list_[piece]) {
+            if (src == dst_id) {
+                continue;
+            }
+            if (config_.max_neighbors > 0 && dst_view.neighbors.count(src) == 0) {
+                continue;
+            }
+            if (free_uploaders_.count(src) != 0) {
+                sources.push_back(src);
+            }
+        }
+        if (sources.empty()) {
+            return false;
+        }
+        const PeerId src_id = sources[rng_.uniform_index(sources.size())];
+        double capacity = src_id == kPublisher ? config_.publisher_capacity
+                                               : peers_.at(src_id).capacity;
+        if (config_.reciprocity_cap && src_id != kPublisher) {
+            capacity = std::min(capacity, peers_.at(dst_id).capacity);
+        }
+        const double rate = capacity / static_cast<double>(config_.max_upload_slots);
+        double duration = piece_bits_ / rate;
+        if (config_.transfer_jitter > 0.0) {
+            duration *= rng_.uniform(1.0 - config_.transfer_jitter,
+                                     1.0 + config_.transfer_jitter);
+        }
+
+        const TransferId tid = next_transfer_id_++;
+        auto& dst = peers_.at(dst_id);
+        ++dst.down_used;
+        dst.inflight.insert(piece);
+
+        const EventId event = queue_.schedule_at(
+            queue_.now() + duration, [this, tid] { on_transfer_complete(tid); });
+        transfers_.emplace(tid, Transfer{src_id, dst_id, piece, event});
+        dst.down_transfers.insert(tid);
+        if (src_id == kPublisher) {
+            ++publisher_up_used_;
+            publisher_up_transfers_.insert(tid);
+        } else {
+            auto& src = peers_.at(src_id);
+            ++src.up_used;
+            src.up_transfers.insert(tid);
+            refresh_uploader_status(src_id);
+        }
+        return true;
+    }
+
+    // ---- members -----------------------------------------------------------
+
+    SwarmSimConfig config_;
+    Rng rng_;
+    EventQueue queue_;
+    SwarmSimResult result_;
+
+    std::size_t pieces_total_ = 0;
+    double piece_bits_ = 0.0;
+
+    std::unordered_map<PeerId, Peer> peers_;
+    std::unordered_map<PeerId, std::size_t> peer_record_index_;
+    std::vector<PeerId> leechers_;  ///< active downloaders, arrival order
+    std::unordered_set<PeerId> free_uploaders_;  ///< peers with a free upload slot
+    std::vector<std::uint32_t> offered_count_;   ///< free uploaders holding each piece
+    std::uint64_t offered_gain_version_ = 0;     ///< bumped when new pieces get offered
+    PeerId next_peer_id_ = 1;
+
+    std::unordered_map<TransferId, Transfer> transfers_;
+    TransferId next_transfer_id_ = 1;
+
+    bool publisher_on_ = false;
+    bool publisher_departed_ = false;
+    std::size_t publisher_up_used_ = 0;
+    std::unordered_set<TransferId> publisher_up_transfers_;
+
+    std::vector<std::uint32_t> holders_;            ///< online peer holders per piece
+    std::vector<std::vector<PeerId>> holder_list_;  ///< who holds each piece
+    std::size_t covered_ = 0;                       ///< pieces with >= 1 source online
+    bool available_ = false;
+    SimTime interval_begin_ = 0.0;
+};
+
+}  // namespace
+
+SwarmSimResult run_swarm_sim(const SwarmSimConfig& config) {
+    SwarmSim sim{config};
+    return sim.run();
+}
+
+std::vector<SwarmSimResult> run_swarm_replications(const SwarmSimConfig& config,
+                                                   std::size_t runs) {
+    require(runs >= 1, "run_swarm_replications: requires runs >= 1");
+    std::vector<SwarmSimResult> results;
+    results.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+        SwarmSimConfig run_config = config;
+        run_config.seed = config.seed + i;
+        results.push_back(run_swarm_sim(run_config));
+    }
+    return results;
+}
+
+}  // namespace swarmavail::swarm

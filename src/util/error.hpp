@@ -1,0 +1,32 @@
+// Precondition checking helpers used across the library.
+//
+// Public API functions validate their inputs with `require` and throw
+// std::invalid_argument on violation, per the project error-handling policy
+// (exceptions for programming/usage errors, no error codes).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swarmavail {
+
+/// Throws std::invalid_argument with `message` if `condition` is false.
+///
+/// Use at public API boundaries to validate caller-supplied parameters:
+///
+///     require(rate > 0.0, "arrival rate must be positive");
+inline void require(bool condition, const std::string& message) {
+    if (!condition) {
+        throw std::invalid_argument(message);
+    }
+}
+
+/// Throws std::logic_error: used for internal invariants that indicate a bug
+/// in this library rather than bad caller input.
+inline void ensure(bool invariant, const std::string& message) {
+    if (!invariant) {
+        throw std::logic_error(message);
+    }
+}
+
+}  // namespace swarmavail

@@ -1,0 +1,186 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace swarmavail {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: expands a single seed into well-distributed state words.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    require(lo < hi, "uniform(lo, hi): requires lo < hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+    require(n > 0, "uniform_index: requires n > 0");
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = -n % n;
+        while (lo < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential_mean(double mean) {
+    require(mean > 0.0, "exponential_mean: requires mean > 0");
+    double v = uniform();
+    // uniform() can return exactly 0; -log(0) would be inf.
+    while (v <= 0.0) {
+        v = uniform();
+    }
+    return -mean * std::log(v);
+}
+
+double Rng::exponential_rate(double rate) {
+    require(rate > 0.0, "exponential_rate: requires rate > 0");
+    return exponential_mean(1.0 / rate);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+    require(mean >= 0.0, "poisson: requires mean >= 0");
+    if (mean == 0.0) {
+        return 0;
+    }
+    if (mean < 30.0) {
+        // Inversion by sequential search (Devroye): exact and fast for small means.
+        const double limit = std::exp(-mean);
+        double prod = uniform();
+        std::uint64_t count = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++count;
+        }
+        return count;
+    }
+    // For large means, use the normal approximation with continuity
+    // correction and rejection against negativity. Error is negligible for
+    // mean >= 30 at the accuracy the simulators need.
+    const double stddev = std::sqrt(mean);
+    for (;;) {
+        // Box-Muller.
+        const double u1 = std::max(uniform(), 1e-300);
+        const double u2 = uniform();
+        const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        const double candidate = mean + stddev * z + 0.5;
+        if (candidate >= 0.0) {
+            return static_cast<std::uint64_t>(candidate);
+        }
+    }
+}
+
+bool Rng::bernoulli(double p) {
+    require(p >= 0.0 && p <= 1.0, "bernoulli: requires p in [0, 1]");
+    return uniform() < p;
+}
+
+double Rng::pareto(double xm, double shape) {
+    require(xm > 0.0, "pareto: requires xm > 0");
+    require(shape > 0.0, "pareto: requires shape > 0");
+    double v = uniform();
+    while (v <= 0.0) {
+        v = uniform();
+    }
+    return xm / std::pow(v, 1.0 / shape);
+}
+
+Rng Rng::fork() noexcept {
+    return Rng{(*this)()};
+}
+
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
+    require(!weights.empty(), "sample_discrete: requires non-empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        require(w >= 0.0, "sample_discrete: weights must be non-negative");
+        total += w;
+    }
+    require(total > 0.0, "sample_discrete: weights must have positive sum");
+    const double target = rng.uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc) {
+            return i;
+        }
+    }
+    return weights.size() - 1;  // guard against floating-point shortfall
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) : exponent_(exponent) {
+    require(n >= 1, "ZipfDistribution: requires n >= 1");
+    require(exponent >= 0.0, "ZipfDistribution: requires exponent >= 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        acc += std::pow(static_cast<double>(k), -exponent);
+        cdf_[k - 1] = acc;
+    }
+    for (auto& c : cdf_) {
+        c /= acc;
+    }
+    cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+    require(k >= 1 && k <= cdf_.size(), "ZipfDistribution::pmf: rank out of range");
+    const double upper = cdf_[k - 1];
+    const double lower = (k == 1) ? 0.0 : cdf_[k - 2];
+    return upper - lower;
+}
+
+}  // namespace swarmavail

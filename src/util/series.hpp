@@ -1,0 +1,59 @@
+// Numerical helpers for the queueing formulas: robust infinite-series
+// summation, log-space combinatorics, and Poisson probabilities.
+//
+// The busy-period expressions in the paper (eqs. 9, 12, 13, 16) are infinite
+// series whose terms involve beta^i / i! -- these explode in linear space for
+// the large exponents bundling produces (beta * alpha ~ K^2), so everything
+// here is computed with guarded term recurrences or log-space arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace swarmavail {
+
+/// Result of an adaptive series summation.
+struct SeriesResult {
+    double value = 0.0;        ///< the summed value
+    std::size_t terms = 0;     ///< number of terms evaluated
+    bool converged = false;    ///< true if the tolerance was met
+};
+
+/// Options controlling series summation.
+struct SeriesOptions {
+    /// Stop when |term| <= rel_tol * |partial_sum| (after min_terms).
+    double rel_tol = 1e-13;
+    /// Always evaluate at least this many terms (series with humps --
+    /// e.g. beta^i/i! -- grow before they shrink).
+    std::size_t min_terms = 8;
+    /// Hard cap on evaluated terms.
+    std::size_t max_terms = 100000;
+};
+
+/// Sums term(i) for i = 1, 2, ... until convergence. The term callback must
+/// eventually decay (all series in this library are dominated by x^i / i!).
+/// Convergence requires two consecutive below-tolerance terms, which guards
+/// against stopping inside the pre-hump dip of non-monotone series.
+[[nodiscard]] SeriesResult sum_series(const std::function<double(std::size_t)>& term,
+                                      const SeriesOptions& options = {});
+
+/// log(n!) via lgamma.
+[[nodiscard]] double log_factorial(std::size_t n);
+
+/// log of the binomial coefficient C(n, k). Requires k <= n.
+[[nodiscard]] double log_binomial(std::size_t n, std::size_t k);
+
+/// Poisson pmf P(N = k) for mean `mu` >= 0, computed in log space.
+[[nodiscard]] double poisson_pmf(std::size_t k, double mu);
+
+/// log(exp(a) + exp(b)) without overflow.
+[[nodiscard]] double log_add_exp(double a, double b);
+
+/// Numerically careful (e^x - 1) / y for y > 0: uses expm1 so small x keeps
+/// full precision; large x saturates to +inf gracefully.
+[[nodiscard]] double expm1_over(double x, double y);
+
+/// Relative difference |a - b| / max(|a|, |b|, floor); 0 when both are ~0.
+[[nodiscard]] double relative_difference(double a, double b, double floor = 1e-300);
+
+}  // namespace swarmavail

@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swarmavail {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header)) {
+    require(!header_.empty(), "TableWriter: header must not be empty");
+}
+
+void TableWriter::add_row(std::vector<std::string> row) {
+    require(row.size() == header_.size(),
+            "TableWriter::add_row: row length must match header length");
+    rows_.push_back(std::move(row));
+}
+
+void TableWriter::add_numeric_row(const std::vector<double>& row, int precision) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (double v : row) {
+        cells.push_back(format_double(v, precision));
+    }
+    add_row(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+    print_row(header_);
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') {
+            out += '"';
+        }
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void TableWriter::print_csv(std::ostream& os) const {
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                os << ',';
+            }
+            os << csv_escape(row[c]);
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string format_double(double value, int precision) {
+    std::ostringstream ss;
+    ss.precision(precision);
+    ss << value;
+    return ss.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+    os << "\n== " << title << " ==\n";
+}
+
+}  // namespace swarmavail

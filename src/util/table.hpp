@@ -1,0 +1,44 @@
+// Aligned-table and CSV output used by the bench harnesses to print the
+// rows/series corresponding to each table and figure of the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swarmavail {
+
+/// Collects rows of stringified cells and prints them either as an aligned
+/// text table (for terminal reading) or CSV (for plotting).
+class TableWriter {
+ public:
+    explicit TableWriter(std::vector<std::string> header);
+
+    /// Appends a row. Row length must match the header length.
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience: formats each double with `precision` significant digits.
+    void add_numeric_row(const std::vector<double>& row, int precision = 6);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+    /// Writes an aligned, pipe-separated table.
+    void print(std::ostream& os) const;
+
+    /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+    void print_csv(std::ostream& os) const;
+
+ private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits (shared helper so
+/// tables and logs agree on formatting).
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+/// Prints a section banner for bench output, e.g. "== Figure 3 ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace swarmavail

@@ -1,0 +1,283 @@
+#include "measurement/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "measurement/monitor.hpp"
+
+namespace swarmavail::measurement {
+namespace {
+
+SwarmEntry make_swarm(Category category, std::vector<std::string> names,
+                      const std::string& title = "swarm") {
+    SwarmEntry swarm;
+    swarm.id = 1;
+    swarm.category = category;
+    swarm.title = title;
+    for (auto& name : names) {
+        swarm.files.push_back({std::move(name), 1.0});
+    }
+    swarm.seed_uptime_hours = 10.0;
+    swarm.seed_downtime_hours = 10.0;
+    return swarm;
+}
+
+TEST(HasExtension, MatchesSuffixOnly) {
+    EXPECT_TRUE(has_extension("track01.mp3", ".mp3"));
+    EXPECT_FALSE(has_extension("track01.mp3.txt", ".mp3"));
+    EXPECT_FALSE(has_extension("mp3", ".mp3"));
+    EXPECT_FALSE(has_extension("a.mp4", ".mp3"));
+    EXPECT_FALSE(has_extension("short", ".verylongext"));
+}
+
+TEST(ClassifyBundle, TwoMediaFilesRequired) {
+    EXPECT_FALSE(classify_bundle(make_swarm(Category::kMusic, {"a.mp3"})));
+    EXPECT_TRUE(classify_bundle(make_swarm(Category::kMusic, {"a.mp3", "b.mp3"})));
+    EXPECT_TRUE(classify_bundle(make_swarm(Category::kMusic, {"a.mp3", "b.wav"})));
+}
+
+TEST(ClassifyBundle, AuxiliaryFilesDoNotCount) {
+    // Cover art and NFO files must not trigger bundle classification.
+    EXPECT_FALSE(classify_bundle(
+        make_swarm(Category::kMusic, {"a.mp3", "cover.jpg", "info.nfo"})));
+}
+
+TEST(ClassifyBundle, CategorySpecificExtensions) {
+    // An .mp3 inside a TV swarm does not make it a TV bundle.
+    EXPECT_FALSE(classify_bundle(make_swarm(Category::kTv, {"a.mp3", "b.mp3"})));
+    EXPECT_TRUE(classify_bundle(make_swarm(Category::kTv, {"e1.avi", "e2.avi"})));
+    EXPECT_TRUE(classify_bundle(make_swarm(Category::kBooks, {"a.pdf", "b.djvu"})));
+}
+
+TEST(ClassifyBundle, MoviesNeverAutoClassified) {
+    // Section 2.3.1: movie bundling cannot be detected automatically.
+    EXPECT_FALSE(classify_bundle(make_swarm(Category::kMovies, {"cd1.avi", "cd2.avi"})));
+}
+
+TEST(ClassifyCollection, KeywordAndCategory) {
+    EXPECT_TRUE(classify_collection(
+        make_swarm(Category::kBooks, {"a.pdf"}, "ultimate math collection")));
+    EXPECT_FALSE(classify_collection(make_swarm(Category::kBooks, {"a.pdf"}, "math")));
+    EXPECT_FALSE(classify_collection(
+        make_swarm(Category::kMusic, {"a.mp3"}, "hits collection")));
+}
+
+TEST(BundlingExtent, CountsPerCategory) {
+    Catalog catalog;
+    catalog.push_back(make_swarm(Category::kMusic, {"a.mp3", "b.mp3"}));
+    catalog.push_back(make_swarm(Category::kMusic, {"a.mp3"}));
+    catalog.push_back(make_swarm(Category::kBooks, {"a.pdf"}, "x collection"));
+    const auto extent = bundling_extent(catalog);
+    ASSERT_EQ(extent.size(), 2u);
+    EXPECT_EQ(extent[0].category, Category::kMusic);
+    EXPECT_EQ(extent[0].swarms, 2u);
+    EXPECT_EQ(extent[0].bundles, 1u);
+    EXPECT_DOUBLE_EQ(extent[0].bundle_fraction(), 0.5);
+    EXPECT_EQ(extent[1].category, Category::kBooks);
+    EXPECT_EQ(extent[1].collections, 1u);
+}
+
+TEST(BundlingExtent, SyntheticCatalogMatchesPaperFractions) {
+    CatalogConfig config;
+    config.music_swarms = 8000;
+    config.tv_swarms = 5000;
+    config.book_swarms = 4000;
+    config.movie_swarms = 0;
+    config.other_swarms = 0;
+    const auto catalog = generate_catalog(config);
+    const auto extent = bundling_extent(catalog);
+    for (const auto& row : extent) {
+        if (row.category == Category::kMusic) {
+            EXPECT_NEAR(row.bundle_fraction(), 0.724, 0.03);  // 193,491/267,117
+        }
+        if (row.category == Category::kTv) {
+            EXPECT_NEAR(row.bundle_fraction(), 0.158, 0.03);  // 25,990/164,930
+        }
+        if (row.category == Category::kBooks) {
+            // Extension bundles + keyword collections.
+            EXPECT_NEAR(row.bundle_fraction(), 0.094 + 0.0127, 0.03);
+        }
+    }
+}
+
+/// Builds an aligned trace list with a fixed seed observation at hour 0.
+std::vector<SwarmTrace> traces_with_seed_flags(const Catalog& catalog,
+                                               const std::vector<bool>& seeded) {
+    std::vector<SwarmTrace> traces;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        SwarmTrace trace;
+        trace.swarm_id = catalog[i].id;
+        Observation obs;
+        obs.swarm_id = catalog[i].id;
+        obs.hour = 0;
+        obs.seeds = seeded[i] ? 1 : 0;
+        trace.observations.push_back(obs);
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+TEST(CompareAvailability, SeparatesBundledFromPlain) {
+    Catalog catalog;
+    auto bundle = make_swarm(Category::kBooks, {"a.pdf", "b.pdf"});
+    bundle.id = 1;
+    bundle.downloads = 4000;
+    auto plain = make_swarm(Category::kBooks, {"a.pdf"});
+    plain.id = 2;
+    plain.downloads = 2000;
+    auto plain2 = make_swarm(Category::kBooks, {"b.pdf"});
+    plain2.id = 3;
+    plain2.downloads = 1000;
+    catalog = {bundle, plain, plain2};
+    const auto traces = traces_with_seed_flags(catalog, {true, false, true});
+    const auto cmp =
+        compare_availability(catalog, traces, Category::kBooks, false, 0);
+    EXPECT_EQ(cmp.bundled_swarms, 1u);
+    EXPECT_EQ(cmp.bundled_seedless, 0u);
+    EXPECT_EQ(cmp.plain_swarms, 2u);
+    EXPECT_EQ(cmp.plain_seedless, 1u);
+    EXPECT_DOUBLE_EQ(cmp.plain_seedless_fraction(), 0.5);
+    EXPECT_DOUBLE_EQ(cmp.bundled_mean_downloads, 4000.0);
+    EXPECT_DOUBLE_EQ(cmp.plain_mean_downloads, 1500.0);
+}
+
+TEST(CompareAvailability, RejectsMisalignedTraces) {
+    Catalog catalog{make_swarm(Category::kBooks, {"a.pdf"})};
+    std::vector<SwarmTrace> traces;  // empty: misaligned
+    EXPECT_THROW(
+        (void)compare_availability(catalog, traces, Category::kBooks, false, 0),
+        std::invalid_argument);
+}
+
+TEST(AnalyzeCollectionSubsets, SupersetCoversSubsets) {
+    // Garfield scenario: three collections in one series; only the widest
+    // is seeded. The seedless subsets must not count as unavailable.
+    Catalog catalog;
+    for (std::size_t scope : {1u, 2u, 3u}) {
+        auto swarm = make_swarm(Category::kBooks, {"g.pdf"}, "garfield collection");
+        swarm.id = scope;
+        swarm.series_id = 42;
+        swarm.series_scope = scope;
+        catalog.push_back(swarm);
+    }
+    const auto traces = traces_with_seed_flags(catalog, {false, false, true});
+    const auto analysis = analyze_collection_subsets(catalog, traces, 0);
+    EXPECT_EQ(analysis.collections, 3u);
+    EXPECT_EQ(analysis.seedless, 2u);
+    EXPECT_EQ(analysis.seedless_without_superset, 0u);
+    EXPECT_DOUBLE_EQ(analysis.effective_unavailability(), 0.0);
+}
+
+TEST(AnalyzeCollectionSubsets, OrphanSeedlessCollectionCounts) {
+    Catalog catalog;
+    auto orphan = make_swarm(Category::kBooks, {"o.pdf"}, "orphan collection");
+    orphan.id = 1;
+    catalog.push_back(orphan);
+    const auto traces = traces_with_seed_flags(catalog, {false});
+    const auto analysis = analyze_collection_subsets(catalog, traces, 0);
+    EXPECT_EQ(analysis.seedless_without_superset, 1u);
+    EXPECT_DOUBLE_EQ(analysis.effective_unavailability(), 1.0);
+}
+
+TEST(AnalyzeCollectionSubsets, EqualScopeDoesNotCover) {
+    // A seeded collection of the same scope is a duplicate, not a superset.
+    Catalog catalog;
+    for (std::uint64_t id : {1u, 2u}) {
+        auto swarm = make_swarm(Category::kBooks, {"g.pdf"}, "dup collection");
+        swarm.id = id;
+        swarm.series_id = 7;
+        swarm.series_scope = 2;
+        catalog.push_back(swarm);
+    }
+    const auto traces = traces_with_seed_flags(catalog, {false, true});
+    const auto analysis = analyze_collection_subsets(catalog, traces, 0);
+    EXPECT_EQ(analysis.seedless_without_superset, 1u);
+}
+
+TEST(BundlingAvailabilityContingency, CountsCells) {
+    Catalog catalog;
+    auto b1 = make_swarm(Category::kTv, {"e1.avi", "e2.avi"});
+    b1.id = 1;
+    auto b2 = make_swarm(Category::kTv, {"e1.avi", "e2.avi"});
+    b2.id = 2;
+    auto s1 = make_swarm(Category::kTv, {"e1.avi"});
+    s1.id = 3;
+    auto s2 = make_swarm(Category::kTv, {"e2.avi"});
+    s2.id = 4;
+    catalog = {b1, b2, s1, s2};
+    const auto traces = traces_with_seed_flags(catalog, {true, false, false, true});
+    const auto table =
+        bundling_availability_contingency(catalog, traces, Category::kTv, 0);
+    EXPECT_EQ(table.available_bundles, 1u);
+    EXPECT_EQ(table.unavailable_bundles, 1u);
+    EXPECT_EQ(table.available_singles, 1u);
+    EXPECT_EQ(table.unavailable_singles, 1u);
+    EXPECT_EQ(table.available(), 2u);
+    EXPECT_EQ(table.unavailable(), 2u);
+    EXPECT_DOUBLE_EQ(table.bundle_share_of_available(), 0.5);
+    EXPECT_DOUBLE_EQ(table.bundle_share_of_unavailable(), 0.5);
+}
+
+TEST(BundlingAvailabilityContingency, IgnoresOtherCategories) {
+    Catalog catalog;
+    auto music = make_swarm(Category::kMusic, {"a.mp3", "b.mp3"});
+    music.id = 1;
+    catalog = {music};
+    const auto traces = traces_with_seed_flags(catalog, {true});
+    const auto table =
+        bundling_availability_contingency(catalog, traces, Category::kTv, 0);
+    EXPECT_EQ(table.available() + table.unavailable(), 0u);
+}
+
+TEST(BundlingAvailabilityContingency, EmptyCellsGiveZeroShares) {
+    const BundleAvailabilityContingency empty;
+    EXPECT_DOUBLE_EQ(empty.bundle_share_of_available(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.bundle_share_of_unavailable(), 0.0);
+}
+
+TEST(BundlingAvailabilityContingency, SyntheticTvCorrelation) {
+    // Bundled TV swarms must dominate the seeded cell (the Friends effect)
+    // when pushed through the full generation + monitoring pipeline.
+    CatalogConfig config;
+    config.music_swarms = 0;
+    config.tv_swarms = 3000;
+    config.book_swarms = 0;
+    config.movie_swarms = 0;
+    config.other_swarms = 0;
+    config.tv_bundle_fraction = 0.5;
+    const auto catalog = generate_catalog(config);
+    MonitorConfig monitor_config;
+    monitor_config.duration_hours = 24 * 60;
+    const auto traces = monitor_catalog(catalog, monitor_config);
+    const auto table =
+        bundling_availability_contingency(catalog, traces, Category::kTv, 24 * 45);
+    EXPECT_GT(table.bundle_share_of_available(),
+              table.bundle_share_of_unavailable() + 0.1);
+}
+
+TEST(AvailabilityFractions, WindowedPerSwarm) {
+    SwarmTrace trace;
+    trace.swarm_id = 1;
+    for (std::uint32_t h = 0; h < 4; ++h) {
+        Observation obs;
+        obs.hour = h;
+        obs.seeds = (h % 2 == 0) ? 1 : 0;
+        trace.observations.push_back(obs);
+    }
+    const auto fractions = availability_fractions({trace}, 0, 4);
+    ASSERT_EQ(fractions.size(), 1u);
+    EXPECT_DOUBLE_EQ(fractions.front(), 0.5);
+}
+
+TEST(AvailabilityFractions, SkipsSwarmsOutsideWindow) {
+    SwarmTrace trace;
+    trace.swarm_id = 1;
+    Observation obs;
+    obs.hour = 100;
+    obs.seeds = 1;
+    trace.observations.push_back(obs);
+    const auto fractions = availability_fractions({trace}, 0, 50);
+    EXPECT_TRUE(fractions.empty());
+}
+
+}  // namespace
+}  // namespace swarmavail::measurement

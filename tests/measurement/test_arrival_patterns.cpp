@@ -1,0 +1,77 @@
+#include "measurement/arrival_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swarmavail::measurement {
+namespace {
+
+TEST(NewSwarmArrivals, FrontLoaded) {
+    Rng rng{191};
+    std::size_t early = 0;
+    std::size_t late = 0;
+    for (int i = 0; i < 50; ++i) {
+        for (double t : new_swarm_arrivals(rng, 200.0, 5.0, 30.0)) {
+            (t < 10.0 * 86400.0 ? early : late) += 1;
+        }
+    }
+    EXPECT_GT(early, 3 * late);
+}
+
+TEST(OldSwarmArrivals, RoughlyUniform) {
+    Rng rng{193};
+    std::size_t first = 0;
+    std::size_t second = 0;
+    for (int i = 0; i < 50; ++i) {
+        for (double t : old_swarm_arrivals(rng, 20.0, 30.0)) {
+            (t < 15.0 * 86400.0 ? first : second) += 1;
+        }
+    }
+    const double ratio = static_cast<double>(first) / static_cast<double>(second);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.18);
+}
+
+TEST(DailyCounts, BinsCorrectly) {
+    const std::vector<double> arrivals{0.0, 1000.0, 86400.0, 86400.0 * 2.5};
+    const auto counts = daily_counts(arrivals, 3.0);
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(DailyCounts, IgnoresBeyondHorizon) {
+    const std::vector<double> arrivals{86400.0 * 10.0};
+    const auto counts = daily_counts(arrivals, 2.0);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}), 0u);
+}
+
+TEST(CountVariation, ConstantCountsHaveZeroVariation) {
+    EXPECT_DOUBLE_EQ(count_variation({5, 5, 5, 5}), 0.0);
+}
+
+TEST(CountVariation, AllZeroIsZero) {
+    EXPECT_DOUBLE_EQ(count_variation({0, 0, 0}), 0.0);
+}
+
+TEST(CountVariation, NewSwarmsVaryMoreThanOldSwarms) {
+    // Figure 7's contrast: the decaying flash-crowd pattern has a much
+    // higher coefficient of variation than the steady old-swarm pattern.
+    Rng rng{197};
+    const auto new_counts = daily_counts(new_swarm_arrivals(rng, 300.0, 4.0, 30.0), 30.0);
+    const auto old_counts = daily_counts(old_swarm_arrivals(rng, 40.0, 30.0), 30.0);
+    EXPECT_GT(count_variation(new_counts), 2.0 * count_variation(old_counts));
+}
+
+TEST(Generators, RejectInvalidHorizon) {
+    Rng rng{199};
+    EXPECT_THROW((void)new_swarm_arrivals(rng, 1.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)old_swarm_arrivals(rng, 1.0, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)daily_counts({}, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)count_variation({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::measurement

@@ -1,0 +1,116 @@
+#include "measurement/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace swarmavail::measurement {
+namespace {
+
+CatalogConfig small_config() {
+    CatalogConfig config;
+    config.music_swarms = 2000;
+    config.tv_swarms = 1500;
+    config.book_swarms = 1500;
+    config.movie_swarms = 500;
+    config.other_swarms = 500;
+    config.seed = 99;
+    return config;
+}
+
+TEST(GenerateCatalog, TotalCountMatchesConfig) {
+    const auto catalog = generate_catalog(small_config());
+    EXPECT_EQ(catalog.size(), 2000u + 1500u + 1500u + 500u + 500u);
+}
+
+TEST(GenerateCatalog, UniqueIds) {
+    const auto catalog = generate_catalog(small_config());
+    std::set<std::uint64_t> ids;
+    for (const auto& swarm : catalog) {
+        EXPECT_TRUE(ids.insert(swarm.id).second);
+    }
+}
+
+TEST(GenerateCatalog, CategoryCountsMatch) {
+    const auto catalog = generate_catalog(small_config());
+    std::size_t music = 0;
+    std::size_t tv = 0;
+    std::size_t books = 0;
+    for (const auto& swarm : catalog) {
+        music += swarm.category == Category::kMusic ? 1 : 0;
+        tv += swarm.category == Category::kTv ? 1 : 0;
+        books += swarm.category == Category::kBooks ? 1 : 0;
+    }
+    EXPECT_EQ(music, 2000u);
+    EXPECT_EQ(tv, 1500u);
+    EXPECT_EQ(books, 1500u);
+}
+
+TEST(GenerateCatalog, EverySwarmHasFilesAndValidProcesses) {
+    const auto catalog = generate_catalog(small_config());
+    for (const auto& swarm : catalog) {
+        EXPECT_FALSE(swarm.files.empty());
+        EXPECT_GT(swarm.seed_uptime_hours, 0.0);
+        EXPECT_GT(swarm.seed_downtime_hours, 0.0);
+        EXPECT_GT(swarm.popularity, 0.0);
+        EXPECT_GT(swarm.age_days, 0.0);
+        for (const auto& file : swarm.files) {
+            EXPECT_FALSE(file.name.empty());
+            EXPECT_GT(file.size_bits, 0.0);
+        }
+    }
+}
+
+TEST(GenerateCatalog, DeterministicForFixedSeed) {
+    const auto a = generate_catalog(small_config());
+    const auto b = generate_catalog(small_config());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].title, b[i].title);
+        EXPECT_EQ(a[i].downloads, b[i].downloads);
+    }
+}
+
+TEST(GenerateCatalog, CollectionsOnlyInBooks) {
+    const auto catalog = generate_catalog(small_config());
+    for (const auto& swarm : catalog) {
+        if (swarm.title.find("collection") != std::string::npos) {
+            EXPECT_EQ(swarm.category, Category::kBooks);
+        }
+    }
+}
+
+TEST(GenerateCatalog, RejectsInvalidFractions) {
+    auto config = small_config();
+    config.music_bundle_fraction = 1.5;
+    EXPECT_THROW((void)generate_catalog(config), std::invalid_argument);
+    config = small_config();
+    config.base_uptime_hours = 0.0;
+    EXPECT_THROW((void)generate_catalog(config), std::invalid_argument);
+}
+
+TEST(IntrinsicAvailability, RatioOfUptime) {
+    SwarmEntry swarm;
+    swarm.seed_uptime_hours = 25.0;
+    swarm.seed_downtime_hours = 75.0;
+    EXPECT_DOUBLE_EQ(intrinsic_availability(swarm), 0.25);
+}
+
+TEST(IntrinsicAvailability, RejectsNonPositiveMeans) {
+    SwarmEntry swarm;
+    swarm.seed_uptime_hours = 0.0;
+    swarm.seed_downtime_hours = 1.0;
+    EXPECT_THROW((void)intrinsic_availability(swarm), std::invalid_argument);
+}
+
+TEST(CategoryToString, AllValuesNamed) {
+    EXPECT_EQ(to_string(Category::kMusic), "music");
+    EXPECT_EQ(to_string(Category::kTv), "tv");
+    EXPECT_EQ(to_string(Category::kBooks), "books");
+    EXPECT_EQ(to_string(Category::kMovies), "movies");
+    EXPECT_EQ(to_string(Category::kOther), "other");
+}
+
+}  // namespace
+}  // namespace swarmavail::measurement

@@ -1,0 +1,123 @@
+#include "measurement/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace swarmavail::measurement {
+namespace {
+
+Catalog tiny_catalog() {
+    CatalogConfig config;
+    config.music_swarms = 200;
+    config.tv_swarms = 100;
+    config.book_swarms = 100;
+    config.movie_swarms = 0;
+    config.other_swarms = 0;
+    config.seed = 7;
+    return generate_catalog(config);
+}
+
+TEST(MonitorCatalog, OneTracePerSwarmFullDuration) {
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 24 * 10;
+    const auto traces = monitor_catalog(catalog, config);
+    ASSERT_EQ(traces.size(), catalog.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_EQ(traces[i].swarm_id, catalog[i].id);
+        EXPECT_EQ(traces[i].observations.size(), config.duration_hours);
+    }
+}
+
+TEST(MonitorCatalog, ObservationsAreHourly) {
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 48;
+    const auto traces = monitor_catalog(catalog, config);
+    for (const auto& trace : traces) {
+        for (std::size_t h = 0; h < trace.observations.size(); ++h) {
+            EXPECT_EQ(trace.observations[h].hour, h);
+            EXPECT_EQ(trace.observations[h].swarm_id, trace.swarm_id);
+        }
+    }
+}
+
+TEST(MonitorCatalog, SwarmsBeginSeeded) {
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 24;
+    const auto traces = monitor_catalog(catalog, config);
+    std::size_t seeded_at_start = 0;
+    for (const auto& trace : traces) {
+        if (trace.observations.front().seeds > 0) {
+            ++seeded_at_start;
+        }
+    }
+    // Every swarm starts in the seeded state (hour 0 falls in the first
+    // uptime interval unless it is shorter than an hour).
+    EXPECT_GT(seeded_at_start, traces.size() * 7 / 10);
+}
+
+TEST(MonitorCatalog, AvailabilityDecaysWithTraceAge) {
+    // The downtime-growth model makes late windows less available than the
+    // first month on average (the Figure 1 contrast).
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 24 * 150;
+    const auto traces = monitor_catalog(catalog, config);
+    StreamingStats first_month;
+    StreamingStats late_window;
+    for (const auto& trace : traces) {
+        first_month.add(seed_availability(trace, 0, 24 * 30));
+        late_window.add(seed_availability(trace, 24 * 120, 24 * 150));
+    }
+    EXPECT_GT(first_month.mean(), late_window.mean() + 0.05);
+}
+
+TEST(MonitorCatalog, DeterministicForFixedSeed) {
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 100;
+    const auto a = monitor_catalog(catalog, config);
+    const auto b = monitor_catalog(catalog, config);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t h = 0; h < a[i].observations.size(); ++h) {
+            EXPECT_EQ(a[i].observations[h].seeds, b[i].observations[h].seeds);
+        }
+    }
+}
+
+TEST(MonitorCatalog, RejectsInvalidConfig) {
+    const auto catalog = tiny_catalog();
+    MonitorConfig config;
+    config.duration_hours = 0;
+    EXPECT_THROW((void)monitor_catalog(catalog, config), std::invalid_argument);
+    config = MonitorConfig{};
+    config.downtime_growth_per_month = 0.5;
+    EXPECT_THROW((void)monitor_catalog(catalog, config), std::invalid_argument);
+}
+
+TEST(SeedAvailability, CountsWindowOnly) {
+    SwarmTrace trace;
+    trace.swarm_id = 1;
+    for (std::uint32_t h = 0; h < 10; ++h) {
+        Observation obs;
+        obs.swarm_id = 1;
+        obs.hour = h;
+        obs.seeds = h < 5 ? 1 : 0;
+        trace.observations.push_back(obs);
+    }
+    EXPECT_DOUBLE_EQ(seed_availability(trace, 0, 10), 0.5);
+    EXPECT_DOUBLE_EQ(seed_availability(trace, 0, 5), 1.0);
+    EXPECT_DOUBLE_EQ(seed_availability(trace, 5, 10), 0.0);
+    EXPECT_DOUBLE_EQ(seed_availability(trace, 20, 30), 0.0);
+}
+
+TEST(SeedAvailability, RejectsInvertedWindow) {
+    SwarmTrace trace;
+    EXPECT_THROW((void)seed_availability(trace, 5, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::measurement

@@ -1,0 +1,92 @@
+#include "model/asymptotics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(LeastSquaresSlope, ExactLine) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{3.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(least_squares_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LeastSquaresSlope, NoisyLine) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i);
+        y.push_back(0.5 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+    }
+    EXPECT_NEAR(least_squares_slope(x, y), 0.5, 1e-3);
+}
+
+TEST(LeastSquaresSlope, RejectsDegenerateInputs) {
+    EXPECT_THROW((void)least_squares_slope({1.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW((void)least_squares_slope({1.0, 2.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW((void)least_squares_slope({2.0, 2.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(GrowthDiagnostics, RatiosStabilize) {
+    // Lemma 3.1 / Theorem 3.1: log E[B] / K^2 and -log P / K^2 approach a
+    // constant.
+    const auto points = growth_diagnostics(base_params(), 12, PublisherScaling::kConstant);
+    ASSERT_EQ(points.size(), 12u);
+    const double tail = points.back().busy_ratio;
+    const double mid = points[7].busy_ratio;
+    EXPECT_NEAR(tail, mid, 0.2 * tail);
+    EXPECT_NEAR(points.back().unavail_ratio, points[7].unavail_ratio,
+                0.2 * points.back().unavail_ratio);
+}
+
+TEST(GrowthDiagnostics, LogBusyGrowsSuperlinearly) {
+    const auto points = growth_diagnostics(base_params(), 10, PublisherScaling::kConstant);
+    // log E[B] grows faster than linear in K: successive increments widen.
+    for (std::size_t i = 4; i < points.size(); ++i) {
+        const double d1 = points[i].log_busy_period - points[i - 1].log_busy_period;
+        const double d0 = points[i - 1].log_busy_period - points[i - 2].log_busy_period;
+        EXPECT_GT(d1, d0) << "k=" << points[i].k;
+    }
+}
+
+TEST(FittedK2Coefficient, ApproachesOfferedLoadPerFile) {
+    // With constant publisher scaling the dominating exponent of E[B] is
+    // K^2 lambda s / mu: the fitted K^2 coefficient approaches
+    // lambda * s / mu = 80/60.
+    const auto points = growth_diagnostics(base_params(), 14, PublisherScaling::kConstant);
+    const double coefficient = fitted_k2_coefficient(points);
+    EXPECT_NEAR(coefficient, 80.0 / 60.0, 0.15 * (80.0 / 60.0));
+}
+
+TEST(FittedK2Coefficient, RejectsTooFewPoints) {
+    const auto points = growth_diagnostics(base_params(), 3, PublisherScaling::kConstant);
+    EXPECT_THROW((void)fitted_k2_coefficient(points), std::invalid_argument);
+}
+
+TEST(GrowthDiagnostics, ProportionalScalingGrowsFaster) {
+    // R = Kr, U = Ku adds publisher-side growth on top of the peer-side
+    // K^2 term: log E[B] dominates the constant-scaling variant.
+    const auto constant =
+        growth_diagnostics(base_params(), 8, PublisherScaling::kConstant);
+    const auto proportional =
+        growth_diagnostics(base_params(), 8, PublisherScaling::kProportional);
+    for (std::size_t i = 2; i < constant.size(); ++i) {
+        EXPECT_GE(proportional[i].log_busy_period, constant[i].log_busy_period);
+    }
+}
+
+}  // namespace
+}  // namespace swarmavail::model

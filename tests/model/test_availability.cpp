@@ -1,0 +1,158 @@
+#include "model/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/params.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;  // with rate 1, service = 80 s
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(AvailabilityPublishersOnly, MatchesEquationsOneAndTwo) {
+    // eq. 2: E[B] = (e^{r u} - 1) / r; eq. 1: P = (1/r)/(E[B] + 1/r).
+    auto params = base_params();
+    params.publisher_arrival_rate = 0.002;
+    params.publisher_residence = 400.0;
+    const auto result = availability_publishers_only(params);
+    const double expected_busy = (std::exp(0.002 * 400.0) - 1.0) / 0.002;
+    EXPECT_NEAR(result.busy_period, expected_busy, 1e-9 * expected_busy);
+    const double expected_p = (1.0 / 0.002) / (expected_busy + 1.0 / 0.002);
+    EXPECT_NEAR(result.unavailability, expected_p, 1e-12);
+    EXPECT_NEAR(result.idle_period, 500.0, 1e-12);
+}
+
+TEST(AvailabilityPublishersOnly, AlwaysOnPublisherLimit) {
+    // r u >> 1: unavailability vanishes.
+    auto params = base_params();
+    params.publisher_arrival_rate = 0.1;
+    params.publisher_residence = 1000.0;
+    const auto result = availability_publishers_only(params);
+    EXPECT_LT(result.unavailability, 1e-10);
+}
+
+TEST(AvailabilityPublishersOnly, RarePublisherLimit) {
+    // r u << 1: P -> 1/(1 + r u) -> 1.
+    auto params = base_params();
+    params.publisher_arrival_rate = 1e-6;
+    params.publisher_residence = 1.0;
+    const auto result = availability_publishers_only(params);
+    EXPECT_GT(result.unavailability, 0.999);
+}
+
+TEST(AvailabilityPeersAndPublishers, MatchesEquationSeven) {
+    const auto params = base_params();
+    const auto result = availability_peers_and_publishers(params);
+    const double beta = params.peer_arrival_rate + params.publisher_arrival_rate;
+    const double expected_busy =
+        (std::exp(beta * params.service_time()) - 1.0) / beta;
+    EXPECT_NEAR(result.busy_period, expected_busy, 1e-9 * expected_busy);
+}
+
+TEST(AvailabilityPeersAndPublishers, PeersStrictlyImproveOverPublishersAlone) {
+    // With u = s/mu the peers+publishers busy period dominates the
+    // publishers-only one at the same publisher process.
+    auto params = base_params();
+    params.publisher_residence = params.service_time();
+    const auto with_peers = availability_peers_and_publishers(params);
+    const auto without = availability_publishers_only(params);
+    EXPECT_LT(with_peers.unavailability, without.unavailability);
+}
+
+TEST(AvailabilityImpatient, UnavailabilityInUnitInterval) {
+    const auto result = availability_impatient(base_params());
+    EXPECT_GT(result.unavailability, 0.0);
+    EXPECT_LT(result.unavailability, 1.0);
+}
+
+TEST(AvailabilityImpatient, LogConsistentWithLinear) {
+    const auto result = availability_impatient(base_params());
+    EXPECT_NEAR(result.log_unavailability, std::log(result.unavailability), 1e-9);
+}
+
+TEST(AvailabilityImpatient, PeersPerBusyPeriodIsLambdaTimesBusyPeriod) {
+    const auto params = base_params();
+    const auto result = availability_impatient(params);
+    EXPECT_NEAR(result.peers_per_busy_period,
+                params.peer_arrival_rate * result.busy_period,
+                1e-9 * result.peers_per_busy_period);
+}
+
+TEST(AvailabilityImpatient, MoreDemandMoreAvailability) {
+    auto params = base_params();
+    double previous = 1.0;
+    for (double rate : {0.005, 0.01, 0.02, 0.04}) {
+        params.peer_arrival_rate = rate;
+        const double p = availability_impatient(params).unavailability;
+        EXPECT_LT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(AvailabilityImpatient, BundlingReducesUnavailabilityMonotonically) {
+    const auto base = base_params();
+    double previous = 1.0;
+    for (std::size_t k = 1; k <= 6; ++k) {
+        const auto bundle = make_bundle(base, k, PublisherScaling::kConstant);
+        const double p = availability_impatient(bundle).unavailability;
+        EXPECT_LT(p, previous) << "k=" << k;
+        previous = p;
+    }
+}
+
+TEST(AvailabilityImpatient, ProportionalScalingAlsoImproves) {
+    const auto base = base_params();
+    const auto k1 = availability_impatient(base);
+    const auto k4 = availability_impatient(make_bundle(base, 4, PublisherScaling::kProportional));
+    EXPECT_LT(k4.unavailability, k1.unavailability);
+}
+
+TEST(MixedBusyPeriod, UsesSectionThreeThreeParameterization) {
+    // Cross-check: with q1 = lambda/(lambda+r), alpha1 = s/mu,
+    // alpha2 = theta = u, the availability formula P = (1/r)/(E[B]+1/r)
+    // must hold.
+    const auto params = base_params();
+    const auto busy = mixed_busy_period(params);
+    const auto avail = availability_impatient(params);
+    const double idle = 1.0 / params.publisher_arrival_rate;
+    EXPECT_NEAR(avail.unavailability, idle / (busy.value + idle), 1e-12);
+}
+
+TEST(Availability, Theorem31NegLogPGrowsLikeKSquared) {
+    // -log P should grow ~ quadratically: successive differences of
+    // -log P / K^2 shrink.
+    const auto base = base_params();
+    double prev_ratio = 0.0;
+    std::size_t checks = 0;
+    for (std::size_t k = 4; k <= 10; k += 2) {
+        const auto bundle = make_bundle(base, k, PublisherScaling::kConstant);
+        const auto result = availability_impatient(bundle);
+        const double ratio =
+            -result.log_unavailability / (static_cast<double>(k) * static_cast<double>(k));
+        if (prev_ratio > 0.0) {
+            EXPECT_NEAR(ratio, prev_ratio, 0.35 * prev_ratio) << "k=" << k;
+            ++checks;
+        }
+        prev_ratio = ratio;
+    }
+    EXPECT_GE(checks, 2u);
+}
+
+TEST(Availability, InvalidParametersThrow) {
+    SwarmParams params;  // all zero
+    EXPECT_THROW((void)availability_publishers_only(params), std::invalid_argument);
+    EXPECT_THROW((void)availability_impatient(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,147 @@
+#include "model/bundling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swarmavail::model {
+namespace {
+
+/// The calibrated Figure 3 parameters (legend values; see EXPERIMENTS.md).
+SwarmParams figure3_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 120.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 400.0;
+    return params;
+}
+
+TEST(SweepBundleSizes, ProducesOnePointPerK) {
+    BundleSweepConfig config;
+    config.max_k = 6;
+    const auto sweep = sweep_bundle_sizes(figure3_params(), config);
+    ASSERT_EQ(sweep.size(), 6u);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        EXPECT_EQ(sweep[i].k, i + 1);
+    }
+}
+
+TEST(SweepBundleSizes, ServiceGrowsLinearly) {
+    BundleSweepConfig config;
+    config.max_k = 5;
+    const auto sweep = sweep_bundle_sizes(figure3_params(), config);
+    for (const auto& point : sweep) {
+        EXPECT_NEAR(point.service_time, 80.0 * static_cast<double>(point.k), 1e-9);
+    }
+}
+
+TEST(SweepBundleSizes, UnavailabilityDecreasesInK) {
+    BundleSweepConfig config;
+    config.max_k = 8;
+    const auto sweep = sweep_bundle_sizes(figure3_params(), config);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_LT(sweep[i].unavailability, sweep[i - 1].unavailability);
+    }
+}
+
+TEST(SweepBundleSizes, DownloadTimeDecomposes) {
+    BundleSweepConfig config;
+    config.max_k = 4;
+    for (const auto model : {DownloadModel::kPatient, DownloadModel::kThreshold,
+                             DownloadModel::kSinglePublisher}) {
+        config.model = model;
+        config.coverage_threshold = 3;
+        const auto sweep = sweep_bundle_sizes(figure3_params(), config);
+        for (const auto& point : sweep) {
+            EXPECT_NEAR(point.download_time, point.service_time + point.waiting_time,
+                        1e-9);
+        }
+    }
+}
+
+TEST(OptimalBundleSize, PicksGlobalMinimum) {
+    std::vector<BundleSweepPoint> sweep(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        sweep[i].k = i + 1;
+    }
+    sweep[0].download_time = 100.0;
+    sweep[1].download_time = 50.0;
+    sweep[2].download_time = 60.0;
+    sweep[3].download_time = 55.0;
+    EXPECT_EQ(optimal_bundle_size(sweep), 2u);
+}
+
+TEST(OptimalBundleSize, RejectsEmptySweep) {
+    EXPECT_THROW((void)optimal_bundle_size({}), std::invalid_argument);
+}
+
+TEST(Figure3, OptimaMatchPaper) {
+    // Paper Figure 3: K = 3 optimal for 1/R in [500, 1100]; K = 1 for the
+    // remaining smaller interarrivals.
+    const auto curves = figure3_curves(
+        figure3_params(), {100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0,
+                           900.0, 1000.0, 1100.0},
+        8);
+    ASSERT_EQ(curves.size(), 11u);
+    for (const auto& curve : curves) {
+        if (curve.publisher_interarrival <= 400.0) {
+            EXPECT_EQ(curve.optimal_k, 1u) << "1/R=" << curve.publisher_interarrival;
+        } else {
+            EXPECT_EQ(curve.optimal_k, 3u) << "1/R=" << curve.publisher_interarrival;
+        }
+    }
+}
+
+TEST(Figure3, CurvesAreNonMonotoneInK) {
+    // "as K increases the mean download time first ... decreases and
+    // finally increases again": each high-1/R curve has an interior
+    // minimum.
+    const auto curves = figure3_curves(figure3_params(), {700.0, 900.0, 1100.0}, 8);
+    for (const auto& curve : curves) {
+        const auto& pts = curve.points;
+        EXPECT_GT(pts.front().download_time, pts[curve.optimal_k - 1].download_time);
+        EXPECT_GT(pts.back().download_time, pts[curve.optimal_k - 1].download_time);
+    }
+}
+
+TEST(Figure3, BenefitGrowsAsRDecreases) {
+    // "the benefits of bundling increase as the value of R decreases":
+    // relative gain of the optimum over K=1 grows with 1/R.
+    const auto curves =
+        figure3_curves(figure3_params(), {500.0, 700.0, 900.0, 1100.0}, 8);
+    double previous_gain = -1.0;
+    for (const auto& curve : curves) {
+        const double t1 = curve.points.front().download_time;
+        const double topt = curve.points[curve.optimal_k - 1].download_time;
+        const double gain = (t1 - topt) / t1;
+        EXPECT_GT(gain, previous_gain) << "1/R=" << curve.publisher_interarrival;
+        previous_gain = gain;
+    }
+}
+
+TEST(Figure3, RejectsInvalidInterarrivals) {
+    EXPECT_THROW((void)figure3_curves(figure3_params(), {}, 8), std::invalid_argument);
+    EXPECT_THROW((void)figure3_curves(figure3_params(), {-5.0}, 8),
+                 std::invalid_argument);
+}
+
+TEST(SweepBundleSizes, ThresholdModelUsesCoverage) {
+    // With a large coverage threshold, self-sustaining busy periods need
+    // larger K: unavailability at small K should exceed the m=1 variant.
+    BundleSweepConfig low;
+    low.max_k = 4;
+    low.model = DownloadModel::kThreshold;
+    low.coverage_threshold = 1;
+    BundleSweepConfig high = low;
+    high.coverage_threshold = 10;
+    const auto sweep_low = sweep_bundle_sizes(figure3_params(), low);
+    const auto sweep_high = sweep_bundle_sizes(figure3_params(), high);
+    for (std::size_t i = 0; i < sweep_low.size(); ++i) {
+        EXPECT_GE(sweep_high[i].unavailability, sweep_low[i].unavailability);
+    }
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,165 @@
+#include "model/download_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/availability.hpp"
+#include "model/params.hpp"
+#include "queueing/busy_period.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(DownloadTimePatient, Equation11Identity) {
+    // Lemma 3.2: E[T] = s/mu + P/r with P from the impatient model.
+    const auto params = base_params();
+    const auto dt = download_time_patient(params);
+    const auto avail = availability_impatient(params);
+    EXPECT_NEAR(dt.unavailability, avail.unavailability, 1e-12);
+    EXPECT_NEAR(dt.download_time,
+                params.service_time() +
+                    avail.unavailability / params.publisher_arrival_rate,
+                1e-9);
+    EXPECT_NEAR(dt.download_time, dt.service_time + dt.waiting_time, 1e-12);
+}
+
+TEST(DownloadTimePatient, AlwaysAtLeastServiceTime) {
+    const auto dt = download_time_patient(base_params());
+    EXPECT_GE(dt.download_time, dt.service_time);
+    EXPECT_NEAR(dt.service_time, 80.0, 1e-9);
+}
+
+TEST(DownloadTimePatient, HighlyAvailablePublisherLeavesOnlyService) {
+    auto params = base_params();
+    params.publisher_arrival_rate = 0.1;
+    params.publisher_residence = 10000.0;
+    const auto dt = download_time_patient(params);
+    EXPECT_NEAR(dt.download_time, dt.service_time, 1e-3);
+}
+
+TEST(DownloadTimeTheorem32, BundlingInflatesAtMostFactorK) {
+    // Theorem 3.2(a): E[T_bundle] <= K * E[T_single] (constant R, U).
+    const auto base = base_params();
+    const double single = download_time_patient(base).download_time;
+    for (std::size_t k = 2; k <= 8; ++k) {
+        const auto bundle = make_bundle(base, k, PublisherScaling::kConstant);
+        const double bundled = download_time_patient(bundle).download_time;
+        EXPECT_LE(bundled, static_cast<double>(k) * single * (1.0 + 1e-9)) << "k=" << k;
+    }
+}
+
+TEST(DownloadTimeTheorem32, GainGrowsAsPublisherVanishes) {
+    // Theorem 3.2(b): the achievable reduction grows like Theta(1/R).
+    const auto base = base_params();
+    double previous_gain = 0.0;
+    for (double idle : {2000.0, 4000.0, 8000.0, 16000.0}) {
+        auto params = base;
+        params.publisher_arrival_rate = 1.0 / idle;
+        const double single = download_time_patient(params).download_time;
+        const auto bundle = make_bundle(params, 4, PublisherScaling::kConstant);
+        const double bundled = download_time_patient(bundle).download_time;
+        const double gain = single - bundled;
+        EXPECT_GT(gain, previous_gain) << "1/R=" << idle;
+        previous_gain = gain;
+    }
+}
+
+TEST(DownloadTimeThreshold, Theorem33Identity) {
+    // P = exp(-r (u + B(m))) and E[T] = s/mu + P/r.
+    const auto params = base_params();
+    const std::size_t m = 3;
+    const auto dt = download_time_threshold(params, m);
+    const double bm = queueing::steady_state_residual_busy_period(
+        m, {params.peer_arrival_rate, params.service_time()});
+    const double p = std::exp(-params.publisher_arrival_rate *
+                              (params.publisher_residence + bm));
+    EXPECT_NEAR(dt.unavailability, p, 1e-12);
+    EXPECT_NEAR(dt.download_time,
+                params.service_time() + p / params.publisher_arrival_rate, 1e-9);
+}
+
+TEST(DownloadTimeThreshold, HigherThresholdHurts) {
+    // Raising m makes content die earlier: unavailability grows with m.
+    const auto params = base_params();
+    double previous = 0.0;
+    for (std::size_t m : {1u, 3u, 6u, 12u}) {
+        const auto dt = download_time_threshold(params, m);
+        EXPECT_GE(dt.unavailability, previous) << "m=" << m;
+        previous = dt.unavailability;
+    }
+}
+
+TEST(DownloadTimeThreshold, SaturatedResidualGivesZeroWait) {
+    // A very large bundle's B(m) saturates; waiting must collapse to 0.
+    const auto bundle = make_bundle(base_params(), 20, PublisherScaling::kConstant);
+    const auto dt = download_time_threshold(bundle, 9);
+    EXPECT_DOUBLE_EQ(dt.unavailability, 0.0);
+    EXPECT_NEAR(dt.download_time, dt.service_time, 1e-9);
+}
+
+TEST(DownloadTimeSinglePublisher, Equation16Identity) {
+    const auto params = base_params();
+    const std::size_t m = 9;
+    const auto dt = download_time_single_publisher(params, m);
+    const double bm = queueing::steady_state_residual_busy_period(
+        m, {params.peer_arrival_rate, params.service_time()});
+    const double r = params.publisher_arrival_rate;
+    const double expected_p =
+        std::exp(-r * bm) / (params.publisher_residence * r + 1.0);
+    EXPECT_NEAR(dt.unavailability, expected_p, 1e-12);
+    EXPECT_NEAR(dt.download_time, params.service_time() + expected_p / r, 1e-9);
+}
+
+TEST(DownloadTimeSinglePublisher, NoPeerSupportReducesToDutyCycle) {
+    // With negligible peer load, B(m) ~ 0 and P -> off/(on + off): the
+    // probability of hitting the publisher's off state.
+    auto params = base_params();
+    params.peer_arrival_rate = 1e-7;
+    const auto dt = download_time_single_publisher(params, 1);
+    const double off = 1.0 / params.publisher_arrival_rate;
+    const double expected = off / (off + params.publisher_residence);
+    EXPECT_NEAR(dt.unavailability, expected, 1e-3);
+}
+
+TEST(DownloadTimeSinglePublisher, PredictsOptimalBundleNearExperiment) {
+    // Section 4.3.1: with s/mu = 80 s, lambda = 1/60, off-mean 900 s,
+    // on-mean 300 s and m = 9, the model's optimal K is 5 (the experiment
+    // observed 4).
+    const auto base = base_params();
+    double best_time = 1e300;
+    std::size_t best_k = 0;
+    for (std::size_t k = 1; k <= 8; ++k) {
+        const auto bundle = make_bundle(base, k, PublisherScaling::kConstant);
+        const double t = download_time_single_publisher(bundle, 9).download_time;
+        if (t < best_time) {
+            best_time = t;
+            best_k = k;
+        }
+    }
+    EXPECT_GE(best_k, 4u);
+    EXPECT_LE(best_k, 6u);
+}
+
+TEST(DownloadTime, WaitingTimeIsUnavailabilityOverR) {
+    const auto params = base_params();
+    for (const auto& dt : {download_time_patient(params),
+                           download_time_threshold(params, 2),
+                           download_time_single_publisher(params, 2)}) {
+        EXPECT_NEAR(dt.waiting_time,
+                    dt.unavailability / params.publisher_arrival_rate, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,114 @@
+#include "model/fluid_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swarmavail::model {
+namespace {
+
+FluidParams base_params() {
+    FluidParams params;
+    params.lambda = 1.0 / 60.0;
+    params.mu = 1.0 / 80.0;  // one copy per 80 s of uploading
+    params.c = 1.0 / 20.0;
+    params.eta = 1.0;
+    params.gamma = 1.0;  // selfish peers
+    return params;
+}
+
+TEST(FluidSteadyState, ClassicClosedForm) {
+    // theta = 0, gamma >> mu: T = max(1/c, (1/eta)(1/mu - 1/gamma)).
+    const auto params = base_params();
+    const auto state = fluid_steady_state(params);
+    const double expected = std::max(20.0, 80.0 - 1.0);
+    EXPECT_NEAR(state.download_time, expected, 1e-9);
+    EXPECT_TRUE(state.upload_constrained);
+}
+
+TEST(FluidSteadyState, DownloadConstrainedRegime) {
+    // Seeds linger (gamma small): uploads plentiful, download cap binds.
+    auto params = base_params();
+    params.gamma = 0.001;  // seeds stay ~1000 s
+    const auto state = fluid_steady_state(params);
+    EXPECT_NEAR(state.download_time, 20.0, 1e-9);
+    EXPECT_FALSE(state.upload_constrained);
+}
+
+TEST(FluidSteadyState, LittleLawConsistency) {
+    const auto state = fluid_steady_state(base_params());
+    EXPECT_NEAR(state.leechers, base_params().lambda * state.download_time, 1e-9);
+}
+
+TEST(FluidSteadyState, SeedsBalanceCompletions) {
+    const auto params = base_params();
+    const auto state = fluid_steady_state(params);
+    // In equilibrium completions == lambda (theta = 0), so y* = lambda/gamma.
+    EXPECT_NEAR(state.seeds, params.lambda / params.gamma, 1e-9);
+}
+
+TEST(FluidSteadyState, AbandonmentReducesPopulation) {
+    auto with = base_params();
+    with.theta = 0.01;
+    const auto patient = fluid_steady_state(base_params());
+    const auto impatient = fluid_steady_state(with);
+    EXPECT_LT(impatient.leechers, patient.leechers);
+}
+
+TEST(FluidSteadyState, RejectsInvalidParameters) {
+    auto params = base_params();
+    params.lambda = 0.0;
+    EXPECT_THROW((void)fluid_steady_state(params), std::invalid_argument);
+    params = base_params();
+    params.eta = 1.5;
+    EXPECT_THROW((void)fluid_steady_state(params), std::invalid_argument);
+    params = base_params();
+    params.gamma = -1.0;
+    EXPECT_THROW((void)fluid_steady_state(params), std::invalid_argument);
+}
+
+TEST(FluidBundle, StrictlyIncreasingInK) {
+    // The paper's point: the naive fluid adaptation can never favour
+    // bundling.
+    const auto params = base_params();
+    double previous = 0.0;
+    for (std::size_t k = 1; k <= 8; ++k) {
+        const double t = fluid_bundle_download_time(params, k);
+        EXPECT_GT(t, previous) << "k=" << k;
+        previous = t;
+    }
+}
+
+TEST(FluidBundle, GrowsLinearlyInUploadConstrainedRegime) {
+    const auto params = base_params();
+    const double t1 = fluid_bundle_download_time(params, 1);
+    const double t4 = fluid_bundle_download_time(params, 4);
+    EXPECT_NEAR(t4 / t1, 4.0, 0.2);
+}
+
+TEST(FluidIntegrate, ConvergesToClosedFormEquilibrium) {
+    const auto params = base_params();
+    const auto closed = fluid_steady_state(params);
+    const auto integrated = fluid_integrate(params, 200000.0, 0.5);
+    EXPECT_NEAR(integrated.leechers, closed.leechers, 0.05 * closed.leechers + 0.05);
+    EXPECT_NEAR(integrated.seeds, closed.seeds, 0.05 * closed.seeds + 0.05);
+}
+
+TEST(FluidIntegrate, DownloadConstrainedConvergence) {
+    auto params = base_params();
+    params.gamma = 0.001;
+    const auto closed = fluid_steady_state(params);
+    const auto integrated = fluid_integrate(params, 500000.0, 0.5);
+    EXPECT_NEAR(integrated.download_time, closed.download_time,
+                0.1 * closed.download_time);
+}
+
+TEST(FluidIntegrate, RejectsInvalidStep) {
+    EXPECT_THROW((void)fluid_integrate(base_params(), 10.0, 20.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fluid_integrate(base_params(), 0.0, 0.1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

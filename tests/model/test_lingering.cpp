@@ -1,0 +1,111 @@
+#include "model/lingering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/availability.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(AvailabilityLingering, ZeroLingerRecoversSelfishModel) {
+    const auto params = base_params();
+    const auto selfish = availability_impatient(params);
+    const auto lingering = availability_lingering(params, 0.0);
+    EXPECT_NEAR(lingering.unavailability, selfish.unavailability, 1e-12);
+    EXPECT_NEAR(lingering.busy_period, selfish.busy_period,
+                1e-9 * selfish.busy_period);
+}
+
+TEST(AvailabilityLingering, MoreLingeringMoreAvailability) {
+    const auto params = base_params();
+    double previous = 1.0;
+    for (double linger : {0.0, 30.0, 120.0, 600.0}) {
+        const double p = availability_lingering(params, linger).unavailability;
+        EXPECT_LE(p, previous) << "linger=" << linger;
+        previous = p;
+    }
+}
+
+TEST(AvailabilityLingering, BusyPeriodGrowsWithLinger) {
+    const auto params = base_params();
+    const double short_busy = availability_lingering(params, 10.0).busy_period;
+    const double long_busy = availability_lingering(params, 500.0).busy_period;
+    EXPECT_GT(long_busy, short_busy);
+}
+
+TEST(AvailabilityLingering, RejectsNegativeLinger) {
+    EXPECT_THROW((void)availability_lingering(base_params(), -1.0),
+                 std::invalid_argument);
+}
+
+TEST(DownloadTimeLingering, ServiceUnchangedWaitShrinks) {
+    const auto params = base_params();
+    const auto selfish = download_time_lingering(params, 0.0);
+    const auto lingering = download_time_lingering(params, 300.0);
+    EXPECT_NEAR(lingering.service_time, selfish.service_time, 1e-12);
+    EXPECT_LT(lingering.waiting_time, selfish.waiting_time);
+    EXPECT_LT(lingering.download_time, selfish.download_time);
+}
+
+TEST(LingeringParity, Equation15Identity) {
+    // eq. 15: s1/mu + 1/gamma = (s1+s2)(1 + lambda2/lambda1)/mu.
+    const double s1 = 10.0;
+    const double s2 = 400.0;
+    const double l1 = 0.001;
+    const double l2 = 0.1;
+    const double mu = 1.0;
+    const double residence = residence_with_parity_lingering(s1, s2, l1, l2, mu);
+    const double expected = (s1 + s2) / mu * (1.0 + l2 / l1);
+    EXPECT_NEAR(residence, expected, 1e-9 * expected);
+}
+
+TEST(LingeringParity, DivergesForUnpopularContent) {
+    // As lambda1 -> 0 the lingering needed for parity grows without bound.
+    const double s1 = 10.0;
+    const double s2 = 400.0;
+    const double l2 = 0.1;
+    const double mu = 1.0;
+    double previous = 0.0;
+    for (double l1 : {1e-2, 1e-3, 1e-4, 1e-5}) {
+        const double linger = lingering_time_for_bundle_parity(s1, s2, l1, l2, mu);
+        EXPECT_GT(linger, previous);
+        previous = linger;
+    }
+    EXPECT_GT(previous, 1e6);
+}
+
+TEST(LingeringParity, BundleCostMarginalForSmallContent) {
+    // Section 3.3.4: if s1 << s2, peers of content 2 pay only a marginal
+    // overhead to carry content 1.
+    const double s1 = 1.0;
+    const double s2 = 1000.0;
+    const double mu = 1.0;
+    const double bundle = bundle_download_time(s1, s2, mu);
+    EXPECT_NEAR(bundle, s2 / mu, 0.002 * bundle + s1 / mu);
+    EXPECT_LT((bundle - s2 / mu) / (s2 / mu), 0.01);
+}
+
+TEST(LingeringParity, RejectsInvalidInputs) {
+    EXPECT_THROW((void)lingering_time_for_bundle_parity(0.0, 1.0, 0.1, 0.1, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)lingering_time_for_bundle_parity(1.0, 1.0, 0.0, 0.1, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)lingering_time_for_bundle_parity(1.0, 1.0, 0.1, 0.1, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)bundle_download_time(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,103 @@
+#include "model/mixed_bundling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/availability.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+MixedBundlingConfig base_config(double q) {
+    MixedBundlingConfig config;
+    config.lambdas = {1.0 / 60.0, 1.0 / 120.0, 1.0 / 240.0};
+    config.bundle_opt_in = q;
+    return config;
+}
+
+TEST(MixedBundling, ZeroOptInRecoversIsolatedSwarms) {
+    const auto rows = evaluate_mixed_bundling(base_params(), base_config(0.0));
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto& row : rows) {
+        EXPECT_DOUBLE_EQ(row.p_bundle, 1.0);
+        SwarmParams isolated = base_params();
+        isolated.peer_arrival_rate = row.lambda;
+        const double expected = availability_impatient(isolated).unavailability;
+        EXPECT_NEAR(row.p_mixed, expected, 1e-12);
+    }
+}
+
+TEST(MixedBundling, FullOptInRecoversPureBundle) {
+    const auto rows = evaluate_mixed_bundling(base_params(), base_config(1.0));
+    SwarmParams bundle = base_params();
+    bundle.peer_arrival_rate = 1.0 / 60.0 + 1.0 / 120.0 + 1.0 / 240.0;
+    bundle.content_size = 3.0 * 80.0;
+    const double expected = availability_impatient(bundle).unavailability;
+    for (const auto& row : rows) {
+        EXPECT_DOUBLE_EQ(row.p_individual, 1.0);
+        EXPECT_NEAR(row.p_mixed, expected, 1e-12);
+    }
+}
+
+TEST(MixedBundling, UnavailabilityMonotoneInOptIn) {
+    double previous = 1.0;
+    for (double q : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+        const auto rows = evaluate_mixed_bundling(base_params(), base_config(q));
+        const double aggregate = request_unavailability(rows, q);
+        EXPECT_LT(aggregate, previous + 1e-12) << "q=" << q;
+        previous = aggregate;
+    }
+}
+
+TEST(MixedBundling, SmallOptInAlreadyHelpsSubstantially) {
+    // The Section 5 claim: a small opting fraction yields a large
+    // availability gain.
+    const auto isolated = evaluate_mixed_bundling(base_params(), base_config(0.0));
+    const auto mixed = evaluate_mixed_bundling(base_params(), base_config(0.15));
+    const double p0 = request_unavailability(isolated, 0.0);
+    const double p15 = request_unavailability(mixed, 0.15);
+    EXPECT_LT(p15, 0.7 * p0);
+}
+
+TEST(MixedBundling, MixedProductStructure) {
+    const auto rows = evaluate_mixed_bundling(base_params(), base_config(0.3));
+    for (const auto& row : rows) {
+        EXPECT_NEAR(row.p_mixed, row.p_individual * row.p_bundle, 1e-12);
+        EXPECT_GE(row.download_time_single, base_params().service_time());
+        EXPECT_GE(row.download_time_bundle, 3.0 * base_params().service_time());
+    }
+}
+
+TEST(MixedBundling, UnpopularFilesHaveHigherIndividualUnavailability) {
+    const auto rows = evaluate_mixed_bundling(base_params(), base_config(0.2));
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i].p_individual, rows[i - 1].p_individual);
+    }
+}
+
+TEST(MixedBundling, RejectsInvalidConfig) {
+    MixedBundlingConfig config;
+    EXPECT_THROW((void)evaluate_mixed_bundling(base_params(), config),
+                 std::invalid_argument);
+    config.lambdas = {0.1};
+    config.bundle_opt_in = 1.5;
+    EXPECT_THROW((void)evaluate_mixed_bundling(base_params(), config),
+                 std::invalid_argument);
+    config.bundle_opt_in = 0.5;
+    config.lambdas = {0.1, 0.0};
+    EXPECT_THROW((void)evaluate_mixed_bundling(base_params(), config),
+                 std::invalid_argument);
+    EXPECT_THROW((void)request_unavailability({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,117 @@
+// Parameterized property sweep over the model's parameter space: the
+// structural guarantees of Section 3 must hold at every grid point, not
+// just the calibrated Figure 3/6 settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/availability.hpp"
+#include "model/bundling.hpp"
+#include "model/download_time.hpp"
+
+namespace swarmavail::model {
+namespace {
+
+using GridCase = std::tuple<double, double, double, double>;  // lambda, s/mu, r, u
+
+SwarmParams params_of(const GridCase& grid) {
+    SwarmParams params;
+    params.peer_arrival_rate = std::get<0>(grid);
+    params.content_size = std::get<1>(grid);
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = std::get<2>(grid);
+    params.publisher_residence = std::get<3>(grid);
+    return params;
+}
+
+class ModelProperties : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ModelProperties, ProbabilitiesAreProbabilities) {
+    const auto params = params_of(GetParam());
+    for (const double p :
+         {availability_publishers_only(params).unavailability,
+          availability_peers_and_publishers(params).unavailability,
+          availability_impatient(params).unavailability,
+          download_time_patient(params).unavailability,
+          download_time_threshold(params, 3).unavailability,
+          download_time_single_publisher(params, 3).unavailability}) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST_P(ModelProperties, DownloadTimeDominatesServiceTime) {
+    const auto params = params_of(GetParam());
+    for (const auto& dt :
+         {download_time_patient(params), download_time_threshold(params, 2),
+          download_time_single_publisher(params, 2)}) {
+        EXPECT_GE(dt.download_time, params.service_time() - 1e-9);
+        EXPECT_GE(dt.waiting_time, 0.0);
+    }
+}
+
+TEST_P(ModelProperties, PeersHelpOnTopOfPublishersAlone) {
+    // Adding peer-sustained busy periods can only improve availability over
+    // the publishers-only model at matched publisher processes (with
+    // u = s/mu, the eq. 7 process dominates the eq. 2 one).
+    auto params = params_of(GetParam());
+    params.publisher_residence = params.service_time();
+    const auto without = availability_publishers_only(params);
+    const auto with = availability_peers_and_publishers(params);
+    EXPECT_LE(with.unavailability, without.unavailability + 1e-12);
+}
+
+TEST_P(ModelProperties, BundlingMonotonicallyImprovesAvailability) {
+    const auto params = params_of(GetParam());
+    double previous = 1.1;
+    for (std::size_t k = 1; k <= 5; ++k) {
+        const auto bundle = make_bundle(params, k, PublisherScaling::kConstant);
+        const double p = availability_impatient(bundle).unavailability;
+        EXPECT_LT(p, previous) << "k=" << k;
+        previous = p;
+    }
+}
+
+TEST_P(ModelProperties, Theorem32UpperBoundHolds) {
+    const auto params = params_of(GetParam());
+    const double single = download_time_patient(params).download_time;
+    for (std::size_t k : {2u, 4u, 6u}) {
+        const auto bundle = make_bundle(params, k, PublisherScaling::kConstant);
+        EXPECT_LE(download_time_patient(bundle).download_time,
+                  static_cast<double>(k) * single * (1.0 + 1e-9))
+            << "k=" << k;
+    }
+}
+
+TEST_P(ModelProperties, PatientWaitMatchesLossProbability) {
+    // Lemma 3.2's structure: waiting = P/r for the identical P that the
+    // impatient model loses.
+    const auto params = params_of(GetParam());
+    const auto impatient = availability_impatient(params);
+    const auto patient = download_time_patient(params);
+    EXPECT_NEAR(patient.waiting_time,
+                impatient.unavailability / params.publisher_arrival_rate, 1e-9);
+}
+
+TEST_P(ModelProperties, ThresholdModelMonotoneInM) {
+    const auto params = params_of(GetParam());
+    double previous = -1.0;
+    for (std::size_t m : {1u, 2u, 4u, 8u}) {
+        const double p = download_time_threshold(params, m).unavailability;
+        EXPECT_GE(p, previous - 1e-12) << "m=" << m;
+        previous = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, ModelProperties,
+    ::testing::Values(GridCase{1.0 / 60.0, 80.0, 1.0 / 900.0, 300.0},
+                      GridCase{1.0 / 30.0, 40.0, 1.0 / 300.0, 100.0},
+                      GridCase{1.0 / 300.0, 120.0, 1.0 / 2000.0, 600.0},
+                      GridCase{1.0 / 15.0, 20.0, 1.0 / 1200.0, 50.0},
+                      GridCase{1.0 / 120.0, 200.0, 1.0 / 600.0, 900.0},
+                      GridCase{1.0 / 600.0, 60.0, 1.0 / 450.0, 150.0}));
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,110 @@
+#include "model/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 4.0e6 * 8.0;
+    params.download_rate = 50.0e3 * 8.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(SwarmParams, ServiceTimeIsSizeOverRate) {
+    const auto params = base_params();
+    EXPECT_NEAR(params.service_time(), 80.0, 1e-9);
+}
+
+TEST(SwarmParams, OfferedLoad) {
+    const auto params = base_params();
+    EXPECT_NEAR(params.offered_load(), 80.0 / 60.0, 1e-9);
+}
+
+TEST(SwarmParams, ValidateAcceptsPositiveParameters) {
+    EXPECT_NO_THROW(base_params().validate());
+}
+
+TEST(SwarmParams, ValidateRejectsEachNonPositiveField) {
+    auto p = base_params();
+    p.peer_arrival_rate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = base_params();
+    p.content_size = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = base_params();
+    p.download_rate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = base_params();
+    p.publisher_arrival_rate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = base_params();
+    p.publisher_residence = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MakeBundle, ProportionalScalingMultipliesEverything) {
+    const auto base = base_params();
+    const auto bundle = make_bundle(base, 4, PublisherScaling::kProportional);
+    EXPECT_DOUBLE_EQ(bundle.peer_arrival_rate, 4.0 * base.peer_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.content_size, 4.0 * base.content_size);
+    EXPECT_DOUBLE_EQ(bundle.publisher_arrival_rate, 4.0 * base.publisher_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.publisher_residence, 4.0 * base.publisher_residence);
+    EXPECT_DOUBLE_EQ(bundle.download_rate, base.download_rate);
+}
+
+TEST(MakeBundle, ConstantScalingKeepsPublisherProcess) {
+    const auto base = base_params();
+    const auto bundle = make_bundle(base, 6, PublisherScaling::kConstant);
+    EXPECT_DOUBLE_EQ(bundle.peer_arrival_rate, 6.0 * base.peer_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.content_size, 6.0 * base.content_size);
+    EXPECT_DOUBLE_EQ(bundle.publisher_arrival_rate, base.publisher_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.publisher_residence, base.publisher_residence);
+}
+
+TEST(MakeBundle, SizeOneIsIdentity) {
+    const auto base = base_params();
+    const auto bundle = make_bundle(base, 1, PublisherScaling::kProportional);
+    EXPECT_DOUBLE_EQ(bundle.peer_arrival_rate, base.peer_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.content_size, base.content_size);
+}
+
+TEST(MakeBundle, RejectsZeroK) {
+    EXPECT_THROW((void)make_bundle(base_params(), 0, PublisherScaling::kConstant),
+                 std::invalid_argument);
+}
+
+TEST(MakeBundleHeterogeneous, AggregatesDemandAndSize) {
+    auto a = base_params();
+    auto b = base_params();
+    b.peer_arrival_rate = 1.0 / 120.0;
+    b.content_size = 2.0e6 * 8.0;
+    const auto bundle = make_bundle(std::vector<SwarmParams>{a, b}, 0.01, 200.0);
+    EXPECT_DOUBLE_EQ(bundle.peer_arrival_rate,
+                     a.peer_arrival_rate + b.peer_arrival_rate);
+    EXPECT_DOUBLE_EQ(bundle.content_size, a.content_size + b.content_size);
+    EXPECT_DOUBLE_EQ(bundle.publisher_arrival_rate, 0.01);
+    EXPECT_DOUBLE_EQ(bundle.publisher_residence, 200.0);
+}
+
+TEST(MakeBundleHeterogeneous, RejectsMismatchedCapacities) {
+    auto a = base_params();
+    auto b = base_params();
+    b.download_rate = 2.0 * a.download_rate;
+    EXPECT_THROW((void)make_bundle(std::vector<SwarmParams>{a, b}, 0.01, 200.0),
+                 std::invalid_argument);
+}
+
+TEST(MakeBundleHeterogeneous, RejectsEmptyConstituents) {
+    EXPECT_THROW((void)make_bundle(std::vector<SwarmParams>{}, 0.01, 200.0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,174 @@
+#include "model/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+PartitionConfig config_for(std::vector<double> lambdas) {
+    PartitionConfig config;
+    config.lambdas = std::move(lambdas);
+    return config;
+}
+
+/// All files of a partition, sorted.
+std::vector<std::size_t> flatten(const Partition& partition) {
+    std::vector<std::size_t> files;
+    for (const auto& bundle : partition) {
+        files.insert(files.end(), bundle.begin(), bundle.end());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(BundleCost, GrowsWithBundleSizeWhenAvailable) {
+    // With a highly available swarm, cost ~ service: linear in files.
+    auto params = base_params();
+    const auto config = config_for({1.0});
+    const double one = bundle_cost(params, 0.5, 1, config);
+    const double two = bundle_cost(params, 0.5, 2, config);
+    EXPECT_GT(two, one);
+}
+
+TEST(BundleCost, PenaltyAddsPerExtraFile) {
+    auto config = config_for({1.0});
+    config.per_extra_file_penalty = 100.0;
+    const double without = bundle_cost(base_params(), 0.1, 3, config_for({1.0}));
+    const double with = bundle_cost(base_params(), 0.1, 3, config);
+    EXPECT_NEAR(with - without, 200.0, 1e-9);
+}
+
+TEST(PartitionCost, SingletonPartitionMatchesIsolatedSwarms) {
+    const auto config = config_for({0.02, 0.01});
+    const Partition singletons{{0}, {1}};
+    const double cost = partition_cost(base_params(), singletons, config);
+    const double c0 = bundle_cost(base_params(), 0.02, 1, config);
+    const double c1 = bundle_cost(base_params(), 0.01, 1, config);
+    const double expected = (0.02 * c0 + 0.01 * c1) / 0.03;
+    EXPECT_NEAR(cost, expected, 1e-9);
+}
+
+TEST(PartitionCost, RejectsIncompleteOrDuplicatedPartitions) {
+    const auto config = config_for({0.02, 0.01});
+    EXPECT_THROW((void)partition_cost(base_params(), {{0}}, config),
+                 std::invalid_argument);
+    EXPECT_THROW((void)partition_cost(base_params(), {{0}, {0, 1}}, config),
+                 std::invalid_argument);
+    EXPECT_THROW((void)partition_cost(base_params(), {{0}, {5}}, config),
+                 std::invalid_argument);
+    EXPECT_THROW((void)partition_cost(base_params(), {}, config),
+                 std::invalid_argument);
+}
+
+TEST(OptimalPartitionExhaustive, CoversAllFilesExactlyOnce) {
+    const auto config = config_for({0.02, 0.008, 0.004, 0.002});
+    const auto partition = optimal_partition_exhaustive(base_params(), config);
+    const auto files = flatten(partition);
+    EXPECT_EQ(files, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(OptimalPartitionExhaustive, UnpopularFilesGetBundled) {
+    // Four very unpopular files: isolated swarms are mostly unavailable,
+    // so the optimum bundles them rather than leaving singletons.
+    const auto config = config_for({0.003, 0.0025, 0.002, 0.0015});
+    const auto partition = optimal_partition_exhaustive(base_params(), config);
+    const double bundled_cost = partition_cost(base_params(), partition, config);
+    const double singleton_cost =
+        partition_cost(base_params(), {{0}, {1}, {2}, {3}}, config);
+    EXPECT_LT(bundled_cost, singleton_cost);
+    // At least one bundle holds >= 2 files.
+    std::size_t largest = 0;
+    for (const auto& bundle : partition) {
+        largest = std::max(largest, bundle.size());
+    }
+    EXPECT_GE(largest, 2u);
+}
+
+TEST(OptimalPartitionExhaustive, PopularFilesStaySolo) {
+    // Two very popular files self-sustain alone; bundling only adds cost.
+    const auto config = config_for({0.2, 0.15});
+    const auto partition = optimal_partition_exhaustive(base_params(), config);
+    EXPECT_EQ(partition.size(), 2u);
+}
+
+TEST(OptimalPartitionContiguous, MatchesExhaustiveOnSmallInstances) {
+    for (const auto& lambdas :
+         {std::vector<double>{0.05, 0.004, 0.003, 0.002},
+          std::vector<double>{0.003, 0.0025, 0.002, 0.0015},
+          std::vector<double>{0.2, 0.1, 0.001}}) {
+        const auto config = config_for(lambdas);
+        const auto exhaustive = optimal_partition_exhaustive(base_params(), config);
+        const auto contiguous = optimal_partition_contiguous(base_params(), config);
+        const double exhaustive_cost =
+            partition_cost(base_params(), exhaustive, config);
+        const double contiguous_cost =
+            partition_cost(base_params(), contiguous, config);
+        // Contiguity is a restriction, so >=; on these instances the optima
+        // coincide (demand-sorted bundling is natural).
+        EXPECT_GE(contiguous_cost, exhaustive_cost - 1e-9);
+        EXPECT_NEAR(contiguous_cost, exhaustive_cost, 0.02 * exhaustive_cost);
+    }
+}
+
+TEST(OptimalPartitionContiguous, HandlesLargerCatalogs) {
+    std::vector<double> lambdas;
+    for (int i = 1; i <= 30; ++i) {
+        lambdas.push_back(0.05 / i);
+    }
+    const auto config = config_for(lambdas);
+    const auto partition = optimal_partition_contiguous(base_params(), config);
+    const auto files = flatten(partition);
+    std::vector<std::size_t> expected(30);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(files, expected);
+    // The optimum beats both extremes.
+    const double cost = partition_cost(base_params(), partition, config);
+    Partition all_solo;
+    for (std::size_t i = 0; i < 30; ++i) {
+        all_solo.push_back({i});
+    }
+    Partition one_bundle(1);
+    one_bundle[0] = expected;
+    EXPECT_LE(cost, partition_cost(base_params(), all_solo, config) + 1e-9);
+    EXPECT_LE(cost, partition_cost(base_params(), one_bundle, config) + 1e-9);
+}
+
+TEST(OptimalPartitionContiguous, PenaltyDiscouragesGiantBundles) {
+    std::vector<double> lambdas(8, 0.002);
+    auto cheap = config_for(lambdas);
+    auto pricey = config_for(lambdas);
+    pricey.per_extra_file_penalty = 500.0;
+    const auto big = optimal_partition_contiguous(base_params(), cheap);
+    const auto small = optimal_partition_contiguous(base_params(), pricey);
+    std::size_t big_max = 0;
+    std::size_t small_max = 0;
+    for (const auto& bundle : big) {
+        big_max = std::max(big_max, bundle.size());
+    }
+    for (const auto& bundle : small) {
+        small_max = std::max(small_max, bundle.size());
+    }
+    EXPECT_GE(big_max, small_max);
+}
+
+TEST(OptimalPartitionExhaustive, RejectsTooManyFiles) {
+    const auto config = config_for(std::vector<double>(11, 0.01));
+    EXPECT_THROW((void)optimal_partition_exhaustive(base_params(), config),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

@@ -1,0 +1,104 @@
+#include "model/zipf_demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swarmavail::model {
+namespace {
+
+SwarmParams base_params() {
+    SwarmParams params;
+    params.peer_arrival_rate = 1.0;  // ignored by compare_isolated_vs_bundle
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+TEST(ZipfPopularities, NormalizedAndDecreasing) {
+    const auto p = zipf_popularities(10, 1.0);
+    ASSERT_EQ(p.size(), 10u);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+    for (std::size_t i = 1; i < p.size(); ++i) {
+        EXPECT_LT(p[i], p[i - 1]);
+    }
+}
+
+TEST(ZipfPopularities, ZeroExponentUniform) {
+    const auto p = zipf_popularities(4, 0.0);
+    for (double v : p) {
+        EXPECT_NEAR(v, 0.25, 1e-12);
+    }
+}
+
+TEST(ZipfPopularities, KnownRatios) {
+    const auto p = zipf_popularities(3, 1.0);
+    EXPECT_NEAR(p[0] / p[1], 2.0, 1e-9);
+    EXPECT_NEAR(p[0] / p[2], 3.0, 1e-9);
+}
+
+TEST(CompareIsolatedVsBundle, Figure6cDemandPattern) {
+    // Section 4.3.3: lambda_i = 1/(8 i) for i = 1..4 (in 1/s here scaled to
+    // the paper's per-minute-ish magnitudes). Bundling must hurt the most
+    // popular file and help the unpopular ones.
+    HeterogeneousDemandConfig config;
+    config.lambdas = {1.0 / 8.0, 1.0 / 16.0, 1.0 / 24.0, 1.0 / 32.0};
+    config.coverage_threshold = 9;
+    config.single_publisher = true;
+    const auto rows = compare_isolated_vs_bundle(base_params(), config);
+    ASSERT_EQ(rows.size(), 4u);
+    // All files share the bundle download time.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_DOUBLE_EQ(rows[i].bundled_time, rows[0].bundled_time);
+    }
+    // Isolated download time grows as popularity falls.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i].isolated_time, rows[i - 1].isolated_time);
+    }
+    // The most popular file gains least (typically loses); the least
+    // popular gains most.
+    EXPECT_LT(rows.front().gain, rows.back().gain);
+}
+
+TEST(CompareIsolatedVsBundle, GainIsIsolatedMinusBundled) {
+    HeterogeneousDemandConfig config;
+    config.lambdas = {0.02, 0.005};
+    const auto rows = compare_isolated_vs_bundle(base_params(), config);
+    for (const auto& row : rows) {
+        EXPECT_NEAR(row.gain, row.isolated_time - row.bundled_time, 1e-9);
+    }
+}
+
+TEST(CompareIsolatedVsBundle, PatientModelVariant) {
+    HeterogeneousDemandConfig config;
+    config.lambdas = {0.02, 0.005, 0.001};
+    config.single_publisher = false;
+    const auto rows = compare_isolated_vs_bundle(base_params(), config);
+    ASSERT_EQ(rows.size(), 3u);
+    // Unpopular files still benefit more under the patient-peer model.
+    EXPECT_LT(rows.front().gain, rows.back().gain);
+}
+
+TEST(CompareIsolatedVsBundle, LambdasRecordedPerFile) {
+    HeterogeneousDemandConfig config;
+    config.lambdas = {0.3, 0.2, 0.1};
+    const auto rows = compare_isolated_vs_bundle(base_params(), config);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].file, i + 1);
+        EXPECT_DOUBLE_EQ(rows[i].lambda, config.lambdas[i]);
+    }
+}
+
+TEST(CompareIsolatedVsBundle, RejectsInvalidDemands) {
+    HeterogeneousDemandConfig config;
+    EXPECT_THROW((void)compare_isolated_vs_bundle(base_params(), config),
+                 std::invalid_argument);
+    config.lambdas = {0.1, 0.0};
+    EXPECT_THROW((void)compare_isolated_vs_bundle(base_params(), config),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::model

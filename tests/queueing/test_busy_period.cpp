@@ -1,0 +1,300 @@
+#include "queueing/busy_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/monte_carlo.hpp"
+#include "util/random.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::queueing {
+namespace {
+
+TEST(BusyPeriodExponential, MatchesClosedForm) {
+    const auto result = busy_period_exponential(0.1, 20.0);
+    EXPECT_NEAR(result.value, (std::exp(2.0) - 1.0) / 0.1, 1e-9);
+    EXPECT_NEAR(result.log_value, std::log(result.value), 1e-12);
+}
+
+TEST(BusyPeriodExponential, SmallLoadApproachesServiceTime) {
+    // For beta*alpha -> 0, E[B] -> alpha (the lone customer's residence).
+    const auto result = busy_period_exponential(1e-9, 50.0);
+    EXPECT_NEAR(result.value, 50.0, 1e-5);
+}
+
+TEST(BusyPeriodExponential, LogValueFiniteWhenValueOverflows) {
+    const auto result = busy_period_exponential(1.0, 800.0);
+    EXPECT_TRUE(std::isinf(result.value));
+    EXPECT_NEAR(result.log_value, 800.0 - std::log(1.0), 1.0);
+}
+
+TEST(BusyPeriodExponential, RejectsNonPositiveParameters) {
+    EXPECT_THROW((void)busy_period_exponential(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_exponential(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(BusyPeriodExceptional, ReducesToExponentialWhenThetaEqualsAlpha) {
+    const auto plain = busy_period_exponential(0.2, 15.0);
+    const auto exceptional = busy_period_exceptional(0.2, 15.0, 15.0);
+    EXPECT_NEAR(exceptional.value, plain.value, 1e-8 * plain.value);
+}
+
+TEST(BusyPeriodExceptional, LongerInitiatorExtendsBusyPeriod) {
+    const auto short_first = busy_period_exceptional(0.1, 10.0, 5.0);
+    const auto long_first = busy_period_exceptional(0.1, 10.0, 50.0);
+    EXPECT_GT(long_first.value, short_first.value);
+}
+
+TEST(BusyPeriodExceptional, MatchesMonteCarlo) {
+    const double beta = 0.08;
+    const double alpha = 25.0;
+    const double theta = 60.0;
+    const auto theory = busy_period_exceptional(beta, alpha, theta);
+    Rng rng{101};
+    StreamingStats mc;
+    const auto first = [theta](Rng& r) { return r.exponential_mean(theta); };
+    const auto later = [alpha](Rng& r) { return r.exponential_mean(alpha); };
+    for (int i = 0; i < 100000; ++i) {
+        mc.add(sim::sample_busy_period(rng, beta, first, later));
+    }
+    EXPECT_NEAR(theory.value, mc.mean(), 4.0 * mc.ci95_halfwidth());
+}
+
+TEST(BusyPeriodMixed, ReducesToExceptionalAtDegenerateMixture) {
+    const auto exceptional = busy_period_exceptional(0.1, 30.0, 12.0);
+    const auto via_q1 = busy_period_mixed({0.1, 12.0, 1.0, 30.0, 99.0});
+    const auto via_q0 = busy_period_mixed({0.1, 12.0, 0.0, 99.0, 30.0});
+    EXPECT_NEAR(via_q1.value, exceptional.value, 1e-9 * exceptional.value);
+    EXPECT_NEAR(via_q0.value, exceptional.value, 1e-9 * exceptional.value);
+}
+
+TEST(BusyPeriodMixed, SymmetricUnderClassSwap) {
+    const auto a = busy_period_mixed({0.05, 20.0, 0.3, 70.0, 10.0});
+    const auto b = busy_period_mixed({0.05, 20.0, 0.7, 10.0, 70.0});
+    EXPECT_NEAR(a.value, b.value, 1e-9 * a.value);
+}
+
+TEST(BusyPeriodMixed, EqualClassMeansMatchSingleClass) {
+    // When alpha1 == alpha2 the mixture weights are irrelevant.
+    const auto mixed = busy_period_mixed({0.1, 25.0, 0.37, 25.0, 25.0});
+    const auto plain = busy_period_exponential(0.1, 25.0);
+    EXPECT_NEAR(mixed.value, plain.value, 1e-8 * plain.value);
+}
+
+struct MixedMcCase {
+    double beta;
+    double theta;
+    double q1;
+    double alpha1;
+    double alpha2;
+};
+
+class BusyPeriodMixedMc : public ::testing::TestWithParam<MixedMcCase> {};
+
+TEST_P(BusyPeriodMixedMc, MatchesMonteCarlo) {
+    const auto p = GetParam();
+    const auto theory = busy_period_mixed({p.beta, p.theta, p.q1, p.alpha1, p.alpha2});
+    Rng rng{7};
+    const sim::MixedBusyPeriodMc mc_params{p.beta, p.theta, p.q1, p.alpha1, p.alpha2};
+    const auto mc = sim::sample_mixed_busy_periods(rng, mc_params, 60000);
+    EXPECT_NEAR(theory.value, mc.mean(), 5.0 * mc.ci95_halfwidth())
+        << "beta=" << p.beta << " theta=" << p.theta << " q1=" << p.q1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, BusyPeriodMixedMc,
+    ::testing::Values(MixedMcCase{0.02, 10.0, 0.5, 40.0, 10.0},
+                      MixedMcCase{0.05, 30.0, 0.7, 80.0, 15.0},
+                      MixedMcCase{0.1, 5.0, 0.2, 20.0, 60.0},
+                      MixedMcCase{0.01, 100.0, 0.9, 120.0, 100.0},
+                      MixedMcCase{0.2, 8.0, 0.6, 12.0, 4.0}));
+
+TEST(BusyPeriodMixed, MonotoneInArrivalRate) {
+    double previous = 0.0;
+    for (double beta : {0.01, 0.02, 0.05, 0.1, 0.2}) {
+        const auto result = busy_period_mixed({beta, 20.0, 0.8, 50.0, 20.0});
+        EXPECT_GT(result.value, previous);
+        previous = result.value;
+    }
+}
+
+TEST(BusyPeriodMixed, MonotoneInServiceTime) {
+    double previous = 0.0;
+    for (double alpha1 : {10.0, 20.0, 40.0, 80.0}) {
+        const auto result = busy_period_mixed({0.05, 20.0, 0.8, alpha1, 20.0});
+        EXPECT_GT(result.value, previous);
+        previous = result.value;
+    }
+}
+
+TEST(BusyPeriodMixed, RejectsInvalidParameters) {
+    EXPECT_THROW((void)busy_period_mixed({0.0, 1.0, 0.5, 1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_mixed({1.0, 0.0, 0.5, 1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_mixed({1.0, 1.0, 1.5, 1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_mixed({1.0, 1.0, 0.5, 0.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_mixed({1.0, 1.0, 0.5, 1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(ResidualBusyPeriod, ZeroPeersIsZero) {
+    const ResidualParams params{0.01, 80.0};
+    EXPECT_DOUBLE_EQ(residual_busy_period_to_empty(0, params).value, 0.0);
+}
+
+TEST(ResidualBusyPeriod, OnePeerNoArrivalsLimit) {
+    // With lambda -> 0, B(1,0) -> service (a single exponential drain).
+    const ResidualParams params{1e-9, 80.0};
+    EXPECT_NEAR(residual_busy_period_to_empty(1, params).value, 80.0, 1e-4);
+}
+
+TEST(ResidualBusyPeriod, HarmonicDrainForSmallLambda) {
+    // With lambda -> 0, B(n,0) -> service * H_n (max of n exponentials).
+    const ResidualParams params{1e-9, 60.0};
+    const double h3 = 1.0 + 0.5 + 1.0 / 3.0;
+    EXPECT_NEAR(residual_busy_period_to_empty(3, params).value, 60.0 * h3, 1e-3);
+}
+
+TEST(ResidualBusyPeriod, RecursionIdentity) {
+    // B(n, m) = B(n, 0) - B(m, 0) (Lemma 3.3).
+    const ResidualParams params{1.0 / 60.0, 80.0};
+    const double b52 = residual_busy_period(5, 2, params);
+    const double b50 = residual_busy_period_to_empty(5, params).value;
+    const double b20 = residual_busy_period_to_empty(2, params).value;
+    EXPECT_NEAR(b52, b50 - b20, 1e-9 * b50);
+}
+
+TEST(ResidualBusyPeriod, ZeroWhenAlreadyAtThreshold) {
+    const ResidualParams params{0.01, 50.0};
+    EXPECT_DOUBLE_EQ(residual_busy_period(3, 3, params), 0.0);
+    EXPECT_DOUBLE_EQ(residual_busy_period(2, 5, params), 0.0);
+}
+
+struct ResidualMcCase {
+    std::size_t n;
+    std::size_t m;
+    double lambda;
+    double service;
+};
+
+class ResidualBusyPeriodMc : public ::testing::TestWithParam<ResidualMcCase> {};
+
+TEST_P(ResidualBusyPeriodMc, MatchesBirthDeathSimulation) {
+    const auto p = GetParam();
+    const double theory = residual_busy_period(p.n, p.m, {p.lambda, p.service});
+    Rng rng{17};
+    StreamingStats mc;
+    for (int i = 0; i < 60000; ++i) {
+        mc.add(sim::sample_residual_busy_period(rng, p.n, p.m, p.lambda, p.service));
+    }
+    EXPECT_NEAR(theory, mc.mean(), 5.0 * mc.ci95_halfwidth())
+        << "n=" << p.n << " m=" << p.m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, ResidualBusyPeriodMc,
+    ::testing::Values(ResidualMcCase{5, 0, 1.0 / 60.0, 80.0},
+                      ResidualMcCase{5, 2, 1.0 / 60.0, 80.0},
+                      ResidualMcCase{10, 4, 1.0 / 30.0, 40.0},
+                      ResidualMcCase{3, 1, 1.0 / 150.0, 120.0},
+                      ResidualMcCase{8, 7, 0.05, 50.0}));
+
+TEST(SteadyStateResidual, MatchesMonteCarlo) {
+    const std::size_t m = 3;
+    const double lambda = 1.0 / 20.0;
+    const double service = 100.0;  // rho = 5
+    const double theory = steady_state_residual_busy_period(m, {lambda, service});
+    Rng rng{23};
+    StreamingStats mc;
+    for (int i = 0; i < 60000; ++i) {
+        mc.add(sim::sample_steady_state_residual(rng, m, lambda, service));
+    }
+    EXPECT_NEAR(theory, mc.mean(), 5.0 * mc.ci95_halfwidth());
+}
+
+TEST(SteadyStateResidual, ZeroWhenThresholdAboveTypicalOccupancy) {
+    // rho = 0.5, threshold 20: essentially no mass above the threshold.
+    const double value = steady_state_residual_busy_period(20, {0.01, 50.0});
+    EXPECT_LT(value, 1e-6);
+}
+
+TEST(SteadyStateResidual, GrowsWithOfferedLoad) {
+    double previous = -1.0;
+    for (double lambda : {0.01, 0.02, 0.04, 0.08}) {
+        const double value = steady_state_residual_busy_period(2, {lambda, 80.0});
+        EXPECT_GT(value, previous);
+        previous = value;
+    }
+}
+
+TEST(SteadyStateResidual, Figure4RegressionValues) {
+    // Section 4.2: mu = 33 KBps, s = 4 MB, lambda = 1/150 peers/s per file,
+    // m = 9. The bundle of K files has lambda_B = K lambda, S = K s. The
+    // paper reports the self-sustainability boundary between K=4 and K=5+;
+    // these values pin our implementation (computed from eq. 13).
+    const double service_per_file = 4000.0 / 33.0;  // ~121 s
+    auto bm = [&](int k) {
+        return steady_state_residual_busy_period(
+            9, {static_cast<double>(k) / 150.0, static_cast<double>(k) * service_per_file});
+    };
+    EXPECT_LT(bm(1), 1e-3);     // effectively zero
+    EXPECT_LT(bm(2), 1.0);      // still negligible
+    EXPECT_GT(bm(4), 500.0);    // minutes-scale
+    EXPECT_GT(bm(5), 10000.0);  // hours-scale: self-sustaining in a 1500 s run
+    EXPECT_GT(bm(6), bm(5));    // strictly growing in K
+}
+
+TEST(DownwardPassageTime, SumMatchesEquation12) {
+    // sum_{i=1}^{n} d_i must equal eq. 12's B(n, 0) for moderate loads.
+    const ResidualParams params{1.0 / 60.0, 80.0};
+    for (std::size_t n : {1u, 3u, 6u, 10u}) {
+        double via_passage = 0.0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            via_passage += downward_passage_time(i, params);
+        }
+        const double via_eq12 = residual_busy_period_to_empty(n, params).value;
+        EXPECT_NEAR(via_passage, via_eq12, 1e-8 * via_eq12) << "n=" << n;
+    }
+}
+
+TEST(DownwardPassageTime, NoCancellationAtHugeLoad) {
+    // rho = 533 (a K=20 bundle): the naive B(10,0) - B(9,0) difference
+    // rounds to 0; the passage-time form must stay astronomically large.
+    const ResidualParams params{20.0 / 60.0, 1600.0};
+    const double d10 = downward_passage_time(10, params);
+    EXPECT_TRUE(d10 > 1e100 || std::isinf(d10));
+    EXPECT_TRUE(residual_busy_period(10, 9, params) > 1e100 ||
+                std::isinf(residual_busy_period(10, 9, params)));
+}
+
+TEST(DownwardPassageTime, DecreasesInStartingPopulation) {
+    // Higher populations drain to the next level faster (more servers).
+    const ResidualParams params{0.001, 50.0};  // rho tiny: d_i ~ service/i
+    double previous = 1e300;
+    for (std::size_t i = 1; i <= 5; ++i) {
+        const double d = downward_passage_time(i, params);
+        EXPECT_LT(d, previous);
+        EXPECT_NEAR(d, 50.0 / static_cast<double>(i), 2.0);
+        previous = d;
+    }
+}
+
+TEST(BusyPeriodResults, LogValueConsistentWithValue) {
+    for (const auto& result :
+         {busy_period_exponential(0.05, 40.0), busy_period_exceptional(0.05, 40.0, 10.0),
+          busy_period_mixed({0.05, 10.0, 0.5, 40.0, 10.0})}) {
+        EXPECT_NEAR(result.log_value, std::log(result.value), 1e-9);
+    }
+}
+
+TEST(BusyPeriodMixed, HugeBundleSaturatesGracefully) {
+    // K = 40-like parameterization: value saturates, log stays finite.
+    const auto result = busy_period_mixed({40.0 / 60.0, 300.0, 0.98, 3200.0, 300.0});
+    EXPECT_TRUE(std::isinf(result.value));
+    EXPECT_TRUE(std::isfinite(result.log_value));
+    EXPECT_GT(result.log_value, 100.0);
+}
+
+}  // namespace
+}  // namespace swarmavail::queueing

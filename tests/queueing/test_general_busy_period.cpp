@@ -1,0 +1,119 @@
+#include "queueing/general_busy_period.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/monte_carlo.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::queueing {
+namespace {
+
+TEST(InitiatorDistributions, ExponentialTransform) {
+    const auto dist = exponential_initiator(10.0);
+    EXPECT_DOUBLE_EQ(dist.mean, 10.0);
+    EXPECT_DOUBLE_EQ(dist.laplace(0.0), 1.0);
+    EXPECT_NEAR(dist.laplace(0.1), 1.0 / 2.0, 1e-12);
+}
+
+TEST(InitiatorDistributions, DeterministicTransform) {
+    const auto dist = deterministic_initiator(5.0);
+    EXPECT_DOUBLE_EQ(dist.mean, 5.0);
+    EXPECT_NEAR(dist.laplace(0.2), std::exp(-1.0), 1e-12);
+}
+
+TEST(InitiatorDistributions, RejectNonPositive) {
+    EXPECT_THROW((void)exponential_initiator(0.0), std::invalid_argument);
+    EXPECT_THROW((void)deterministic_initiator(-1.0), std::invalid_argument);
+}
+
+TEST(BusyPeriodGeneral, ExponentialInitiatorMatchesEquation19) {
+    const double beta = 0.05;
+    const double alpha = 30.0;
+    const double theta = 12.0;
+    const auto via_eq18 =
+        busy_period_general(beta, alpha, exponential_initiator(theta));
+    const auto via_eq19 = busy_period_exceptional(beta, alpha, theta);
+    EXPECT_NEAR(via_eq18.value, via_eq19.value, 1e-9 * via_eq19.value);
+}
+
+TEST(BusyPeriodGeneral, EqualInitiatorMatchesEquation20) {
+    const double beta = 0.1;
+    const double alpha = 20.0;
+    const auto via_eq18 = busy_period_general(beta, alpha, exponential_initiator(alpha));
+    const auto via_eq20 = busy_period_exponential(beta, alpha);
+    EXPECT_NEAR(via_eq18.value, via_eq20.value, 1e-8 * via_eq20.value);
+}
+
+TEST(BusyPeriodGeneral, DeterministicInitiatorMatchesMonteCarlo) {
+    const double beta = 0.04;
+    const double alpha = 25.0;
+    const double length = 60.0;
+    const auto theory = busy_period_general(beta, alpha, deterministic_initiator(length));
+    Rng rng{211};
+    StreamingStats mc;
+    for (int i = 0; i < 100000; ++i) {
+        mc.add(sim::sample_busy_period(
+            rng, beta, [length](Rng&) { return length; },
+            [alpha](Rng& r) { return r.exponential_mean(alpha); }));
+    }
+    EXPECT_NEAR(theory.value, mc.mean(), 5.0 * mc.ci95_halfwidth());
+}
+
+TEST(BusyPeriodGeneral, HypoexponentialInitiatorMatchesMonteCarlo) {
+    const double beta = 0.03;
+    const double alpha = 40.0;
+    const auto hypo = Hypoexponential{{0.05, 0.1}};
+    const auto theory = busy_period_general(beta, alpha, hypoexponential_initiator(hypo));
+    Rng rng{223};
+    StreamingStats mc;
+    for (int i = 0; i < 100000; ++i) {
+        mc.add(sim::sample_busy_period(
+            rng, beta, [&hypo](Rng& r) { return hypo.sample(r); },
+            [alpha](Rng& r) { return r.exponential_mean(alpha); }));
+    }
+    EXPECT_NEAR(theory.value, mc.mean(), 5.0 * mc.ci95_halfwidth());
+}
+
+TEST(BusyPeriodGeneral, LongerInitiatorsDominate) {
+    const double beta = 0.05;
+    const double alpha = 20.0;
+    double previous = 0.0;
+    for (double theta : {5.0, 15.0, 45.0}) {
+        const auto result =
+            busy_period_general(beta, alpha, exponential_initiator(theta));
+        EXPECT_GT(result.value, previous);
+        previous = result.value;
+    }
+}
+
+TEST(BusyPeriodGeneral, RejectsInvalidArguments) {
+    const auto initiator = exponential_initiator(10.0);
+    EXPECT_THROW((void)busy_period_general(0.0, 1.0, initiator), std::invalid_argument);
+    EXPECT_THROW((void)busy_period_general(1.0, 0.0, initiator), std::invalid_argument);
+    InitiatorDistribution bad;
+    bad.mean = 1.0;  // no transform
+    EXPECT_THROW((void)busy_period_general(1.0, 1.0, bad), std::invalid_argument);
+}
+
+TEST(ResidualViaInitiator, MatchesEquation12Implementation) {
+    // Lemma 3.3 derives B(n, 0) from eq. 18 with the hypoexponential
+    // max-initiator; it must agree with the direct eq. 12 series.
+    const ResidualParams params{1.0 / 60.0, 80.0};
+    for (std::size_t n : {1u, 2u, 4u, 7u}) {
+        const auto via_initiator = residual_busy_period_via_initiator(n, params);
+        const auto via_eq12 = residual_busy_period_to_empty(n, params);
+        EXPECT_NEAR(via_initiator.value, via_eq12.value, 1e-6 * via_eq12.value)
+            << "n=" << n;
+    }
+}
+
+TEST(ResidualViaInitiator, RejectsZeroPeers) {
+    EXPECT_THROW((void)residual_busy_period_via_initiator(0, {0.1, 10.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::queueing

@@ -1,0 +1,125 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swarmavail::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule_at(3.0, [&] { order.push_back(3); });
+    queue.schedule_at(1.0, [&] { order.push_back(1); });
+    queue.schedule_at(2.0, [&] { order.push_back(2); });
+    while (queue.run_next()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    }
+    while (queue.run_next()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue queue;
+    bool fired = false;
+    const EventId id = queue.schedule_at(1.0, [&] { fired = true; });
+    queue.cancel(id);
+    while (queue.run_next()) {
+    }
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp) {
+    EventQueue queue;
+    queue.schedule_at(1.0, [] {});
+    queue.cancel(9999);
+    queue.cancel(0);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+    EventQueue queue;
+    const EventId id = queue.schedule_at(1.0, [] {});
+    queue.schedule_at(2.0, [] {});
+    queue.cancel(id);
+    queue.cancel(id);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+    EventQueue queue;
+    std::vector<double> fired;
+    for (double t : {1.0, 2.0, 3.0, 4.0}) {
+        queue.schedule_at(t, [&fired, t] { fired.push_back(t); });
+    }
+    queue.run_until(2.5);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(queue.now(), 2.5);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+    EventQueue queue;
+    queue.run_until(10.0);
+    EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+    EventQueue queue;
+    queue.schedule_at(5.0, [] {});
+    queue.run_until(5.0);
+    EXPECT_THROW((void)queue.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+    EventQueue queue;
+    std::vector<double> fired;
+    queue.schedule_at(1.0, [&] {
+        fired.push_back(queue.now());
+        queue.schedule_at(2.0, [&] { fired.push_back(queue.now()); });
+    });
+    queue.run_until(5.0);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+    EventQueue queue;
+    const EventId early = queue.schedule_at(1.0, [] {});
+    queue.schedule_at(2.0, [] {});
+    queue.cancel(early);
+    EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, NextTimeEmptyIsNegative) {
+    EventQueue queue;
+    EXPECT_LT(queue.next_time(), 0.0);
+    queue.schedule_at(3.0, [] {});
+    EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    const EventId a = queue.schedule_at(1.0, [] {});
+    queue.schedule_at(2.0, [] {});
+    EXPECT_EQ(queue.size(), 2u);
+    queue.cancel(a);
+    EXPECT_EQ(queue.size(), 1u);
+    queue.run_next();
+    EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

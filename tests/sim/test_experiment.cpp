@@ -1,0 +1,103 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+TEST(RunReplications, PoolsSamplesAcrossSeeds) {
+    const auto cell = run_replications(
+        "constant", [](std::uint64_t seed) {
+            return std::vector<double>{static_cast<double>(seed)};
+        },
+        4, 10);
+    EXPECT_EQ(cell.replications, 4u);
+    EXPECT_EQ(cell.samples.size(), 4u);
+    EXPECT_DOUBLE_EQ(cell.mean(), (10.0 + 11.0 + 12.0 + 13.0) / 4.0);
+    EXPECT_EQ(cell.label, "constant");
+}
+
+TEST(RunReplications, EmptyReplicationsSkipped) {
+    const auto cell = run_replications(
+        "sparse", [](std::uint64_t seed) {
+            return seed % 2 == 0 ? std::vector<double>{1.0} : std::vector<double>{};
+        },
+        4, 0);
+    EXPECT_EQ(cell.samples.size(), 2u);
+    EXPECT_EQ(cell.run_means.count(), 2u);
+}
+
+TEST(RunReplications, RunLevelCiUsesPerRunMeans) {
+    const auto cell = run_replications(
+        "two-runs", [](std::uint64_t seed) {
+            // Run means 1.0 and 3.0 regardless of within-run spread.
+            return seed == 0 ? std::vector<double>{0.5, 1.5}
+                             : std::vector<double>{2.5, 3.5};
+        },
+        2, 0);
+    EXPECT_DOUBLE_EQ(cell.run_means.mean(), 2.0);
+    EXPECT_GT(cell.ci95(), 0.0);
+}
+
+TEST(RunReplications, RejectsInvalidArguments) {
+    EXPECT_THROW(
+        (void)run_replications("x", [](std::uint64_t) { return std::vector<double>{}; },
+                               0, 0),
+        std::invalid_argument);
+    EXPECT_THROW((void)run_replications("x", nullptr, 1, 0), std::invalid_argument);
+}
+
+TEST(RunSweep, OneCellPerValueWithDistinctSeeds) {
+    std::vector<std::uint64_t> seeds_seen;
+    const auto sweep = run_sweep(
+        {1.0, 2.0},
+        [&seeds_seen](double value, std::uint64_t seed) {
+            seeds_seen.push_back(seed);
+            return std::vector<double>{value};
+        },
+        3, 100);
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_DOUBLE_EQ(sweep[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(sweep[1].cell.mean(), 2.0);
+    // Seeds must not repeat across cells.
+    std::sort(seeds_seen.begin(), seeds_seen.end());
+    EXPECT_TRUE(std::adjacent_find(seeds_seen.begin(), seeds_seen.end()) ==
+                seeds_seen.end());
+}
+
+TEST(BestPoint, FindsMinimumMean) {
+    const auto sweep = run_sweep(
+        {3.0, 1.0, 2.0},
+        [](double value, std::uint64_t) { return std::vector<double>{value}; }, 2, 0);
+    EXPECT_DOUBLE_EQ(best_point(sweep).value, 1.0);
+}
+
+TEST(BestPoint, RejectsDegenerateSweeps) {
+    EXPECT_THROW((void)best_point({}), std::invalid_argument);
+    std::vector<SweepPoint> empty_cell(1);
+    EXPECT_THROW((void)best_point(empty_cell), std::invalid_argument);
+}
+
+TEST(RunSweep, StochasticBodyConverges) {
+    // A noisy body whose true means differ: the sweep must rank correctly
+    // with enough replications.
+    const auto sweep = run_sweep(
+        {10.0, 20.0},
+        [](double value, std::uint64_t seed) {
+            Rng rng{seed};
+            std::vector<double> samples;
+            for (int i = 0; i < 200; ++i) {
+                samples.push_back(value + rng.uniform(-5.0, 5.0));
+            }
+            return samples;
+        },
+        5, 42);
+    EXPECT_DOUBLE_EQ(best_point(sweep).value, 10.0);
+    EXPECT_NEAR(sweep[0].cell.mean(), 10.0, 0.5);
+    EXPECT_LT(sweep[0].cell.ci95(), 1.0);
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

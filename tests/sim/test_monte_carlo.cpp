@@ -1,0 +1,120 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/busy_period.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+TEST(SampleBusyPeriod, AtLeastFirstResidence) {
+    Rng rng{127};
+    for (int i = 0; i < 1000; ++i) {
+        const double bp = sample_busy_period(
+            rng, 0.01, [](Rng& r) { return r.exponential_mean(10.0); },
+            [](Rng& r) { return r.exponential_mean(10.0); });
+        EXPECT_GT(bp, 0.0);
+    }
+}
+
+TEST(SampleBusyPeriod, MatchesEquation20) {
+    // All-exponential residences: E[B] = (e^{beta alpha} - 1)/beta.
+    Rng rng{131};
+    const double beta = 0.05;
+    const double alpha = 30.0;
+    StreamingStats stats;
+    const auto residence = [alpha](Rng& r) { return r.exponential_mean(alpha); };
+    for (int i = 0; i < 100000; ++i) {
+        stats.add(sample_busy_period(rng, beta, residence, residence));
+    }
+    const double expected = (std::exp(beta * alpha) - 1.0) / beta;
+    EXPECT_NEAR(stats.mean(), expected, 5.0 * stats.ci95_halfwidth());
+}
+
+TEST(SampleBusyPeriod, DeterministicFirstResidenceFloor) {
+    // With a constant first residence of C and negligible arrivals, the
+    // busy period is exactly C.
+    Rng rng{137};
+    const double bp = sample_busy_period(
+        rng, 1e-9, [](Rng&) { return 42.0; },
+        [](Rng& r) { return r.exponential_mean(1.0); });
+    EXPECT_NEAR(bp, 42.0, 1e-6);
+}
+
+TEST(SampleMixedBusyPeriods, StatisticsAccumulate) {
+    Rng rng{139};
+    const MixedBusyPeriodMc params{0.05, 20.0, 0.5, 40.0, 10.0};
+    const auto stats = sample_mixed_busy_periods(rng, params, 5000);
+    EXPECT_EQ(stats.count(), 5000u);
+    EXPECT_GT(stats.mean(), 20.0);  // at least the initiator's mean stay
+}
+
+TEST(SampleMixedBusyPeriods, RejectsInvalidParameters) {
+    Rng rng{139};
+    EXPECT_THROW((void)sample_mixed_busy_periods(rng, {0.0, 1.0, 0.5, 1.0, 1.0}, 10),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sample_mixed_busy_periods(rng, {1.0, 1.0, 2.0, 1.0, 1.0}, 10),
+                 std::invalid_argument);
+}
+
+TEST(SampleResidualBusyPeriod, PositiveAndFinite) {
+    Rng rng{149};
+    for (int i = 0; i < 100; ++i) {
+        const double value = sample_residual_busy_period(rng, 5, 2, 0.01, 50.0);
+        EXPECT_GT(value, 0.0);
+        EXPECT_TRUE(std::isfinite(value));
+    }
+}
+
+TEST(SampleResidualBusyPeriod, AdditivityOverThresholds) {
+    // E[T(n->l)] = E[T(n->k)] + E[T(k->l)] (Lemma 3.3 proof).
+    Rng rng{151};
+    const double lambda = 1.0 / 60.0;
+    const double service = 80.0;
+    StreamingStats direct;
+    StreamingStats composed;
+    for (int i = 0; i < 40000; ++i) {
+        direct.add(sample_residual_busy_period(rng, 6, 1, lambda, service));
+        composed.add(sample_residual_busy_period(rng, 6, 3, lambda, service) +
+                     sample_residual_busy_period(rng, 3, 1, lambda, service));
+    }
+    EXPECT_NEAR(direct.mean(), composed.mean(),
+                4.0 * (direct.ci95_halfwidth() + composed.ci95_halfwidth()));
+}
+
+TEST(SampleResidualBusyPeriod, RejectsNotAboveThreshold) {
+    Rng rng{151};
+    EXPECT_THROW((void)sample_residual_busy_period(rng, 3, 3, 0.1, 10.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sample_residual_busy_period(rng, 2, 5, 0.1, 10.0),
+                 std::invalid_argument);
+}
+
+TEST(SampleSteadyStateResidual, ZeroWhenBelowThreshold) {
+    // With rho tiny and threshold large, the initial population is almost
+    // surely <= m: the residual is 0.
+    Rng rng{157};
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_DOUBLE_EQ(sample_steady_state_residual(rng, 10, 0.001, 10.0), 0.0);
+    }
+}
+
+TEST(SampleSteadyStateResidual, MatchesEquation13) {
+    Rng rng{163};
+    const std::size_t m = 2;
+    const double lambda = 0.04;
+    const double service = 100.0;  // rho = 4
+    StreamingStats stats;
+    for (int i = 0; i < 60000; ++i) {
+        stats.add(sample_steady_state_residual(rng, m, lambda, service));
+    }
+    const double theory =
+        queueing::steady_state_residual_busy_period(m, {lambda, service});
+    EXPECT_NEAR(stats.mean(), theory, 5.0 * stats.ci95_halfwidth());
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

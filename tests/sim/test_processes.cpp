@@ -1,0 +1,178 @@
+#include "sim/processes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+TEST(PoissonProcess, ArrivalCountMatchesRate) {
+    EventQueue queue;
+    Rng rng{71};
+    int count = 0;
+    PoissonProcess process{queue, rng, 0.5, [&] { ++count; }};
+    process.start(10000.0);
+    queue.run_until(10000.0);
+    EXPECT_NEAR(count, 5000, 300);  // ~4 sigma
+}
+
+TEST(PoissonProcess, InterarrivalsAreExponential) {
+    EventQueue queue;
+    Rng rng{73};
+    std::vector<double> times;
+    PoissonProcess process{queue, rng, 1.0, [&] { times.push_back(queue.now()); }};
+    process.start(20000.0);
+    queue.run_until(20000.0);
+    StreamingStats gaps;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        gaps.add(times[i] - times[i - 1]);
+    }
+    EXPECT_NEAR(gaps.mean(), 1.0, 0.05);
+    EXPECT_NEAR(gaps.stddev(), 1.0, 0.08);  // CV = 1 for exponential
+}
+
+TEST(PoissonProcess, StopCancelsPendingArrival) {
+    EventQueue queue;
+    Rng rng{79};
+    int count = 0;
+    PoissonProcess process{queue, rng, 100.0, [&] { ++count; }};
+    process.start(1000.0);
+    process.stop();
+    queue.run_until(1000.0);
+    EXPECT_EQ(count, 0);
+}
+
+TEST(PoissonProcess, NoArrivalsAfterHorizon) {
+    EventQueue queue;
+    Rng rng{83};
+    double last = 0.0;
+    PoissonProcess process{queue, rng, 2.0, [&] { last = queue.now(); }};
+    process.start(50.0);
+    queue.run_until(500.0);
+    EXPECT_LE(last, 50.0);
+}
+
+TEST(PoissonProcess, RejectsInvalidConstruction) {
+    EventQueue queue;
+    Rng rng{83};
+    EXPECT_THROW((PoissonProcess{queue, rng, 0.0, [] {}}), std::invalid_argument);
+    EXPECT_THROW((PoissonProcess{queue, rng, 1.0, nullptr}), std::invalid_argument);
+}
+
+TEST(OnOffProcess, StartsOnImmediately) {
+    EventQueue queue;
+    Rng rng{89};
+    int ups = 0;
+    int downs = 0;
+    OnOffProcess process{queue, rng, 10.0, 30.0, [&] { ++ups; }, [&] { ++downs; }};
+    process.start(1.0e-9);
+    EXPECT_EQ(ups, 1);
+    EXPECT_EQ(downs, 0);
+    EXPECT_TRUE(process.is_on());
+}
+
+TEST(OnOffProcess, DutyCycleMatchesMeans) {
+    EventQueue queue;
+    Rng rng{97};
+    double on_time = 0.0;
+    double last_up = 0.0;
+    OnOffProcess process{queue,
+                         rng,
+                         300.0,
+                         900.0,
+                         [&] { last_up = queue.now(); },
+                         [&] { on_time += queue.now() - last_up; }};
+    const double horizon = 3.0e6;
+    process.start(horizon);
+    queue.run_until(horizon);
+    if (process.is_on()) {
+        on_time += horizon - last_up;
+    }
+    EXPECT_NEAR(on_time / horizon, 0.25, 0.03);
+}
+
+TEST(OnOffProcess, AlternatesStates) {
+    EventQueue queue;
+    Rng rng{101};
+    std::vector<int> sequence;
+    OnOffProcess process{queue, rng, 5.0, 5.0, [&] { sequence.push_back(1); },
+                         [&] { sequence.push_back(0); }};
+    process.start(200.0);
+    queue.run_until(200.0);
+    ASSERT_GE(sequence.size(), 4u);
+    for (std::size_t i = 1; i < sequence.size(); ++i) {
+        EXPECT_NE(sequence[i], sequence[i - 1]);
+    }
+}
+
+TEST(TraceArrivalProcess, FiresAtTraceTimes) {
+    EventQueue queue;
+    std::vector<double> fired;
+    TraceArrivalProcess process{queue, {1.0, 4.0, 9.0},
+                                [&] { fired.push_back(queue.now()); }};
+    process.start();
+    queue.run_until(10.0);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 4.0, 9.0}));
+}
+
+TEST(TraceArrivalProcess, RejectsUnsortedTrace) {
+    EventQueue queue;
+    EXPECT_THROW((TraceArrivalProcess{queue, {2.0, 1.0}, [] {}}),
+                 std::invalid_argument);
+}
+
+TEST(SampleDecayingPoisson, CountMatchesIntegratedRate) {
+    Rng rng{103};
+    // Expected count = lambda0 * tau * (1 - e^{-T/tau}).
+    const double lambda0 = 2.0;
+    const double tau = 100.0;
+    const double horizon = 500.0;
+    StreamingStats counts;
+    for (int i = 0; i < 200; ++i) {
+        counts.add(static_cast<double>(
+            sample_decaying_poisson(rng, lambda0, tau, horizon).size()));
+    }
+    const double expected = lambda0 * tau * (1.0 - std::exp(-horizon / tau));
+    EXPECT_NEAR(counts.mean(), expected, 5.0 * counts.ci95_halfwidth() + 1.0);
+}
+
+TEST(SampleDecayingPoisson, RateDecaysOverTime) {
+    Rng rng{107};
+    std::size_t early = 0;
+    std::size_t late = 0;
+    for (int i = 0; i < 100; ++i) {
+        for (double t : sample_decaying_poisson(rng, 1.0, 50.0, 400.0)) {
+            (t < 100.0 ? early : late) += 1;
+        }
+    }
+    EXPECT_GT(early, 4 * late);
+}
+
+TEST(SampleHomogeneousPoisson, SteadyRate) {
+    Rng rng{109};
+    const auto arrivals = sample_homogeneous_poisson(rng, 0.1, 100000.0);
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 400.0);
+    // First and second half counts comparable.
+    std::size_t first_half = 0;
+    for (double t : arrivals) {
+        if (t < 50000.0) {
+            ++first_half;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(first_half),
+                static_cast<double>(arrivals.size()) / 2.0, 300.0);
+}
+
+TEST(SampleGenerators, ReturnSortedTimes) {
+    Rng rng{113};
+    for (const auto& trace : {sample_decaying_poisson(rng, 1.0, 60.0, 300.0),
+                              sample_homogeneous_poisson(rng, 0.5, 300.0)}) {
+        EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end()));
+    }
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

@@ -1,0 +1,65 @@
+#include "swarm/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace swarmavail::swarm {
+namespace {
+
+TEST(HomogeneousCapacity, AlwaysSameRate) {
+    const HomogeneousCapacity dist{50.0 * kKBps};
+    Rng rng{167};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(dist.sample(rng), 50.0 * kKBps);
+    }
+    EXPECT_DOUBLE_EQ(dist.mean(), 50.0 * kKBps);
+}
+
+TEST(HomogeneousCapacity, RejectsNonPositiveRate) {
+    EXPECT_THROW((HomogeneousCapacity{0.0}), std::invalid_argument);
+    EXPECT_THROW((HomogeneousCapacity{-1.0}), std::invalid_argument);
+}
+
+TEST(BitTyrantCapacity, MedianIs50KBps) {
+    const BitTyrantCapacity dist;
+    EXPECT_DOUBLE_EQ(dist.median(), 50.0 * kKBps);
+}
+
+TEST(BitTyrantCapacity, MeanNear280KBps) {
+    // Section 4.3.2 quotes mean ~280 KBps for the replayed distribution.
+    const BitTyrantCapacity dist;
+    EXPECT_NEAR(dist.mean() / kKBps, 280.0, 40.0);
+}
+
+TEST(BitTyrantCapacity, SampleMomentsMatchAnalytic) {
+    const BitTyrantCapacity dist;
+    Rng rng{173};
+    StreamingStats stats;
+    std::vector<double> values;
+    for (int i = 0; i < 200000; ++i) {
+        const double v = dist.sample(rng);
+        stats.add(v);
+        values.push_back(v);
+    }
+    EXPECT_NEAR(stats.mean(), dist.mean(), 0.02 * dist.mean());
+    std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+    EXPECT_DOUBLE_EQ(values[values.size() / 2], dist.median());
+}
+
+TEST(BitTyrantCapacity, HeavyTail) {
+    // The mixture must be right-skewed: mean far above the median.
+    const BitTyrantCapacity dist;
+    EXPECT_GT(dist.mean(), 3.0 * dist.median());
+}
+
+TEST(BitTyrantCapacity, AllSamplesPositive) {
+    const BitTyrantCapacity dist;
+    Rng rng{179};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GT(dist.sample(rng), 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace swarmavail::swarm

@@ -1,0 +1,93 @@
+#include "swarm/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swarmavail::swarm {
+namespace {
+
+TEST(CompletionsOverTime, StepFunction) {
+    const std::vector<double> completions{10.0, 20.0, 20.0, 50.0};
+    const std::vector<double> grid{0.0, 10.0, 25.0, 60.0};
+    const auto counts = completions_over_time(completions, grid);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{0, 1, 3, 4}));
+}
+
+TEST(CompletionsOverTime, EmptyCompletions) {
+    const auto counts = completions_over_time({}, {0.0, 5.0});
+    EXPECT_EQ(counts, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(CompletionsOverTime, RejectsUnsortedInput) {
+    EXPECT_THROW((void)completions_over_time({5.0, 1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(TimeGrid, EvenSpacing) {
+    const auto grid = time_grid(100.0, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+    EXPECT_DOUBLE_EQ(grid[1], 25.0);
+}
+
+TEST(TimeGrid, RejectsInvalidArguments) {
+    EXPECT_THROW((void)time_grid(0.0, 5), std::invalid_argument);
+    EXPECT_THROW((void)time_grid(10.0, 1), std::invalid_argument);
+}
+
+TEST(MaxCompletionBurst, FindsDensestWindow) {
+    const std::vector<double> completions{0.0, 1.0, 2.0, 100.0, 101.0, 102.0, 103.0};
+    EXPECT_EQ(max_completion_burst(completions, 5.0), 4u);
+    EXPECT_EQ(max_completion_burst(completions, 0.5), 1u);
+}
+
+TEST(MaxCompletionBurst, EmptyInputIsZero) {
+    EXPECT_EQ(max_completion_burst({}, 10.0), 0u);
+}
+
+TEST(MaxCompletionBurst, WholeRangeWindow) {
+    const std::vector<double> completions{1.0, 2.0, 3.0};
+    EXPECT_EQ(max_completion_burst(completions, 100.0), 3u);
+}
+
+TEST(RenderPeerTimeline, OneRowPerPeer) {
+    std::vector<PeerRecord> peers;
+    peers.push_back({0.0, 50.0, 1.0});
+    peers.push_back({25.0, -1.0, 1.0});
+    const std::string text = render_peer_timeline(peers, 100.0, 20);
+    // Two newline-terminated rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find('|'), std::string::npos);  // completed peer marker
+    EXPECT_NE(text.find('?'), std::string::npos);  // incomplete peer marker
+}
+
+TEST(RenderPeerTimeline, MarksSpanDashes) {
+    std::vector<PeerRecord> peers;
+    peers.push_back({0.0, 99.0, 1.0});
+    const std::string text = render_peer_timeline(peers, 100.0, 10);
+    EXPECT_GE(std::count(text.begin(), text.end(), '-'), 8);
+}
+
+TEST(RenderPeerTimeline, RejectsTinyWidth) {
+    EXPECT_THROW((void)render_peer_timeline({}, 100.0, 5), std::invalid_argument);
+}
+
+TEST(MergeDownloadTimes, OnlyCompletedPeersCounted) {
+    SwarmSimResult run_a;
+    run_a.peers.push_back({0.0, 10.0, 1.0});
+    run_a.peers.push_back({5.0, -1.0, 1.0});
+    SwarmSimResult run_b;
+    run_b.peers.push_back({2.0, 32.0, 1.0});
+    const auto merged = merge_download_times({run_a, run_b});
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_DOUBLE_EQ(merged.mean(), 20.0);
+}
+
+TEST(MergeDownloadTimes, EmptyRunsYieldEmptySet) {
+    const auto merged = merge_download_times({});
+    EXPECT_TRUE(merged.empty());
+}
+
+}  // namespace
+}  // namespace swarmavail::swarm

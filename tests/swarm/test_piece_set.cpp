@@ -1,0 +1,64 @@
+#include "swarm/piece_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swarmavail::swarm {
+namespace {
+
+TEST(PieceSet, StartsEmpty) {
+    const PieceSet set{8};
+    EXPECT_EQ(set.size(), 8u);
+    EXPECT_EQ(set.count(), 0u);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.is_complete());
+    EXPECT_DOUBLE_EQ(set.fraction(), 0.0);
+}
+
+TEST(PieceSet, AddAndQuery) {
+    PieceSet set{4};
+    set.add(1);
+    set.add(3);
+    EXPECT_TRUE(set.has(1));
+    EXPECT_TRUE(set.has(3));
+    EXPECT_FALSE(set.has(0));
+    EXPECT_EQ(set.count(), 2u);
+    EXPECT_DOUBLE_EQ(set.fraction(), 0.5);
+}
+
+TEST(PieceSet, DoubleAddIsIdempotent) {
+    PieceSet set{4};
+    set.add(2);
+    set.add(2);
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(PieceSet, CompletionDetection) {
+    PieceSet set{3};
+    set.add(0);
+    set.add(1);
+    EXPECT_FALSE(set.is_complete());
+    set.add(2);
+    EXPECT_TRUE(set.is_complete());
+    EXPECT_DOUBLE_EQ(set.fraction(), 1.0);
+}
+
+TEST(PieceSet, CompleteFactory) {
+    const auto set = PieceSet::complete(5);
+    EXPECT_TRUE(set.is_complete());
+    EXPECT_EQ(set.count(), 5u);
+    for (std::size_t p = 0; p < 5; ++p) {
+        EXPECT_TRUE(set.has(p));
+    }
+}
+
+TEST(PieceSet, BoundsChecking) {
+    PieceSet set{2};
+    EXPECT_THROW((void)set.has(2), std::invalid_argument);
+    EXPECT_THROW(set.add(5), std::invalid_argument);
+    EXPECT_THROW((PieceSet{0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::swarm

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace swarmavail {
+namespace {
+
+TEST(TableWriter, RejectsEmptyHeader) {
+    EXPECT_THROW((TableWriter{{}}), std::invalid_argument);
+}
+
+TEST(TableWriter, RejectsMismatchedRow) {
+    TableWriter table{{"a", "b"}};
+    EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TableWriter, AlignedOutputContainsAllCells) {
+    TableWriter table{{"K", "E[T]"}};
+    table.add_row({"1", "100"});
+    table.add_row({"2", "250.5"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("K"), std::string::npos);
+    EXPECT_NE(text.find("E[T]"), std::string::npos);
+    EXPECT_NE(text.find("250.5"), std::string::npos);
+    // Header separator row present.
+    EXPECT_NE(text.find("|--"), std::string::npos);
+}
+
+TEST(TableWriter, NumericRowFormatting) {
+    TableWriter table{{"x", "y"}};
+    table.add_numeric_row(std::vector<double>{1.23456789, 2.0}, 4);
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_NE(out.str().find("1.235"), std::string::npos);
+}
+
+TEST(TableWriter, CsvOutput) {
+    TableWriter table{{"name", "value"}};
+    table.add_row({"plain", "1"});
+    std::ostringstream out;
+    table.print_csv(out);
+    EXPECT_EQ(out.str(), "name,value\nplain,1\n");
+}
+
+TEST(TableWriter, CsvEscapesSpecialCharacters) {
+    TableWriter table{{"name"}};
+    table.add_row({"has,comma"});
+    table.add_row({"has\"quote"});
+    std::ostringstream out;
+    table.print_csv(out);
+    EXPECT_NE(out.str().find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriter, CountsRowsAndColumns) {
+    TableWriter table{{"a", "b", "c"}};
+    EXPECT_EQ(table.columns(), 3u);
+    EXPECT_EQ(table.rows(), 0u);
+    table.add_row({"1", "2", "3"});
+    EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(FormatDouble, PrecisionControlsDigits) {
+    EXPECT_EQ(format_double(3.14159, 3), "3.14");
+    EXPECT_EQ(format_double(1000.0, 6), "1000");
+}
+
+TEST(PrintBanner, ContainsTitle) {
+    std::ostringstream out;
+    print_banner(out, "Figure 3");
+    EXPECT_NE(out.str().find("== Figure 3 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmavail
