@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lingering.dir/bench_ablation_lingering.cpp.o"
+  "CMakeFiles/bench_ablation_lingering.dir/bench_ablation_lingering.cpp.o.d"
+  "bench_ablation_lingering"
+  "bench_ablation_lingering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lingering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superseed.dir/bench_ablation_superseed.cpp.o"
+  "CMakeFiles/bench_ablation_superseed.dir/bench_ablation_superseed.cpp.o.d"
+  "bench_ablation_superseed"
+  "bench_ablation_superseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

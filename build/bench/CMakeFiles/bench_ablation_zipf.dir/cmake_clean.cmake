@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zipf.dir/bench_ablation_zipf.cpp.o"
+  "CMakeFiles/bench_ablation_zipf.dir/bench_ablation_zipf.cpp.o.d"
+  "bench_ablation_zipf"
+  "bench_ablation_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_availability_scaling.dir/bench_availability_scaling.cpp.o"
+  "CMakeFiles/bench_availability_scaling.dir/bench_availability_scaling.cpp.o.d"
+  "bench_availability_scaling"
+  "bench_availability_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_availability_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

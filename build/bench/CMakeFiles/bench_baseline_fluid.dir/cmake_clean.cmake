@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_fluid.dir/bench_baseline_fluid.cpp.o"
+  "CMakeFiles/bench_baseline_fluid.dir/bench_baseline_fluid.cpp.o.d"
+  "bench_baseline_fluid"
+  "bench_baseline_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

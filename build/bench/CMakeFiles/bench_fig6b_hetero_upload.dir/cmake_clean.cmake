@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_hetero_upload.dir/bench_fig6b_hetero_upload.cpp.o"
+  "CMakeFiles/bench_fig6b_hetero_upload.dir/bench_fig6b_hetero_upload.cpp.o.d"
+  "bench_fig6b_hetero_upload"
+  "bench_fig6b_hetero_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_hetero_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

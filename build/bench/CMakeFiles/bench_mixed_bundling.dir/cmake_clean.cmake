@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_bundling.dir/bench_mixed_bundling.cpp.o"
+  "CMakeFiles/bench_mixed_bundling.dir/bench_mixed_bundling.cpp.o.d"
+  "bench_mixed_bundling"
+  "bench_mixed_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_partitioning.dir/bench_optimal_partitioning.cpp.o"
+  "CMakeFiles/bench_optimal_partitioning.dir/bench_optimal_partitioning.cpp.o.d"
+  "bench_optimal_partitioning"
+  "bench_optimal_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec23_bundled_availability.dir/bench_sec23_bundled_availability.cpp.o"
+  "CMakeFiles/bench_sec23_bundled_availability.dir/bench_sec23_bundled_availability.cpp.o.d"
+  "bench_sec23_bundled_availability"
+  "bench_sec23_bundled_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec23_bundled_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec23_bundled_availability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec23_bundling_extent.dir/bench_sec23_bundling_extent.cpp.o"
+  "CMakeFiles/bench_sec23_bundling_extent.dir/bench_sec23_bundling_extent.cpp.o.d"
+  "bench_sec23_bundling_extent"
+  "bench_sec23_bundling_extent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec23_bundling_extent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

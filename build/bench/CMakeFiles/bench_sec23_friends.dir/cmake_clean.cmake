@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec23_friends.dir/bench_sec23_friends.cpp.o"
+  "CMakeFiles/bench_sec23_friends.dir/bench_sec23_friends.cpp.o.d"
+  "bench_sec23_friends"
+  "bench_sec23_friends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec23_friends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec434_trace_arrivals.dir/bench_sec434_trace_arrivals.cpp.o"
+  "CMakeFiles/bench_sec434_trace_arrivals.dir/bench_sec434_trace_arrivals.cpp.o.d"
+  "bench_sec434_trace_arrivals"
+  "bench_sec434_trace_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec434_trace_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec434_trace_arrivals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_bundling.dir/catalog_bundling.cpp.o"
+  "CMakeFiles/catalog_bundling.dir/catalog_bundling.cpp.o.d"
+  "catalog_bundling"
+  "catalog_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

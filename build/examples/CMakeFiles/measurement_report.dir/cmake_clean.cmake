@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_report.dir/measurement_report.cpp.o"
+  "CMakeFiles/measurement_report.dir/measurement_report.cpp.o.d"
+  "measurement_report"
+  "measurement_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

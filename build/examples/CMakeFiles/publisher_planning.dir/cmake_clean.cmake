@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publisher_planning.dir/publisher_planning.cpp.o"
+  "CMakeFiles/publisher_planning.dir/publisher_planning.cpp.o.d"
+  "publisher_planning"
+  "publisher_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publisher_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

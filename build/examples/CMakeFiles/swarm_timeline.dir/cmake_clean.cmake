@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_timeline.dir/swarm_timeline.cpp.o"
+  "CMakeFiles/swarm_timeline.dir/swarm_timeline.cpp.o.d"
+  "swarm_timeline"
+  "swarm_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

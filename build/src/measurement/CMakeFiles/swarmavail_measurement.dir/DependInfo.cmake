@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measurement/analysis.cpp" "src/measurement/CMakeFiles/swarmavail_measurement.dir/analysis.cpp.o" "gcc" "src/measurement/CMakeFiles/swarmavail_measurement.dir/analysis.cpp.o.d"
+  "/root/repo/src/measurement/arrival_patterns.cpp" "src/measurement/CMakeFiles/swarmavail_measurement.dir/arrival_patterns.cpp.o" "gcc" "src/measurement/CMakeFiles/swarmavail_measurement.dir/arrival_patterns.cpp.o.d"
+  "/root/repo/src/measurement/catalog.cpp" "src/measurement/CMakeFiles/swarmavail_measurement.dir/catalog.cpp.o" "gcc" "src/measurement/CMakeFiles/swarmavail_measurement.dir/catalog.cpp.o.d"
+  "/root/repo/src/measurement/monitor.cpp" "src/measurement/CMakeFiles/swarmavail_measurement.dir/monitor.cpp.o" "gcc" "src/measurement/CMakeFiles/swarmavail_measurement.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swarmavail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swarmavail_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

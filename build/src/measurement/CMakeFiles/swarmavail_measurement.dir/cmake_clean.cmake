@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_measurement.dir/analysis.cpp.o"
+  "CMakeFiles/swarmavail_measurement.dir/analysis.cpp.o.d"
+  "CMakeFiles/swarmavail_measurement.dir/arrival_patterns.cpp.o"
+  "CMakeFiles/swarmavail_measurement.dir/arrival_patterns.cpp.o.d"
+  "CMakeFiles/swarmavail_measurement.dir/catalog.cpp.o"
+  "CMakeFiles/swarmavail_measurement.dir/catalog.cpp.o.d"
+  "CMakeFiles/swarmavail_measurement.dir/monitor.cpp.o"
+  "CMakeFiles/swarmavail_measurement.dir/monitor.cpp.o.d"
+  "libswarmavail_measurement.a"
+  "libswarmavail_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

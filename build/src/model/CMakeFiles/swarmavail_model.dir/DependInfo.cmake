@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/asymptotics.cpp" "src/model/CMakeFiles/swarmavail_model.dir/asymptotics.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/asymptotics.cpp.o.d"
+  "/root/repo/src/model/availability.cpp" "src/model/CMakeFiles/swarmavail_model.dir/availability.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/availability.cpp.o.d"
+  "/root/repo/src/model/bundling.cpp" "src/model/CMakeFiles/swarmavail_model.dir/bundling.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/bundling.cpp.o.d"
+  "/root/repo/src/model/download_time.cpp" "src/model/CMakeFiles/swarmavail_model.dir/download_time.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/download_time.cpp.o.d"
+  "/root/repo/src/model/fluid_baseline.cpp" "src/model/CMakeFiles/swarmavail_model.dir/fluid_baseline.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/fluid_baseline.cpp.o.d"
+  "/root/repo/src/model/lingering.cpp" "src/model/CMakeFiles/swarmavail_model.dir/lingering.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/lingering.cpp.o.d"
+  "/root/repo/src/model/mixed_bundling.cpp" "src/model/CMakeFiles/swarmavail_model.dir/mixed_bundling.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/mixed_bundling.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/swarmavail_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/partitioning.cpp" "src/model/CMakeFiles/swarmavail_model.dir/partitioning.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/partitioning.cpp.o.d"
+  "/root/repo/src/model/zipf_demand.cpp" "src/model/CMakeFiles/swarmavail_model.dir/zipf_demand.cpp.o" "gcc" "src/model/CMakeFiles/swarmavail_model.dir/zipf_demand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

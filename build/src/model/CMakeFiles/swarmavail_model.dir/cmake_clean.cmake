@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_model.dir/asymptotics.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/asymptotics.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/availability.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/availability.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/bundling.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/bundling.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/download_time.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/download_time.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/fluid_baseline.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/fluid_baseline.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/lingering.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/lingering.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/mixed_bundling.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/mixed_bundling.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/params.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/params.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/partitioning.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/partitioning.cpp.o.d"
+  "CMakeFiles/swarmavail_model.dir/zipf_demand.cpp.o"
+  "CMakeFiles/swarmavail_model.dir/zipf_demand.cpp.o.d"
+  "libswarmavail_model.a"
+  "libswarmavail_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

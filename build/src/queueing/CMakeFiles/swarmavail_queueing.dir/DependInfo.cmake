@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/busy_period.cpp" "src/queueing/CMakeFiles/swarmavail_queueing.dir/busy_period.cpp.o" "gcc" "src/queueing/CMakeFiles/swarmavail_queueing.dir/busy_period.cpp.o.d"
+  "/root/repo/src/queueing/general_busy_period.cpp" "src/queueing/CMakeFiles/swarmavail_queueing.dir/general_busy_period.cpp.o" "gcc" "src/queueing/CMakeFiles/swarmavail_queueing.dir/general_busy_period.cpp.o.d"
+  "/root/repo/src/queueing/hypoexponential.cpp" "src/queueing/CMakeFiles/swarmavail_queueing.dir/hypoexponential.cpp.o" "gcc" "src/queueing/CMakeFiles/swarmavail_queueing.dir/hypoexponential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_queueing.dir/busy_period.cpp.o"
+  "CMakeFiles/swarmavail_queueing.dir/busy_period.cpp.o.d"
+  "CMakeFiles/swarmavail_queueing.dir/general_busy_period.cpp.o"
+  "CMakeFiles/swarmavail_queueing.dir/general_busy_period.cpp.o.d"
+  "CMakeFiles/swarmavail_queueing.dir/hypoexponential.cpp.o"
+  "CMakeFiles/swarmavail_queueing.dir/hypoexponential.cpp.o.d"
+  "libswarmavail_queueing.a"
+  "libswarmavail_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/availability_sim.cpp" "src/sim/CMakeFiles/swarmavail_sim.dir/availability_sim.cpp.o" "gcc" "src/sim/CMakeFiles/swarmavail_sim.dir/availability_sim.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/swarmavail_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/swarmavail_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/swarmavail_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/swarmavail_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/swarmavail_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/swarmavail_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/processes.cpp" "src/sim/CMakeFiles/swarmavail_sim.dir/processes.cpp.o" "gcc" "src/sim/CMakeFiles/swarmavail_sim.dir/processes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/swarmavail_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_sim.dir/availability_sim.cpp.o"
+  "CMakeFiles/swarmavail_sim.dir/availability_sim.cpp.o.d"
+  "CMakeFiles/swarmavail_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/swarmavail_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/swarmavail_sim.dir/experiment.cpp.o"
+  "CMakeFiles/swarmavail_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/swarmavail_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/swarmavail_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/swarmavail_sim.dir/processes.cpp.o"
+  "CMakeFiles/swarmavail_sim.dir/processes.cpp.o.d"
+  "libswarmavail_sim.a"
+  "libswarmavail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswarmavail_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swarm/capacity.cpp" "src/swarm/CMakeFiles/swarmavail_swarm.dir/capacity.cpp.o" "gcc" "src/swarm/CMakeFiles/swarmavail_swarm.dir/capacity.cpp.o.d"
+  "/root/repo/src/swarm/observables.cpp" "src/swarm/CMakeFiles/swarmavail_swarm.dir/observables.cpp.o" "gcc" "src/swarm/CMakeFiles/swarmavail_swarm.dir/observables.cpp.o.d"
+  "/root/repo/src/swarm/piece_set.cpp" "src/swarm/CMakeFiles/swarmavail_swarm.dir/piece_set.cpp.o" "gcc" "src/swarm/CMakeFiles/swarmavail_swarm.dir/piece_set.cpp.o.d"
+  "/root/repo/src/swarm/swarm_sim.cpp" "src/swarm/CMakeFiles/swarmavail_swarm.dir/swarm_sim.cpp.o" "gcc" "src/swarm/CMakeFiles/swarmavail_swarm.dir/swarm_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swarmavail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swarmavail_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

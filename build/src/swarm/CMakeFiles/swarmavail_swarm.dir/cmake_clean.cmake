@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_swarm.dir/capacity.cpp.o"
+  "CMakeFiles/swarmavail_swarm.dir/capacity.cpp.o.d"
+  "CMakeFiles/swarmavail_swarm.dir/observables.cpp.o"
+  "CMakeFiles/swarmavail_swarm.dir/observables.cpp.o.d"
+  "CMakeFiles/swarmavail_swarm.dir/piece_set.cpp.o"
+  "CMakeFiles/swarmavail_swarm.dir/piece_set.cpp.o.d"
+  "CMakeFiles/swarmavail_swarm.dir/swarm_sim.cpp.o"
+  "CMakeFiles/swarmavail_swarm.dir/swarm_sim.cpp.o.d"
+  "libswarmavail_swarm.a"
+  "libswarmavail_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

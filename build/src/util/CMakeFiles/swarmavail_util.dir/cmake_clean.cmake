@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmavail_util.dir/random.cpp.o"
+  "CMakeFiles/swarmavail_util.dir/random.cpp.o.d"
+  "CMakeFiles/swarmavail_util.dir/series.cpp.o"
+  "CMakeFiles/swarmavail_util.dir/series.cpp.o.d"
+  "CMakeFiles/swarmavail_util.dir/stats.cpp.o"
+  "CMakeFiles/swarmavail_util.dir/stats.cpp.o.d"
+  "CMakeFiles/swarmavail_util.dir/table.cpp.o"
+  "CMakeFiles/swarmavail_util.dir/table.cpp.o.d"
+  "libswarmavail_util.a"
+  "libswarmavail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmavail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement.dir/measurement/test_analysis.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/test_analysis.cpp.o.d"
+  "CMakeFiles/test_measurement.dir/measurement/test_arrival_patterns.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/test_arrival_patterns.cpp.o.d"
+  "CMakeFiles/test_measurement.dir/measurement/test_catalog.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/test_catalog.cpp.o.d"
+  "CMakeFiles/test_measurement.dir/measurement/test_monitor.cpp.o"
+  "CMakeFiles/test_measurement.dir/measurement/test_monitor.cpp.o.d"
+  "test_measurement"
+  "test_measurement.pdb"
+  "test_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

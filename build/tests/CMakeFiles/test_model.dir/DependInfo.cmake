@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_asymptotics.cpp" "tests/CMakeFiles/test_model.dir/model/test_asymptotics.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_asymptotics.cpp.o.d"
+  "/root/repo/tests/model/test_availability.cpp" "tests/CMakeFiles/test_model.dir/model/test_availability.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_availability.cpp.o.d"
+  "/root/repo/tests/model/test_bundling.cpp" "tests/CMakeFiles/test_model.dir/model/test_bundling.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_bundling.cpp.o.d"
+  "/root/repo/tests/model/test_download_time.cpp" "tests/CMakeFiles/test_model.dir/model/test_download_time.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_download_time.cpp.o.d"
+  "/root/repo/tests/model/test_fluid_baseline.cpp" "tests/CMakeFiles/test_model.dir/model/test_fluid_baseline.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_fluid_baseline.cpp.o.d"
+  "/root/repo/tests/model/test_lingering.cpp" "tests/CMakeFiles/test_model.dir/model/test_lingering.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_lingering.cpp.o.d"
+  "/root/repo/tests/model/test_mixed_bundling.cpp" "tests/CMakeFiles/test_model.dir/model/test_mixed_bundling.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_mixed_bundling.cpp.o.d"
+  "/root/repo/tests/model/test_model_properties.cpp" "tests/CMakeFiles/test_model.dir/model/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_model_properties.cpp.o.d"
+  "/root/repo/tests/model/test_params.cpp" "tests/CMakeFiles/test_model.dir/model/test_params.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_params.cpp.o.d"
+  "/root/repo/tests/model/test_partitioning.cpp" "tests/CMakeFiles/test_model.dir/model/test_partitioning.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_partitioning.cpp.o.d"
+  "/root/repo/tests/model/test_zipf_demand.cpp" "tests/CMakeFiles/test_model.dir/model/test_zipf_demand.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_zipf_demand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measurement/CMakeFiles/swarmavail_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/swarmavail_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swarmavail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swarmavail_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_asymptotics.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_asymptotics.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_availability.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_availability.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_bundling.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_bundling.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_download_time.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_download_time.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_fluid_baseline.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_fluid_baseline.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_lingering.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_lingering.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_mixed_bundling.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_mixed_bundling.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_model_properties.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_model_properties.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_params.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_params.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_partitioning.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_partitioning.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_zipf_demand.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_zipf_demand.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_availability_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_availability_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_monte_carlo.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_monte_carlo.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_processes.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_processes.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swarm.dir/swarm/test_capacity.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_capacity.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/swarm/test_observables.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_observables.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/swarm/test_piece_set.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_piece_set.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/swarm/test_swarm_invariants.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_swarm_invariants.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/swarm/test_swarm_sim.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_swarm_sim.cpp.o.d"
+  "test_swarm"
+  "test_swarm.pdb"
+  "test_swarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_random.cpp" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "/root/repo/tests/util/test_series.cpp" "tests/CMakeFiles/test_util.dir/util/test_series.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_series.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measurement/CMakeFiles/swarmavail_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/swarmavail_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swarmavail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swarmavail_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/swarmavail_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swarmavail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
