@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Reproduces the CI lint jobs locally: clang-format (dry run) and clang-tidy
+# over src/. Tools that are not installed are skipped with a notice so the
+# script is useful on minimal containers too.
+#
+# Usage:
+#   scripts/lint.sh                 # format check + clang-tidy
+#   scripts/lint.sh --format-only   # just clang-format --dry-run
+#   scripts/lint.sh --tidy-only     # just clang-tidy
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+run_format=1
+run_tidy=1
+case "${1:-}" in
+    --format-only) run_tidy=0 ;;
+    --tidy-only) run_format=0 ;;
+    "") ;;
+    *)
+        echo "usage: scripts/lint.sh [--format-only|--tidy-only]" >&2
+        exit 2
+        ;;
+esac
+
+mapfile -t sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+    echo "lint.sh: no sources found under src/" >&2
+    exit 1
+fi
+
+status=0
+
+if [[ $run_format -eq 1 ]]; then
+    if command -v clang-format >/dev/null 2>&1; then
+        echo "== clang-format --dry-run over ${#sources[@]} files"
+        if ! clang-format --dry-run --Werror "${sources[@]}"; then
+            status=1
+        fi
+    else
+        echo "== clang-format not installed; skipping format check"
+    fi
+fi
+
+if [[ $run_tidy -eq 1 ]]; then
+    if command -v clang-tidy >/dev/null 2>&1; then
+        build_dir="build-tidy"
+        if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+            echo "== configuring $build_dir for compile_commands.json"
+            cmake --preset tidy >/dev/null
+        fi
+        cpp_sources=()
+        for f in "${sources[@]}"; do
+            [[ $f == *.cpp ]] && cpp_sources+=("$f")
+        done
+        echo "== clang-tidy over ${#cpp_sources[@]} translation units"
+        if ! clang-tidy -p "$build_dir" --quiet "${cpp_sources[@]}"; then
+            status=1
+        fi
+    else
+        echo "== clang-tidy not installed; skipping static analysis"
+    fi
+fi
+
+exit $status

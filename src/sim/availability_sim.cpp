@@ -1,10 +1,13 @@
 #include "sim/availability_sim.hpp"
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 
@@ -29,6 +32,7 @@ class AvailabilitySim {
                 "AvailabilitySim: coverage threshold must be >= 1");
         require(config_.linger_time >= 0.0, "AvailabilitySim: linger_time must be >= 0");
         require(config_.horizon > 0.0, "AvailabilitySim: horizon must be > 0");
+        queue_.set_audit(config_.debug_audit);
     }
 
     AvailabilitySimResult run() {
@@ -146,6 +150,45 @@ class AvailabilitySim {
         }
     }
 
+    /// Invariant-audit pass, run after every event handler when
+    /// config_.debug_audit is set: peers are conserved across arrivals,
+    /// completions and losses; every in-system peer is accounted as either
+    /// downloading or blocked; populations are non-negative; and the
+    /// busy/idle bookkeeping agrees with the availability flag.
+    void audit_state() const {
+        if (!config_.debug_audit) {
+            return;
+        }
+        audit::check_peer_conservation(result_.arrivals, result_.served, result_.lost,
+                                       peers_.size());
+        SWARMAVAIL_INVARIANT(downloading_.size() + blocked_.size() == peers_.size(),
+                             "AvailabilitySim: peers_ diverged from the union of "
+                             "downloading and blocked sets");
+        audit::check_nonnegative_count("publishers",
+                                       static_cast<std::int64_t>(publishers_));
+        audit::check_nonnegative_count("lingering seeds",
+                                       static_cast<std::int64_t>(lingering_));
+        SWARMAVAIL_INVARIANT(available_ || downloading_.empty(),
+                             "AvailabilitySim: peers downloading while content is "
+                             "unavailable");
+        SWARMAVAIL_INVARIANT(available_ == busy_open_,
+                             "AvailabilitySim: availability flag out of sync with the "
+                             "open busy period");
+        SWARMAVAIL_INVARIANT(!available_ || blocked_.empty(),
+                             "AvailabilitySim: blocked peers during an available "
+                             "period");
+    }
+
+    /// Applies a publisher-count delta in signed arithmetic so the audit
+    /// catches an underflow before it wraps the unsigned counter.
+    void change_publishers(std::int64_t delta) {
+        const std::int64_t updated = static_cast<std::int64_t>(publishers_) + delta;
+        if (config_.debug_audit) {
+            audit::check_nonnegative_count("publishers", updated);
+        }
+        publishers_ = static_cast<std::size_t>(updated);
+    }
+
     void on_peer_arrival() {
         ++result_.arrivals;
         const PeerId id = next_peer_id_++;
@@ -164,6 +207,7 @@ class AvailabilitySim {
                 ++result_.lost;
             }
         }
+        audit_state();
     }
 
     void start_service(PeerId id) {
@@ -194,34 +238,40 @@ class AvailabilitySim {
                 if (epoch == linger_epoch_ && lingering_ > 0) {
                     --lingering_;
                     maybe_end_busy_period();
+                    audit_state();
                 }
             });
         }
         maybe_end_busy_period();
+        audit_state();
     }
 
     void on_publisher_arrival() {
-        ++publishers_;
+        change_publishers(+1);
         const double stay = rng_.exponential_mean(config_.params.publisher_residence);
         queue_.schedule_at(queue_.now() + stay, [this] {
-            --publishers_;
+            change_publishers(-1);
             maybe_end_busy_period();
+            audit_state();
         });
         if (!available_) {
             become_available();
         }
+        audit_state();
     }
 
     void on_publisher_up() {
-        ++publishers_;
+        change_publishers(+1);
         if (!available_) {
             become_available();
         }
+        audit_state();
     }
 
     void on_publisher_down() {
-        --publishers_;
+        change_publishers(-1);
         maybe_end_busy_period();
+        audit_state();
     }
 
     AvailabilitySimConfig config_;

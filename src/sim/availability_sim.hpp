@@ -40,6 +40,11 @@ struct AvailabilitySimConfig {
     PublisherMode publisher_mode = PublisherMode::kPoissonArrivals;
     double horizon = 1.0e6;             ///< simulated seconds
     std::uint64_t seed = 1;
+    /// Invariant-audit mode: after every event, re-verify the busy-period
+    /// bookkeeping (peer conservation, non-negative populations, monotone
+    /// event time). Throws swarmavail::CheckFailure on corruption. Costs a
+    /// few O(1) checks per event; off by default.
+    bool debug_audit = false;
 };
 
 /// Aggregate outcome of a run.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/audit.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace swarmavail::sim {
@@ -29,6 +31,12 @@ bool EventQueue::run_next() {
             continue;  // cancelled tombstone
         }
         --live_events_;
+        if (audit_) {
+            audit::check_monotone_time(now_, entry.when);
+            SWARMAVAIL_INVARIANT(pending_.size() == live_events_,
+                                 "EventQueue: live-event count out of sync with "
+                                 "pending-id set");
+        }
         now_ = entry.when;
         entry.action();
         return true;

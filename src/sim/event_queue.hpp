@@ -36,6 +36,12 @@ class EventQueue {
     /// `horizon`; events beyond the horizon stay queued.
     void run_until(SimTime horizon);
 
+    /// Enables the invariant-audit mode: every pop re-verifies that event
+    /// time is monotone and that the live-event bookkeeping is consistent,
+    /// throwing CheckFailure on corruption. Off by default (zero overhead).
+    void set_audit(bool on) noexcept { audit_ = on; }
+    [[nodiscard]] bool audit() const noexcept { return audit_; }
+
     [[nodiscard]] SimTime now() const noexcept { return now_; }
     [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
     [[nodiscard]] std::size_t size() const noexcept { return live_events_; }
@@ -65,6 +71,7 @@ class EventQueue {
     EventId next_id_ = 1;
     std::uint64_t next_seq_ = 0;
     std::size_t live_events_ = 0;
+    bool audit_ = false;
 };
 
 }  // namespace swarmavail::sim

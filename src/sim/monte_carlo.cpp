@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace swarmavail::sim {
@@ -15,10 +16,17 @@ double sample_busy_period(Rng& rng, double beta,
     // Coverage-process construction: the busy period extends while new
     // arrivals land before the current coverage end.
     double end = first_residence(rng);
+    SWARMAVAIL_ASSERT(end >= 0.0,
+                      "sample_busy_period: first residence sampled negative");
     double t = rng.exponential_rate(beta);
     while (t < end) {
-        end = std::max(end, t + residence(rng));
-        t += rng.exponential_rate(beta);
+        const double extended = t + residence(rng);
+        SWARMAVAIL_ASSERT(extended >= t,
+                          "sample_busy_period: residence sampled negative");
+        end = std::max(end, extended);
+        const double next = t + rng.exponential_rate(beta);
+        SWARMAVAIL_ASSERT(next >= t, "sample_busy_period: arrival time went backwards");
+        t = next;
     }
     return end;
 }
@@ -55,14 +63,23 @@ double sample_residual_busy_period(Rng& rng, std::size_t n, std::size_t m,
     while (pop > m) {
         const double total_rate =
             lambda + static_cast<double>(pop) * death_rate_per_peer;
+        SWARMAVAIL_ASSERT(total_rate > 0.0,
+                          "sample_residual_busy_period: transition rate must stay "
+                          "positive while peers remain");
         t += rng.exponential_rate(total_rate);
         const double p_birth = lambda / total_rate;
         if (rng.bernoulli(p_birth)) {
             ++pop;
         } else {
+            SWARMAVAIL_ASSERT(pop > 0,
+                              "sample_residual_busy_period: departure from an empty "
+                              "population");
             --pop;
         }
     }
+    SWARMAVAIL_ASSERT(pop == m, "sample_residual_busy_period: walk overshot the "
+                                "absorbing population");
+    SWARMAVAIL_ASSERT(t >= 0.0, "sample_residual_busy_period: elapsed time negative");
     return t;
 }
 

@@ -1,0 +1,45 @@
+#include "swarm/audit.hpp"
+
+#include <string>
+
+#include "swarm/piece_set.hpp"
+#include "util/check.hpp"
+
+namespace swarmavail::swarm::audit {
+
+void check_piece_accounting(std::size_t bitmap_count, std::size_t recorded_count) {
+    SWARMAVAIL_INVARIANT(bitmap_count == recorded_count,
+                         "piece accounting mismatch: bitmap holds " +
+                             std::to_string(bitmap_count) + " pieces but counter says " +
+                             std::to_string(recorded_count));
+}
+
+void check_piece_accounting(const PieceSet& have) {
+    check_piece_accounting(have.recount(), have.count());
+}
+
+void check_holder_consistency(std::size_t piece, std::uint64_t recorded,
+                              std::uint64_t recomputed) {
+    SWARMAVAIL_INVARIANT(recorded == recomputed,
+                         "holder count for piece " + std::to_string(piece) +
+                             " is " + std::to_string(recorded) + " but " +
+                             std::to_string(recomputed) + " online peers hold it");
+}
+
+void check_slot_budget(const char* what, std::size_t used, std::size_t limit) {
+    SWARMAVAIL_INVARIANT(used <= limit, std::string(what) + " overcommitted: " +
+                                            std::to_string(used) + " slots in use, " +
+                                            std::to_string(limit) + " allowed");
+}
+
+void check_capacity_budget(double allocated_bps, double budget_bps) {
+    // Tolerate float accumulation error; a real overcommit exceeds by a
+    // whole per-slot rate, orders of magnitude above this slack.
+    constexpr double kRelativeSlack = 1.0e-9;
+    SWARMAVAIL_INVARIANT(allocated_bps <= budget_bps * (1.0 + kRelativeSlack),
+                         "capacity overcommitted: " + std::to_string(allocated_bps) +
+                             " bits/s allocated from a " + std::to_string(budget_bps) +
+                             " bits/s link");
+}
+
+}  // namespace swarmavail::swarm::audit

@@ -1,0 +1,41 @@
+// Runtime invariant-audit checks for the block-level swarm simulator.
+//
+// Companions to sim/audit.hpp for the swarm layer's piece and capacity
+// bookkeeping. Each function throws swarmavail::CheckFailure on violation;
+// SwarmSim calls them at every event when `debug_audit` is set, and the
+// negative tests call them with corrupted state to prove detection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swarmavail::swarm {
+
+class PieceSet;
+
+namespace audit {
+
+/// A peer's cached piece count must equal the popcount of its bitmap.
+/// Throws CheckFailure unless `bitmap_count == recorded_count`.
+void check_piece_accounting(std::size_t bitmap_count, std::size_t recorded_count);
+
+/// Convenience overload: recounts `have`'s bitmap and compares it with the
+/// cached count() (catches a bitmap mutated behind the counter's back).
+void check_piece_accounting(const PieceSet& have);
+
+/// The per-piece holder counter must match the number of online peers whose
+/// bitmap contains the piece. Throws CheckFailure on mismatch.
+void check_holder_consistency(std::size_t piece, std::uint64_t recorded,
+                              std::uint64_t recomputed);
+
+/// Slot allocation (upload or download) must never exceed the configured
+/// budget. Throws CheckFailure if `used > limit`.
+void check_slot_budget(const char* what, std::size_t used, std::size_t limit);
+
+/// Aggregate bandwidth handed out by one source must fit inside its link
+/// capacity (small relative tolerance for floating-point accumulation).
+/// Throws CheckFailure if `allocated_bps` exceeds `budget_bps`.
+void check_capacity_budget(double allocated_bps, double budget_bps);
+
+}  // namespace audit
+}  // namespace swarmavail::swarm

@@ -20,6 +20,16 @@ bool PieceSet::has(std::size_t piece) const {
     return bits_[piece];
 }
 
+std::size_t PieceSet::recount() const noexcept {
+    std::size_t owned = 0;
+    for (const bool bit : bits_) {
+        if (bit) {
+            ++owned;
+        }
+    }
+    return owned;
+}
+
 void PieceSet::add(std::size_t piece) {
     require(piece < bits_.size(), "PieceSet::add: piece index out of range");
     if (!bits_[piece]) {

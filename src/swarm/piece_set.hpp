@@ -26,6 +26,11 @@ class PieceSet {
     [[nodiscard]] bool is_complete() const noexcept { return count_ == bits_.size(); }
     [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
+    /// Recomputes the owned-piece count from the bitmap in O(pieces).
+    /// The invariant-audit mode compares this against count() to catch a
+    /// bitmap and counter that drifted apart.
+    [[nodiscard]] std::size_t recount() const noexcept;
+
     /// Fraction of pieces owned, in [0, 1].
     [[nodiscard]] double fraction() const noexcept {
         return bits_.empty() ? 0.0

@@ -4,9 +4,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "swarm/audit.hpp"
 #include "swarm/piece_set.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 
@@ -70,6 +73,7 @@ class SwarmSim {
         holders_.assign(pieces_total_, 0);
         holder_list_.assign(pieces_total_, {});
         offered_count_.assign(pieces_total_, 0);
+        queue_.set_audit(config_.debug_audit);
     }
 
     SwarmSimResult run() {
@@ -200,6 +204,90 @@ class SwarmSim {
         }
     }
 
+    // ---- invariant audit -------------------------------------------------
+
+    /// Full-state audit, run after every event handler when
+    /// config_.debug_audit is set. Recomputes the piece/holder/offer
+    /// bookkeeping from the ground truth (the peers' bitmaps) and verifies
+    /// the cached indices, slot budgets, link-capacity allocations, and the
+    /// coverage/availability flags against it.
+    void audit_state() const {
+        if (!config_.debug_audit) {
+            return;
+        }
+        const double per_slot_divisor = static_cast<double>(config_.max_upload_slots);
+        SWARMAVAIL_INVARIANT(result_.arrivals == next_peer_id_ - 1,
+                             "SwarmSim: arrival counter diverged from handed-out ids");
+        std::size_t lingering_seeds = 0;
+        std::vector<std::uint64_t> recomputed_holders(pieces_total_, 0);
+        std::vector<std::uint64_t> recomputed_offers(pieces_total_, 0);
+        for (const auto& [id, peer] : peers_) {
+            if (peer.seed_only) {
+                ++lingering_seeds;
+            }
+            audit::check_piece_accounting(peer.have);
+            audit::check_slot_budget("peer upload slots", peer.up_used,
+                                     config_.max_upload_slots);
+            audit::check_slot_budget("peer download slots", peer.down_used,
+                                     config_.max_download_slots);
+            SWARMAVAIL_INVARIANT(peer.up_used == peer.up_transfers.size(),
+                                 "SwarmSim: upload slot counter diverged from the "
+                                 "transfer set");
+            SWARMAVAIL_INVARIANT(peer.down_used == peer.down_transfers.size(),
+                                 "SwarmSim: download slot counter diverged from the "
+                                 "transfer set");
+            SWARMAVAIL_INVARIANT(peer.inflight.size() == peer.down_used,
+                                 "SwarmSim: in-flight piece set diverged from the "
+                                 "download slot counter");
+            audit::check_capacity_budget(
+                static_cast<double>(peer.up_used) * (peer.capacity / per_slot_divisor),
+                peer.capacity);
+            const bool listed_free = free_uploaders_.count(id) != 0;
+            SWARMAVAIL_INVARIANT(listed_free ==
+                                     (peer.up_used < config_.max_upload_slots),
+                                 "SwarmSim: free-uploader index out of sync with slot "
+                                 "usage");
+            for (std::size_t p = 0; p < pieces_total_; ++p) {
+                if (peer.have.has(p)) {
+                    ++recomputed_holders[p];
+                    if (listed_free) {
+                        ++recomputed_offers[p];
+                    }
+                }
+            }
+        }
+        SWARMAVAIL_INVARIANT(leechers_.size() + lingering_seeds == peers_.size(),
+                             "SwarmSim: leecher list and lingering seeds do not "
+                             "partition the peer set");
+        audit::check_slot_budget("publisher upload slots", publisher_up_used_,
+                                 config_.max_upload_slots);
+        SWARMAVAIL_INVARIANT(publisher_up_used_ == publisher_up_transfers_.size(),
+                             "SwarmSim: publisher slot counter diverged from its "
+                             "transfer set");
+        audit::check_capacity_budget(static_cast<double>(publisher_up_used_) *
+                                         (config_.publisher_capacity / per_slot_divisor),
+                                     config_.publisher_capacity);
+        std::size_t recomputed_covered = 0;
+        for (std::size_t p = 0; p < pieces_total_; ++p) {
+            audit::check_holder_consistency(p, holders_[p], recomputed_holders[p]);
+            SWARMAVAIL_INVARIANT(holder_list_[p].size() == recomputed_holders[p],
+                                 "SwarmSim: holder list length diverged from the "
+                                 "holder counter");
+            SWARMAVAIL_INVARIANT(offered_count_[p] == recomputed_offers[p],
+                                 "SwarmSim: offered-piece counter diverged from the "
+                                 "free uploaders' bitmaps");
+            if (holders_[p] > 0 || publisher_on_) {
+                ++recomputed_covered;
+            }
+        }
+        SWARMAVAIL_INVARIANT(covered_ == recomputed_covered,
+                             "SwarmSim: coverage counter diverged from the recomputed "
+                             "piece coverage");
+        SWARMAVAIL_INVARIANT(available_ == (recomputed_covered == pieces_total_),
+                             "SwarmSim: availability flag out of sync with piece "
+                             "coverage");
+    }
+
     // ---- event handlers --------------------------------------------------
 
     void on_peer_arrival() {
@@ -217,6 +305,7 @@ class SwarmSim {
             tracker_handout(id);
         }
         pump();
+        audit_state();
     }
 
     void set_publisher(bool on) {
@@ -236,6 +325,7 @@ class SwarmSim {
             ++offered_gain_version_;  // the publisher offers every piece
             pump();
         }
+        audit_state();
     }
 
     void on_transfer_complete(TransferId tid) {
@@ -266,6 +356,7 @@ class SwarmSim {
             on_peer_complete(transfer.dst);
         }
         pump();
+        audit_state();
     }
 
     void on_peer_complete(PeerId id) {
@@ -327,6 +418,7 @@ class SwarmSim {
         peers_.erase(it);
         update_availability();
         pump();
+        audit_state();
     }
 
     /// Cancels every transfer in `ids` (a copy is taken: cancellation
@@ -367,6 +459,7 @@ class SwarmSim {
 
     void release_src_slot(TransferId tid, const Transfer& transfer) {
         if (transfer.src == kPublisher) {
+            publisher_up_transfers_.erase(tid);
             if (publisher_up_used_ > 0) {
                 --publisher_up_used_;
             }

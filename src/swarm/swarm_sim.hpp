@@ -83,6 +83,14 @@ struct SwarmSimConfig {
     bool drain_after_horizon = false;
     double drain_deadline_factor = 10.0;
     std::uint64_t seed = 1;
+    /// Invariant-audit mode: after every event, re-verify the swarm's
+    /// bookkeeping -- piece bitmaps vs cached counts, per-piece holder
+    /// counters vs recomputed holders, upload/download slot budgets,
+    /// per-link capacity allocation, coverage and availability flags, and
+    /// monotone event time in the queue. Throws swarmavail::CheckFailure on
+    /// corruption. O(peers x pieces) per event; meant for tests and
+    /// debugging runs, off by default.
+    bool debug_audit = false;
 };
 
 /// Arrival/departure record of one peer (one line segment of Figure 5).

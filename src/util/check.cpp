@@ -1,0 +1,49 @@
+#include "util/check.hpp"
+
+#include <utility>
+
+namespace swarmavail {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* expression, const char* file,
+                           int line, const std::string& message) {
+    std::string out;
+    out.reserve(message.size() + 96);
+    out += kind;
+    out += " failed at ";
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+    out += message;
+    if (expression != nullptr && expression[0] != '\0') {
+        out += " (";
+        out += expression;
+        out += ')';
+    }
+    return out;
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const std::string& formatted, const char* file, int line,
+                           std::string message)
+    : std::logic_error(formatted), file_(file), line_(line), message_(std::move(message)) {}
+
+namespace detail {
+
+void check_failed(const char* kind, const char* expression, const char* file, int line,
+                  const std::string& message) {
+    throw CheckFailure(format_failure(kind, expression, file, line, message), file, line,
+                       message);
+}
+
+void require_failed(const char* expression, const char* file, int line,
+                    const std::string& message) {
+    throw std::invalid_argument(
+        format_failure("SWARMAVAIL_REQUIRE", expression, file, line, message));
+}
+
+}  // namespace detail
+}  // namespace swarmavail

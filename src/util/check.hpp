@@ -1,0 +1,108 @@
+// Contract and invariant checking macros for the whole library.
+//
+// Three tiers, by who is at fault and when the check runs:
+//
+//   SWARMAVAIL_REQUIRE(cond, msg)    -- caller-supplied input is invalid.
+//       Always compiled. Throws std::invalid_argument (the project's
+//       public-API error policy) with file/line context in what().
+//
+//   SWARMAVAIL_INVARIANT(cond, msg)  -- internal consistency that is cheap
+//       enough to verify unconditionally (O(1) bookkeeping checks). Always
+//       compiled. Throws swarmavail::CheckFailure, which carries the
+//       failing file, line, and message.
+//
+//   SWARMAVAIL_ASSERT(cond, msg)     -- internal consistency that may be
+//       expensive or extremely hot. Compiled out in release builds (NDEBUG)
+//       unless the build force-enables auditing by defining
+//       SWARMAVAIL_ENABLE_AUDIT (the asan-ubsan preset does, via the
+//       SWARMAVAIL_ENABLE_AUDIT CMake option). Throws CheckFailure when
+//       active.
+//
+// The runtime invariant-audit mode of the simulators (the `debug_audit`
+// config flags) is orthogonal: those audits are gated by a runtime flag and
+// use SWARMAVAIL_INVARIANT underneath, so they work in every build type.
+//
+// This header subsumes the ad-hoc require()/ensure() helpers in
+// util/error.hpp, which are now thin wrappers over the same failure paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swarmavail {
+
+/// Thrown when a SWARMAVAIL_ASSERT / SWARMAVAIL_INVARIANT check fails (or
+/// an ensure() call, which routes through the same machinery). Derives from
+/// std::logic_error: a failed check is a bug in this library, not bad input.
+class CheckFailure : public std::logic_error {
+ public:
+    CheckFailure(const std::string& formatted, const char* file, int line,
+                 std::string message);
+
+    /// Source file of the failing check (__FILE__ / source_location).
+    [[nodiscard]] const char* file() const noexcept { return file_; }
+    /// Source line of the failing check.
+    [[nodiscard]] int line() const noexcept { return line_; }
+    /// The bare message passed to the check, without file/line decoration.
+    [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+ private:
+    const char* file_;
+    int line_;
+    std::string message_;
+};
+
+namespace detail {
+
+/// Formats and throws CheckFailure. `kind` names the macro ("SWARMAVAIL_ASSERT",
+/// "SWARMAVAIL_INVARIANT", "ensure"), `expression` is the stringified condition
+/// (may be empty for the function-style wrappers).
+[[noreturn]] void check_failed(const char* kind, const char* expression,
+                               const char* file, int line, const std::string& message);
+
+/// Formats and throws std::invalid_argument for a failed precondition.
+[[noreturn]] void require_failed(const char* expression, const char* file, int line,
+                                 const std::string& message);
+
+}  // namespace detail
+}  // namespace swarmavail
+
+/// 1 when SWARMAVAIL_ASSERT expands to a real check in this translation
+/// unit, 0 when it is compiled out. Debug builds (no NDEBUG) and audit
+/// builds (SWARMAVAIL_ENABLE_AUDIT defined) check; release builds do not.
+#if !defined(NDEBUG) || defined(SWARMAVAIL_ENABLE_AUDIT)
+#define SWARMAVAIL_AUDIT_CHECKS_ENABLED 1
+#else
+#define SWARMAVAIL_AUDIT_CHECKS_ENABLED 0
+#endif
+
+#define SWARMAVAIL_REQUIRE(condition, message)                                     \
+    do {                                                                           \
+        if (!(condition)) {                                                        \
+            ::swarmavail::detail::require_failed(#condition, __FILE__, __LINE__,   \
+                                                 (message));                       \
+        }                                                                          \
+    } while (false)
+
+#define SWARMAVAIL_INVARIANT(condition, message)                                   \
+    do {                                                                           \
+        if (!(condition)) {                                                        \
+            ::swarmavail::detail::check_failed("SWARMAVAIL_INVARIANT", #condition, \
+                                               __FILE__, __LINE__, (message));     \
+        }                                                                          \
+    } while (false)
+
+#if SWARMAVAIL_AUDIT_CHECKS_ENABLED
+#define SWARMAVAIL_ASSERT(condition, message)                                      \
+    do {                                                                           \
+        if (!(condition)) {                                                        \
+            ::swarmavail::detail::check_failed("SWARMAVAIL_ASSERT", #condition,    \
+                                               __FILE__, __LINE__, (message));     \
+        }                                                                          \
+    } while (false)
+#else
+// The condition stays inside an unevaluated operand so variables used only
+// by the assertion do not trigger -Wunused warnings in release builds.
+#define SWARMAVAIL_ASSERT(condition, message) \
+    static_cast<void>(sizeof(static_cast<bool>(condition) ? 1 : 0))
+#endif

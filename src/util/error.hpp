@@ -3,10 +3,18 @@
 // Public API functions validate their inputs with `require` and throw
 // std::invalid_argument on violation, per the project error-handling policy
 // (exceptions for programming/usage errors, no error codes).
+//
+// Both helpers are thin wrappers over the contract machinery in
+// util/check.hpp, so failures carry the caller's file and line. Prefer the
+// SWARMAVAIL_REQUIRE / SWARMAVAIL_INVARIANT / SWARMAVAIL_ASSERT macros in
+// new code; these function forms remain for call sites where a macro is
+// awkward (e.g. inside other macros, or when the condition is a variable).
 #pragma once
 
-#include <stdexcept>
+#include <source_location>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace swarmavail {
 
@@ -15,17 +23,22 @@ namespace swarmavail {
 /// Use at public API boundaries to validate caller-supplied parameters:
 ///
 ///     require(rate > 0.0, "arrival rate must be positive");
-inline void require(bool condition, const std::string& message) {
+inline void require(bool condition, const std::string& message,
+                    std::source_location where = std::source_location::current()) {
     if (!condition) {
-        throw std::invalid_argument(message);
+        detail::require_failed("", where.file_name(), static_cast<int>(where.line()),
+                               message);
     }
 }
 
-/// Throws std::logic_error: used for internal invariants that indicate a bug
-/// in this library rather than bad caller input.
-inline void ensure(bool invariant, const std::string& message) {
+/// Throws swarmavail::CheckFailure (a std::logic_error): used for internal
+/// invariants that indicate a bug in this library rather than bad caller
+/// input.
+inline void ensure(bool invariant, const std::string& message,
+                   std::source_location where = std::source_location::current()) {
     if (!invariant) {
-        throw std::logic_error(message);
+        detail::check_failed("ensure", "", where.file_name(),
+                             static_cast<int>(where.line()), message);
     }
 }
 

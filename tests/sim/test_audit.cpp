@@ -1,0 +1,124 @@
+// Invariant-audit layer of the flow-level simulators: the negative tests
+// feed deliberately corrupted state to the audit checks and assert each
+// violation class is detected; the positive tests run full simulations with
+// debug_audit enabled and verify auditing never fires on healthy runs nor
+// perturbs results.
+#include "sim/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/availability_sim.hpp"
+#include "sim/event_queue.hpp"
+#include "util/check.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+model::SwarmParams base_params() {
+    model::SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    return params;
+}
+
+// ---- negative tests: corrupted state must be caught --------------------
+
+TEST(SimAudit, DetectsNonMonotoneEventTime) {
+    // A clock at t=5 popping an event stamped t=4.9 is the classic DES
+    // corruption (a heap comparator or tombstone bug).
+    EXPECT_THROW(audit::check_monotone_time(5.0, 4.9), CheckFailure);
+    EXPECT_NO_THROW(audit::check_monotone_time(5.0, 5.0));
+    EXPECT_NO_THROW(audit::check_monotone_time(5.0, 5.1));
+}
+
+TEST(SimAudit, DetectsNegativePopulationCount) {
+    // A double-decrement of an unsigned counter shows up as a negative
+    // signed delta before the wrap.
+    EXPECT_THROW(audit::check_nonnegative_count("peers", -1), CheckFailure);
+    EXPECT_THROW(audit::check_nonnegative_count("publishers", -7), CheckFailure);
+    EXPECT_NO_THROW(audit::check_nonnegative_count("peers", 0));
+    EXPECT_NO_THROW(audit::check_nonnegative_count("peers", 12));
+}
+
+TEST(SimAudit, DetectsPeerConservationViolation) {
+    // 10 arrivals but only 4 served + 2 lost + 3 in system: one peer leaked.
+    EXPECT_THROW(audit::check_peer_conservation(10, 4, 2, 3), CheckFailure);
+    EXPECT_NO_THROW(audit::check_peer_conservation(10, 4, 2, 4));
+    EXPECT_NO_THROW(audit::check_peer_conservation(0, 0, 0, 0));
+}
+
+TEST(SimAudit, FailureCarriesFileLineAndMessage) {
+    try {
+        audit::check_monotone_time(2.0, 1.0);
+        FAIL() << "corrupted clock was not detected";
+    } catch (const CheckFailure& e) {
+        EXPECT_NE(std::string(e.file()).find("audit.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(e.message().find("event time went backwards"), std::string::npos);
+    }
+}
+
+// ---- positive tests: healthy runs pass under audit ---------------------
+
+TEST(SimAudit, EventQueueRunsCleanWithAuditOn) {
+    EventQueue queue;
+    queue.set_audit(true);
+    EXPECT_TRUE(queue.audit());
+    int fired = 0;
+    queue.schedule_at(1.0, [&] { ++fired; });
+    queue.schedule_at(1.0, [&] { ++fired; });
+    const EventId cancelled = queue.schedule_at(2.0, [&] { ++fired; });
+    queue.schedule_at(3.0, [&] { ++fired; });
+    queue.cancel(cancelled);
+    EXPECT_NO_THROW(queue.run_until(10.0));
+    EXPECT_EQ(fired, 3);
+    EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(SimAudit, AvailabilitySimRunsCleanWithAuditOn) {
+    AvailabilitySimConfig config;
+    config.params = base_params();
+    config.horizon = 2.0e5;
+    config.seed = 11;
+    config.debug_audit = true;
+    for (const bool patient : {true, false}) {
+        config.patient_peers = patient;
+        const auto result = run_availability_sim(config);
+        EXPECT_GT(result.arrivals, 100u);
+    }
+}
+
+TEST(SimAudit, AvailabilitySimAuditCoversLingerAndOnOffModes) {
+    AvailabilitySimConfig config;
+    config.params = base_params();
+    config.horizon = 2.0e5;
+    config.seed = 3;
+    config.debug_audit = true;
+    config.linger_time = 120.0;
+    config.publisher_mode = PublisherMode::kSingleOnOff;
+    const auto result = run_availability_sim(config);
+    EXPECT_GT(result.arrivals, 100u);
+    EXPECT_GT(result.served, 0u);
+}
+
+TEST(SimAudit, AuditModeDoesNotPerturbResults) {
+    AvailabilitySimConfig config;
+    config.params = base_params();
+    config.horizon = 1.0e5;
+    config.seed = 29;
+    config.debug_audit = false;
+    const auto plain = run_availability_sim(config);
+    config.debug_audit = true;
+    const auto audited = run_availability_sim(config);
+    EXPECT_EQ(plain.arrivals, audited.arrivals);
+    EXPECT_EQ(plain.served, audited.served);
+    EXPECT_EQ(plain.lost, audited.lost);
+    EXPECT_DOUBLE_EQ(plain.unavailable_time_fraction,
+                     audited.unavailable_time_fraction);
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

@@ -1,0 +1,104 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace swarmavail {
+namespace {
+
+TEST(CheckRequire, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(SWARMAVAIL_REQUIRE(1 + 1 == 2, "arithmetic holds"));
+}
+
+TEST(CheckRequire, FailureThrowsInvalidArgumentWithContext) {
+    try {
+        SWARMAVAIL_REQUIRE(2 < 1, "two is not less than one");
+        FAIL() << "SWARMAVAIL_REQUIRE did not throw";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("two is not less than one"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+        EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckInvariant, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(SWARMAVAIL_INVARIANT(true, "trivially fine"));
+}
+
+TEST(CheckInvariant, FailurePropagatesFileLineAndMessage) {
+    const int expected_line = __LINE__ + 2;
+    try {
+        SWARMAVAIL_INVARIANT(false, "bookkeeping drifted");
+        FAIL() << "SWARMAVAIL_INVARIANT did not throw";
+    } catch (const CheckFailure& e) {
+        EXPECT_EQ(e.message(), "bookkeeping drifted");
+        EXPECT_EQ(e.line(), expected_line);
+        EXPECT_NE(std::string(e.file()).find("test_check.cpp"), std::string::npos);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("SWARMAVAIL_INVARIANT"), std::string::npos) << what;
+        EXPECT_NE(what.find("bookkeeping drifted"), std::string::npos) << what;
+        EXPECT_NE(what.find(std::to_string(expected_line)), std::string::npos) << what;
+    }
+}
+
+TEST(CheckInvariant, FailureIsCatchableAsLogicError) {
+    EXPECT_THROW(SWARMAVAIL_INVARIANT(false, "still a logic error"), std::logic_error);
+}
+
+TEST(CheckAssert, BehaviorMatchesCompileTimeGate) {
+#if SWARMAVAIL_AUDIT_CHECKS_ENABLED
+    EXPECT_THROW(SWARMAVAIL_ASSERT(false, "audit build checks"), CheckFailure);
+#else
+    EXPECT_NO_THROW(SWARMAVAIL_ASSERT(false, "release build skips"));
+#endif
+}
+
+TEST(CheckAssert, CompiledOutFormDoesNotEvaluateCondition) {
+#if !SWARMAVAIL_AUDIT_CHECKS_ENABLED
+    int evaluations = 0;
+    const auto touch = [&evaluations] {
+        ++evaluations;
+        return false;
+    };
+    SWARMAVAIL_ASSERT(touch(), "must stay unevaluated when compiled out");
+    EXPECT_EQ(evaluations, 0);
+#else
+    GTEST_SKIP() << "audit checks are enabled in this build";
+#endif
+}
+
+// The legacy function-style helpers are wrappers over the same machinery and
+// must keep their documented exception types.
+TEST(ErrorHelpers, RequireThrowsInvalidArgumentWithCallerLocation) {
+    EXPECT_NO_THROW(require(true, "fine"));
+    try {
+        require(false, "rate must be positive");
+        FAIL() << "require did not throw";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rate must be positive"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    }
+}
+
+TEST(ErrorHelpers, EnsureThrowsCheckFailure) {
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    try {
+        ensure(false, "holder count underflow");
+        FAIL() << "ensure did not throw";
+    } catch (const CheckFailure& e) {
+        EXPECT_EQ(e.message(), "holder count underflow");
+        EXPECT_NE(std::string(e.file()).find("test_check.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+    // Existing call sites catch std::logic_error; that contract holds.
+    EXPECT_THROW(ensure(false, "legacy catch sites"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace swarmavail

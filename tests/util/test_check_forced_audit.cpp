@@ -1,0 +1,50 @@
+// Compiles util/check.hpp with SWARMAVAIL_ENABLE_AUDIT force-defined, so the
+// throwing SWARMAVAIL_ASSERT path is exercised deterministically in every
+// build type -- including release builds where the sibling test_check.cpp
+// sees the compiled-out form.
+#ifndef SWARMAVAIL_ENABLE_AUDIT
+#define SWARMAVAIL_ENABLE_AUDIT 1
+#endif
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace swarmavail {
+namespace {
+
+static_assert(SWARMAVAIL_AUDIT_CHECKS_ENABLED == 1,
+              "force-defining SWARMAVAIL_ENABLE_AUDIT must enable the checks");
+
+TEST(CheckAssertForcedAudit, FailureThrowsCheckFailureWithContext) {
+    const int expected_line = __LINE__ + 2;
+    try {
+        SWARMAVAIL_ASSERT(1 > 2, "forced audit check fires");
+        FAIL() << "SWARMAVAIL_ASSERT did not throw in forced-audit mode";
+    } catch (const CheckFailure& e) {
+        EXPECT_EQ(e.message(), "forced audit check fires");
+        EXPECT_EQ(e.line(), expected_line);
+        EXPECT_NE(std::string(e.file()).find("test_check_forced_audit.cpp"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1 > 2"), std::string::npos);
+    }
+}
+
+TEST(CheckAssertForcedAudit, ActiveFormEvaluatesConditionOnce) {
+    int evaluations = 0;
+    const auto touch = [&evaluations] {
+        ++evaluations;
+        return true;
+    };
+    SWARMAVAIL_ASSERT(touch(), "side effect runs when audit checks are on");
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckAssertForcedAudit, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(SWARMAVAIL_ASSERT(2 + 2 == 4, "fine"));
+}
+
+}  // namespace
+}  // namespace swarmavail
