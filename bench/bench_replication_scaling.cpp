@@ -1,0 +1,90 @@
+// Replication-engine scaling benchmark: serial vs. multi-threaded seed
+// replication on Figure-4-style workloads. Items/s is replications per
+// second; the `threads` counter lets scripts/bench.sh compute per-workload
+// speedup curves for BENCH_perf.json. These are engineering numbers for the
+// perf trajectory, not paper results.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/availability_sim.hpp"
+#include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
+#include "swarm/swarm_sim.hpp"
+
+namespace {
+
+using namespace swarmavail;
+
+/// Thread counts to sweep: serial, 2, 4, and (if wider) the full machine.
+void scaling_args(benchmark::internal::Benchmark* bench) {
+    bench->Arg(1)->Arg(2)->Arg(4);
+    const unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware > 4) {
+        bench->Arg(static_cast<long>(hardware));
+    }
+    bench->ArgName("threads")->UseRealTime()->Unit(benchmark::kMillisecond);
+}
+
+/// The Figure 4 setup: a bundled swarm whose publisher departs after the
+/// first completion; each replication is one independent seeded run.
+swarm::SwarmSimConfig fig4_style_config() {
+    swarm::SwarmSimConfig config;
+    config.bundle_size = 4;
+    config.peer_arrival_rate = 1.0 / 60.0;
+    config.peer_capacity = std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+    config.publisher_capacity = 100.0 * swarm::kKBps;
+    config.publisher = swarm::PublisherBehavior::kLeaveAfterFirstCompletion;
+    config.horizon = 1800.0;
+    config.seed = 11;
+    return config;
+}
+
+void BM_SwarmReplicationScaling(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kReplications = 8;
+    const auto config = fig4_style_config();
+    for (auto _ : state) {
+        const auto runs = swarm::run_swarm_replications(config, kReplications,
+                                                        sim::ParallelPolicy{threads});
+        benchmark::DoNotOptimize(runs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kReplications));
+    state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SwarmReplicationScaling)->Apply(scaling_args);
+
+void BM_ExperimentCellScaling(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kReplications = 16;
+    model::SwarmParams params;
+    params.peer_arrival_rate = 1.0 / 60.0;
+    params.content_size = 80.0;
+    params.download_rate = 1.0;
+    params.publisher_arrival_rate = 1.0 / 900.0;
+    params.publisher_residence = 300.0;
+    const auto body = [&params](std::uint64_t seed) {
+        sim::AvailabilitySimConfig config;
+        config.params = params;
+        config.horizon = 40000.0;
+        config.seed = seed;
+        const auto result = sim::run_availability_sim(config);
+        return std::vector<double>{result.download_times.mean(),
+                                   result.unavailable_time_fraction};
+    };
+    for (auto _ : state) {
+        const auto cell = sim::run_replications("availability", body, kReplications, 17,
+                                                sim::ParallelPolicy{threads});
+        benchmark::DoNotOptimize(cell.samples.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kReplications));
+    state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ExperimentCellScaling)->Apply(scaling_args);
+
+}  // namespace

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Perf baseline runner: builds the bench suite, runs the perf harnesses
+# (bench_perf_micro + bench_replication_scaling), and writes BENCH_perf.json
+# -- the perf trajectory every PR compares against.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes ./BENCH_perf.json
+#   BENCH_MIN_TIME=0.05 scripts/bench.sh   # CI perf-smoke (short measurements)
+#   BUILD_DIR=build-foo OUT=perf.json scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_perf.json}"
+BENCH_MIN_TIME="${BENCH_MIN_TIME:-}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+    cmake -S . -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" --target swarmavail_benches -j "${JOBS}"
+
+extra_args=()
+if [[ -n "${BENCH_MIN_TIME}" ]]; then
+    extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME}s")
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+run_bench() {
+    local name="$1"
+    echo "== ${name} ==" >&2
+    "${BUILD_DIR}/bench/${name}" \
+        --benchmark_format=json \
+        --benchmark_out="${tmpdir}/${name}.json" \
+        --benchmark_out_format=json \
+        "${extra_args[@]:+${extra_args[@]}}" >&2
+}
+
+run_bench bench_perf_micro
+run_bench bench_replication_scaling
+
+python3 scripts/merge_bench_json.py \
+    "${tmpdir}/bench_perf_micro.json" \
+    "${tmpdir}/bench_replication_scaling.json" \
+    > "${OUT}"
+
+echo "wrote ${OUT}" >&2

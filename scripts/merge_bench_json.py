@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs into the BENCH_perf.json baseline.
+
+Output schema:
+
+{
+  "schema_version": 1,
+  "generated_at": "2026-01-01T00:00:00Z",
+  "host": {"hardware_threads": 8},
+  "benchmarks": [
+    {"name": "...", "ns_per_op": 1.0, "items_per_s": 2.0,
+     "threads": 4, "speedup_vs_serial": 3.5}
+  ]
+}
+
+`threads` is parsed from the `/threads:N` argument in the benchmark name
+(the replication-scaling benches name their argument that way); plain
+single-threaded benches report 1. `speedup_vs_serial` is emitted for
+multi-threaded entries whose family (name minus the /threads:N component)
+also has a threads:1 row.
+"""
+import datetime
+import json
+import os
+import re
+import sys
+
+_THREADS_ARG = re.compile(r"/threads:(\d+)")
+
+
+def _to_ns(value, unit):
+    return value * {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+
+
+def main(paths):
+    entries = []
+    hardware_threads = os.cpu_count() or 1
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        hardware_threads = doc.get("context", {}).get("num_cpus", hardware_threads)
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            match = _THREADS_ARG.search(bench["name"])
+            entries.append({
+                "name": bench["name"],
+                "ns_per_op": _to_ns(bench["real_time"], bench.get("time_unit", "ns")),
+                "items_per_s": bench.get("items_per_second"),
+                "threads": int(match.group(1)) if match else 1,
+            })
+
+    serial_ns = {}
+    for entry in entries:
+        if entry["threads"] == 1:
+            serial_ns[_THREADS_ARG.sub("", entry["name"])] = entry["ns_per_op"]
+    for entry in entries:
+        family = _THREADS_ARG.sub("", entry["name"])
+        if entry["threads"] > 1 and serial_ns.get(family) and entry["ns_per_op"] > 0:
+            entry["speedup_vs_serial"] = round(serial_ns[family] / entry["ns_per_op"], 4)
+
+    json.dump(
+        {
+            "schema_version": 1,
+            "generated_at": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "host": {"hardware_threads": hardware_threads},
+            "benchmarks": entries,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/audit.hpp"
@@ -7,65 +8,142 @@
 #include "util/error.hpp"
 
 namespace swarmavail::sim {
+namespace {
 
-EventId EventQueue::schedule_at(SimTime when, std::function<void()> action) {
+constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) noexcept {
+    return (static_cast<EventId>(generation) << 32U) | slot;
+}
+
+constexpr std::uint32_t id_slot(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFULL);
+}
+
+constexpr std::uint32_t id_generation(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32U);
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t index = free_head_;
+        free_head_ = slab_[index].next_free;
+        slab_[index].next_free = kNoSlot;
+        return index;
+    }
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) noexcept {
+    Slot& slot = slab_[index];
+    slot.action.reset();
+    slot.live = false;
+    ++slot.generation;  // invalidates every EventId handed out for this slot
+    slot.next_free = free_head_;
+    free_head_ = index;
+}
+
+void EventQueue::drain_cancelled_head() {
+    while (!heap_.empty() && !slab_[heap_.front().slot].live) {
+        const std::uint32_t slot = heap_.front().slot;
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+        release_slot(slot);
+    }
+}
+
+EventId EventQueue::schedule_at(SimTime when, EventFn action) {
     require(when >= now_, "EventQueue::schedule_at: cannot schedule in the past");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, id, next_seq_++, std::move(action)});
-    pending_.insert(id);
+    const std::uint32_t slot = acquire_slot();
+    Slot& record = slab_[slot];
+    record.action = std::move(action);
+    record.live = true;
+    heap_.push_back(HeapEntry{when, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), later);
     ++live_events_;
-    return id;
+    return make_id(record.generation, slot);
 }
 
 void EventQueue::cancel(EventId id) {
-    if (pending_.erase(id) != 0) {
-        --live_events_;  // the heap entry becomes a tombstone, skipped on pop
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slab_.size()) {
+        return;
     }
+    Slot& record = slab_[slot];
+    if (!record.live || record.generation != id_generation(id)) {
+        return;  // already fired, already cancelled, or a recycled slot
+    }
+    record.live = false;
+    record.action.reset();  // release captured resources eagerly
+    --live_events_;
+    drain_cancelled_head();  // keep the heap head live for const next_time()
 }
 
 bool EventQueue::run_next() {
-    while (!heap_.empty()) {
-        Entry entry = heap_.top();
-        heap_.pop();
-        if (pending_.erase(entry.id) == 0) {
-            continue;  // cancelled tombstone
-        }
-        --live_events_;
-        if (audit_) {
-            audit::check_monotone_time(now_, entry.when);
-            SWARMAVAIL_INVARIANT(pending_.size() == live_events_,
-                                 "EventQueue: live-event count out of sync with "
-                                 "pending-id set");
-        }
-        now_ = entry.when;
-        entry.action();
-        return true;
+    if (heap_.empty()) {
+        return false;
     }
-    return false;
-}
-
-SimTime EventQueue::next_time() {
-    while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
-        heap_.pop();  // drop cancelled tombstones at the head
+    const HeapEntry entry = heap_.front();
+    if (audit_) {
+        audit::check_monotone_time(now_, entry.when);
+        audit_bookkeeping();
     }
-    return heap_.empty() ? -1.0 : heap_.top().when;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    EventFn action = std::move(slab_[entry.slot].action);
+    release_slot(entry.slot);
+    --live_events_;
+    drain_cancelled_head();
+    now_ = entry.when;
+    action();
+    return true;
 }
 
 void EventQueue::run_until(SimTime horizon) {
-    while (!heap_.empty()) {
-        // Drop cancelled heads without advancing time.
-        if (pending_.count(heap_.top().id) == 0) {
-            heap_.pop();
-            continue;
-        }
-        if (heap_.top().when > horizon) {
-            break;
-        }
+    while (!heap_.empty() && heap_.front().when <= horizon) {
         run_next();
     }
     if (horizon > now_) {
         now_ = horizon;
     }
+}
+
+void EventQueue::audit_bookkeeping() const {
+    // The head must be live (cancelled entries are drained eagerly).
+    SWARMAVAIL_INVARIANT(!heap_.empty() && slab_[heap_.front().slot].live,
+                         "EventQueue: heap head is not a live event");
+    // Every live slot is counted exactly once by live_events_.
+    std::size_t live_slots = 0;
+    for (const Slot& slot : slab_) {
+        if (slot.live) {
+            ++live_slots;
+        }
+    }
+    SWARMAVAIL_INVARIANT(live_slots == live_events_,
+                         "EventQueue: live-event count out of sync with the slab");
+    // Each heap entry owns a distinct in-range slot.
+    std::vector<bool> owned(slab_.size(), false);
+    for (const HeapEntry& entry : heap_) {
+        SWARMAVAIL_INVARIANT(entry.slot < slab_.size(),
+                             "EventQueue: heap entry references an out-of-range slot");
+        SWARMAVAIL_INVARIANT(!owned[entry.slot],
+                             "EventQueue: two heap entries share one slot");
+        owned[entry.slot] = true;
+    }
+    // The free list and the heap partition the slab.
+    std::size_t free_slots = 0;
+    for (std::uint32_t cursor = free_head_; cursor != kNoSlot;
+         cursor = slab_[cursor].next_free) {
+        SWARMAVAIL_INVARIANT(cursor < slab_.size() && !slab_[cursor].live &&
+                                 !owned[cursor],
+                             "EventQueue: free list holds a live or heap-owned slot");
+        ++free_slots;
+        SWARMAVAIL_INVARIANT(free_slots <= slab_.size(),
+                             "EventQueue: free list cycle detected");
+    }
+    SWARMAVAIL_INVARIANT(heap_.size() + free_slots == slab_.size(),
+                         "EventQueue: heap and free list do not partition the slab");
 }
 
 }  // namespace swarmavail::sim

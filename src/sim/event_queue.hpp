@@ -1,20 +1,32 @@
 // Discrete-event simulation core: a time-ordered event queue with stable
 // FIFO ordering for simultaneous events and O(1) logical cancellation.
+//
+// Hot-path layout: callbacks live in a slab of reusable slots (small-buffer
+// optimized, so typical [this, id] captures never touch the heap) and the
+// heap itself holds only POD {when, seq, slot} entries. cancel() flips a
+// bit in the slot -- no hash lookup anywhere on the schedule/pop path.
+// Cancelled entries are drained from the heap head eagerly, so the head is
+// always a live event and next_time() is a const peek.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "util/inplace_function.hpp"
 
 namespace swarmavail::sim {
 
 /// Simulation time in seconds.
 using SimTime = double;
 
-/// Handle identifying a scheduled event; used to cancel it.
+/// Handle identifying a scheduled event; used to cancel it. Encodes the
+/// slab slot and its generation, so a stale id (the event fired or its slot
+/// was reused) can never cancel an unrelated event.
 using EventId = std::uint64_t;
+
+/// Event callback storage: inline up to 48 bytes of captures (enough for
+/// every simulator in this repo), heap fallback beyond that.
+using EventFn = InplaceFunction<void(), 48>;
 
 /// Min-heap event queue. Events scheduled for the same time fire in
 /// scheduling order (sequence numbers break ties), which keeps simulations
@@ -23,10 +35,11 @@ class EventQueue {
  public:
     /// Schedules `action` at absolute time `when` (must be >= now()).
     /// Returns an id usable with cancel().
-    EventId schedule_at(SimTime when, std::function<void()> action);
+    EventId schedule_at(SimTime when, EventFn action);
 
-    /// Marks an event as cancelled; it is dropped when popped. Cancelling
-    /// an already-fired or unknown id is a no-op.
+    /// Marks an event as cancelled and releases its callback immediately;
+    /// the heap entry is dropped lazily. Cancelling an already-fired or
+    /// unknown id is a no-op.
     void cancel(EventId id);
 
     /// Pops and runs the next event. Returns false when the queue is empty.
@@ -37,8 +50,9 @@ class EventQueue {
     void run_until(SimTime horizon);
 
     /// Enables the invariant-audit mode: every pop re-verifies that event
-    /// time is monotone and that the live-event bookkeeping is consistent,
-    /// throwing CheckFailure on corruption. Off by default (zero overhead).
+    /// time is monotone and that the slab/heap/free-list bookkeeping is
+    /// consistent, throwing CheckFailure on corruption. Off by default
+    /// (zero overhead).
     void set_audit(bool on) noexcept { audit_ = on; }
     [[nodiscard]] bool audit() const noexcept { return audit_; }
 
@@ -47,28 +61,50 @@ class EventQueue {
     [[nodiscard]] std::size_t size() const noexcept { return live_events_; }
 
     /// Time of the next live event, or a negative value if none is queued.
-    /// Does not advance the clock (cancelled tombstones at the head are
-    /// discarded, which is why this is not const).
-    [[nodiscard]] SimTime next_time();
+    /// Pure peek: the heap head is kept live eagerly, so no draining (and
+    /// no mutation) happens here.
+    [[nodiscard]] SimTime next_time() const noexcept {
+        return heap_.empty() ? -1.0 : heap_.front().when;
+    }
 
  private:
-    struct Entry {
+    /// POD heap entry; the callback lives in the slab, not the heap.
+    struct HeapEntry {
         SimTime when;
-        EventId id;
         std::uint64_t seq;
-        std::function<void()> action;
-        bool operator>(const Entry& other) const noexcept {
-            if (when != other.when) {
-                return when > other.when;
-            }
-            return seq > other.seq;
-        }
+        std::uint32_t slot;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> pending_;  // ids still scheduled (not cancelled/fired)
+    /// Slab record for one scheduled event. A slot is owned by exactly one
+    /// heap entry from schedule to pop; `generation` invalidates stale
+    /// EventIds once the slot is recycled.
+    struct Slot {
+        EventFn action;
+        std::uint32_t generation = 1;
+        std::uint32_t next_free = kNoSlot;
+        bool live = false;
+    };
+
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+    static bool later(const HeapEntry& a, const HeapEntry& b) noexcept {
+        if (a.when != b.when) {
+            return a.when > b.when;
+        }
+        return a.seq > b.seq;
+    }
+
+    [[nodiscard]] std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t index) noexcept;
+    /// Pops cancelled entries off the heap head so the head is always live.
+    void drain_cancelled_head();
+    /// Audit-mode full consistency check of slab vs heap vs free list.
+    void audit_bookkeeping() const;
+
+    std::vector<HeapEntry> heap_;  ///< binary min-heap over (when, seq)
+    std::vector<Slot> slab_;
+    std::uint32_t free_head_ = kNoSlot;
     SimTime now_ = 0.0;
-    EventId next_id_ = 1;
     std::uint64_t next_seq_ = 0;
     std::size_t live_events_ = 0;
     bool audit_ = false;

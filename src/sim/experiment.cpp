@@ -1,36 +1,63 @@
 #include "sim/experiment.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace swarmavail::sim {
+namespace {
+
+/// One replication's buffered output, merged into the cell in index order.
+struct ReplicationResult {
+    SampleSet samples;
+    double run_mean = 0.0;
+    bool has_samples = false;
+};
+
+}  // namespace
 
 ExperimentCell run_replications(const std::string& label, const Replication& body,
-                                std::size_t replications, std::uint64_t seed) {
+                                std::size_t replications, std::uint64_t seed,
+                                const ParallelPolicy& policy) {
     require(replications >= 1, "run_replications: requires replications >= 1");
     require(static_cast<bool>(body), "run_replications: body required");
     ExperimentCell cell;
     cell.label = label;
     cell.replications = replications;
-    for (std::size_t i = 0; i < replications; ++i) {
-        const auto samples = body(seed + i);
+
+    // Each replication fills only its own slot; the merge below walks the
+    // slots in index order, so the pooled SampleSet, the run_means stream,
+    // and every statistic derived from them are bit-identical to a serial
+    // run regardless of the thread count or completion order.
+    std::vector<ReplicationResult> results(replications);
+    Parallel::for_index(replications, policy, [&](std::size_t i) {
+        std::vector<double> samples = body(seed + i);
         if (samples.empty()) {
-            continue;
+            return;
         }
+        ReplicationResult& out = results[i];
         StreamingStats run;
         for (double s : samples) {
             run.add(s);
         }
-        cell.run_means.add(run.mean());
-        cell.samples.add_all(samples);
+        out.run_mean = run.mean();
+        out.samples = SampleSet{std::move(samples)};
+        out.has_samples = true;
+    });
+    for (ReplicationResult& result : results) {
+        if (!result.has_samples) {
+            continue;
+        }
+        cell.run_means.add(result.run_mean);
+        cell.samples.merge(std::move(result.samples));
     }
     return cell;
 }
 
 std::vector<SweepPoint> run_sweep(const std::vector<double>& values,
                                   const SweepBody& body, std::size_t replications,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, const ParallelPolicy& policy) {
     require(!values.empty(), "run_sweep: requires at least one value");
     require(static_cast<bool>(body), "run_sweep: body required");
     std::vector<SweepPoint> sweep;
@@ -42,7 +69,7 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& values,
         point.cell = run_replications(
             std::to_string(value),
             [&body, value](std::uint64_t s) { return body(value, s); }, replications,
-            next_seed);
+            next_seed, policy);
         next_seed += replications;
         sweep.push_back(std::move(point));
     }

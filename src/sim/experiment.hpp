@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace swarmavail::sim {
@@ -34,10 +35,19 @@ using Replication = std::function<std::vector<double>(std::uint64_t seed)>;
 
 /// Runs `replications` independent seeds (seed, seed+1, ...) of `body` and
 /// pools the results. Requires replications >= 1.
+///
+/// Replications run in parallel according to `policy` (default: all
+/// hardware threads, overridable via SWARMAVAIL_THREADS; ParallelPolicy{1}
+/// is the serial path). Per-replication results are buffered per index and
+/// merged in index order, so the returned cell is bit-identical for every
+/// thread count. Under any policy other than ParallelPolicy{1}, `body`
+/// must be safe to invoke concurrently from multiple threads (each call
+/// should derive all randomness and state from its seed argument).
 [[nodiscard]] ExperimentCell run_replications(const std::string& label,
                                               const Replication& body,
                                               std::size_t replications,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              const ParallelPolicy& policy = {});
 
 /// A one-dimensional sweep: runs `body(value, seed)` for every value.
 struct SweepPoint {
@@ -47,10 +57,13 @@ struct SweepPoint {
 
 using SweepBody = std::function<std::vector<double>(double value, std::uint64_t seed)>;
 
+/// Seeds are assigned per cell before any cell runs, so results do not
+/// depend on the policy; see run_replications for the threading contract.
 [[nodiscard]] std::vector<SweepPoint> run_sweep(const std::vector<double>& values,
                                                 const SweepBody& body,
                                                 std::size_t replications,
-                                                std::uint64_t seed);
+                                                std::uint64_t seed,
+                                                const ParallelPolicy& policy = {});
 
 /// The sweep point with the smallest pooled mean; ties break toward the
 /// earlier value. Requires a non-empty sweep with non-empty samples.

@@ -4,36 +4,38 @@
 
 namespace swarmavail::swarm {
 
-PieceSet::PieceSet(std::size_t num_pieces) : bits_(num_pieces, false) {
+PieceSet::PieceSet(std::size_t num_pieces)
+    : words_((num_pieces + kWordBits - 1) / kWordBits, 0), num_pieces_(num_pieces) {
     require(num_pieces >= 1, "PieceSet: requires at least one piece");
 }
 
 PieceSet PieceSet::complete(std::size_t num_pieces) {
     PieceSet set{num_pieces};
-    set.bits_.assign(num_pieces, true);
+    set.words_.assign(set.words_.size(), ~std::uint64_t{0});
+    set.words_.back() &= set.tail_mask();
     set.count_ = num_pieces;
     return set;
 }
 
 bool PieceSet::has(std::size_t piece) const {
-    require(piece < bits_.size(), "PieceSet::has: piece index out of range");
-    return bits_[piece];
+    require(piece < num_pieces_, "PieceSet::has: piece index out of range");
+    return ((words_[piece / kWordBits] >> (piece % kWordBits)) & 1U) != 0;
 }
 
 std::size_t PieceSet::recount() const noexcept {
     std::size_t owned = 0;
-    for (const bool bit : bits_) {
-        if (bit) {
-            ++owned;
-        }
+    for (const std::uint64_t word : words_) {
+        owned += static_cast<std::size_t>(std::popcount(word));
     }
     return owned;
 }
 
 void PieceSet::add(std::size_t piece) {
-    require(piece < bits_.size(), "PieceSet::add: piece index out of range");
-    if (!bits_[piece]) {
-        bits_[piece] = true;
+    require(piece < num_pieces_, "PieceSet::add: piece index out of range");
+    const std::uint64_t bit = std::uint64_t{1} << (piece % kWordBits);
+    std::uint64_t& word = words_[piece / kWordBits];
+    if ((word & bit) == 0) {
+        word |= bit;
         ++count_;
     }
 }

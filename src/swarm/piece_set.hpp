@@ -3,12 +3,18 @@
 // distinguish seeds from leechers (Section 2.2).
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace swarmavail::swarm {
 
 /// Fixed-size piece bitmap with O(1) count queries.
+///
+/// Stored as packed 64-bit words so the rarest-first scans of the swarm
+/// simulator can enumerate held/missing pieces a word at a time, skipping
+/// fully-held words outright instead of probing every piece.
 class PieceSet {
  public:
     /// Creates an all-empty set over `num_pieces` pieces (>= 1).
@@ -21,24 +27,67 @@ class PieceSet {
     /// Marks `piece` owned. Adding an owned piece is a no-op.
     void add(std::size_t piece);
 
-    [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return num_pieces_; }
     [[nodiscard]] std::size_t count() const noexcept { return count_; }
-    [[nodiscard]] bool is_complete() const noexcept { return count_ == bits_.size(); }
+    [[nodiscard]] bool is_complete() const noexcept { return count_ == num_pieces_; }
     [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
-    /// Recomputes the owned-piece count from the bitmap in O(pieces).
+    /// Recomputes the owned-piece count from the bitmap in O(pieces / 64).
     /// The invariant-audit mode compares this against count() to catch a
     /// bitmap and counter that drifted apart.
     [[nodiscard]] std::size_t recount() const noexcept;
 
     /// Fraction of pieces owned, in [0, 1].
     [[nodiscard]] double fraction() const noexcept {
-        return bits_.empty() ? 0.0
-                             : static_cast<double>(count_) / static_cast<double>(bits_.size());
+        return num_pieces_ == 0
+                   ? 0.0
+                   : static_cast<double>(count_) / static_cast<double>(num_pieces_);
+    }
+
+    /// Invokes fn(piece) for every owned piece in ascending index order.
+    /// fn must not mutate this set.
+    template <typename Fn>
+    void for_each_held(Fn&& fn) const {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t word = words_[wi];
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                fn(wi * kWordBits + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /// Invokes fn(piece) for every missing piece in ascending index order
+    /// (the swarm simulator's rarest-first candidate enumeration: fully
+    /// held words cost one compare). fn must not mutate this set.
+    template <typename Fn>
+    void for_each_missing(Fn&& fn) const {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t word = ~words_[wi];
+            if (wi + 1 == words_.size()) {
+                word &= tail_mask();
+            }
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                fn(wi * kWordBits + bit);
+                word &= word - 1;
+            }
+        }
     }
 
  private:
-    std::vector<bool> bits_;
+    static constexpr std::size_t kWordBits = 64;
+
+    /// Mask of the valid bits in the last word (all-ones when the piece
+    /// count is a multiple of 64).
+    [[nodiscard]] std::uint64_t tail_mask() const noexcept {
+        const std::size_t tail = num_pieces_ % kWordBits;
+        return tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+    }
+
+    std::vector<std::uint64_t> words_;
+    std::size_t num_pieces_ = 0;
     std::size_t count_ = 0;
 };
 

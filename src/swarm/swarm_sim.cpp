@@ -81,6 +81,19 @@ class SwarmSim {
         // one constituent downloads the whole bundle (Section 4.1).
         const double aggregate_rate =
             config_.peer_arrival_rate * static_cast<double>(config_.bundle_size);
+        // Size the peer/transfer containers for the expected population up
+        // front instead of growing them mid-run (capped so a pathological
+        // config cannot demand an absurd reserve).
+        const auto expected_arrivals = std::min<std::size_t>(
+            static_cast<std::size_t>(aggregate_rate * config_.horizon) +
+                config_.arrival_trace.size() + 16,
+            std::size_t{1} << 20U);
+        result_.peers.reserve(expected_arrivals);
+        result_.completion_times.reserve(expected_arrivals);
+        leechers_.reserve(expected_arrivals);
+        pump_order_.reserve(expected_arrivals);
+        peers_.reserve(expected_arrivals);
+        peer_record_index_.reserve(expected_arrivals);
         sim::PoissonProcess arrivals{queue_, rng_, aggregate_rate,
                                      [this] { on_peer_arrival(); }};
         std::vector<double> trimmed_trace;
@@ -400,13 +413,11 @@ class SwarmSim {
             remove_offer(peer.have);
         }
         // Drop its pieces from the coverage map.
-        for (std::size_t p = 0; p < pieces_total_; ++p) {
-            if (peer.have.has(p)) {
-                dec_holder(p);
-                auto& list = holder_list_[p];
-                list.erase(std::remove(list.begin(), list.end(), id), list.end());
-            }
-        }
+        peer.have.for_each_held([&](std::size_t p) {
+            dec_holder(p);
+            auto& list = holder_list_[p];
+            list.erase(std::remove(list.begin(), list.end(), id), list.end());
+        });
         for (const PeerId other : peer.neighbors) {
             const auto other_it = peers_.find(other);
             if (other_it != peers_.end()) {
@@ -421,11 +432,11 @@ class SwarmSim {
         audit_state();
     }
 
-    /// Cancels every transfer in `ids` (a copy is taken: cancellation
+    /// Cancels every transfer in `ids` (a snapshot is taken: cancellation
     /// mutates the sets). `src_left` selects which endpoint is going away.
     void cancel_transfers(const std::unordered_set<TransferId>& ids, bool src_left) {
-        const std::vector<TransferId> snapshot(ids.begin(), ids.end());
-        for (TransferId tid : snapshot) {
+        cancel_snapshot_.assign(ids.begin(), ids.end());
+        for (TransferId tid : cancel_snapshot_) {
             const auto it = transfers_.find(tid);
             if (it == transfers_.end()) {
                 continue;
@@ -498,25 +509,21 @@ class SwarmSim {
     /// newly obtainable bump the version that wakes dormant leechers.
     void add_offer(const PieceSet& have) {
         bool gained = false;
-        for (std::size_t p = 0; p < pieces_total_; ++p) {
-            if (have.has(p)) {
-                if (offered_count_[p]++ == 0) {
-                    gained = true;
-                }
+        have.for_each_held([&](std::size_t p) {
+            if (offered_count_[p]++ == 0) {
+                gained = true;
             }
-        }
+        });
         if (gained) {
             ++offered_gain_version_;
         }
     }
 
     void remove_offer(const PieceSet& have) {
-        for (std::size_t p = 0; p < pieces_total_; ++p) {
-            if (have.has(p)) {
-                ensure(offered_count_[p] > 0, "SwarmSim: offered count underflow");
-                --offered_count_[p];
-            }
-        }
+        have.for_each_held([&](std::size_t p) {
+            ensure(offered_count_[p] > 0, "SwarmSim: offered count underflow");
+            --offered_count_[p];
+        });
     }
 
     // ---- transfer scheduling ----------------------------------------------
@@ -530,13 +537,15 @@ class SwarmSim {
         bool progress = true;
         while (progress) {
             progress = false;
-            std::vector<PeerId> order = leechers_;
-            for (std::size_t i = order.size(); i > 1; --i) {
-                std::swap(order[i - 1], order[rng_.uniform_index(i)]);
+            // pump() never re-enters itself (event handlers are not run from
+            // inside it), so one scratch vector serves every pass.
+            pump_order_.assign(leechers_.begin(), leechers_.end());
+            for (std::size_t i = pump_order_.size(); i > 1; --i) {
+                std::swap(pump_order_[i - 1], pump_order_[rng_.uniform_index(i)]);
             }
             const bool publisher_free =
                 publisher_on_ && publisher_up_used_ < config_.max_upload_slots;
-            for (const PeerId id : order) {
+            for (const PeerId id : pump_order_) {
                 auto& peer = peers_.at(id);
                 if (config_.max_neighbors == 0 && !publisher_free &&
                     peer.dormant_version == offered_gain_version_) {
@@ -553,8 +562,8 @@ class SwarmSim {
     /// Tracker bootstrap: a newcomer learns up to max_neighbors random
     /// existing peers; edges are bidirectional (BitTorrent connections are).
     void tracker_handout(PeerId id) {
-        std::vector<PeerId> candidates;
-        candidates.reserve(peers_.size());
+        std::vector<PeerId>& candidates = tracker_candidates_;
+        candidates.clear();
         for (const auto& [other, peer] : peers_) {
             if (other != id) {
                 candidates.push_back(other);
@@ -581,8 +590,8 @@ class SwarmSim {
         if (me.neighbors.empty()) {
             return false;
         }
-        std::vector<PeerId> current(me.neighbors.begin(), me.neighbors.end());
-        const PeerId via = current[rng_.uniform_index(current.size())];
+        pex_view_.assign(me.neighbors.begin(), me.neighbors.end());
+        const PeerId via = pex_view_[rng_.uniform_index(pex_view_.size())];
         const auto via_it = peers_.find(via);
         if (via_it == peers_.end()) {
             return false;
@@ -638,9 +647,12 @@ class SwarmSim {
             dst.dormant_version = offered_gain_version_;
             return false;
         }
-        for (std::size_t p = 0; p < pieces_total_; ++p) {
-            if (dst.have.has(p) || dst.inflight.count(p) != 0) {
-                continue;
+        // Enumerating missing pieces word-at-a-time over the bitmap skips
+        // fully-held regions; candidate order stays ascending, so the
+        // rarest-first choice (and the RNG draw sequence) is unchanged.
+        dst.have.for_each_missing([&](std::size_t p) {
+            if (dst.inflight.count(p) != 0) {
+                return;
             }
             // A piece is obtainable if the publisher has a free slot (it
             // holds everything) or some free uploader holds it. Note the
@@ -653,18 +665,18 @@ class SwarmSim {
                 publisher_free && (!config_.super_seeding || holders_[p] == 0);
             if (config_.max_neighbors == 0) {
                 if (!publisher_offers && offered_count_[p] == 0) {
-                    continue;
+                    return;
                 }
             } else {
                 // Limited visibility: a peer source must be a free neighbor.
                 if (!publisher_offers && !has_free_visible_uploader(p, dst_id, dst)) {
-                    continue;
+                    return;
                 }
             }
             const std::size_t rarity =
                 holders_[p] + (publisher_on_ ? std::size_t{1} : std::size_t{0});
             if (rarity > best_rarity) {
-                continue;
+                return;
             }
             if (rarity < best_rarity) {
                 best_rarity = rarity;
@@ -677,7 +689,7 @@ class SwarmSim {
                     best_piece = p;
                 }
             }
-        }
+        });
         if (best_piece == pieces_total_) {
             if (config_.max_neighbors > 0) {
                 // Nothing fetchable in the current view: try to widen it
@@ -698,7 +710,8 @@ class SwarmSim {
     bool start_transfer(std::size_t piece, PeerId dst_id) {
         // Collect eligible sources: the publisher plus free holders of the
         // piece, chosen uniformly.
-        std::vector<PeerId> sources;
+        std::vector<PeerId>& sources = source_candidates_;
+        sources.clear();
         if (publisher_on_ && publisher_up_used_ < config_.max_upload_slots &&
             (!config_.super_seeding || holders_[piece] == 0)) {
             sources.push_back(kPublisher);
@@ -783,6 +796,16 @@ class SwarmSim {
     std::size_t covered_ = 0;                       ///< pieces with >= 1 source online
     bool available_ = false;
     SimTime interval_begin_ = 0.0;
+
+    // Scratch buffers reused across events (the per-event vector churn
+    // showed up in the micro benches). Each has exactly one non-reentrant
+    // user: pump passes, source selection, tracker handouts, PEX pulls,
+    // and transfer-cancellation snapshots never nest with themselves.
+    std::vector<PeerId> pump_order_;
+    std::vector<PeerId> source_candidates_;
+    std::vector<PeerId> tracker_candidates_;
+    std::vector<PeerId> pex_view_;
+    std::vector<TransferId> cancel_snapshot_;
 };
 
 }  // namespace
@@ -793,15 +816,18 @@ SwarmSimResult run_swarm_sim(const SwarmSimConfig& config) {
 }
 
 std::vector<SwarmSimResult> run_swarm_replications(const SwarmSimConfig& config,
-                                                   std::size_t runs) {
+                                                   std::size_t runs,
+                                                   const sim::ParallelPolicy& policy) {
     require(runs >= 1, "run_swarm_replications: requires runs >= 1");
-    std::vector<SwarmSimResult> results;
-    results.reserve(runs);
-    for (std::size_t i = 0; i < runs; ++i) {
+    // Every replication owns its simulator and RNG and writes only its own
+    // slot, so any thread count yields the same per-seed results in the
+    // same (seed) order.
+    std::vector<SwarmSimResult> results(runs);
+    sim::Parallel::for_index(runs, policy, [&](std::size_t i) {
         SwarmSimConfig run_config = config;
         run_config.seed = config.seed + i;
-        results.push_back(run_swarm_sim(run_config));
-    }
+        results[i] = run_swarm_sim(run_config);
+    });
     return results;
 }
 

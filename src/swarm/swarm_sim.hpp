@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "swarm/capacity.hpp"
 #include "util/stats.hpp"
 
@@ -129,7 +130,13 @@ struct SwarmSimResult {
 /// Runs `runs` independent replications (seeds seed, seed+1, ...) and
 /// merges the per-peer download-time statistics; convenience for the
 /// Figure 5/6 experiments which average 10 runs.
+///
+/// Replications run in parallel according to `policy` (default: all
+/// hardware threads, overridable via SWARMAVAIL_THREADS). Each replication
+/// owns its simulator, RNG, and result slot, and results are returned in
+/// seed order, so the output is bit-identical for every thread count.
 [[nodiscard]] std::vector<SwarmSimResult> run_swarm_replications(
-    const SwarmSimConfig& config, std::size_t runs);
+    const SwarmSimConfig& config, std::size_t runs,
+    const sim::ParallelPolicy& policy = {});
 
 }  // namespace swarmavail::swarm

@@ -1,0 +1,137 @@
+// Small-buffer-optimized, move-only callable wrapper.
+//
+// The discrete-event queue stores one callback per scheduled event; with
+// std::function every schedule_at() pays a heap allocation because the
+// simulators' capture lists ([this, id]) exceed libstdc++'s tiny inline
+// buffer. InplaceFunction keeps callables up to `Capacity` bytes inline in
+// the object (no allocation, no pointer chase on invoke) and falls back to
+// the heap only for oversized captures.
+//
+// Deliberately minimal compared to std::function: move-only (no copy, so
+// captured move-only resources work), no target_type/target accessors, and
+// invoking an empty function is a contract violation checked by the caller
+// (EventQueue never stores empty actions in live slots).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace swarmavail {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+    InplaceFunction() noexcept = default;
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                          std::is_invocable_r_v<R, D&, Args...>>>
+    InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            vtable_ = &inline_vtable<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            vtable_ = &heap_vtable<D>;
+        }
+    }
+
+    InplaceFunction(InplaceFunction&& other) noexcept { take(std::move(other)); }
+
+    InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            take(std::move(other));
+        }
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction&) = delete;
+    InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    /// Destroys the held callable (releasing captured resources), leaving
+    /// the wrapper empty.
+    void reset() noexcept {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+    /// True when the held callable lives in the inline buffer (test hook
+    /// for the small-buffer optimization; empty functions report true).
+    [[nodiscard]] bool is_inline() const noexcept {
+        return vtable_ == nullptr || !vtable_->heap_allocated;
+    }
+
+    R operator()(Args... args) {
+        return vtable_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+ private:
+    struct VTable {
+        R (*invoke)(void*, Args&&...);
+        /// Move-constructs the callable at `dst` from `src` and destroys the
+        /// source (a destructive relocate, used by moves and slab growth).
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+        bool heap_allocated;
+    };
+
+    template <typename D>
+    static constexpr bool fits_inline() noexcept {
+        return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static constexpr VTable inline_vtable{
+        [](void* s, Args&&... args) -> R {
+            return (*std::launder(static_cast<D*>(s)))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+            D* from = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+        },
+        [](void* s) noexcept { std::launder(static_cast<D*>(s))->~D(); },
+        /*heap_allocated=*/false,
+    };
+
+    template <typename D>
+    static constexpr VTable heap_vtable{
+        [](void* s, Args&&... args) -> R {
+            return (**std::launder(static_cast<D**>(s)))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+        },
+        [](void* s) noexcept { delete *std::launder(static_cast<D**>(s)); },
+        /*heap_allocated=*/true,
+    };
+
+    void take(InplaceFunction&& other) noexcept {
+        if (other.vtable_ != nullptr) {
+            vtable_ = other.vtable_;
+            vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity > sizeof(void*)
+                                                         ? Capacity
+                                                         : sizeof(void*)]{};
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace swarmavail

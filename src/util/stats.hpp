@@ -45,8 +45,19 @@ class StreamingStats {
 /// (thousands of samples), not unbounded streams.
 class SampleSet {
  public:
+    SampleSet() = default;
+    /// Takes ownership of an existing batch of observations.
+    explicit SampleSet(std::vector<double> samples) : samples_(std::move(samples)) {}
+
     void add(double x);
     void add_all(const std::vector<double>& xs);
+
+    /// Appends another set's observations (in their original order) and
+    /// leaves `other` empty. Merging preserves pooled moments and quantiles
+    /// exactly: the result is identical to having added every observation
+    /// to one set in sequence. Used by the parallel replication engine to
+    /// combine per-replication batches in index order.
+    void merge(SampleSet&& other);
 
     [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }

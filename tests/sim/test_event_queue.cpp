@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <set>
 #include <vector>
 
 namespace swarmavail::sim {
@@ -107,6 +110,86 @@ TEST(EventQueue, NextTimeEmptyIsNegative) {
     EXPECT_LT(queue.next_time(), 0.0);
     queue.schedule_at(3.0, [] {});
     EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+}
+
+TEST(EventQueue, NextTimeIsConstAndNonDestructive) {
+    EventQueue queue;
+    const EventId early = queue.schedule_at(1.0, [] {});
+    queue.schedule_at(2.0, [] {});
+    queue.cancel(early);
+    // Peeking through a const reference must see past the cancelled head
+    // without mutating the queue.
+    const EventQueue& view = queue;
+    EXPECT_DOUBLE_EQ(view.next_time(), 2.0);
+    EXPECT_DOUBLE_EQ(view.next_time(), 2.0);
+    EXPECT_EQ(view.size(), 1u);
+    EXPECT_TRUE(queue.run_next());
+    EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsNoOp) {
+    EventQueue queue;
+    const EventId first = queue.schedule_at(1.0, [] {});
+    queue.cancel(first);
+    // The slot is recycled for the next event, but under a new generation:
+    // the stale handle must not cancel the newcomer.
+    bool fired = false;
+    const EventId second = queue.schedule_at(2.0, [&] { fired = true; });
+    EXPECT_NE(first, second);
+    queue.cancel(first);
+    EXPECT_EQ(queue.size(), 1u);
+    while (queue.run_next()) {
+    }
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, IdsStayUniqueAcrossHeavyReuse) {
+    EventQueue queue;
+    std::set<EventId> ids;
+    int fired = 0;
+    for (int round = 0; round < 100; ++round) {
+        const EventId keep =
+            queue.schedule_at(queue.now() + 1.0, [&fired] { ++fired; });
+        const EventId drop = queue.schedule_at(queue.now() + 2.0, [] {});
+        EXPECT_TRUE(ids.insert(keep).second);
+        EXPECT_TRUE(ids.insert(drop).second);
+        queue.cancel(drop);
+        EXPECT_TRUE(queue.run_next());
+    }
+    EXPECT_EQ(fired, 100);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, LargeCaptureCallbacksRun) {
+    // Callbacks bigger than the inline buffer fall back to heap storage;
+    // both paths must deliver the capture intact.
+    EventQueue queue;
+    std::array<double, 32> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<double>(i);
+    }
+    double sum = 0.0;
+    queue.schedule_at(1.0, [payload, &sum] {
+        for (double v : payload) {
+            sum += v;
+        }
+    });
+    queue.schedule_at(2.0, [&sum] { sum += 1000.0; });
+    while (queue.run_next()) {
+    }
+    EXPECT_DOUBLE_EQ(sum, 496.0 + 1000.0);
+}
+
+TEST(EventQueue, CancelledCallbackIsReleasedImmediately) {
+    // Cancelling must drop the stored callable right away (it may own
+    // resources), not wait for the tombstone to surface in the heap.
+    EventQueue queue;
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    const EventId id = queue.schedule_at(5.0, [token = std::move(token)] {});
+    EXPECT_FALSE(watch.expired());
+    queue.cancel(id);
+    EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {

@@ -51,13 +51,15 @@ TEST(RunReplications, RejectsInvalidArguments) {
 
 TEST(RunSweep, OneCellPerValueWithDistinctSeeds) {
     std::vector<std::uint64_t> seeds_seen;
+    // The body mutates shared state, so force the serial policy (the
+    // default may fan replications out over threads).
     const auto sweep = run_sweep(
         {1.0, 2.0},
         [&seeds_seen](double value, std::uint64_t seed) {
             seeds_seen.push_back(seed);
             return std::vector<double>{value};
         },
-        3, 100);
+        3, 100, ParallelPolicy{1});
     ASSERT_EQ(sweep.size(), 2u);
     EXPECT_DOUBLE_EQ(sweep[0].value, 1.0);
     EXPECT_DOUBLE_EQ(sweep[1].cell.mean(), 2.0);

@@ -1,0 +1,257 @@
+// Parallel replication engine: executor unit tests plus the determinism
+// suite -- serial (ParallelPolicy{1}) and multi-threaded runs of every
+// replication harness must produce bit-identical experiment statistics.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/availability_sim.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+// ---- executor ----------------------------------------------------------
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+    Parallel pool{4};
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<int> hits(257, 0);
+    pool.for_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+    }
+}
+
+TEST(Parallel, ZeroAndSingleIndexRanges) {
+    Parallel pool{3};
+    std::atomic<int> calls{0};
+    pool.for_index(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    pool.for_index(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, PoolIsReusableAcrossCalls) {
+    Parallel pool{2};
+    for (int round = 0; round < 3; ++round) {
+        std::vector<int> hits(50, 0);
+        pool.for_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+        for (int h : hits) {
+            EXPECT_EQ(h, 1);
+        }
+    }
+}
+
+TEST(Parallel, PropagatesExceptionsAfterCompletingTheRange) {
+    Parallel pool{4};
+    std::vector<int> hits(64, 0);
+    EXPECT_THROW(pool.for_index(hits.size(),
+                                [&](std::size_t i) {
+                                    ++hits[i];
+                                    if (i == 13) {
+                                        throw std::runtime_error("replication failed");
+                                    }
+                                }),
+                 std::runtime_error);
+    // Every index still ran: one failed replication must not silently drop
+    // the others (their result slots stay consistent).
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(Parallel, SerialPoolPropagatesImmediately) {
+    Parallel pool{1};
+    EXPECT_EQ(pool.threads(), 1u);
+    EXPECT_THROW(
+        pool.for_index(4, [](std::size_t) { throw std::invalid_argument("boom"); }),
+        std::invalid_argument);
+}
+
+TEST(Parallel, RejectsInvalidArguments) {
+    EXPECT_THROW(Parallel{0}, std::invalid_argument);
+    Parallel pool{2};
+    EXPECT_THROW(pool.for_index(1, nullptr), std::invalid_argument);
+    EXPECT_THROW(Parallel::for_index(1, ParallelPolicy{2}, nullptr),
+                 std::invalid_argument);
+}
+
+TEST(ParallelPolicy, ExplicitCountWins) {
+    EXPECT_EQ(ParallelPolicy{3}.resolve(), 3u);
+    EXPECT_EQ(ParallelPolicy::serial().resolve(), 1u);
+}
+
+TEST(ParallelPolicy, EnvVarOverridesAuto) {
+    ASSERT_EQ(setenv("SWARMAVAIL_THREADS", "5", 1), 0);
+    EXPECT_EQ(ParallelPolicy{}.resolve(), 5u);
+    // Explicit thread counts are not overridden by the environment.
+    EXPECT_EQ(ParallelPolicy{2}.resolve(), 2u);
+    // Garbage or non-positive values fall back to auto (>= 1).
+    ASSERT_EQ(setenv("SWARMAVAIL_THREADS", "zero", 1), 0);
+    EXPECT_GE(ParallelPolicy{}.resolve(), 1u);
+    ASSERT_EQ(setenv("SWARMAVAIL_THREADS", "0", 1), 0);
+    EXPECT_GE(ParallelPolicy{}.resolve(), 1u);
+    ASSERT_EQ(unsetenv("SWARMAVAIL_THREADS"), 0);
+    EXPECT_GE(ParallelPolicy{}.resolve(), 1u);
+}
+
+// ---- determinism suite -------------------------------------------------
+//
+// Each workload runs once with ParallelPolicy{1} and once with
+// ParallelPolicy{4}; the pooled samples, run-level stats, and best-point
+// selection must match bit for bit (EXPECT_EQ on doubles, not EXPECT_NEAR).
+
+void expect_cells_identical(const ExperimentCell& serial, const ExperimentCell& parallel) {
+    EXPECT_EQ(serial.replications, parallel.replications);
+    EXPECT_EQ(serial.samples.samples(), parallel.samples.samples());
+    EXPECT_EQ(serial.run_means.count(), parallel.run_means.count());
+    EXPECT_EQ(serial.run_means.mean(), parallel.run_means.mean());
+    EXPECT_EQ(serial.run_means.variance(), parallel.run_means.variance());
+    EXPECT_EQ(serial.run_means.min(), parallel.run_means.min());
+    EXPECT_EQ(serial.run_means.max(), parallel.run_means.max());
+    EXPECT_EQ(serial.ci95(), parallel.ci95());
+    if (!serial.samples.empty()) {
+        EXPECT_EQ(serial.mean(), parallel.mean());
+        EXPECT_EQ(serial.samples.quantile(0.9), parallel.samples.quantile(0.9));
+    }
+}
+
+std::vector<double> availability_body(std::uint64_t seed) {
+    AvailabilitySimConfig config;
+    config.params.peer_arrival_rate = 1.0 / 60.0;
+    config.params.content_size = 80.0;
+    config.params.download_rate = 1.0;
+    config.params.publisher_arrival_rate = 1.0 / 900.0;
+    config.params.publisher_residence = 300.0;
+    config.horizon = 20000.0;
+    config.seed = seed;
+    const auto result = run_availability_sim(config);
+    std::vector<double> samples;
+    if (result.download_times.count() > 0) {
+        samples.push_back(result.download_times.mean());
+    }
+    samples.push_back(result.unavailable_time_fraction);
+    return samples;
+}
+
+swarm::SwarmSimConfig small_swarm_config() {
+    swarm::SwarmSimConfig config;
+    config.bundle_size = 2;
+    config.pieces_per_file = 4;
+    config.peer_arrival_rate = 1.0 / 30.0;
+    config.peer_capacity =
+        std::make_shared<swarm::HomogeneousCapacity>(100.0 * swarm::kKBps);
+    config.publisher_capacity = 200.0 * swarm::kKBps;
+    config.horizon = 900.0;
+    return config;
+}
+
+std::vector<double> swarm_body(std::uint64_t seed) {
+    auto config = small_swarm_config();
+    config.seed = seed;
+    auto result = swarm::run_swarm_sim(config);
+    return result.completion_times;
+}
+
+std::vector<double> busy_period_body(std::uint64_t seed) {
+    Rng rng{seed};
+    std::vector<double> samples;
+    samples.reserve(20);
+    for (int i = 0; i < 20; ++i) {
+        samples.push_back(sample_busy_period(
+            rng, 1.0 / 90.0, [](Rng& r) { return r.exponential_mean(300.0); },
+            [](Rng& r) { return r.exponential_mean(120.0); }));
+    }
+    return samples;
+}
+
+TEST(ParallelDeterminism, AvailabilitySimReplications) {
+    const auto serial =
+        run_replications("avail", availability_body, 8, 100, ParallelPolicy{1});
+    const auto parallel =
+        run_replications("avail", availability_body, 8, 100, ParallelPolicy{4});
+    expect_cells_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, SwarmSimReplications) {
+    const auto serial = run_replications("swarm", swarm_body, 6, 40, ParallelPolicy{1});
+    const auto parallel = run_replications("swarm", swarm_body, 6, 40, ParallelPolicy{4});
+    expect_cells_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, MonteCarloBusyPeriodReplications) {
+    const auto serial = run_replications("mc", busy_period_body, 10, 7, ParallelPolicy{1});
+    const auto parallel =
+        run_replications("mc", busy_period_body, 10, 7, ParallelPolicy{4});
+    expect_cells_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, SweepAndBestPointSelection) {
+    const std::vector<double> values{1.0, 2.0, 3.0};
+    const auto body = [](double value, std::uint64_t seed) {
+        Rng rng{seed};
+        std::vector<double> samples;
+        for (int i = 0; i < 50; ++i) {
+            samples.push_back(value + rng.uniform(-0.5, 0.5));
+        }
+        return samples;
+    };
+    const auto serial = run_sweep(values, body, 4, 900, ParallelPolicy{1});
+    const auto parallel = run_sweep(values, body, 4, 900, ParallelPolicy{4});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].value, parallel[i].value);
+        expect_cells_identical(serial[i].cell, parallel[i].cell);
+    }
+    EXPECT_EQ(best_point(serial).value, best_point(parallel).value);
+}
+
+TEST(ParallelDeterminism, BestPointTiesBreakIdentically) {
+    // Two cells with exactly equal means: both policies must pick the
+    // earlier value (the documented tie-break).
+    const auto body = [](double, std::uint64_t) { return std::vector<double>{1.0}; };
+    const auto serial = run_sweep({5.0, 6.0}, body, 3, 0, ParallelPolicy{1});
+    const auto parallel = run_sweep({5.0, 6.0}, body, 3, 0, ParallelPolicy{4});
+    EXPECT_EQ(best_point(serial).value, 5.0);
+    EXPECT_EQ(best_point(parallel).value, 5.0);
+}
+
+TEST(ParallelDeterminism, SwarmReplicationHarness) {
+    const auto config = small_swarm_config();
+    const auto serial = swarm::run_swarm_replications(config, 5, ParallelPolicy{1});
+    const auto parallel = swarm::run_swarm_replications(config, 5, ParallelPolicy{4});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].arrivals, parallel[i].arrivals);
+        EXPECT_EQ(serial[i].completions, parallel[i].completions);
+        EXPECT_EQ(serial[i].stuck_at_horizon, parallel[i].stuck_at_horizon);
+        EXPECT_EQ(serial[i].completion_times, parallel[i].completion_times);
+        EXPECT_EQ(serial[i].download_times.count(), parallel[i].download_times.count());
+        EXPECT_EQ(serial[i].download_times.mean(), parallel[i].download_times.mean());
+        EXPECT_EQ(serial[i].available_fraction, parallel[i].available_fraction);
+        EXPECT_EQ(serial[i].last_completion, parallel[i].last_completion);
+    }
+}
+
+TEST(ParallelDeterminism, ThreadCountBeyondReplicationsIsSafe) {
+    const auto serial = run_replications("mc", busy_period_body, 3, 1, ParallelPolicy{1});
+    const auto oversubscribed =
+        run_replications("mc", busy_period_body, 3, 1, ParallelPolicy{16});
+    expect_cells_identical(serial, oversubscribed);
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

@@ -69,6 +69,70 @@ TEST(StreamingStats, MergeWithEmptyIsNoOp) {
     EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
 }
 
+TEST(StreamingStats, PairwiseMergePinsCiAgainstSingleStream) {
+    // Chan et al. pairwise merging across four chunks must reproduce the
+    // single-stream mean/variance/CI: this is what lets the parallel
+    // replication engine pool per-thread accumulators.
+    StreamingStats all;
+    StreamingStats chunks[4];
+    for (int i = 0; i < 200; ++i) {
+        const double x = std::cos(i) * 3.0 + 0.01 * i;
+        chunks[i % 4].add(x);
+        all.add(x);
+    }
+    chunks[0].merge(chunks[1]);
+    chunks[2].merge(chunks[3]);
+    chunks[0].merge(chunks[2]);
+    EXPECT_EQ(chunks[0].count(), all.count());
+    EXPECT_NEAR(chunks[0].mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(chunks[0].variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(chunks[0].std_error(), all.std_error(), 1e-12);
+    EXPECT_NEAR(chunks[0].ci95_halfwidth(), all.ci95_halfwidth(), 1e-12);
+    EXPECT_NEAR(chunks[0].sum(), all.sum(), 1e-9);
+}
+
+TEST(SampleSet, MergeMatchesSingleStreamExactly) {
+    // merge() is an ordered append, so every pooled statistic -- moments,
+    // quantiles, CI -- is bit-identical to one set fed the same sequence.
+    SampleSet merged;
+    SampleSet single;
+    std::vector<double> first{3.0, 1.0, 4.0};
+    std::vector<double> second{1.5, 9.0, 2.6, 5.0};
+    single.add_all(first);
+    single.add_all(second);
+    merged.merge(SampleSet{std::move(first)});
+    merged.merge(SampleSet{std::move(second)});
+    EXPECT_EQ(merged.samples(), single.samples());
+    EXPECT_DOUBLE_EQ(merged.mean(), single.mean());
+    EXPECT_DOUBLE_EQ(merged.variance(), single.variance());
+    EXPECT_DOUBLE_EQ(merged.quantile(0.25), single.quantile(0.25));
+    EXPECT_DOUBLE_EQ(merged.median(), single.median());
+    EXPECT_DOUBLE_EQ(merged.ci95_halfwidth(), single.ci95_halfwidth());
+}
+
+TEST(SampleSet, MergeEmptyCases) {
+    SampleSet set;
+    set.merge(SampleSet{});  // empty into empty
+    EXPECT_TRUE(set.empty());
+    set.merge(SampleSet{{2.0, 1.0}});  // into empty: takes the batch
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_DOUBLE_EQ(set.median(), 1.5);
+    SampleSet drained{{7.0}};
+    set.merge(std::move(drained));
+    EXPECT_EQ(set.size(), 3u);
+    set.merge(SampleSet{});  // empty into non-empty is a no-op
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_DOUBLE_EQ(set.max(), 7.0);
+}
+
+TEST(SampleSet, MergeInvalidatesCachedQuantiles) {
+    SampleSet set{{1.0, 2.0, 3.0}};
+    EXPECT_DOUBLE_EQ(set.median(), 2.0);  // forces the sorted cache
+    set.merge(SampleSet{{100.0}});
+    EXPECT_DOUBLE_EQ(set.median(), 2.5);
+    EXPECT_DOUBLE_EQ(set.max(), 100.0);
+}
+
 TEST(SampleSet, QuantilesInterpolate) {
     SampleSet set;
     set.add_all({1.0, 2.0, 3.0, 4.0, 5.0});
