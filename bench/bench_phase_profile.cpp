@@ -1,0 +1,60 @@
+// Phase-profile bench: runs the availability and swarm simulators with the
+// phase profiler enabled and prints the per-phase wall-time breakdown as
+// JSON. scripts/bench.sh embeds this under the "phase_profile" key of
+// BENCH_perf.json so the perf trajectory records where simulator time goes
+// (event dispatch vs choke pump vs piece transfers vs busy-period
+// bookkeeping), not just end-to-end throughput.
+#include <iostream>
+#include <memory>
+
+#include "sim/availability_sim.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/profile.hpp"
+
+int main() {
+    using namespace swarmavail;
+
+    prof::Profiler::reset();
+    prof::Profiler::set_enabled(true);
+
+    {
+        sim::AvailabilitySimConfig config;
+        config.params.peer_arrival_rate = 1.0 / 60.0;
+        config.params.content_size = 80.0;
+        config.params.download_rate = 1.0;
+        config.params.publisher_arrival_rate = 1.0 / 900.0;
+        config.params.publisher_residence = 300.0;
+        config.horizon = 200000.0;
+        config.seed = 3;
+        (void)sim::run_availability_sim(config);
+    }
+    {
+        swarm::SwarmSimConfig config;
+        config.bundle_size = 4;
+        config.peer_arrival_rate = 1.0 / 60.0;
+        config.peer_capacity =
+            std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+        config.publisher_capacity = 100.0 * swarm::kKBps;
+        config.publisher = swarm::PublisherBehavior::kOnOff;
+        config.horizon = 4800.0;
+        config.seed = 4;
+        (void)swarm::run_swarm_sim(config);
+    }
+    {
+        // Parallel replications exercise the worker-loop phase.
+        swarm::SwarmSimConfig config;
+        config.bundle_size = 2;
+        config.peer_arrival_rate = 1.0 / 60.0;
+        config.peer_capacity =
+            std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+        config.publisher_capacity = 100.0 * swarm::kKBps;
+        config.horizon = 1200.0;
+        config.seed = 5;
+        (void)swarm::run_swarm_replications(config, 4, sim::ParallelPolicy{2});
+    }
+
+    prof::Profiler::set_enabled(false);
+    prof::Profiler::write_json(std::cout);
+    std::cout << "\n";
+    return 0;
+}

@@ -1,14 +1,22 @@
 // Swarm timeline: run the block-level BitTorrent simulator with an
 // intermittent publisher and print a Figure 2 / Figure 5-style view of the
-// swarm: per-peer lifetimes and the content-availability intervals.
+// swarm. The timeline annotations are driven from the structured event
+// trace (sim::MemoryTraceSink) and the metrics registry rather than the
+// aggregate result, demonstrating that the observability layer carries the
+// full story of a run.
 #include <iostream>
 #include <memory>
 
+#include "sim/trace.hpp"
 #include "swarm/observables.hpp"
 #include "swarm/swarm_sim.hpp"
+#include "util/metrics.hpp"
 
 int main() {
+    using namespace swarmavail;
     using namespace swarmavail::swarm;
+    using sim::TraceKind;
+    using sim::TraceRecord;
 
     SwarmSimConfig config;
     config.bundle_size = 3;
@@ -22,6 +30,13 @@ int main() {
     config.horizon = 2400.0;
     config.seed = 9;
 
+    MetricsRegistry metrics;
+    sim::MemoryTraceSink sink;
+    sim::Tracer tracer{sink};
+    tracer.set_enabled(true);
+    config.metrics = &metrics;
+    config.tracer = &tracer;
+
     const auto result = run_swarm_sim(config);
 
     std::cout << "swarm of K=" << config.bundle_size << " files, "
@@ -30,23 +45,50 @@ int main() {
     std::cout << "peer lifetimes ('-' downloading/waiting, '|' completed, '?' cut off):\n";
     std::cout << render_peer_timeline(result.peers, config.horizon, 96) << "\n";
 
-    std::cout << "content-available intervals (the busy periods of Figure 2):\n";
-    for (const auto& interval : result.available_intervals) {
-        std::cout << "  [" << interval.begin << " s, " << interval.end << " s]  ("
-                  << interval.end - interval.begin << " s)\n";
+    // Everything below is reconstructed from the event trace alone.
+    std::cout << "publisher sessions (from kPublisherUp/Down trace records):\n";
+    double up_since = 0.0;
+    for (const TraceRecord& record : sink.records()) {
+        if (record.kind == TraceKind::kPublisherUp) {
+            up_since = record.time;
+        } else if (record.kind == TraceKind::kPublisherDown) {
+            std::cout << "  up [" << up_since << " s, " << record.time << " s]  ("
+                      << record.time - up_since << " s)\n";
+        }
+    }
+
+    std::cout << "content-available intervals (the busy periods of Figure 2, "
+                 "from kAvailabilityEnd records):\n";
+    for (const TraceRecord& record : sink.records()) {
+        if (record.kind == TraceKind::kAvailabilityEnd) {
+            std::cout << "  [" << record.a << " s, " << record.time << " s]  ("
+                      << record.time - record.a << " s)\n";
+        }
     }
     std::cout << "\navailable fraction of the run: " << result.available_fraction << "\n";
-    std::cout << "peers: " << result.arrivals << " arrived, " << result.completions
+
+    // The counters and latency histogram mirror the aggregate observables.
+    std::cout << "peers: " << metrics.find_counter("swarm.arrivals")->value()
+              << " arrived, " << metrics.find_counter("swarm.completions")->value()
               << " completed, " << result.stuck_at_horizon << " still waiting\n";
-    if (result.download_times.count() > 0) {
-        std::cout << "mean download time: " << result.download_times.mean() << " s (min "
-                  << result.download_times.min() << ", max "
-                  << result.download_times.max() << ")\n";
+    const HistogramMetric* downloads = metrics.find_histogram("swarm.download_time_s");
+    if (downloads != nullptr && downloads->stats().count() > 0) {
+        std::cout << "mean download time: " << downloads->stats().mean() << " s (min "
+                  << downloads->stats().min() << ", max " << downloads->stats().max()
+                  << ")\n";
+        std::cout << "download-time histogram (log2 bins with any mass):\n";
+        for (std::size_t i = 0; i < downloads->bins(); ++i) {
+            if (downloads->bin_count(i) > 0) {
+                std::cout << "  [" << downloads->bin_lo(i) << ", " << downloads->bin_hi(i)
+                          << ") s: " << downloads->bin_count(i) << "\n";
+            }
+        }
     }
     const auto burst = max_completion_burst(result.completion_times, 30.0);
     std::cout << "largest 30 s completion burst: " << burst
               << (burst >= 4 ? "  <- flash departures: blocked peers finishing "
                                "together when the publisher returns\n"
                              : "\n");
+    std::cout << "trace records captured: " << sink.records().size() << "\n";
     return 0;
 }

@@ -1,0 +1,152 @@
+// Trace inspector: replay a structured JSONL event trace into a
+// seed-absence timeline and per-peer latency summary.
+//
+// With a file argument it parses that trace; with no argument it runs a
+// demo swarm (intermittent publisher) through the JSONL sink, parses its
+// own output back, and also prints the phase-profile breakdown — the full
+// observability loop: simulate -> serialize -> parse -> analyze.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "util/profile.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+std::string demo_trace_jsonl() {
+    using namespace swarmavail::swarm;
+    SwarmSimConfig config;
+    config.bundle_size = 2;
+    config.file_size = 4.0e6 * 8.0;
+    config.peer_arrival_rate = 1.0 / 45.0;
+    config.peer_capacity = std::make_shared<HomogeneousCapacity>(50.0 * kKBps);
+    config.publisher_capacity = 100.0 * kKBps;
+    config.publisher = PublisherBehavior::kOnOff;
+    config.publisher_on_mean = 300.0;
+    config.publisher_off_mean = 600.0;
+    config.horizon = 3600.0;
+    config.seed = 17;
+
+    std::ostringstream os;
+    swarmavail::sim::JsonlTraceSink sink{os};
+    swarmavail::sim::Tracer tracer{sink};
+    tracer.set_enabled(true);
+    config.tracer = &tracer;
+    (void)run_swarm_sim(config);
+    return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using swarmavail::StreamingStats;
+    using swarmavail::sim::ParsedTrace;
+    using swarmavail::sim::TraceKind;
+    using swarmavail::sim::TraceRecord;
+
+    const bool self_run = argc < 2;
+    ParsedTrace trace;
+    if (self_run) {
+        swarmavail::prof::Profiler::reset();
+        swarmavail::prof::Profiler::set_enabled(true);
+        const std::string jsonl = demo_trace_jsonl();
+        swarmavail::prof::Profiler::set_enabled(false);
+        std::istringstream in{jsonl};
+        trace = swarmavail::sim::read_trace_jsonl(in);
+        std::cout << "demo swarm run, " << trace.records.size()
+                  << " trace records captured\n\n";
+    } else {
+        std::ifstream in{argv[1]};
+        if (!in) {
+            std::cerr << "trace_inspect: cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        trace = swarmavail::sim::read_trace_jsonl(in);
+        std::cout << argv[1] << ": " << trace.records.size() << " trace records\n\n";
+    }
+
+    // Record census by kind.
+    std::cout << "records by kind:\n";
+    for (std::uint32_t k = 0; k <= static_cast<std::uint32_t>(TraceKind::kCustom); ++k) {
+        const TraceKind kind = static_cast<TraceKind>(k);
+        std::size_t count = 0;
+        for (const TraceRecord& record : trace.records) {
+            count += record.kind == kind ? 1u : 0u;
+        }
+        if (count > 0) {
+            std::cout << "  " << swarmavail::sim::trace_kind_name(kind) << ": " << count
+                      << "\n";
+        }
+    }
+
+    // Seed-absence timeline: intervals with no publisher online — the
+    // periods where availability depends entirely on the swarm (the paper's
+    // core concern).
+    std::cout << "\nseed-absence timeline (publisher offline intervals):\n";
+    double down_since = 0.0;
+    bool down = true;  // runs begin with the publisher state unannounced
+    bool any = false;
+    for (const TraceRecord& record : trace.records) {
+        if (record.kind == TraceKind::kPublisherUp) {
+            if (down && record.time > down_since) {
+                std::cout << "  [" << down_since << " s, " << record.time << " s]  ("
+                          << record.time - down_since << " s)\n";
+                any = true;
+            }
+            down = false;
+        } else if (record.kind == TraceKind::kPublisherDown) {
+            down = true;
+            down_since = record.time;
+        }
+    }
+    if (down) {
+        std::cout << "  [" << down_since << " s, end of trace]\n";
+        any = true;
+    }
+    if (!any) {
+        std::cout << "  (none -- publisher stayed online)\n";
+    }
+
+    // Content availability and per-peer latency, recomputed from records.
+    StreamingStats availability;
+    for (const TraceRecord& record : trace.records) {
+        if (record.kind == TraceKind::kAvailabilityEnd) {
+            availability.add(record.time - record.a);
+        }
+    }
+    if (availability.count() > 0) {
+        std::cout << "\ncontent-available intervals: " << availability.count()
+                  << ", mean length " << availability.mean() << " s (max "
+                  << availability.max() << " s)\n";
+    }
+    StreamingStats downloads;
+    for (const TraceRecord& record : trace.records) {
+        if (record.kind == TraceKind::kPeerCompletion) {
+            downloads.add(record.a);
+        }
+    }
+    if (downloads.count() > 0) {
+        std::cout << "per-peer download time: n=" << downloads.count() << ", mean "
+                  << downloads.mean() << " s, min " << downloads.min() << " s, max "
+                  << downloads.max() << " s\n";
+    }
+    if (!trace.annotations.empty()) {
+        std::cout << "\nannotations:\n";
+        for (const auto& annotation : trace.annotations) {
+            std::cout << "  t=" << annotation.time << ": " << annotation.text << "\n";
+        }
+    }
+
+    if (self_run) {
+        std::cout << "\nphase profile:\n";
+        swarmavail::prof::Profiler::write_json(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

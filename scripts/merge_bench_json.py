@@ -4,13 +4,15 @@
 Output schema:
 
 {
-  "schema_version": 1,
+  "schema_version": 2,
   "generated_at": "2026-01-01T00:00:00Z",
   "host": {"hardware_threads": 8},
   "benchmarks": [
     {"name": "...", "ns_per_op": 1.0, "items_per_s": 2.0,
-     "threads": 4, "speedup_vs_serial": 3.5}
-  ]
+     "threads": 4, "speedup_vs_serial": 3.5,
+     "delta_vs_prior_pct": -1.2, "tracing_overhead_pct": 4.7}
+  ],
+  "phase_profile": {"phases": [{"name": "...", "calls": 1, "seconds": 0.5}]}
 }
 
 `threads` is parsed from the `/threads:N` argument in the benchmark name
@@ -18,7 +20,26 @@ Output schema:
 single-threaded benches report 1. `speedup_vs_serial` is emitted for
 multi-threaded entries whose family (name minus the /threads:N component)
 also has a threads:1 row.
+
+`delta_vs_prior_pct` compares each row against the same-named row of the
+prior baseline (--prior, usually the checked-in BENCH_perf.json). A
+missing, empty, or corrupt prior file is tolerated: the field is simply
+omitted, so the first run on a fresh checkout still succeeds.
+
+`tracing_overhead_pct` is emitted on observability rows (name containing
+"TraceOn") and measures them against their plain counterpart (the name
+with the first "TraceOn" removed) from the same run.
+
+`phase_profile` embeds the per-phase wall-time breakdown printed by
+bench_phase_profile (--profile), again tolerating a missing file.
+
+When the same benchmark name appears in several input files (bench.sh's
+BENCH_REPEAT mode feeds each run as a separate file), the row with the
+minimum ns_per_op wins: on hosts with background load the minimum is the
+least-contaminated estimate, and derived fields (speedups, overheads,
+deltas) are computed from the kept rows only.
 """
+import argparse
 import datetime
 import json
 import os
@@ -32,10 +53,27 @@ def _to_ns(value, unit):
     return value * {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
 
 
-def main(paths):
+def _load_json_or_none(path):
+    """Read a JSON document, returning None for a missing/empty/corrupt file."""
+    if not path:
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return None
+    if not text.strip():
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return None
+
+
+def merge(input_paths, prior_path=None, profile_path=None):
     entries = []
     hardware_threads = os.cpu_count() or 1
-    for path in paths:
+    for path in input_paths:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
         hardware_threads = doc.get("context", {}).get("num_cpus", hardware_threads)
@@ -50,6 +88,19 @@ def main(paths):
                 "threads": int(match.group(1)) if match else 1,
             })
 
+    # Repeated runs: keep the fastest observation per name, preserving
+    # first-appearance order.
+    best = {}
+    order = []
+    for entry in entries:
+        kept = best.get(entry["name"])
+        if kept is None:
+            order.append(entry["name"])
+            best[entry["name"]] = entry
+        elif entry["ns_per_op"] < kept["ns_per_op"]:
+            best[entry["name"]] = entry
+    entries = [best[name] for name in order]
+
     serial_ns = {}
     for entry in entries:
         if entry["threads"] == 1:
@@ -59,17 +110,52 @@ def main(paths):
         if entry["threads"] > 1 and serial_ns.get(family) and entry["ns_per_op"] > 0:
             entry["speedup_vs_serial"] = round(serial_ns[family] / entry["ns_per_op"], 4)
 
-    json.dump(
-        {
-            "schema_version": 1,
-            "generated_at": datetime.datetime.now(datetime.timezone.utc)
-                .strftime("%Y-%m-%dT%H:%M:%SZ"),
-            "host": {"hardware_threads": hardware_threads},
-            "benchmarks": entries,
-        },
-        sys.stdout,
-        indent=2,
-    )
+    by_name = {entry["name"]: entry for entry in entries}
+    for entry in entries:
+        if "TraceOn" not in entry["name"]:
+            continue
+        plain = by_name.get(entry["name"].replace("TraceOn", "", 1))
+        if plain and plain["ns_per_op"] > 0:
+            entry["tracing_overhead_pct"] = round(
+                (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0, 2)
+
+    prior = _load_json_or_none(prior_path)
+    if isinstance(prior, dict):
+        prior_ns = {
+            row.get("name"): row.get("ns_per_op")
+            for row in prior.get("benchmarks", [])
+            if isinstance(row, dict)
+        }
+        for entry in entries:
+            base = prior_ns.get(entry["name"])
+            if base and base > 0:
+                entry["delta_vs_prior_pct"] = round(
+                    (entry["ns_per_op"] / base - 1.0) * 100.0, 2)
+
+    doc = {
+        "schema_version": 2,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": {"hardware_threads": hardware_threads},
+        "benchmarks": entries,
+    }
+    profile = _load_json_or_none(profile_path)
+    if isinstance(profile, dict) and "phases" in profile:
+        doc["phase_profile"] = profile
+    return doc
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="google-benchmark JSON output files to merge")
+    parser.add_argument("--prior", default=None,
+                        help="prior BENCH_perf.json baseline for delta_vs_prior_pct "
+                             "(missing/empty/corrupt files are tolerated)")
+    parser.add_argument("--profile", default=None,
+                        help="bench_phase_profile JSON to embed as phase_profile")
+    args = parser.parse_args(argv)
+    json.dump(merge(args.inputs, args.prior, args.profile), sys.stdout, indent=2)
     sys.stdout.write("\n")
 
 

@@ -7,12 +7,21 @@
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "sim/trace.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/random.hpp"
 
 namespace swarmavail::sim {
 namespace {
+
+/// Shared bucket shape for the "avail.*" duration histograms: geometric
+/// bins covering [1s, 2^20 s) — six decades of busy/idle/download scales.
+constexpr double kDurationHistLo = 1.0;
+constexpr double kDurationHistHi = 1048576.0;
+constexpr std::size_t kDurationHistBins = 20;
 
 /// Per-peer bookkeeping while the peer is in the system.
 struct PeerState {
@@ -33,6 +42,9 @@ class AvailabilitySim {
         require(config_.linger_time >= 0.0, "AvailabilitySim: linger_time must be >= 0");
         require(config_.horizon > 0.0, "AvailabilitySim: horizon must be > 0");
         queue_.set_audit(config_.debug_audit);
+        if (config_.metrics != nullptr) {
+            bind_metrics(*config_.metrics);
+        }
     }
 
     AvailabilitySimResult run() {
@@ -56,7 +68,17 @@ class AvailabilitySim {
             on_off.start(config_.horizon);
         }
 
-        queue_.run_until(config_.horizon);
+        try {
+            queue_.run_until(config_.horizon);
+        } catch (const CheckFailure& failure) {
+            // Route audit-mode diagnostics through the structured sink with
+            // the sim-time attached before the failure propagates.
+            trace_check_failure(config_.tracer, queue_.now(), failure);
+            throw;
+        }
+        if (config_.tracer != nullptr) {
+            config_.tracer->flush();
+        }
 
         // Close the final availability interval for the time-average.
         account_interval(config_.horizon);
@@ -73,6 +95,38 @@ class AvailabilitySim {
  private:
     using PeerId = std::uint64_t;
 
+    /// Resolves every metric reference once, so event handlers only touch
+    /// cached pointers (the registry lookup never runs per event).
+    void bind_metrics(MetricsRegistry& m) {
+        m_arrivals_ = &m.counter("avail.arrivals");
+        m_served_ = &m.counter("avail.served");
+        m_lost_ = &m.counter("avail.lost");
+        m_stranded_ = &m.counter("avail.stranded");
+        m_publisher_up_ = &m.counter("avail.publisher_up");
+        m_publisher_down_ = &m.counter("avail.publisher_down");
+        const auto hist = [&m](std::string_view name) {
+            return &m.histogram(name, kDurationHistLo, kDurationHistHi,
+                                kDurationHistBins, HistogramScale::kLog2);
+        };
+        m_busy_hist_ = hist("avail.busy_period_s");
+        m_idle_hist_ = hist("avail.idle_period_s");
+        m_download_hist_ = hist("avail.download_time_s");
+        m_wait_hist_ = hist("avail.wait_time_s");
+        m_pub_up_interval_ = hist("avail.publisher_up_interval_s");
+        m_pub_down_interval_ = hist("avail.publisher_down_interval_s");
+        m_peers_gauge_ = &m.gauge("avail.peers_in_system");
+        m_queue_depth_ = &m.gauge("avail.queue_depth");
+    }
+
+    /// Samples the population/queue-depth gauges; called at arrivals and
+    /// completions so the gauge statistics form an event-sampled series.
+    void sample_gauges() {
+        if (m_peers_gauge_ != nullptr) {
+            m_peers_gauge_->set(static_cast<double>(peers_.size()));
+            m_queue_depth_->set(static_cast<double>(queue_.size()));
+        }
+    }
+
     [[nodiscard]] std::size_t coverage() const noexcept {
         return downloading_.size() + lingering_;
     }
@@ -86,10 +140,16 @@ class AvailabilitySim {
     }
 
     void become_available() {
+        SWARMAVAIL_PROF_SCOPE("avail.busy_transition");
         account_interval(queue_.now());
         available_ = true;
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityBegin, queue_.now());
         if (idle_open_) {
-            result_.idle_periods.add(queue_.now() - idle_start_);
+            const double idle = queue_.now() - idle_start_;
+            result_.idle_periods.add(idle);
+            if (m_idle_hist_ != nullptr) {
+                m_idle_hist_->add(idle);
+            }
             idle_open_ = false;
         }
         busy_start_ = queue_.now();
@@ -105,11 +165,18 @@ class AvailabilitySim {
     }
 
     void become_unavailable() {
+        SWARMAVAIL_PROF_SCOPE("avail.busy_transition");
         account_interval(queue_.now());
         available_ = false;
         if (busy_open_) {
-            result_.busy_periods.add(queue_.now() - busy_start_);
+            const double busy = queue_.now() - busy_start_;
+            result_.busy_periods.add(busy);
             result_.peers_per_busy_period.add(static_cast<double>(served_this_busy_));
+            if (m_busy_hist_ != nullptr) {
+                m_busy_hist_->add(busy);
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityEnd, queue_.now(), 0,
+                             busy_start_, static_cast<double>(served_this_busy_));
             busy_open_ = false;
         }
         idle_start_ = queue_.now();
@@ -127,12 +194,20 @@ class AvailabilitySim {
             queue_.cancel(downloading_.at(id));
             downloading_.erase(id);
             ++result_.stranded;
+            if (m_stranded_ != nullptr) {
+                m_stranded_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerStranded, queue_.now(), id);
             if (config_.patient_peers) {
                 peers_.at(id).wait_start = queue_.now();
                 blocked_.push_back(id);
             } else {
                 peers_.erase(id);
                 ++result_.lost;
+                if (m_lost_ != nullptr) {
+                    m_lost_->add();
+                }
+                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(), id);
             }
         }
         // Lingering seeds have nothing to serve once the content is dead;
@@ -180,18 +255,51 @@ class AvailabilitySim {
     }
 
     /// Applies a publisher-count delta in signed arithmetic so the audit
-    /// catches an underflow before it wraps the unsigned counter.
+    /// catches an underflow before it wraps the unsigned counter. This is
+    /// the single choke point for publisher-count changes, so the 0<->1
+    /// crossings observed here are exactly the publisher uptime/downtime
+    /// interval boundaries.
     void change_publishers(std::int64_t delta) {
         const std::int64_t updated = static_cast<std::int64_t>(publishers_) + delta;
         if (config_.debug_audit) {
             audit::check_nonnegative_count("publishers", updated);
         }
+        const bool was_online = publishers_ > 0;
         publishers_ = static_cast<std::size_t>(updated);
+        const bool is_online = publishers_ > 0;
+        if (was_online == is_online) {
+            return;
+        }
+        if (is_online) {
+            if (m_publisher_up_ != nullptr) {
+                m_publisher_up_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherUp, queue_.now(),
+                             publishers_);
+            if (publisher_ever_toggled_ && m_pub_down_interval_ != nullptr) {
+                m_pub_down_interval_->add(queue_.now() - last_publisher_change_);
+            }
+        } else {
+            if (m_publisher_down_ != nullptr) {
+                m_publisher_down_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherDown, queue_.now(),
+                             publishers_);
+            if (m_pub_up_interval_ != nullptr) {
+                m_pub_up_interval_->add(queue_.now() - last_publisher_change_);
+            }
+        }
+        last_publisher_change_ = queue_.now();
+        publisher_ever_toggled_ = true;
     }
 
     void on_peer_arrival() {
         ++result_.arrivals;
         const PeerId id = next_peer_id_++;
+        if (m_arrivals_ != nullptr) {
+            m_arrivals_->add();
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerArrival, queue_.now(), id);
         PeerState peer;
         peer.arrival = queue_.now();
         if (available_) {
@@ -205,8 +313,13 @@ class AvailabilitySim {
                 blocked_.push_back(id);
             } else {
                 ++result_.lost;
+                if (m_lost_ != nullptr) {
+                    m_lost_->add();
+                }
+                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(), id);
             }
         }
+        sample_gauges();
         audit_state();
     }
 
@@ -226,8 +339,17 @@ class AvailabilitySim {
         peers_.erase(it);
         ++result_.served;
         ++served_this_busy_;
-        result_.download_times.add(queue_.now() - peer.arrival);
+        const double elapsed = queue_.now() - peer.arrival;
+        result_.download_times.add(elapsed);
         result_.waiting_times.add(peer.waited);
+        if (m_served_ != nullptr) {
+            m_served_->add();
+            m_download_hist_->add(elapsed);
+            m_wait_hist_->add(peer.waited);
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerCompletion, queue_.now(), id,
+                         elapsed, peer.waited);
+        sample_gauges();
         if (config_.linger_time > 0.0) {
             ++lingering_;
             const double linger = rng_.exponential_mean(config_.linger_time);
@@ -298,6 +420,26 @@ class AvailabilitySim {
     SimTime interval_start_ = 0.0;
     double available_seconds_ = 0.0;
     double unavailable_seconds_ = 0.0;
+
+    SimTime last_publisher_change_ = 0.0;
+    bool publisher_ever_toggled_ = false;
+
+    // Cached metric references (null when config_.metrics is null); see
+    // bind_metrics. Either all are bound or none.
+    Counter* m_arrivals_ = nullptr;
+    Counter* m_served_ = nullptr;
+    Counter* m_lost_ = nullptr;
+    Counter* m_stranded_ = nullptr;
+    Counter* m_publisher_up_ = nullptr;
+    Counter* m_publisher_down_ = nullptr;
+    HistogramMetric* m_busy_hist_ = nullptr;
+    HistogramMetric* m_idle_hist_ = nullptr;
+    HistogramMetric* m_download_hist_ = nullptr;
+    HistogramMetric* m_wait_hist_ = nullptr;
+    HistogramMetric* m_pub_up_interval_ = nullptr;
+    HistogramMetric* m_pub_down_interval_ = nullptr;
+    Gauge* m_peers_gauge_ = nullptr;
+    Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace

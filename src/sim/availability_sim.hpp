@@ -20,7 +20,13 @@
 #include "model/params.hpp"
 #include "util/stats.hpp"
 
+namespace swarmavail {
+class MetricsRegistry;
+}  // namespace swarmavail
+
 namespace swarmavail::sim {
+
+class Tracer;
 
 /// How publishers behave.
 enum class PublisherMode {
@@ -45,6 +51,13 @@ struct AvailabilitySimConfig {
     /// event time). Throws swarmavail::CheckFailure on corruption. Costs a
     /// few O(1) checks per event; off by default.
     bool debug_audit = false;
+    /// Optional single-owner metrics registry (see util/metrics.hpp): the
+    /// run records its counters/gauges/histograms under "avail.*" names.
+    /// The registry must outlive the run. Null: no metrics overhead.
+    MetricsRegistry* metrics = nullptr;
+    /// Optional structured-event tracer (see sim/trace.hpp). The tracer's
+    /// runtime enable flag still applies. Null: one branch per call site.
+    Tracer* tracer = nullptr;
 };
 
 /// Aggregate outcome of a run.

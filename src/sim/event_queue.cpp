@@ -6,6 +6,7 @@
 #include "sim/audit.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/profile.hpp"
 
 namespace swarmavail::sim {
 namespace {
@@ -84,6 +85,9 @@ bool EventQueue::run_next() {
     if (heap_.empty()) {
         return false;
     }
+    // Inclusive of the dispatched action: "event dispatch" is the pop plus
+    // whatever handler work the event triggers.
+    SWARMAVAIL_PROF_SCOPE("sim.event_dispatch");
     const HeapEntry entry = heap_.front();
     if (audit_) {
         audit::check_monotone_time(now_, entry.when);

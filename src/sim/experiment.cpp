@@ -15,24 +15,20 @@ struct ReplicationResult {
     bool has_samples = false;
 };
 
-}  // namespace
-
-ExperimentCell run_replications(const std::string& label, const Replication& body,
-                                std::size_t replications, std::uint64_t seed,
-                                const ParallelPolicy& policy) {
-    require(replications >= 1, "run_replications: requires replications >= 1");
-    require(static_cast<bool>(body), "run_replications: body required");
+/// Shared pooling core: runs `invoke(i)` for every replication index under
+/// `policy`, buffers per-index results, and merges them in index order.
+/// Everything derived from the samples is bit-identical to a serial run
+/// regardless of the thread count or completion order.
+template <typename Invoke>
+ExperimentCell pool_replications(const std::string& label, std::size_t replications,
+                                 const ParallelPolicy& policy, const Invoke& invoke) {
     ExperimentCell cell;
     cell.label = label;
     cell.replications = replications;
 
-    // Each replication fills only its own slot; the merge below walks the
-    // slots in index order, so the pooled SampleSet, the run_means stream,
-    // and every statistic derived from them are bit-identical to a serial
-    // run regardless of the thread count or completion order.
     std::vector<ReplicationResult> results(replications);
     Parallel::for_index(replications, policy, [&](std::size_t i) {
-        std::vector<double> samples = body(seed + i);
+        std::vector<double> samples = invoke(i);
         if (samples.empty()) {
             return;
         }
@@ -51,6 +47,36 @@ ExperimentCell run_replications(const std::string& label, const Replication& bod
         }
         cell.run_means.add(result.run_mean);
         cell.samples.merge(std::move(result.samples));
+    }
+    return cell;
+}
+
+}  // namespace
+
+ExperimentCell run_replications(const std::string& label, const Replication& body,
+                                std::size_t replications, std::uint64_t seed,
+                                const ParallelPolicy& policy) {
+    require(replications >= 1, "run_replications: requires replications >= 1");
+    require(static_cast<bool>(body), "run_replications: body required");
+    return pool_replications(label, replications, policy,
+                             [&](std::size_t i) { return body(seed + i); });
+}
+
+ExperimentCell run_replications(const std::string& label, const MetricsReplication& body,
+                                std::size_t replications, std::uint64_t seed,
+                                MetricsRegistry& merged_metrics,
+                                const ParallelPolicy& policy) {
+    require(replications >= 1, "run_replications: requires replications >= 1");
+    require(static_cast<bool>(body), "run_replications: body required");
+    // One private registry per replication (single-owner hot path), folded
+    // below strictly in index order — same determinism contract as the
+    // sample statistics.
+    std::vector<MetricsRegistry> registries(replications);
+    ExperimentCell cell =
+        pool_replications(label, replications, policy,
+                          [&](std::size_t i) { return body(seed + i, registries[i]); });
+    for (const MetricsRegistry& registry : registries) {
+        merged_metrics.merge(registry);
     }
     return cell;
 }

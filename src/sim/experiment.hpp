@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/parallel.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace swarmavail::sim {
@@ -47,6 +48,22 @@ using Replication = std::function<std::vector<double>(std::uint64_t seed)>;
                                               const Replication& body,
                                               std::size_t replications,
                                               std::uint64_t seed,
+                                              const ParallelPolicy& policy = {});
+
+/// A replication body that also records into a per-replication metrics
+/// registry (each call gets its own, so recording needs no synchronization).
+using MetricsReplication =
+    std::function<std::vector<double>(std::uint64_t seed, MetricsRegistry& metrics)>;
+
+/// Like run_replications, but additionally folds each replication's private
+/// metrics registry into `merged_metrics` strictly in index order — the
+/// merged counters, gauges, and histograms are bit-identical for every
+/// thread count, like the sample statistics.
+[[nodiscard]] ExperimentCell run_replications(const std::string& label,
+                                              const MetricsReplication& body,
+                                              std::size_t replications,
+                                              std::uint64_t seed,
+                                              MetricsRegistry& merged_metrics,
                                               const ParallelPolicy& policy = {});
 
 /// A one-dimensional sweep: runs `body(value, seed)` for every value.

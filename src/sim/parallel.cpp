@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/profile.hpp"
 
 namespace swarmavail::sim {
 
@@ -45,6 +46,7 @@ struct Parallel::Impl {
     /// Claims indices until the range is exhausted; called by workers and
     /// by the thread driving for_index.
     void run_indices() {
+        SWARMAVAIL_PROF_SCOPE("parallel.worker_loop");
         for (;;) {
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n) {
@@ -110,6 +112,7 @@ void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& 
     }
     if (impl_->workers.empty() || n == 1) {
         // Serial path: no shared state, exceptions propagate directly.
+        SWARMAVAIL_PROF_SCOPE("parallel.worker_loop");
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
         }
@@ -145,6 +148,7 @@ void Parallel::for_index(std::size_t n, const ParallelPolicy& policy,
         threads = n == 0 ? 1 : n;
     }
     if (threads <= 1) {
+        SWARMAVAIL_PROF_SCOPE("parallel.worker_loop");
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
         }

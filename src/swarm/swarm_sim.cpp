@@ -7,14 +7,26 @@
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "sim/trace.hpp"
 #include "swarm/audit.hpp"
 #include "swarm/piece_set.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/random.hpp"
 
 namespace swarmavail::swarm {
 namespace {
+
+using sim::TraceKind;
+
+/// Shared bucket shape for the "swarm.*" duration histograms: geometric
+/// bins covering [0.25s, 2^18 s) — from single-piece transfers to the
+/// longest blocked-peer download a drain run can produce.
+constexpr double kSwarmHistLo = 0.25;
+constexpr double kSwarmHistHi = 262144.0;
+constexpr std::size_t kSwarmHistBins = 20;
 
 using sim::EventId;
 using sim::EventQueue;
@@ -74,6 +86,9 @@ class SwarmSim {
         holder_list_.assign(pieces_total_, {});
         offered_count_.assign(pieces_total_, 0);
         queue_.set_audit(config_.debug_audit);
+        if (config_.metrics != nullptr) {
+            bind_metrics(*config_.metrics);
+        }
     }
 
     SwarmSimResult run() {
@@ -126,27 +141,37 @@ class SwarmSim {
         }
 
         double end_time = config_.horizon;
-        if (config_.drain_after_horizon) {
-            // Keep running until every outstanding peer finishes (blocked
-            // peers keep waiting for the publisher) or the hard deadline:
-            // censoring blocked peers at the horizon would bias the
-            // download-time statistics of barely-available swarms downward.
-            for (;;) {
-                const sim::SimTime next = queue_.next_time();
-                if (next < 0.0 || next > hard_deadline) {
-                    break;
+        try {
+            if (config_.drain_after_horizon) {
+                // Keep running until every outstanding peer finishes (blocked
+                // peers keep waiting for the publisher) or the hard deadline:
+                // censoring blocked peers at the horizon would bias the
+                // download-time statistics of barely-available swarms downward.
+                for (;;) {
+                    const sim::SimTime next = queue_.next_time();
+                    if (next < 0.0 || next > hard_deadline) {
+                        break;
+                    }
+                    if (next > config_.horizon && leechers_.empty()) {
+                        break;  // arrivals over and nobody left downloading
+                    }
+                    queue_.run_next();
                 }
-                if (next > config_.horizon && leechers_.empty()) {
-                    break;  // arrivals over and nobody left downloading
-                }
-                queue_.run_next();
+                end_time = std::clamp(queue_.now(), config_.horizon, hard_deadline);
+            } else {
+                queue_.run_until(config_.horizon);
             }
-            end_time = std::clamp(queue_.now(), config_.horizon, hard_deadline);
-        } else {
-            queue_.run_until(config_.horizon);
+        } catch (const CheckFailure& failure) {
+            // Route audit-mode diagnostics through the structured sink with
+            // the sim-time attached before the failure propagates.
+            sim::trace_check_failure(config_.tracer, queue_.now(), failure);
+            throw;
         }
 
         close_availability_interval(end_time);
+        if (config_.tracer != nullptr) {
+            config_.tracer->flush();
+        }
         SwarmSimResult out = std::move(result_);
         out.stuck_at_horizon = 0;
         for (const auto& [id, peer] : peers_) {
@@ -164,6 +189,44 @@ class SwarmSim {
     }
 
  private:
+    // ---- observability ---------------------------------------------------
+
+    /// Resolves every metric reference once, so event handlers only touch
+    /// cached pointers (the registry lookup never runs per event).
+    void bind_metrics(MetricsRegistry& m) {
+        m_arrivals_ = &m.counter("swarm.arrivals");
+        m_completions_ = &m.counter("swarm.completions");
+        m_transfers_started_ = &m.counter("swarm.transfers_started");
+        m_transfers_completed_ = &m.counter("swarm.transfers_completed");
+        m_transfers_cancelled_ = &m.counter("swarm.transfers_cancelled");
+        m_publisher_up_ = &m.counter("swarm.publisher_up");
+        m_publisher_down_ = &m.counter("swarm.publisher_down");
+        const auto hist = [&m](std::string_view name) {
+            return &m.histogram(name, kSwarmHistLo, kSwarmHistHi, kSwarmHistBins,
+                                HistogramScale::kLog2);
+        };
+        m_download_hist_ = hist("swarm.download_time_s");
+        m_transfer_hist_ = hist("swarm.transfer_duration_s");
+        m_avail_interval_hist_ = hist("swarm.availability_interval_s");
+        m_pub_up_interval_ = hist("swarm.publisher_up_interval_s");
+        m_pub_down_interval_ = hist("swarm.publisher_down_interval_s");
+        m_leechers_gauge_ = &m.gauge("swarm.leechers");
+        m_coverage_gauge_ = &m.gauge("swarm.coverage_fraction");
+        m_queue_depth_ = &m.gauge("swarm.queue_depth");
+    }
+
+    /// Samples the population/coverage/queue-depth gauges; called at peer
+    /// arrivals and transfer completions so the gauge statistics form an
+    /// event-sampled series.
+    void sample_gauges() {
+        if (m_leechers_gauge_ != nullptr) {
+            m_leechers_gauge_->set(static_cast<double>(leechers_.size()));
+            m_coverage_gauge_->set(static_cast<double>(covered_) /
+                                   static_cast<double>(pieces_total_));
+            m_queue_depth_->set(static_cast<double>(queue_.size()));
+        }
+    }
+
     // ---- coverage bookkeeping -------------------------------------------
 
     [[nodiscard]] bool piece_covered(std::size_t p) const noexcept {
@@ -202,6 +265,7 @@ class SwarmSim {
         if (now_available) {
             available_ = true;
             interval_begin_ = queue_.now();
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityBegin, queue_.now());
         } else {
             // Close the interval before flipping the flag: the close helper
             // only records while available_ is still true.
@@ -213,6 +277,14 @@ class SwarmSim {
     void close_availability_interval(SimTime end) {
         if (available_ && end > interval_begin_) {
             result_.available_intervals.push_back({interval_begin_, end});
+            if (m_avail_interval_hist_ != nullptr) {
+                m_avail_interval_hist_->add(end - interval_begin_);
+            }
+            // `a` carries the interval's begin time, so the intervals of
+            // result_.available_intervals reconstruct exactly from the
+            // kAvailabilityEnd records alone.
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityEnd, end, 0,
+                             interval_begin_);
             interval_begin_ = end;
         }
     }
@@ -309,6 +381,11 @@ class SwarmSim {
         Peer peer{.have = PieceSet{pieces_total_},
                   .capacity = config_.peer_capacity->sample(rng_),
                   .arrival = queue_.now()};
+        if (m_arrivals_ != nullptr) {
+            m_arrivals_->add();
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerArrival, queue_.now(), id,
+                         peer.capacity);
         result_.peers.push_back({queue_.now(), -1.0, peer.capacity});
         peer_record_index_[id] = result_.peers.size() - 1;
         peers_.emplace(id, std::move(peer));
@@ -318,6 +395,7 @@ class SwarmSim {
             tracker_handout(id);
         }
         pump();
+        sample_gauges();
         audit_state();
     }
 
@@ -326,6 +404,23 @@ class SwarmSim {
             return;
         }
         publisher_on_ = on;
+        if (on) {
+            if (m_publisher_up_ != nullptr) {
+                m_publisher_up_->add();
+                if (publisher_ever_toggled_) {
+                    m_pub_down_interval_->add(queue_.now() - last_publisher_change_);
+                }
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherUp, queue_.now(), 1);
+        } else {
+            if (m_publisher_down_ != nullptr) {
+                m_publisher_down_->add();
+                m_pub_up_interval_->add(queue_.now() - last_publisher_change_);
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherDown, queue_.now(), 0);
+        }
+        last_publisher_change_ = queue_.now();
+        publisher_ever_toggled_ = true;
         if (!on) {
             // Uploads from the publisher die with it.
             cancel_transfers(publisher_up_transfers_, /*src_left=*/true);
@@ -342,10 +437,17 @@ class SwarmSim {
     }
 
     void on_transfer_complete(TransferId tid) {
+        SWARMAVAIL_PROF_SCOPE("swarm.piece_transfer");
         const auto it = transfers_.find(tid);
         ensure(it != transfers_.end(), "SwarmSim: completion for unknown transfer");
         const Transfer transfer = it->second;
         transfers_.erase(it);
+        if (m_transfers_completed_ != nullptr) {
+            m_transfers_completed_->add();
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kTransferComplete, queue_.now(), tid,
+                         static_cast<double>(transfer.piece),
+                         static_cast<double>(transfer.dst));
 
         release_src_slot(tid, transfer);
         auto& dst = peers_.at(transfer.dst);
@@ -369,6 +471,7 @@ class SwarmSim {
             on_peer_complete(transfer.dst);
         }
         pump();
+        sample_gauges();
         audit_state();
     }
 
@@ -376,6 +479,12 @@ class SwarmSim {
         auto& peer = peers_.at(id);
         const double elapsed = queue_.now() - peer.arrival;
         ++result_.completions;
+        if (m_completions_ != nullptr) {
+            m_completions_->add();
+            m_download_hist_->add(elapsed);
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerCompletion, queue_.now(), id,
+                         elapsed);
         result_.download_times.add(elapsed);
         result_.completion_times.push_back(queue_.now());
         result_.last_completion = queue_.now();
@@ -444,6 +553,9 @@ class SwarmSim {
             const Transfer transfer = it->second;
             queue_.cancel(transfer.event);
             transfers_.erase(it);
+            if (m_transfers_cancelled_ != nullptr) {
+                m_transfers_cancelled_->add();
+            }
             if (src_left) {
                 // The receiver keeps nothing but frees its slot.
                 const auto dst_it = peers_.find(transfer.dst);
@@ -534,6 +646,7 @@ class SwarmSim {
     /// of being monopolized by the oldest peer, which is what lets a full
     /// copy spread over many peers before the first completion.
     void pump() {
+        SWARMAVAIL_PROF_SCOPE("swarm.choke_pump");
         bool progress = true;
         while (progress) {
             progress = false;
@@ -562,6 +675,7 @@ class SwarmSim {
     /// Tracker bootstrap: a newcomer learns up to max_neighbors random
     /// existing peers; edges are bidirectional (BitTorrent connections are).
     void tracker_handout(PeerId id) {
+        SWARMAVAIL_PROF_SCOPE("swarm.tracker");
         std::vector<PeerId>& candidates = tracker_candidates_;
         candidates.clear();
         for (const auto& [other, peer] : peers_) {
@@ -749,6 +863,12 @@ class SwarmSim {
         ++dst.down_used;
         dst.inflight.insert(piece);
 
+        if (m_transfers_started_ != nullptr) {
+            m_transfers_started_->add();
+            m_transfer_hist_->add(duration);
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kTransferStart, queue_.now(), tid,
+                         static_cast<double>(piece), duration);
         const EventId event = queue_.schedule_at(
             queue_.now() + duration, [this, tid] { on_transfer_complete(tid); });
         transfers_.emplace(tid, Transfer{src_id, dst_id, piece, event});
@@ -788,6 +908,8 @@ class SwarmSim {
 
     bool publisher_on_ = false;
     bool publisher_departed_ = false;
+    SimTime last_publisher_change_ = 0.0;
+    bool publisher_ever_toggled_ = false;
     std::size_t publisher_up_used_ = 0;
     std::unordered_set<TransferId> publisher_up_transfers_;
 
@@ -806,6 +928,24 @@ class SwarmSim {
     std::vector<PeerId> tracker_candidates_;
     std::vector<PeerId> pex_view_;
     std::vector<TransferId> cancel_snapshot_;
+
+    // Cached metric references (null when config_.metrics is null); see
+    // bind_metrics. Either all are bound or none.
+    Counter* m_arrivals_ = nullptr;
+    Counter* m_completions_ = nullptr;
+    Counter* m_transfers_started_ = nullptr;
+    Counter* m_transfers_completed_ = nullptr;
+    Counter* m_transfers_cancelled_ = nullptr;
+    Counter* m_publisher_up_ = nullptr;
+    Counter* m_publisher_down_ = nullptr;
+    HistogramMetric* m_download_hist_ = nullptr;
+    HistogramMetric* m_transfer_hist_ = nullptr;
+    HistogramMetric* m_avail_interval_hist_ = nullptr;
+    HistogramMetric* m_pub_up_interval_ = nullptr;
+    HistogramMetric* m_pub_down_interval_ = nullptr;
+    Gauge* m_leechers_gauge_ = nullptr;
+    Gauge* m_coverage_gauge_ = nullptr;
+    Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace
@@ -821,13 +961,22 @@ std::vector<SwarmSimResult> run_swarm_replications(const SwarmSimConfig& config,
     require(runs >= 1, "run_swarm_replications: requires runs >= 1");
     // Every replication owns its simulator and RNG and writes only its own
     // slot, so any thread count yields the same per-seed results in the
-    // same (seed) order.
+    // same (seed) order. The same single-owner discipline covers metrics:
+    // each replication records into a private registry, and the fold below
+    // runs strictly in seed order, so the merged metrics are bit-identical
+    // for every thread count too.
     std::vector<SwarmSimResult> results(runs);
+    std::vector<MetricsRegistry> registries(config.metrics != nullptr ? runs : 0);
     sim::Parallel::for_index(runs, policy, [&](std::size_t i) {
         SwarmSimConfig run_config = config;
         run_config.seed = config.seed + i;
+        run_config.metrics = registries.empty() ? nullptr : &registries[i];
+        run_config.tracer = nullptr;  // tracing is single-run (see config docs)
         results[i] = run_swarm_sim(run_config);
     });
+    for (const MetricsRegistry& registry : registries) {
+        config.metrics->merge(registry);
+    }
     return results;
 }
 

@@ -18,6 +18,14 @@
 #include "swarm/capacity.hpp"
 #include "util/stats.hpp"
 
+namespace swarmavail {
+class MetricsRegistry;
+}  // namespace swarmavail
+
+namespace swarmavail::sim {
+class Tracer;
+}  // namespace swarmavail::sim
+
 namespace swarmavail::swarm {
 
 /// Publisher (initial seed) behavior.
@@ -92,6 +100,16 @@ struct SwarmSimConfig {
     /// corruption. O(peers x pieces) per event; meant for tests and
     /// debugging runs, off by default.
     bool debug_audit = false;
+    /// Optional single-owner metrics registry (see util/metrics.hpp): the
+    /// run records its counters/gauges/histograms under "swarm.*" names.
+    /// run_swarm_replications gives each replication a private registry and
+    /// merges them into this one in seed order, so merged metrics stay
+    /// bit-identical at any thread count. Null: no metrics overhead.
+    MetricsRegistry* metrics = nullptr;
+    /// Optional structured-event tracer (see sim/trace.hpp); single-run
+    /// only — run_swarm_replications detaches it from its replications
+    /// (a shared tracer across parallel runs would interleave events).
+    sim::Tracer* tracer = nullptr;
 };
 
 /// Arrival/departure record of one peer (one line segment of Figure 5).

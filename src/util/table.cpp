@@ -1,6 +1,8 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <ostream>
 #include <sstream>
 
@@ -56,8 +58,6 @@ void TableWriter::print(std::ostream& os) const {
     }
 }
 
-namespace {
-
 std::string csv_escape(const std::string& cell) {
     if (cell.find_first_of(",\"\n") == std::string::npos) {
         return cell;
@@ -73,21 +73,20 @@ std::string csv_escape(const std::string& cell) {
     return out;
 }
 
-}  // namespace
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c != 0) {
+            os << ',';
+        }
+        os << csv_escape(cells[c]);
+    }
+    os << '\n';
+}
 
 void TableWriter::print_csv(std::ostream& os) const {
-    auto print_row = [&](const std::vector<std::string>& row) {
-        for (std::size_t c = 0; c < row.size(); ++c) {
-            if (c != 0) {
-                os << ',';
-            }
-            os << csv_escape(row[c]);
-        }
-        os << '\n';
-    };
-    print_row(header_);
+    write_csv_row(os, header_);
     for (const auto& row : rows_) {
-        print_row(row);
+        write_csv_row(os, row);
     }
 }
 
@@ -96,6 +95,14 @@ std::string format_double(double value, int precision) {
     ss.precision(precision);
     ss << value;
     return ss.str();
+}
+
+std::string format_double_exact(double value) {
+    std::array<char, 32> buffer{};
+    const auto [end, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(),
+                                         value);
+    ensure(ec == std::errc{}, "format_double_exact: to_chars failed");
+    return std::string{buffer.data(), end};
 }
 
 void print_banner(std::ostream& os, const std::string& title) {

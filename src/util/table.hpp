@@ -38,6 +38,19 @@ class TableWriter {
 /// tables and logs agree on formatting).
 [[nodiscard]] std::string format_double(double value, int precision = 6);
 
+/// Shortest decimal representation that parses back to exactly the same
+/// double (std::to_chars). Used wherever output must round-trip losslessly
+/// (trace sinks, bench JSON).
+[[nodiscard]] std::string format_double_exact(double value);
+
+/// Escapes one cell per RFC 4180 (quotes cells containing commas, quotes,
+/// or newlines; doubles embedded quotes).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Writes one escaped, comma-separated, newline-terminated CSV row.
+/// TableWriter::print_csv and the streaming CSV trace sink share this.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
 /// Prints a section banner for bench output, e.g. "== Figure 3 ==".
 void print_banner(std::ostream& os, const std::string& title);
 

@@ -15,6 +15,7 @@
 #include "sim/experiment.hpp"
 #include "sim/monte_carlo.hpp"
 #include "swarm/swarm_sim.hpp"
+#include "util/metrics.hpp"
 #include "util/random.hpp"
 
 namespace swarmavail::sim {
@@ -244,6 +245,95 @@ TEST(ParallelDeterminism, SwarmReplicationHarness) {
         EXPECT_EQ(serial[i].available_fraction, parallel[i].available_fraction);
         EXPECT_EQ(serial[i].last_completion, parallel[i].last_completion);
     }
+}
+
+// Merged metrics registries must be bit-identical across thread counts:
+// same names in the same registration order, and every counter, gauge, and
+// histogram equal bitwise (EXPECT_EQ on doubles).
+void expect_registries_identical(const MetricsRegistry& a, const MetricsRegistry& b) {
+    ASSERT_EQ(a.names(), b.names());
+    for (const std::string& name : a.names()) {
+        if (const Counter* ca = a.find_counter(name); ca != nullptr) {
+            const Counter* cb = b.find_counter(name);
+            ASSERT_NE(cb, nullptr) << name;
+            EXPECT_EQ(ca->value(), cb->value()) << name;
+        } else if (const Gauge* ga = a.find_gauge(name); ga != nullptr) {
+            const Gauge* gb = b.find_gauge(name);
+            ASSERT_NE(gb, nullptr) << name;
+            EXPECT_EQ(ga->value(), gb->value()) << name;
+            EXPECT_EQ(ga->stats().count(), gb->stats().count()) << name;
+            EXPECT_EQ(ga->stats().mean(), gb->stats().mean()) << name;
+            EXPECT_EQ(ga->stats().variance(), gb->stats().variance()) << name;
+        } else {
+            const HistogramMetric* ha = a.find_histogram(name);
+            const HistogramMetric* hb = b.find_histogram(name);
+            ASSERT_NE(ha, nullptr) << name;
+            ASSERT_NE(hb, nullptr) << name;
+            ASSERT_EQ(ha->bins(), hb->bins()) << name;
+            for (std::size_t i = 0; i < ha->bins(); ++i) {
+                EXPECT_EQ(ha->bin_count(i), hb->bin_count(i)) << name << " bin " << i;
+            }
+            EXPECT_EQ(ha->stats().count(), hb->stats().count()) << name;
+            EXPECT_EQ(ha->stats().mean(), hb->stats().mean()) << name;
+            EXPECT_EQ(ha->stats().variance(), hb->stats().variance()) << name;
+            EXPECT_EQ(ha->stats().min(), hb->stats().min()) << name;
+            EXPECT_EQ(ha->stats().max(), hb->stats().max()) << name;
+        }
+    }
+}
+
+std::vector<double> availability_metrics_body(std::uint64_t seed,
+                                              MetricsRegistry& metrics) {
+    AvailabilitySimConfig config;
+    config.params.peer_arrival_rate = 1.0 / 60.0;
+    config.params.content_size = 80.0;
+    config.params.download_rate = 1.0;
+    config.params.publisher_arrival_rate = 1.0 / 900.0;
+    config.params.publisher_residence = 300.0;
+    config.horizon = 20000.0;
+    config.seed = seed;
+    config.metrics = &metrics;
+    const auto result = run_availability_sim(config);
+    std::vector<double> samples;
+    if (result.download_times.count() > 0) {
+        samples.push_back(result.download_times.mean());
+    }
+    samples.push_back(result.unavailable_time_fraction);
+    return samples;
+}
+
+TEST(ParallelDeterminism, MetricsReplicationsMergeBitIdentically) {
+    MetricsRegistry serial_metrics;
+    const auto serial = run_replications("avail", availability_metrics_body, 8, 100,
+                                         serial_metrics, ParallelPolicy{1});
+    MetricsRegistry parallel_metrics;
+    const auto parallel = run_replications("avail", availability_metrics_body, 8, 100,
+                                           parallel_metrics, ParallelPolicy{4});
+    expect_cells_identical(serial, parallel);
+    ASSERT_GT(serial_metrics.size(), 0u);
+    EXPECT_GT(serial_metrics.find_counter("avail.arrivals")->value(), 0u);
+    expect_registries_identical(serial_metrics, parallel_metrics);
+}
+
+TEST(ParallelDeterminism, SwarmReplicationHarnessMergesMetricsBitIdentically) {
+    auto serial_config = small_swarm_config();
+    MetricsRegistry serial_metrics;
+    serial_config.metrics = &serial_metrics;
+    const auto serial = swarm::run_swarm_replications(serial_config, 5, ParallelPolicy{1});
+
+    auto parallel_config = small_swarm_config();
+    MetricsRegistry parallel_metrics;
+    parallel_config.metrics = &parallel_metrics;
+    const auto parallel =
+        swarm::run_swarm_replications(parallel_config, 5, ParallelPolicy{4});
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].completion_times, parallel[i].completion_times);
+    }
+    ASSERT_GT(serial_metrics.size(), 0u);
+    EXPECT_GT(serial_metrics.find_counter("swarm.arrivals")->value(), 0u);
+    expect_registries_identical(serial_metrics, parallel_metrics);
 }
 
 TEST(ParallelDeterminism, ThreadCountBeyondReplicationsIsSafe) {
