@@ -1,86 +1,237 @@
-// Catalog bundling strategy, end to end: a publisher with a 10-file
-// catalog, a flaky seed, and three tools from this library --
+// Catalog bundling, measured: drives the multi-swarm CatalogEngine over a
+// Zipf catalog under a chosen bundling policy, then reproduces the paper's
+// Figure 3 tradeoff (download time vs bundle size K at two publisher
+// availability levels) from simulation instead of closed forms.
 //
-//  1. the partition optimizer (which files to glue into which torrents),
-//  2. the mixed-bundling analysis (publish individual torrents AND a
-//     bundle; how many users must opt into the bundle?),
-//  3. the fluid baseline (what a standard availability-blind model would
-//     have recommended, and why it is wrong here).
+// Usage:
+//   catalog_bundling [--policy none|fixedk|greedy] [--k K] [--files N]
+//                    [--alpha A] [--demand LAMBDA] [--horizon H] [--seed S]
+//                    [--threads T] [--shared] [--partitioned] [--json]
+//                    [--trace-swarm I --trace-out FILE] [--no-sweep]
+//
+// --shared runs every swarm multiplexed on one event queue (bit-identical
+// to the default sharded-parallel mode); --trace-swarm writes one swarm's
+// JSONL trace for replay with examples/trace_inspect.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
-#include "model/fluid_baseline.hpp"
-#include "model/mixed_bundling.hpp"
-#include "model/partitioning.hpp"
-#include "model/zipf_demand.hpp"
+#include "catalog/bundling_policy.hpp"
+#include "catalog/catalog.hpp"
+#include "catalog/catalog_engine.hpp"
+#include "catalog/report.hpp"
+#include "sim/trace.hpp"
 #include "util/table.hpp"
 
-int main() {
-    using namespace swarmavail;
-    using namespace swarmavail::model;
+namespace {
 
-    std::cout << "=== bundling strategy for a 10-file catalog ===\n\n";
+struct Options {
+    std::string policy = "fixedk";
+    std::size_t k = 4;
+    std::size_t files = 200;
+    double alpha = 1.0;
+    double demand = 200.0 / 60.0 / 10.0;  // ~1 request per 3 s across the catalog
+    double horizon = 2.0e5;
+    std::uint64_t seed = 42;
+    std::size_t threads = 0;  // 0: SWARMAVAIL_THREADS / hardware concurrency
+    bool shared_queue = false;
+    bool partitioned = false;
+    bool json = false;
+    bool sweep = true;
+    std::size_t trace_swarm = swarmavail::catalog::kNoTracedSwarm;
+    std::string trace_out;
+};
 
-    SwarmParams base;
-    base.peer_arrival_rate = 1.0;             // per-file demands below
-    base.content_size = 4.0e6 * 8.0;          // 4 MB files
-    base.download_rate = 50.0e3 * 8.0;        // 50 KBps swarm capacity
-    base.publisher_arrival_rate = 1.0 / 900.0;  // seed returns every 15 min
-    base.publisher_residence = 300.0;           // ... and stays 5 min
+[[noreturn]] void usage_error(std::string_view message) {
+    std::cerr << "catalog_bundling: " << message << "\n"
+              << "  --policy none|fixedk|greedy   bundling policy (default fixedk)\n"
+              << "  --k K                         bundle size (default 4)\n"
+              << "  --files N                     catalog size (default 200)\n"
+              << "  --alpha A                     Zipf exponent (default 1.0)\n"
+              << "  --demand LAMBDA               aggregate request rate 1/s\n"
+              << "  --horizon H                   simulated seconds (default 2e5)\n"
+              << "  --seed S                      base seed (swarm i uses S+i)\n"
+              << "  --threads T                   sharded worker count (0 = auto)\n"
+              << "  --shared                      one shared event queue, one thread\n"
+              << "  --partitioned                 split publisher budget over swarms\n"
+              << "  --json                        dump the full report as JSON\n"
+              << "  --trace-swarm I               trace swarm I (JSONL)\n"
+              << "  --trace-out FILE              trace destination (with --trace-swarm)\n"
+              << "  --no-sweep                    skip the Figure-3-style K sweep\n";
+    std::exit(2);
+}
 
-    // Zipf(1.0) demand, one request per 30 s across the catalog.
-    const auto popularity = zipf_popularities(10, 1.0);
-    PartitionConfig partition_config;
-    for (double p : popularity) {
-        partition_config.lambdas.push_back(p / 30.0);
-    }
-
-    // 1. Partitioning: which bundles should exist?
-    const auto partition = optimal_partition_contiguous(base, partition_config);
-    std::cout << "1. optimal partition (files ranked by popularity):\n   ";
-    for (const auto& bundle : partition) {
-        std::cout << "{";
-        for (std::size_t i = 0; i < bundle.size(); ++i) {
-            std::cout << bundle[i] + 1 << (i + 1 < bundle.size() ? "," : "");
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    auto value = [&](int& i) -> std::string_view {
+        if (i + 1 >= argc) {
+            usage_error(std::string{argv[i]} + " needs a value");
         }
-        std::cout << "} ";
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--policy") {
+            opt.policy = value(i);
+        } else if (arg == "--k") {
+            opt.k = std::stoul(std::string{value(i)});
+        } else if (arg == "--files") {
+            opt.files = std::stoul(std::string{value(i)});
+        } else if (arg == "--alpha") {
+            opt.alpha = std::stod(std::string{value(i)});
+        } else if (arg == "--demand") {
+            opt.demand = std::stod(std::string{value(i)});
+        } else if (arg == "--horizon") {
+            opt.horizon = std::stod(std::string{value(i)});
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(std::string{value(i)});
+        } else if (arg == "--threads") {
+            opt.threads = std::stoul(std::string{value(i)});
+        } else if (arg == "--shared") {
+            opt.shared_queue = true;
+        } else if (arg == "--partitioned") {
+            opt.partitioned = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--trace-swarm") {
+            opt.trace_swarm = std::stoul(std::string{value(i)});
+        } else if (arg == "--trace-out") {
+            opt.trace_out = value(i);
+        } else if (arg == "--no-sweep") {
+            opt.sweep = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("usage");
+        } else {
+            usage_error("unknown flag " + std::string{arg});
+        }
     }
-    std::cout << "\n   weighted mean download time: "
-              << partition_cost(base, partition, partition_config) << " s\n";
-    Partition all_solo;
-    for (std::size_t i = 0; i < 10; ++i) {
-        all_solo.push_back({i});
-    }
-    std::cout << "   (all-solo publishing: "
-              << partition_cost(base, all_solo, partition_config) << " s)\n\n";
+    return opt;
+}
 
-    // 2. Mixed bundling: keep the individual torrents, add one bundle.
-    std::cout << "2. mixed bundling (individual torrents + one full-catalog "
-                 "bundle):\n";
-    TableWriter mixed_table{{"opt-in q", "aggregate request unavailability"}};
-    MixedBundlingConfig mixed_config;
-    mixed_config.lambdas = partition_config.lambdas;
-    for (double q : {0.0, 0.1, 0.25, 0.5}) {
-        mixed_config.bundle_opt_in = q;
-        const auto rows = evaluate_mixed_bundling(base, mixed_config);
-        mixed_table.add_row(
-            {format_double(q, 3), format_double(request_unavailability(rows, q), 4)});
-    }
-    mixed_table.print(std::cout);
+swarmavail::catalog::CatalogConfig catalog_config(const Options& opt) {
+    swarmavail::catalog::CatalogConfig config;
+    config.num_files = opt.files;
+    config.zipf_exponent = opt.alpha;
+    config.aggregate_demand = opt.demand;
+    config.file_size = 4.0e6 * 8.0;          // 4 MB files
+    config.download_rate = 50.0e3 * 8.0;     // 50 KBps effective swarm capacity
+    config.publisher_arrival_rate = 1.0 / 900.0;  // seed returns every 15 min
+    config.publisher_residence = 300.0;           // ... and stays 5 min
+    config.publishers = opt.partitioned
+                            ? swarmavail::catalog::PublisherAssignment::kPartitionedBudget
+                            : swarmavail::catalog::PublisherAssignment::kDedicated;
+    return config;
+}
 
-    // 3. What would the fluid baseline have said?
-    FluidParams fluid;
-    fluid.lambda = partition_config.lambdas.front();
-    fluid.mu = base.download_rate / base.content_size;
-    fluid.c = 4.0 * fluid.mu;
-    fluid.eta = 1.0;
-    fluid.gamma = 1.0;
-    std::cout << "\n3. fluid-baseline check: predicted download times for the "
-                 "most popular file\n   bundled at K = 1, 4, 8: "
-              << fluid_bundle_download_time(fluid, 1) << ", "
-              << fluid_bundle_download_time(fluid, 4) << ", "
-              << fluid_bundle_download_time(fluid, 8)
-              << " s -- monotone in K, i.e. \"never bundle\".\n";
-    std::cout << "   The availability-aware partition above disagrees for the "
-                 "unpopular tail,\n   which is the paper's central point.\n";
+swarmavail::catalog::CatalogEngineConfig engine_config(const Options& opt) {
+    swarmavail::catalog::CatalogEngineConfig config;
+    config.horizon = opt.horizon;
+    config.seed = opt.seed;
+    config.execution = opt.shared_queue
+                           ? swarmavail::catalog::ExecutionMode::kSharedQueue
+                           : swarmavail::catalog::ExecutionMode::kSharded;
+    config.policy.threads = opt.threads;
+    return config;
+}
+
+void print_policy_run(const Options& opt) {
+    using namespace swarmavail;
+    const auto catalog = catalog::build_catalog(catalog_config(opt));
+    const auto policy = catalog::make_policy(opt.policy, opt.k);
+    auto config = engine_config(opt);
+
+    std::ofstream trace_file;
+    sim::Tracer* tracer = nullptr;
+    // Optional single-swarm replay hook: the traced swarm's JSONL is
+    // identical to tracing it in an isolated run (feed it to trace_inspect).
+    std::unique_ptr<sim::JsonlTraceSink> sink;
+    std::unique_ptr<sim::Tracer> owned_tracer;
+    if (opt.trace_swarm != catalog::kNoTracedSwarm) {
+        if (opt.trace_out.empty()) {
+            usage_error("--trace-swarm needs --trace-out");
+        }
+        trace_file.open(opt.trace_out);
+        if (!trace_file) {
+            usage_error("cannot open " + opt.trace_out);
+        }
+        sink = std::make_unique<sim::JsonlTraceSink>(trace_file);
+        owned_tracer = std::make_unique<sim::Tracer>(*sink);
+        owned_tracer->set_enabled(true);
+        tracer = owned_tracer.get();
+        config.tracer = tracer;
+        config.traced_swarm = opt.trace_swarm;
+    }
+
+    const auto report = catalog::run_catalog(catalog, *policy, config);
+    if (owned_tracer != nullptr) {
+        owned_tracer->flush();
+        std::cout << "traced swarm " << opt.trace_swarm << " -> " << opt.trace_out
+                  << " (" << owned_tracer->records_emitted() << " records)\n\n";
+    }
+
+    if (opt.json) {
+        catalog::write_json(report, std::cout);
+        std::cout << "\n";
+        return;
+    }
+    std::cout << "=== " << opt.files << "-file Zipf(" << opt.alpha
+              << ") catalog, policy " << policy->name();
+    if (opt.policy != "none") {
+        std::cout << " (K = " << opt.k << ")";
+    }
+    std::cout << ", " << report.swarms.size() << " swarms ===\n\n";
+    catalog::write_summary(report, std::cout);
+}
+
+// Figure 3, measured: mean download time vs K for two publisher
+// availability levels (frequent vs rare seed visits). The paper's curves
+// show an interior optimum K when seeds are rare.
+void print_figure3_sweep(const Options& opt) {
+    using namespace swarmavail;
+    Options sweep_opt = opt;
+    sweep_opt.files = 64;
+    sweep_opt.demand = 64.0 / 240.0;  // 1/240 s^-1 per file
+
+    std::cout << "\n=== Figure-3-style sweep: download time vs K (64 files, "
+                 "FixedK, measured) ===\n\n";
+    TableWriter table{{"K", "swarms",
+                             "E[T] (s), 1/R = 900 s", "P(unavail), 1/R = 900 s",
+                             "E[T] (s), 1/R = 7200 s", "P(unavail), 1/R = 7200 s"}};
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<std::string> row{std::to_string(k), ""};
+        for (double interarrival : {900.0, 7200.0}) {
+            auto config = catalog_config(sweep_opt);
+            config.publisher_arrival_rate = 1.0 / interarrival;
+            const auto catalog = catalog::build_catalog(config);
+            const auto report = catalog::run_catalog(catalog, catalog::FixedK{k},
+                                                     engine_config(sweep_opt));
+            row[1] = std::to_string(report.swarms.size());
+            row.push_back(format_double(report.mean_download_time, 6));
+            row.push_back(
+                format_double(report.demand_weighted_unavailability, 4));
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nFrequent seeds (1/R = 900 s): bundling only adds transfer "
+                 "time.\nRare seeds (1/R = 7200 s): availability gains first beat "
+                 "the size cost,\nthen the K s / mu transfer term dominates — the "
+                 "interior optimum of Figure 3.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+    print_policy_run(opt);
+    if (opt.sweep && !opt.json) {
+        print_figure3_sweep(opt);
+    }
     return 0;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf baseline runner: builds the bench suite, runs the perf harnesses
-# (bench_perf_micro + bench_replication_scaling), and writes BENCH_perf.json
+# (bench_perf_micro + bench_replication_scaling + bench_catalog_scaling),
+# and writes BENCH_perf.json
 # -- the perf trajectory every PR compares against.
 #
 # Usage:
@@ -47,8 +48,10 @@ inputs=()
 for rep in $(seq 1 "${BENCH_REPEAT}"); do
     run_bench bench_perf_micro "${rep}"
     run_bench bench_replication_scaling "${rep}"
+    run_bench bench_catalog_scaling "${rep}"
     inputs+=("${tmpdir}/bench_perf_micro.${rep}.json"
-             "${tmpdir}/bench_replication_scaling.${rep}.json")
+             "${tmpdir}/bench_replication_scaling.${rep}.json"
+             "${tmpdir}/bench_catalog_scaling.${rep}.json")
 done
 
 echo "== bench_phase_profile ==" >&2

@@ -1,0 +1,123 @@
+#include "catalog/bundling_policy.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace swarmavail::catalog {
+
+std::string NoBundling::name() const { return "none"; }
+
+SwarmPlan NoBundling::assign(const Catalog& catalog) const {
+    SwarmPlan plan;
+    plan.reserve(catalog.files.size());
+    for (const CatalogFile& file : catalog.files) {
+        plan.push_back({file.id});
+    }
+    return plan;
+}
+
+FixedK::FixedK(std::size_t k) : k_(k) {
+    SWARMAVAIL_REQUIRE(k >= 1, "FixedK: bundle size must be >= 1");
+}
+
+std::string FixedK::name() const { return "fixedk"; }
+
+SwarmPlan FixedK::assign(const Catalog& catalog) const {
+    const std::size_t n = catalog.files.size();
+    SwarmPlan plan;
+    plan.reserve((n + k_ - 1) / k_);
+    for (std::size_t begin = 0; begin < n; begin += k_) {
+        SwarmFiles swarm;
+        const std::size_t end = std::min(begin + k_, n);
+        swarm.reserve(end - begin);
+        for (std::size_t id = begin; id < end; ++id) {
+            swarm.push_back(id);
+        }
+        plan.push_back(std::move(swarm));
+    }
+    return plan;
+}
+
+GreedyPopularity::GreedyPopularity(std::size_t k) : k_(k) {
+    SWARMAVAIL_REQUIRE(k >= 1, "GreedyPopularity: bundle size must be >= 1");
+}
+
+std::string GreedyPopularity::name() const { return "greedy"; }
+
+SwarmPlan GreedyPopularity::assign(const Catalog& catalog) const {
+    // File ids are popularity ranks already, so a two-pointer sweep pairs
+    // the hottest unassigned file with the coldest tail without sorting.
+    const std::size_t n = catalog.files.size();
+    SwarmPlan plan;
+    plan.reserve((n + k_ - 1) / k_);
+    std::size_t hot = 0;
+    std::size_t cold = n;  // one past the coldest unassigned file
+    while (hot < cold) {
+        SwarmFiles swarm;
+        swarm.push_back(hot++);
+        while (swarm.size() < k_ && hot < cold) {
+            swarm.push_back(--cold);
+        }
+        plan.push_back(std::move(swarm));
+    }
+    return plan;
+}
+
+void validate_swarm_plan(const Catalog& catalog, const SwarmPlan& plan) {
+    const std::size_t n = catalog.files.size();
+    std::vector<bool> seen(n, false);
+    std::size_t assigned = 0;
+    for (const SwarmFiles& swarm : plan) {
+        SWARMAVAIL_REQUIRE(!swarm.empty(),
+                           "validate_swarm_plan: plan contains an empty swarm");
+        for (std::size_t id : swarm) {
+            SWARMAVAIL_REQUIRE(id < n, "validate_swarm_plan: file id out of range");
+            SWARMAVAIL_REQUIRE(!seen[id],
+                               "validate_swarm_plan: file assigned to two swarms");
+            seen[id] = true;
+            ++assigned;
+        }
+    }
+    SWARMAVAIL_REQUIRE(assigned == n,
+                       "validate_swarm_plan: plan does not cover every file");
+}
+
+model::SwarmParams swarm_params(const Catalog& catalog, const SwarmFiles& files,
+                                std::size_t num_swarms) {
+    SWARMAVAIL_REQUIRE(!files.empty(), "swarm_params: swarm must hold >= 1 file");
+    SWARMAVAIL_REQUIRE(num_swarms >= 1, "swarm_params: num_swarms must be >= 1");
+    model::SwarmParams params;
+    params.download_rate = catalog.config.download_rate;
+    for (std::size_t id : files) {
+        SWARMAVAIL_REQUIRE(id < catalog.files.size(),
+                           "swarm_params: file id out of range");
+        params.peer_arrival_rate += catalog.files[id].demand_rate;
+        params.content_size += catalog.files[id].size;
+    }
+    params.publisher_residence = catalog.config.publisher_residence;
+    params.publisher_arrival_rate =
+        catalog.config.publishers == PublisherAssignment::kDedicated
+            ? catalog.config.publisher_arrival_rate
+            : catalog.config.publisher_arrival_rate / static_cast<double>(num_swarms);
+    return params;
+}
+
+std::unique_ptr<BundlingPolicy> make_policy(std::string_view name, std::size_t k) {
+    if (name == "none") {
+        return std::make_unique<NoBundling>();
+    }
+    if (name == "fixedk") {
+        return std::make_unique<FixedK>(k);
+    }
+    if (name == "greedy") {
+        return std::make_unique<GreedyPopularity>(k);
+    }
+    SWARMAVAIL_REQUIRE(false, "make_policy: unknown policy \"" + std::string(name) +
+                                  "\" (expected none, fixedk, or greedy)");
+    return nullptr;  // unreachable
+}
+
+}  // namespace swarmavail::catalog

@@ -1,0 +1,100 @@
+// Bundling policies: pluggable strategies mapping a catalog's files onto
+// swarms (torrents). A policy produces a SwarmPlan — a partition of file
+// ids — which the CatalogEngine turns into per-swarm simulation parameters
+// (demands and sizes aggregate; publisher resources follow the catalog's
+// PublisherAssignment).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "model/params.hpp"
+
+namespace swarmavail::catalog {
+
+/// File ids published together as one swarm (one torrent).
+using SwarmFiles = std::vector<std::size_t>;
+/// A full assignment: every catalog file in exactly one swarm.
+using SwarmPlan = std::vector<SwarmFiles>;
+
+/// Strategy interface. Implementations must be deterministic: the same
+/// catalog yields the same plan on every call (the engine's bit-identical
+/// replay guarantees depend on it).
+class BundlingPolicy {
+ public:
+    virtual ~BundlingPolicy() = default;
+
+    /// Stable identifier ("none", "fixedk", "greedy") used in reports and
+    /// CLI flags.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Partitions the catalog's files into swarms. Every file id must
+    /// appear in exactly one swarm and no swarm may be empty
+    /// (validate_swarm_plan enforces this engine-side).
+    [[nodiscard]] virtual SwarmPlan assign(const Catalog& catalog) const = 0;
+};
+
+/// Every file its own swarm: the unbundled baseline (K = 1).
+class NoBundling final : public BundlingPolicy {
+ public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] SwarmPlan assign(const Catalog& catalog) const override;
+};
+
+/// Uniform K-bundles in popularity-rank order: files {0..K-1}, {K..2K-1},
+/// ... — the paper's homogeneous-bundle setup. When N is not a multiple of
+/// K the final swarm holds the remaining N mod K files.
+class FixedK final : public BundlingPolicy {
+ public:
+    /// Requires k >= 1.
+    explicit FixedK(std::size_t k);
+
+    [[nodiscard]] std::size_t k() const noexcept { return k_; }
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] SwarmPlan assign(const Catalog& catalog) const override;
+
+ private:
+    std::size_t k_;
+};
+
+/// Pack cold files with hot ones: each K-bundle takes the most popular
+/// remaining file plus the K-1 least popular remaining ones (two-pointer
+/// over the popularity ranking, so the plan is deterministic and ties need
+/// no tiebreak). Hot files' demand then underwrites the availability of the
+/// cold tail — the Section 3.3.1 skewed-demand argument turned into a
+/// packing rule. The final bundle may hold fewer than K files.
+class GreedyPopularity final : public BundlingPolicy {
+ public:
+    /// Requires k >= 1.
+    explicit GreedyPopularity(std::size_t k);
+
+    [[nodiscard]] std::size_t k() const noexcept { return k_; }
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] SwarmPlan assign(const Catalog& catalog) const override;
+
+ private:
+    std::size_t k_;
+};
+
+/// Throws std::invalid_argument unless `plan` is a partition of the
+/// catalog's files: every id in [0, N) exactly once, no empty swarms.
+void validate_swarm_plan(const Catalog& catalog, const SwarmPlan& plan);
+
+/// Simulation parameters of one swarm in a plan: demand and size aggregate
+/// over the member files; the publisher process follows the catalog's
+/// PublisherAssignment (`num_swarms` sizes the partitioned budget).
+/// Requires a non-empty member list with in-range ids.
+[[nodiscard]] model::SwarmParams swarm_params(const Catalog& catalog,
+                                              const SwarmFiles& files,
+                                              std::size_t num_swarms);
+
+/// Factory for CLI-style policy selection: "none" (k ignored), "fixedk",
+/// or "greedy". Throws std::invalid_argument on an unknown name.
+[[nodiscard]] std::unique_ptr<BundlingPolicy> make_policy(std::string_view name,
+                                                          std::size_t k);
+
+}  // namespace swarmavail::catalog

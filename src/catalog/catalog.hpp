@@ -1,0 +1,69 @@
+// Catalog layer: whole-content-catalog descriptions for multi-swarm
+// simulation (the distribution-level view of the paper's Section 3.3
+// results).
+//
+// A Catalog is N files with Zipf(alpha)-skewed per-file demand rates
+// derived from model/zipf_demand, plus the publisher resources available to
+// serve them. A BundlingPolicy (bundling_policy.hpp) partitions the files
+// into swarms, and the CatalogEngine (catalog_engine.hpp) simulates every
+// swarm's busy-period process in one run — so the e^{-Theta(K^2)}
+// unavailability decay and the Figure 3 download-time tradeoff can be
+// measured catalog-wide instead of one swarm at a time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swarmavail::catalog {
+
+/// One file of the catalog. Files are indexed by popularity rank:
+/// id 0 is the most popular (Zipf rank 1).
+struct CatalogFile {
+    std::size_t id = 0;        ///< 0-based popularity rank
+    double demand_rate = 0.0;  ///< lambda_f, peer arrivals/s for this file
+    double size = 0.0;         ///< s_f, bits
+};
+
+/// How publisher resources map onto the swarms a policy creates.
+enum class PublisherAssignment {
+    /// Every swarm gets its own publisher process with the configured
+    /// (r, u): publishers are per-torrent, as in Sections 3.2-3.3.
+    kDedicated,
+    /// One publisher budget of total arrival rate r is split evenly over
+    /// the swarms: per-swarm rate r / num_swarms. Bundling then
+    /// concentrates publisher attention — fewer swarms, more frequent
+    /// reseeding each — which is the resource argument for bundling.
+    kPartitionedBudget,
+};
+
+/// Knobs of a synthetic Zipf catalog.
+struct CatalogConfig {
+    std::size_t num_files = 0;        ///< N; must be >= 1
+    double zipf_exponent = 1.0;       ///< alpha >= 0 (0 = uniform demand)
+    double aggregate_demand = 0.0;    ///< Lambda, peer arrivals/s over the catalog
+    double file_size = 0.0;           ///< s, bits (homogeneous files)
+    double download_rate = 0.0;       ///< mu, bits/s effective swarm capacity
+    double publisher_arrival_rate = 0.0;  ///< r (per swarm, or total budget)
+    double publisher_residence = 0.0;     ///< u, seconds
+    PublisherAssignment publishers = PublisherAssignment::kDedicated;
+
+    /// Throws std::invalid_argument unless every count/rate/size is valid.
+    void validate() const;
+};
+
+/// A content catalog: the config it was built from plus the per-file
+/// demand profile (descending in id, since id is the popularity rank).
+struct Catalog {
+    CatalogConfig config;
+    std::vector<CatalogFile> files;
+
+    /// Sum of per-file demand rates (== config.aggregate_demand up to
+    /// floating-point rounding).
+    [[nodiscard]] double total_demand() const noexcept;
+};
+
+/// Builds the catalog: per-file demands lambda_f = p_f * Lambda with
+/// p_f the normalized Zipf(alpha) popularities over N ranks.
+[[nodiscard]] Catalog build_catalog(const CatalogConfig& config);
+
+}  // namespace swarmavail::catalog

@@ -1,0 +1,128 @@
+#include "catalog/catalog_engine.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/availability_process.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
+
+namespace swarmavail::catalog {
+namespace {
+
+std::vector<sim::AvailabilitySimConfig> swarm_configs(const Catalog& catalog,
+                                                      const SwarmPlan& plan,
+                                                      const CatalogEngineConfig& config) {
+    std::vector<sim::AvailabilitySimConfig> configs;
+    configs.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        configs.push_back(swarm_sim_config(catalog, plan, i, config));
+    }
+    return configs;
+}
+
+/// The multiplexed engine: every swarm's process on one queue, one thread.
+std::vector<sim::AvailabilitySimResult> run_shared_queue(
+    const std::vector<sim::AvailabilitySimConfig>& configs,
+    const CatalogEngineConfig& config) {
+    SWARMAVAIL_PROF_SCOPE("catalog.shared_queue");
+    sim::EventQueue queue;
+    queue.set_audit(config.debug_audit);
+    std::vector<std::unique_ptr<sim::AvailabilityProcess>> processes;
+    processes.reserve(configs.size());
+    for (const sim::AvailabilitySimConfig& swarm_config : configs) {
+        processes.push_back(
+            std::make_unique<sim::AvailabilityProcess>(queue, swarm_config));
+    }
+    for (auto& process : processes) {
+        process->start();
+    }
+    try {
+        queue.run_until(config.horizon);
+    } catch (const CheckFailure& failure) {
+        trace_check_failure(config.tracer, queue.now(), failure);
+        throw;
+    }
+    std::vector<sim::AvailabilitySimResult> results;
+    results.reserve(processes.size());
+    for (auto& process : processes) {
+        results.push_back(process->finish());
+    }
+    return results;
+}
+
+/// The sharded engine: per-swarm private queues fanned over the pool;
+/// per-index result slots make any thread count bit-identical to serial.
+std::vector<sim::AvailabilitySimResult> run_sharded(
+    const std::vector<sim::AvailabilitySimConfig>& configs,
+    const CatalogEngineConfig& config) {
+    SWARMAVAIL_PROF_SCOPE("catalog.sharded");
+    std::vector<sim::AvailabilitySimResult> results(configs.size());
+    sim::Parallel::for_index(configs.size(), config.policy, [&](std::size_t i) {
+        results[i] = sim::run_availability_sim(configs[i]);
+    });
+    return results;
+}
+
+}  // namespace
+
+sim::AvailabilitySimConfig swarm_sim_config(const Catalog& catalog,
+                                            const SwarmPlan& plan,
+                                            std::size_t swarm_index,
+                                            const CatalogEngineConfig& config) {
+    SWARMAVAIL_REQUIRE(swarm_index < plan.size(),
+                       "swarm_sim_config: swarm index out of range");
+    sim::AvailabilitySimConfig swarm_config;
+    swarm_config.params = swarm_params(catalog, plan[swarm_index], plan.size());
+    swarm_config.coverage_threshold = config.coverage_threshold;
+    swarm_config.patient_peers = config.patient_peers;
+    swarm_config.linger_time = config.linger_time;
+    swarm_config.horizon = config.horizon;
+    swarm_config.seed = config.seed + swarm_index;
+    swarm_config.debug_audit = config.debug_audit;
+    // Per-swarm metrics stay unbound: the engine aggregates through the
+    // report instead, so shared-queue and sharded runs agree bit for bit
+    // (a shared queue would leak co-tenant depth into "avail.queue_depth").
+    swarm_config.metrics = nullptr;
+    swarm_config.tracer =
+        swarm_index == config.traced_swarm ? config.tracer : nullptr;
+    return swarm_config;
+}
+
+CatalogReport run_catalog_plan(const Catalog& catalog, const SwarmPlan& plan,
+                               const CatalogEngineConfig& config) {
+    catalog.config.validate();
+    SWARMAVAIL_REQUIRE(config.horizon > 0.0, "run_catalog: horizon must be > 0");
+    SWARMAVAIL_REQUIRE(
+        config.traced_swarm == kNoTracedSwarm || config.traced_swarm < plan.size(),
+        "run_catalog: traced_swarm out of range");
+    validate_swarm_plan(catalog, plan);
+
+    const auto configs = swarm_configs(catalog, plan, config);
+    std::vector<sim::AvailabilitySimResult> results =
+        config.execution == ExecutionMode::kSharedQueue
+            ? run_shared_queue(configs, config)
+            : run_sharded(configs, config);
+
+    std::vector<model::SwarmParams> params;
+    params.reserve(configs.size());
+    for (const sim::AvailabilitySimConfig& swarm_config : configs) {
+        params.push_back(swarm_config.params);
+    }
+    CatalogReport report = build_report(catalog, plan, params, std::move(results));
+    if (config.metrics != nullptr) {
+        record_metrics(report, *config.metrics);
+    }
+    return report;
+}
+
+CatalogReport run_catalog(const Catalog& catalog, const BundlingPolicy& policy,
+                          const CatalogEngineConfig& config) {
+    return run_catalog_plan(catalog, policy.assign(catalog), config);
+}
+
+}  // namespace swarmavail::catalog

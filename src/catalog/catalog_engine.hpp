@@ -1,0 +1,91 @@
+// Multi-swarm discrete-event engine: simulates every swarm of a bundled
+// catalog in one run.
+//
+// Given a policy's SwarmPlan, the engine builds one AvailabilityProcess per
+// swarm (seeded seed + swarm_index) and executes them either
+//
+//   - kSharded: each swarm on its own private EventQueue, fanned across
+//     sim::Parallel with per-index result buffering and index-order merge —
+//     the same determinism contract as run_replications, so every thread
+//     count (including 1) produces a bit-identical CatalogReport; or
+//   - kSharedQueue: all swarms multiplexed onto ONE EventQueue on the
+//     calling thread. Because each process draws randomness only in its own
+//     handlers from its own Rng, interleaving does not perturb any swarm's
+//     sample path: the shared-queue report is bit-identical to the sharded
+//     one (pinned by tests/catalog/test_catalog_engine.cpp).
+//
+// Swarms in the plan are statistically independent given the policy (they
+// share no peers, no publishers, no capacity), which is what makes both
+// executions exact rather than approximations of each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "catalog/bundling_policy.hpp"
+#include "catalog/report.hpp"
+#include "sim/availability_sim.hpp"
+#include "sim/parallel.hpp"
+
+namespace swarmavail {
+class MetricsRegistry;
+}  // namespace swarmavail
+
+namespace swarmavail::sim {
+class Tracer;
+}  // namespace swarmavail::sim
+
+namespace swarmavail::catalog {
+
+/// How the engine executes the per-swarm processes.
+enum class ExecutionMode {
+    kSharded,      ///< private queue per swarm, parallel fan-out (default)
+    kSharedQueue,  ///< one queue, single thread — the multiplexed engine
+};
+
+/// Sentinel: no swarm is traced.
+inline constexpr std::size_t kNoTracedSwarm = std::numeric_limits<std::size_t>::max();
+
+/// Configuration of one catalog run.
+struct CatalogEngineConfig {
+    double horizon = 1.0e5;              ///< simulated seconds per swarm
+    std::uint64_t seed = 1;              ///< swarm i runs with seed + i
+    std::size_t coverage_threshold = 1;  ///< m, per swarm
+    bool patient_peers = true;           ///< wait for a publisher vs leave
+    double linger_time = 0.0;            ///< post-completion seeding (s)
+    bool debug_audit = false;            ///< per-event invariant audits
+    ExecutionMode execution = ExecutionMode::kSharded;
+    /// Thread policy for kSharded (ignored by kSharedQueue). Results are
+    /// bit-identical at every thread count.
+    sim::ParallelPolicy policy{};
+    /// Optional registry receiving the "catalog.*" aggregates (see
+    /// report.hpp record_metrics). Must outlive the call.
+    MetricsRegistry* metrics = nullptr;
+    /// Optional tracer attached to exactly one swarm of the run, so a
+    /// single swarm can be replayed out of a catalog (trace_inspect on the
+    /// JSONL output). kNoTracedSwarm: no tracing. The traced swarm's
+    /// records are identical to tracing it in an isolated run.
+    sim::Tracer* tracer = nullptr;
+    std::size_t traced_swarm = kNoTracedSwarm;
+};
+
+/// The simulation config the engine uses for swarm `swarm_index` of `plan`.
+/// Exposed so tests and tools can replay one swarm of a catalog run in
+/// isolation (bit-exactly) with run_availability_sim.
+[[nodiscard]] sim::AvailabilitySimConfig swarm_sim_config(
+    const Catalog& catalog, const SwarmPlan& plan, std::size_t swarm_index,
+    const CatalogEngineConfig& config);
+
+/// Runs every swarm of `policy.assign(catalog)` and aggregates the report.
+/// Validates the plan (every file in exactly one swarm) before running.
+[[nodiscard]] CatalogReport run_catalog(const Catalog& catalog,
+                                        const BundlingPolicy& policy,
+                                        const CatalogEngineConfig& config);
+
+/// Same, for a pre-computed plan.
+[[nodiscard]] CatalogReport run_catalog_plan(const Catalog& catalog,
+                                             const SwarmPlan& plan,
+                                             const CatalogEngineConfig& config);
+
+}  // namespace swarmavail::catalog

@@ -2,13 +2,20 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace swarmavail::model {
 
 std::vector<double> zipf_popularities(std::size_t n, double delta) {
-    require(n >= 1, "zipf_popularities: requires n >= 1");
-    require(delta >= 0.0, "zipf_popularities: requires delta >= 0");
+    // Guard the edge cases explicitly instead of relying on caller
+    // discipline: n = 0 would return an empty (unnormalizable) vector, and
+    // a negative or NaN exponent silently inverts the popularity ranking.
+    // delta == 0 stays valid (uniform popularity).
+    SWARMAVAIL_REQUIRE(n >= 1, "zipf_popularities: requires n >= 1");
+    SWARMAVAIL_REQUIRE(std::isfinite(delta),
+                       "zipf_popularities: requires a finite exponent");
+    SWARMAVAIL_REQUIRE(delta >= 0.0, "zipf_popularities: requires delta >= 0");
     std::vector<double> p(n);
     double total = 0.0;
     for (std::size_t k = 1; k <= n; ++k) {
@@ -23,10 +30,11 @@ std::vector<double> zipf_popularities(std::size_t n, double delta) {
 
 std::vector<PerFileComparison> compare_isolated_vs_bundle(
     const SwarmParams& base, const HeterogeneousDemandConfig& config) {
-    require(!config.lambdas.empty(),
-            "compare_isolated_vs_bundle: requires at least one file");
+    SWARMAVAIL_REQUIRE(!config.lambdas.empty(),
+                       "compare_isolated_vs_bundle: requires at least one file");
     for (double l : config.lambdas) {
-        require(l > 0.0, "compare_isolated_vs_bundle: demands must be > 0");
+        SWARMAVAIL_REQUIRE(std::isfinite(l) && l > 0.0,
+                           "compare_isolated_vs_bundle: demands must be finite and > 0");
     }
 
     auto evaluate = [&](const SwarmParams& params) {

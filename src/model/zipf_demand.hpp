@@ -17,7 +17,8 @@
 namespace swarmavail::model {
 
 /// Normalized Zipf popularity weights p_k = c / k^delta, k = 1..n
-/// (sum to 1). Requires n >= 1 and delta >= 0.
+/// (sum to 1). Requires n >= 1 and a finite delta >= 0 (delta = 0 is the
+/// uniform distribution); violations throw std::invalid_argument.
 [[nodiscard]] std::vector<double> zipf_popularities(std::size_t n, double delta);
 
 /// Per-file outcome of a heterogeneous-demand bundling decision.

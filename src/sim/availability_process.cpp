@@ -1,0 +1,482 @@
+#include "sim/availability_process.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/processes.hpp"
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
+#include "util/random.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+/// Shared bucket shape for the "avail.*" duration histograms: geometric
+/// bins covering [1s, 2^20 s) — six decades of busy/idle/download scales.
+constexpr double kDurationHistLo = 1.0;
+constexpr double kDurationHistHi = 1048576.0;
+constexpr std::size_t kDurationHistBins = 20;
+
+/// Per-peer bookkeeping while the peer is in the system.
+struct PeerState {
+    SimTime arrival = 0.0;
+    double waited = 0.0;      ///< idle time accumulated so far
+    SimTime wait_start = 0.0; ///< when the current wait began (if blocked)
+    EventId completion = 0;   ///< pending completion event (if downloading)
+};
+
+/// Validates the config before any member construction, so a bad config
+/// fails with the simulator's own message rather than a process ctor's.
+const AvailabilitySimConfig& validated(const AvailabilitySimConfig& config) {
+    config.params.validate();
+    require(config.coverage_threshold >= 1,
+            "AvailabilitySim: coverage threshold must be >= 1");
+    require(config.linger_time >= 0.0, "AvailabilitySim: linger_time must be >= 0");
+    require(config.horizon > 0.0, "AvailabilitySim: horizon must be > 0");
+    return config;
+}
+
+}  // namespace
+
+/// The full simulation state machine for one swarm. Every random draw
+/// happens inside this process's event handlers using its private rng_, and
+/// every scheduled event belongs to this process, so the sample path is a
+/// function of the config alone — co-tenants on a shared queue cannot
+/// perturb it (cross-swarm determinism; pinned by the catalog-engine tests).
+struct AvailabilityProcess::Impl {
+    Impl(EventQueue& queue, const AvailabilitySimConfig& config)
+        : config_(validated(config)),
+          rng_(config.seed),
+          queue_(queue),
+          peer_arrivals_(queue, rng_, config.params.peer_arrival_rate,
+                         [this] { on_peer_arrival(); }),
+          publisher_arrivals_(queue, rng_, config.params.publisher_arrival_rate,
+                              [this] { on_publisher_arrival(); }),
+          on_off_(queue, rng_, config.params.publisher_residence,
+                  1.0 / config.params.publisher_arrival_rate,
+                  [this] { on_publisher_up(); }, [this] { on_publisher_down(); }) {
+        if (config_.metrics != nullptr) {
+            bind_metrics(*config_.metrics);
+        }
+    }
+
+    void start() {
+        SWARMAVAIL_REQUIRE(!started_, "AvailabilityProcess: start() called twice");
+        started_ = true;
+        peer_arrivals_.start(config_.horizon);
+        if (config_.publisher_mode == PublisherMode::kPoissonArrivals) {
+            publisher_arrivals_.start(config_.horizon);
+        } else {
+            on_off_.start(config_.horizon);
+        }
+    }
+
+    AvailabilitySimResult finish() {
+        SWARMAVAIL_REQUIRE(started_ && !finished_,
+                           "AvailabilityProcess: finish() requires a started, "
+                           "unfinished process");
+        finished_ = true;
+        if (config_.tracer != nullptr) {
+            config_.tracer->flush();
+        }
+        // Close the final availability and publisher-uptime intervals for
+        // the time-averages.
+        account_interval(config_.horizon);
+        if (publishers_ > 0) {
+            publisher_online_seconds_ += config_.horizon - last_publisher_change_;
+        }
+        AvailabilitySimResult out = result_;
+        const double denom = unavailable_seconds_ + available_seconds_;
+        out.unavailable_time_fraction = denom > 0.0 ? unavailable_seconds_ / denom : 1.0;
+        out.arrival_unavailability =
+            out.arrivals > 0
+                ? static_cast<double>(arrivals_blocked_) / static_cast<double>(out.arrivals)
+                : 0.0;
+        out.publisher_online_fraction = publisher_online_seconds_ / config_.horizon;
+        return out;
+    }
+
+    using PeerId = std::uint64_t;
+
+    /// Resolves every metric reference once, so event handlers only touch
+    /// cached pointers (the registry lookup never runs per event).
+    void bind_metrics(MetricsRegistry& m) {
+        m_arrivals_ = &m.counter("avail.arrivals");
+        m_served_ = &m.counter("avail.served");
+        m_lost_ = &m.counter("avail.lost");
+        m_stranded_ = &m.counter("avail.stranded");
+        m_publisher_up_ = &m.counter("avail.publisher_up");
+        m_publisher_down_ = &m.counter("avail.publisher_down");
+        const auto hist = [&m](std::string_view name) {
+            return &m.histogram(name, kDurationHistLo, kDurationHistHi,
+                                kDurationHistBins, HistogramScale::kLog2);
+        };
+        m_busy_hist_ = hist("avail.busy_period_s");
+        m_idle_hist_ = hist("avail.idle_period_s");
+        m_download_hist_ = hist("avail.download_time_s");
+        m_wait_hist_ = hist("avail.wait_time_s");
+        m_pub_up_interval_ = hist("avail.publisher_up_interval_s");
+        m_pub_down_interval_ = hist("avail.publisher_down_interval_s");
+        m_peers_gauge_ = &m.gauge("avail.peers_in_system");
+        m_queue_depth_ = &m.gauge("avail.queue_depth");
+    }
+
+    /// Samples the population/queue-depth gauges; called at arrivals and
+    /// completions so the gauge statistics form an event-sampled series.
+    /// Note queue_depth counts the whole queue: on a shared queue it
+    /// includes co-tenant events (which is why the catalog engine leaves
+    /// per-swarm metrics unbound).
+    void sample_gauges() {
+        if (m_peers_gauge_ != nullptr) {
+            m_peers_gauge_->set(static_cast<double>(peers_.size()));
+            m_queue_depth_->set(static_cast<double>(queue_.size()));
+        }
+    }
+
+    [[nodiscard]] std::size_t coverage() const noexcept {
+        return downloading_.size() + lingering_;
+    }
+
+    void account_interval(SimTime now) {
+        const double span = now - interval_start_;
+        if (span > 0.0) {
+            (available_ ? available_seconds_ : unavailable_seconds_) += span;
+        }
+        interval_start_ = now;
+    }
+
+    void become_available() {
+        SWARMAVAIL_PROF_SCOPE("avail.busy_transition");
+        account_interval(queue_.now());
+        available_ = true;
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityBegin, queue_.now());
+        if (idle_open_) {
+            const double idle = queue_.now() - idle_start_;
+            result_.idle_periods.add(idle);
+            if (m_idle_hist_ != nullptr) {
+                m_idle_hist_->add(idle);
+            }
+            idle_open_ = false;
+        }
+        busy_start_ = queue_.now();
+        busy_open_ = true;
+        served_this_busy_ = 0;
+        // Blocked (patient) peers immediately begin service.
+        for (PeerId id : blocked_) {
+            auto& peer = peers_.at(id);
+            peer.waited += queue_.now() - peer.wait_start;
+            start_service(id);
+        }
+        blocked_.clear();
+    }
+
+    void become_unavailable() {
+        SWARMAVAIL_PROF_SCOPE("avail.busy_transition");
+        account_interval(queue_.now());
+        available_ = false;
+        if (busy_open_) {
+            const double busy = queue_.now() - busy_start_;
+            result_.busy_periods.add(busy);
+            result_.peers_per_busy_period.add(static_cast<double>(served_this_busy_));
+            if (m_busy_hist_ != nullptr) {
+                m_busy_hist_->add(busy);
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kAvailabilityEnd, queue_.now(), 0,
+                             busy_start_, static_cast<double>(served_this_busy_));
+            busy_open_ = false;
+        }
+        idle_start_ = queue_.now();
+        idle_open_ = true;
+        // Downloading peers are interrupted mid-download (the dotted lines of
+        // Figure 2): they block until a publisher returns, or leave if
+        // impatient. By memorylessness their remaining service on resume is
+        // a fresh Exp(s/mu), matching the model's renewal view.
+        std::vector<PeerId> interrupted;
+        interrupted.reserve(downloading_.size());
+        for (const auto& [id, peer] : downloading_) {
+            interrupted.push_back(id);
+        }
+        for (PeerId id : interrupted) {
+            queue_.cancel(downloading_.at(id));
+            downloading_.erase(id);
+            ++result_.stranded;
+            if (m_stranded_ != nullptr) {
+                m_stranded_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerStranded, queue_.now(), id);
+            if (config_.patient_peers) {
+                peers_.at(id).wait_start = queue_.now();
+                blocked_.push_back(id);
+            } else {
+                peers_.erase(id);
+                ++result_.lost;
+                if (m_lost_ != nullptr) {
+                    m_lost_->add();
+                }
+                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(), id);
+            }
+        }
+        // Lingering seeds have nothing to serve once the content is dead;
+        // they exit (their coverage contribution ended the moment the
+        // threshold was crossed). Bump the epoch so their pending departure
+        // events become no-ops.
+        lingering_ = 0;
+        ++linger_epoch_;
+    }
+
+    /// Invoked after any departure/publisher change that can end a busy period.
+    void maybe_end_busy_period() {
+        if (available_ && publishers_ == 0 && coverage() < config_.coverage_threshold) {
+            become_unavailable();
+        }
+    }
+
+    /// Invariant-audit pass, run after every event handler when
+    /// config_.debug_audit is set: peers are conserved across arrivals,
+    /// completions and losses; every in-system peer is accounted as either
+    /// downloading or blocked; populations are non-negative; and the
+    /// busy/idle bookkeeping agrees with the availability flag.
+    void audit_state() const {
+        if (!config_.debug_audit) {
+            return;
+        }
+        audit::check_peer_conservation(result_.arrivals, result_.served, result_.lost,
+                                       peers_.size());
+        SWARMAVAIL_INVARIANT(downloading_.size() + blocked_.size() == peers_.size(),
+                             "AvailabilitySim: peers_ diverged from the union of "
+                             "downloading and blocked sets");
+        audit::check_nonnegative_count("publishers",
+                                       static_cast<std::int64_t>(publishers_));
+        audit::check_nonnegative_count("lingering seeds",
+                                       static_cast<std::int64_t>(lingering_));
+        SWARMAVAIL_INVARIANT(available_ || downloading_.empty(),
+                             "AvailabilitySim: peers downloading while content is "
+                             "unavailable");
+        SWARMAVAIL_INVARIANT(available_ == busy_open_,
+                             "AvailabilitySim: availability flag out of sync with the "
+                             "open busy period");
+        SWARMAVAIL_INVARIANT(!available_ || blocked_.empty(),
+                             "AvailabilitySim: blocked peers during an available "
+                             "period");
+    }
+
+    /// Applies a publisher-count delta in signed arithmetic so the audit
+    /// catches an underflow before it wraps the unsigned counter. This is
+    /// the single choke point for publisher-count changes, so the 0<->1
+    /// crossings observed here are exactly the publisher uptime/downtime
+    /// interval boundaries.
+    void change_publishers(std::int64_t delta) {
+        const std::int64_t updated = static_cast<std::int64_t>(publishers_) + delta;
+        if (config_.debug_audit) {
+            audit::check_nonnegative_count("publishers", updated);
+        }
+        const bool was_online = publishers_ > 0;
+        publishers_ = static_cast<std::size_t>(updated);
+        const bool is_online = publishers_ > 0;
+        if (was_online == is_online) {
+            return;
+        }
+        if (is_online) {
+            ++result_.publisher_up_transitions;
+            if (m_publisher_up_ != nullptr) {
+                m_publisher_up_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherUp, queue_.now(),
+                             publishers_);
+            if (publisher_ever_toggled_ && m_pub_down_interval_ != nullptr) {
+                m_pub_down_interval_->add(queue_.now() - last_publisher_change_);
+            }
+        } else {
+            publisher_online_seconds_ += queue_.now() - last_publisher_change_;
+            if (m_publisher_down_ != nullptr) {
+                m_publisher_down_->add();
+            }
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPublisherDown, queue_.now(),
+                             publishers_);
+            if (m_pub_up_interval_ != nullptr) {
+                m_pub_up_interval_->add(queue_.now() - last_publisher_change_);
+            }
+        }
+        last_publisher_change_ = queue_.now();
+        publisher_ever_toggled_ = true;
+    }
+
+    void on_peer_arrival() {
+        ++result_.arrivals;
+        const PeerId id = next_peer_id_++;
+        if (m_arrivals_ != nullptr) {
+            m_arrivals_->add();
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerArrival, queue_.now(), id);
+        PeerState peer;
+        peer.arrival = queue_.now();
+        if (available_) {
+            peers_.emplace(id, peer);
+            start_service(id);
+        } else {
+            ++arrivals_blocked_;
+            if (config_.patient_peers) {
+                peer.wait_start = queue_.now();
+                peers_.emplace(id, peer);
+                blocked_.push_back(id);
+            } else {
+                ++result_.lost;
+                if (m_lost_ != nullptr) {
+                    m_lost_->add();
+                }
+                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(), id);
+            }
+        }
+        sample_gauges();
+        audit_state();
+    }
+
+    void start_service(PeerId id) {
+        const double service = rng_.exponential_mean(config_.params.service_time());
+        const EventId event =
+            queue_.schedule_at(queue_.now() + service, [this, id] { on_completion(id); });
+        downloading_[id] = event;
+        peers_.at(id).completion = event;
+    }
+
+    void on_completion(PeerId id) {
+        downloading_.erase(id);
+        const auto it = peers_.find(id);
+        ensure(it != peers_.end(), "AvailabilitySim: completion for unknown peer");
+        const PeerState peer = it->second;
+        peers_.erase(it);
+        ++result_.served;
+        ++served_this_busy_;
+        const double elapsed = queue_.now() - peer.arrival;
+        result_.download_times.add(elapsed);
+        result_.waiting_times.add(peer.waited);
+        if (m_served_ != nullptr) {
+            m_served_->add();
+            m_download_hist_->add(elapsed);
+            m_wait_hist_->add(peer.waited);
+        }
+        SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerCompletion, queue_.now(), id,
+                         elapsed, peer.waited);
+        sample_gauges();
+        if (config_.linger_time > 0.0) {
+            ++lingering_;
+            const double linger = rng_.exponential_mean(config_.linger_time);
+            // The epoch guard voids this event if an intervening idle period
+            // already flushed all lingering seeds.
+            const std::uint64_t epoch = linger_epoch_;
+            queue_.schedule_at(queue_.now() + linger, [this, epoch] {
+                if (epoch == linger_epoch_ && lingering_ > 0) {
+                    --lingering_;
+                    maybe_end_busy_period();
+                    audit_state();
+                }
+            });
+        }
+        maybe_end_busy_period();
+        audit_state();
+    }
+
+    void on_publisher_arrival() {
+        change_publishers(+1);
+        const double stay = rng_.exponential_mean(config_.params.publisher_residence);
+        queue_.schedule_at(queue_.now() + stay, [this] {
+            change_publishers(-1);
+            maybe_end_busy_period();
+            audit_state();
+        });
+        if (!available_) {
+            become_available();
+        }
+        audit_state();
+    }
+
+    void on_publisher_up() {
+        change_publishers(+1);
+        if (!available_) {
+            become_available();
+        }
+        audit_state();
+    }
+
+    void on_publisher_down() {
+        change_publishers(-1);
+        maybe_end_busy_period();
+        audit_state();
+    }
+
+    AvailabilitySimConfig config_;
+    Rng rng_;
+    EventQueue& queue_;
+    PoissonProcess peer_arrivals_;
+    PoissonProcess publisher_arrivals_;
+    OnOffProcess on_off_;
+    AvailabilitySimResult result_;
+
+    std::unordered_map<PeerId, PeerState> peers_;
+    std::unordered_map<PeerId, EventId> downloading_;
+    std::vector<PeerId> blocked_;
+    std::size_t lingering_ = 0;
+    std::uint64_t linger_epoch_ = 0;
+    std::size_t publishers_ = 0;
+    PeerId next_peer_id_ = 1;
+
+    bool started_ = false;
+    bool finished_ = false;
+    bool available_ = false;
+    bool busy_open_ = false;
+    bool idle_open_ = false;
+    SimTime busy_start_ = 0.0;
+    SimTime idle_start_ = 0.0;
+    std::uint64_t served_this_busy_ = 0;
+    std::uint64_t arrivals_blocked_ = 0;
+
+    SimTime interval_start_ = 0.0;
+    double available_seconds_ = 0.0;
+    double unavailable_seconds_ = 0.0;
+
+    SimTime last_publisher_change_ = 0.0;
+    double publisher_online_seconds_ = 0.0;
+    bool publisher_ever_toggled_ = false;
+
+    // Cached metric references (null when config_.metrics is null); see
+    // bind_metrics. Either all are bound or none.
+    Counter* m_arrivals_ = nullptr;
+    Counter* m_served_ = nullptr;
+    Counter* m_lost_ = nullptr;
+    Counter* m_stranded_ = nullptr;
+    Counter* m_publisher_up_ = nullptr;
+    Counter* m_publisher_down_ = nullptr;
+    HistogramMetric* m_busy_hist_ = nullptr;
+    HistogramMetric* m_idle_hist_ = nullptr;
+    HistogramMetric* m_download_hist_ = nullptr;
+    HistogramMetric* m_wait_hist_ = nullptr;
+    HistogramMetric* m_pub_up_interval_ = nullptr;
+    HistogramMetric* m_pub_down_interval_ = nullptr;
+    Gauge* m_peers_gauge_ = nullptr;
+    Gauge* m_queue_depth_ = nullptr;
+};
+
+AvailabilityProcess::AvailabilityProcess(EventQueue& queue,
+                                         const AvailabilitySimConfig& config)
+    : impl_(std::make_unique<Impl>(queue, config)) {}
+
+AvailabilityProcess::~AvailabilityProcess() = default;
+AvailabilityProcess::AvailabilityProcess(AvailabilityProcess&&) noexcept = default;
+AvailabilityProcess& AvailabilityProcess::operator=(AvailabilityProcess&&) noexcept =
+    default;
+
+void AvailabilityProcess::start() { impl_->start(); }
+
+AvailabilitySimResult AvailabilityProcess::finish() { return impl_->finish(); }
+
+const AvailabilitySimConfig& AvailabilityProcess::config() const noexcept {
+    return impl_->config_;
+}
+
+}  // namespace swarmavail::sim

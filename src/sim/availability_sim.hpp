@@ -73,6 +73,10 @@ struct AvailabilitySimResult {
     std::uint64_t stranded = 0;           ///< peers interrupted by a busy-period end
     double unavailable_time_fraction = 0.0;  ///< time-average unavailability
     double arrival_unavailability = 0.0;     ///< fraction of arrivals finding no content
+    /// Publisher-load observables (0 <-> >=1 crossings of the online
+    /// publisher count): how often and how long publishers carried the swarm.
+    std::uint64_t publisher_up_transitions = 0;  ///< offline -> online crossings
+    double publisher_online_fraction = 0.0;      ///< time fraction with a publisher online
 };
 
 /// Runs the simulation for `config.horizon` simulated seconds.

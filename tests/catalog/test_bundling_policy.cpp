@@ -1,0 +1,192 @@
+#include "catalog/bundling_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+
+namespace swarmavail::catalog {
+namespace {
+
+Catalog make_catalog(std::size_t files,
+                     PublisherAssignment publishers = PublisherAssignment::kDedicated) {
+    CatalogConfig config;
+    config.num_files = files;
+    config.zipf_exponent = 1.0;
+    config.aggregate_demand = 1.0 / 10.0;
+    config.file_size = 80.0;
+    config.download_rate = 1.0;
+    config.publisher_arrival_rate = 1.0 / 900.0;
+    config.publisher_residence = 300.0;
+    config.publishers = publishers;
+    return build_catalog(config);
+}
+
+std::vector<std::size_t> sorted_members(const SwarmPlan& plan) {
+    std::vector<std::size_t> all;
+    for (const auto& swarm : plan) {
+        all.insert(all.end(), swarm.begin(), swarm.end());
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+void expect_exact_partition(const Catalog& catalog, const SwarmPlan& plan) {
+    EXPECT_NO_THROW(validate_swarm_plan(catalog, plan));
+    const auto all = sorted_members(plan);
+    ASSERT_EQ(all.size(), catalog.files.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i], i);
+    }
+}
+
+TEST(NoBundling, OneSwarmPerFile) {
+    const auto catalog = make_catalog(7);
+    const NoBundling policy;
+    EXPECT_EQ(policy.name(), "none");
+    const auto plan = policy.assign(catalog);
+    ASSERT_EQ(plan.size(), 7u);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        ASSERT_EQ(plan[i].size(), 1u);
+        EXPECT_EQ(plan[i][0], i);
+    }
+    expect_exact_partition(catalog, plan);
+}
+
+TEST(FixedKPolicy, PartitionsInRankOrderWithRemainder) {
+    const auto catalog = make_catalog(10);
+    const FixedK policy{3};
+    EXPECT_EQ(policy.name(), "fixedk");
+    const auto plan = policy.assign(catalog);
+    // 10 files, K = 3: swarms of size 3, 3, 3 and a remainder swarm of 1.
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0], (SwarmFiles{0, 1, 2}));
+    EXPECT_EQ(plan[1], (SwarmFiles{3, 4, 5}));
+    EXPECT_EQ(plan[2], (SwarmFiles{6, 7, 8}));
+    EXPECT_EQ(plan[3], (SwarmFiles{9}));
+    expect_exact_partition(catalog, plan);
+}
+
+TEST(FixedKPolicy, ExactMultipleHasNoRemainderSwarm) {
+    const auto catalog = make_catalog(9);
+    const auto plan = FixedK{3}.assign(catalog);
+    ASSERT_EQ(plan.size(), 3u);
+    for (const auto& swarm : plan) {
+        EXPECT_EQ(swarm.size(), 3u);
+    }
+    expect_exact_partition(catalog, plan);
+}
+
+TEST(FixedKPolicy, KOfOneMatchesNoBundling) {
+    const auto catalog = make_catalog(5);
+    EXPECT_EQ(FixedK{1}.assign(catalog), NoBundling{}.assign(catalog));
+}
+
+TEST(FixedKPolicy, RejectsZeroK) {
+    EXPECT_THROW(FixedK{0}, std::invalid_argument);
+}
+
+TEST(GreedyPopularityPolicy, PairsHotHeadWithColdTail) {
+    const auto catalog = make_catalog(10);
+    const GreedyPopularity policy{3};
+    EXPECT_EQ(policy.name(), "greedy");
+    const auto plan = policy.assign(catalog);
+    // Two-pointer packing: {0, 9, 8}, {1, 7, 6}, {2, 5, 4}, {3}.
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0], (SwarmFiles{0, 9, 8}));
+    EXPECT_EQ(plan[1], (SwarmFiles{1, 7, 6}));
+    EXPECT_EQ(plan[2], (SwarmFiles{2, 5, 4}));
+    EXPECT_EQ(plan[3], (SwarmFiles{3}));
+    expect_exact_partition(catalog, plan);
+}
+
+TEST(GreedyPopularityPolicy, DeterministicAcrossCalls) {
+    const auto catalog = make_catalog(23);
+    const GreedyPopularity policy{4};
+    const auto first = policy.assign(catalog);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(policy.assign(catalog), first);
+    }
+    expect_exact_partition(catalog, first);
+}
+
+TEST(GreedyPopularityPolicy, EverySwarmLeadsWithItsHottestFile) {
+    const auto catalog = make_catalog(17);
+    const auto plan = GreedyPopularity{5}.assign(catalog);
+    expect_exact_partition(catalog, plan);
+    for (const auto& swarm : plan) {
+        ASSERT_FALSE(swarm.empty());
+        // The leading member is the most popular (lowest rank id) in the swarm.
+        EXPECT_EQ(*std::min_element(swarm.begin(), swarm.end()), swarm.front());
+    }
+}
+
+TEST(GreedyPopularityPolicy, RejectsZeroK) {
+    EXPECT_THROW(GreedyPopularity{0}, std::invalid_argument);
+}
+
+TEST(ValidateSwarmPlan, RejectsBrokenPartitions) {
+    const auto catalog = make_catalog(4);
+    // Missing file 3.
+    EXPECT_THROW(validate_swarm_plan(catalog, {{0, 1}, {2}}), std::invalid_argument);
+    // Duplicate file 1.
+    EXPECT_THROW(validate_swarm_plan(catalog, {{0, 1}, {1, 2, 3}}),
+                 std::invalid_argument);
+    // Out-of-range id.
+    EXPECT_THROW(validate_swarm_plan(catalog, {{0, 1, 2, 4}}), std::invalid_argument);
+    // Empty swarm.
+    EXPECT_THROW(validate_swarm_plan(catalog, {{0, 1, 2, 3}, {}}),
+                 std::invalid_argument);
+    // Empty plan.
+    EXPECT_THROW(validate_swarm_plan(catalog, {}), std::invalid_argument);
+    // A correct partition passes.
+    EXPECT_NO_THROW(validate_swarm_plan(catalog, {{3, 0}, {1, 2}}));
+}
+
+TEST(SwarmParamsFromPlan, AggregatesDemandAndSize) {
+    const auto catalog = make_catalog(6);
+    const SwarmFiles files{0, 4, 5};
+    const auto params = swarm_params(catalog, files, 2);
+    double demand = 0.0;
+    for (std::size_t f : files) {
+        demand += catalog.files[f].demand_rate;
+    }
+    EXPECT_DOUBLE_EQ(params.peer_arrival_rate, demand);
+    EXPECT_DOUBLE_EQ(params.content_size, 3 * catalog.config.file_size);
+    EXPECT_DOUBLE_EQ(params.download_rate, catalog.config.download_rate);
+    // Dedicated publishers: the per-swarm rate is the configured rate.
+    EXPECT_DOUBLE_EQ(params.publisher_arrival_rate,
+                     catalog.config.publisher_arrival_rate);
+    EXPECT_DOUBLE_EQ(params.publisher_residence, catalog.config.publisher_residence);
+}
+
+TEST(SwarmParamsFromPlan, PartitionedBudgetSplitsPublisherRate) {
+    const auto catalog = make_catalog(6, PublisherAssignment::kPartitionedBudget);
+    const auto params = swarm_params(catalog, {0, 1}, 3);
+    EXPECT_DOUBLE_EQ(params.publisher_arrival_rate,
+                     catalog.config.publisher_arrival_rate / 3.0);
+}
+
+TEST(SwarmParamsFromPlan, RejectsEmptyOrOutOfRange) {
+    const auto catalog = make_catalog(3);
+    EXPECT_THROW((void)swarm_params(catalog, {}, 1), std::invalid_argument);
+    EXPECT_THROW((void)swarm_params(catalog, {0, 3}, 1), std::invalid_argument);
+}
+
+TEST(MakePolicy, MapsNamesAndValidates) {
+    const auto catalog = make_catalog(8);
+    EXPECT_EQ(make_policy("none", 99)->name(), "none");
+    EXPECT_EQ(make_policy("fixedk", 4)->name(), "fixedk");
+    EXPECT_EQ(make_policy("greedy", 4)->name(), "greedy");
+    EXPECT_EQ(make_policy("fixedk", 4)->assign(catalog), FixedK{4}.assign(catalog));
+    EXPECT_EQ(make_policy("greedy", 4)->assign(catalog),
+              GreedyPopularity{4}.assign(catalog));
+    EXPECT_THROW((void)make_policy("round-robin", 2), std::invalid_argument);
+    EXPECT_THROW((void)make_policy("fixedk", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmavail::catalog

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 namespace swarmavail::model {
@@ -31,6 +32,18 @@ TEST(ZipfPopularities, ZeroExponentUniform) {
     for (double v : p) {
         EXPECT_NEAR(v, 0.25, 1e-12);
     }
+}
+
+TEST(ZipfPopularities, RejectsEmptyCatalog) {
+    EXPECT_THROW((void)zipf_popularities(0, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfPopularities, RejectsNegativeOrNonFiniteExponent) {
+    EXPECT_THROW((void)zipf_popularities(5, -0.5), std::invalid_argument);
+    EXPECT_THROW((void)zipf_popularities(5, std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+    EXPECT_THROW((void)zipf_popularities(5, std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
 }
 
 TEST(ZipfPopularities, KnownRatios) {
