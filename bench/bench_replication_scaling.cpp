@@ -14,6 +14,7 @@
 #include "sim/experiment.hpp"
 #include "sim/parallel.hpp"
 #include "swarm/swarm_sim.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -58,24 +59,29 @@ void BM_SwarmReplicationScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_SwarmReplicationScaling)->Apply(scaling_args);
 
-void BM_ExperimentCellScaling(benchmark::State& state) {
-    const auto threads = static_cast<std::size_t>(state.range(0));
-    constexpr std::size_t kReplications = 16;
-    model::SwarmParams params;
-    params.peer_arrival_rate = 1.0 / 60.0;
-    params.content_size = 80.0;
-    params.download_rate = 1.0;
-    params.publisher_arrival_rate = 1.0 / 900.0;
-    params.publisher_residence = 300.0;
-    const auto body = [&params](std::uint64_t seed) {
+/// The availability-cell replication body shared by the plain and the
+/// TelemetryOn experiment-cell benches, so the pair differ only in the
+/// attached session.
+sim::Replication availability_cell_body() {
+    return [](std::uint64_t seed) {
         sim::AvailabilitySimConfig config;
-        config.params = params;
+        config.params.peer_arrival_rate = 1.0 / 60.0;
+        config.params.content_size = 80.0;
+        config.params.download_rate = 1.0;
+        config.params.publisher_arrival_rate = 1.0 / 900.0;
+        config.params.publisher_residence = 300.0;
         config.horizon = 40000.0;
         config.seed = seed;
         const auto result = sim::run_availability_sim(config);
         return std::vector<double>{result.download_times.mean(),
                                    result.unavailable_time_fraction};
     };
+}
+
+void BM_ExperimentCellScaling(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kReplications = 16;
+    const auto body = availability_cell_body();
     for (auto _ : state) {
         const auto cell = sim::run_replications("availability", body, kReplications, 17,
                                                 sim::ParallelPolicy{threads});
@@ -86,5 +92,37 @@ void BM_ExperimentCellScaling(benchmark::State& state) {
     state.counters["threads"] = static_cast<double>(threads);
 }
 BENCHMARK(BM_ExperimentCellScaling)->Apply(scaling_args);
+
+/// Same workload with a live telemetry session sampling at the default
+/// 250 ms cadence into an in-memory ring. merge_bench_json.py pairs this
+/// row with BM_ExperimentCellScaling (the name minus "TelemetryOn") and
+/// emits telemetry_overhead_pct; the perf-smoke gate holds it at <= 1%.
+void BM_ExperimentCellScalingTelemetryOn(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kReplications = 16;
+    const auto body = availability_cell_body();
+
+    telemetry::MemoryTelemetryExporter ring;
+    telemetry::TelemetryConfig telemetry_config;
+    telemetry_config.interval_s = 0.25;
+    telemetry_config.exporters.push_back(&ring);
+    telemetry::TelemetrySession session{telemetry_config};
+    session.start();
+
+    sim::RunControl control;
+    control.policy = sim::ParallelPolicy{threads};
+    control.telemetry = &session;
+    for (auto _ : state) {
+        const auto cell =
+            sim::run_replications("availability", body, kReplications, 17, control);
+        benchmark::DoNotOptimize(cell.samples.size());
+    }
+    session.stop();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kReplications));
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["snapshots"] = static_cast<double>(session.snapshots_taken());
+}
+BENCHMARK(BM_ExperimentCellScalingTelemetryOn)->Apply(scaling_args);
 
 }  // namespace

@@ -8,10 +8,18 @@
 //                    [--alpha A] [--demand LAMBDA] [--horizon H] [--seed S]
 //                    [--threads T] [--shared] [--partitioned] [--json]
 //                    [--trace-swarm I --trace-out FILE] [--no-sweep]
+//                    [--telemetry-out FILE] [--telemetry-interval SECONDS]
+//                    [--telemetry-prom FILE] [--stop-ci TARGET]
 //
 // --shared runs every swarm multiplexed on one event queue (bit-identical
 // to the default sharded-parallel mode); --trace-swarm writes one swarm's
 // JSONL trace for replay with examples/trace_inspect.
+//
+// --telemetry-out streams periodic JSONL snapshots of the running catalog
+// (watch them live with examples/telemetry_watch), --telemetry-prom keeps
+// a Prometheus text-exposition file up to date, and --stop-ci enables an
+// early-stop rule: the run ends once the 95% CI half-width of per-swarm
+// arrival unavailability drops to the target (recorded in the report).
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "catalog/report.hpp"
 #include "sim/trace.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -46,6 +55,10 @@ struct Options {
     bool sweep = true;
     std::size_t trace_swarm = swarmavail::catalog::kNoTracedSwarm;
     std::string trace_out;
+    std::string telemetry_out;
+    std::string telemetry_prom;
+    double telemetry_interval = 0.25;
+    double stop_ci = 0.0;  // <= 0: no early stop
 };
 
 [[noreturn]] void usage_error(std::string_view message) {
@@ -63,7 +76,12 @@ struct Options {
               << "  --json                        dump the full report as JSON\n"
               << "  --trace-swarm I               trace swarm I (JSONL)\n"
               << "  --trace-out FILE              trace destination (with --trace-swarm)\n"
-              << "  --no-sweep                    skip the Figure-3-style K sweep\n";
+              << "  --no-sweep                    skip the Figure-3-style K sweep\n"
+              << "  --telemetry-out FILE          live JSONL snapshot stream\n"
+              << "  --telemetry-interval SECONDS  snapshot period (default 0.25)\n"
+              << "  --telemetry-prom FILE         Prometheus text-exposition file\n"
+              << "  --stop-ci TARGET              stop once unavailability CI95 "
+                 "half-width <= TARGET\n";
     std::exit(2);
 }
 
@@ -105,6 +123,14 @@ Options parse_options(int argc, char** argv) {
             opt.trace_out = value(i);
         } else if (arg == "--no-sweep") {
             opt.sweep = false;
+        } else if (arg == "--telemetry-out") {
+            opt.telemetry_out = value(i);
+        } else if (arg == "--telemetry-interval") {
+            opt.telemetry_interval = std::stod(std::string{value(i)});
+        } else if (arg == "--telemetry-prom") {
+            opt.telemetry_prom = value(i);
+        } else if (arg == "--stop-ci") {
+            opt.stop_ci = std::stod(std::string{value(i)});
         } else if (arg == "--help" || arg == "-h") {
             usage_error("usage");
         } else {
@@ -146,6 +172,44 @@ void print_policy_run(const Options& opt) {
     const auto policy = catalog::make_policy(opt.policy, opt.k);
     auto config = engine_config(opt);
 
+    // Optional live telemetry: JSONL snapshot stream and/or Prometheus
+    // text-exposition file, sampled every --telemetry-interval seconds.
+    std::ofstream telemetry_file;
+    std::unique_ptr<telemetry::JsonlTelemetryExporter> jsonl_exporter;
+    std::unique_ptr<telemetry::PrometheusTextExporter> prom_exporter;
+    std::unique_ptr<telemetry::TelemetrySession> session;
+    if (!opt.telemetry_out.empty() || !opt.telemetry_prom.empty()) {
+        if (opt.telemetry_interval <= 0.0) {
+            usage_error("--telemetry-interval must be > 0");
+        }
+        telemetry::TelemetryConfig telemetry_config;
+        telemetry_config.interval_s = opt.telemetry_interval;
+        if (!opt.telemetry_out.empty()) {
+            telemetry_file.open(opt.telemetry_out);
+            if (!telemetry_file) {
+                usage_error("cannot open " + opt.telemetry_out);
+            }
+            jsonl_exporter =
+                std::make_unique<telemetry::JsonlTelemetryExporter>(telemetry_file);
+            telemetry_config.exporters.push_back(jsonl_exporter.get());
+        }
+        if (!opt.telemetry_prom.empty()) {
+            prom_exporter = std::make_unique<telemetry::PrometheusTextExporter>(
+                opt.telemetry_prom);
+            telemetry_config.exporters.push_back(prom_exporter.get());
+        }
+        session = std::make_unique<telemetry::TelemetrySession>(
+            std::move(telemetry_config));
+        session->start();
+        config.telemetry = session.get();
+    }
+    if (opt.stop_ci > 0.0) {
+        if (opt.shared_queue) {
+            usage_error("--stop-ci requires the sharded execution mode");
+        }
+        config.stop_rule = telemetry::StopRule{opt.stop_ci, 8};
+    }
+
     std::ofstream trace_file;
     sim::Tracer* tracer = nullptr;
     // Optional single-swarm replay hook: the traced swarm's JSONL is
@@ -169,6 +233,14 @@ void print_policy_run(const Options& opt) {
     }
 
     const auto report = catalog::run_catalog(catalog, *policy, config);
+    if (session != nullptr) {
+        session->stop();  // emits the final snapshot before we print
+    }
+    if (report.stopped_early && !opt.json) {
+        std::cout << "stop rule fired: " << report.swarms.size() << " of "
+                  << report.swarms_planned << " swarms ran (CI95 half-width <= "
+                  << opt.stop_ci << ")\n\n";
+    }
     if (owned_tracer != nullptr) {
         owned_tracer->flush();
         std::cout << "traced swarm " << opt.trace_swarm << " -> " << opt.trace_out

@@ -1,0 +1,211 @@
+// Live telemetry viewer: tails a JSONL snapshot stream written by a run
+// with --telemetry-out (catalog_bundling, or any TelemetrySession with a
+// JsonlTelemetryExporter) and renders the latest snapshot as a table —
+// swarmavail's `top` for long Monte-Carlo runs.
+//
+// Usage:
+//   telemetry_watch FILE [--once] [--poll SECONDS] [--no-clear]
+//
+// By default the viewer follows the file: it re-reads newly appended
+// complete lines every --poll seconds (default 0.25), redraws, and exits
+// once the stream's final snapshot (emitted by TelemetrySession::stop)
+// arrives. --once renders whatever is in the file right now and exits —
+// the mode scripts and tests use.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/table.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+using swarmavail::telemetry::TelemetrySnapshot;
+using swarmavail::telemetry::TrackedStat;
+
+struct Options {
+    std::string path;
+    bool once = false;
+    bool clear_screen = true;
+    double poll_s = 0.25;
+};
+
+[[noreturn]] void usage_error(std::string_view message) {
+    std::cerr << "telemetry_watch: " << message << "\n"
+              << "usage: telemetry_watch FILE [--once] [--poll SECONDS] "
+                 "[--no-clear]\n";
+    std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--once") {
+            opt.once = true;
+        } else if (arg == "--no-clear") {
+            opt.clear_screen = false;
+        } else if (arg == "--poll") {
+            if (i + 1 >= argc) {
+                usage_error("--poll needs a value");
+            }
+            opt.poll_s = std::stod(argv[++i]);
+            if (opt.poll_s <= 0.0) {
+                usage_error("--poll must be > 0");
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("usage");
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage_error("unknown flag " + std::string{arg});
+        } else if (opt.path.empty()) {
+            opt.path = arg;
+        } else {
+            usage_error("expected exactly one FILE");
+        }
+    }
+    if (opt.path.empty()) {
+        usage_error("expected a snapshot FILE");
+    }
+    return opt;
+}
+
+std::string format_duration(double seconds) {
+    if (seconds < 0.0) {
+        return "?";
+    }
+    std::ostringstream os;
+    if (seconds >= 3600.0) {
+        os << static_cast<long>(seconds / 3600.0) << "h"
+           << static_cast<long>(seconds / 60.0) % 60 << "m";
+    } else if (seconds >= 60.0) {
+        os << static_cast<long>(seconds / 60.0) << "m"
+           << static_cast<long>(seconds) % 60 << "s";
+    } else {
+        os << swarmavail::format_double(seconds, 3) << "s";
+    }
+    return os.str();
+}
+
+std::string format_count(std::uint64_t done, std::uint64_t total) {
+    std::string out = std::to_string(done);
+    if (total > 0) {
+        out += "/" + std::to_string(total);
+    }
+    return out;
+}
+
+void render(const TelemetrySnapshot& snapshot, std::size_t snapshots_seen,
+            std::ostream& os) {
+    using swarmavail::TableWriter;
+    using swarmavail::format_double;
+
+    os << "snapshot " << snapshot.sequence << " (" << snapshots_seen
+       << " seen) · wall " << format_duration(snapshot.wall_time_s) << " · progress "
+       << format_double(snapshot.progress * 100.0, 3) << "% · eta "
+       << format_duration(snapshot.eta_s)
+       << (snapshot.final_snapshot ? " · FINAL" : "") << "\n\n";
+
+    TableWriter run{{"replications", "swarms", "events", "events/s", "sim s",
+                     "sim s/s", "queue", "rss MB"}};
+    run.add_row({format_count(snapshot.replications_completed,
+                              snapshot.replications_total),
+                 format_count(snapshot.swarms_completed, snapshot.swarms_total),
+                 std::to_string(snapshot.events_dispatched),
+                 format_double(snapshot.events_per_s, 4),
+                 format_double(snapshot.sim_time_advanced, 6),
+                 format_double(snapshot.sim_time_rate, 4),
+                 format_double(snapshot.queue_depth, 4),
+                 format_double(static_cast<double>(snapshot.rss_bytes) / 1048576.0,
+                               4)});
+    run.print(os);
+
+    if (!snapshot.tracked.empty()) {
+        os << "\n";
+        TableWriter tracked{{"tracked metric", "n", "mean", "ci95 +/-", "last"}};
+        for (const TrackedStat& stat : snapshot.tracked) {
+            tracked.add_row({stat.name, std::to_string(stat.count),
+                             format_double(stat.mean, 6),
+                             format_double(stat.ci95_halfwidth, 4),
+                             format_double(stat.last, 6)});
+        }
+        tracked.print(os);
+    }
+    os.flush();
+}
+
+/// Reads the complete ('\n'-terminated) lines appended past `offset`,
+/// parses each as one snapshot, and advances `offset`. Exits with a clear
+/// error on malformed input — a torn final line (no newline yet) is simply
+/// left for the next poll.
+std::vector<TelemetrySnapshot> read_new_snapshots(const std::string& path,
+                                                  std::streamoff& offset) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "telemetry_watch: cannot open " << path << "\n";
+        std::exit(1);
+    }
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size <= offset) {
+        return {};
+    }
+    in.seekg(offset);
+    std::string chunk(static_cast<std::size_t>(size - offset), '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::size_t last_newline = chunk.rfind('\n');
+    if (last_newline == std::string::npos) {
+        return {};  // no complete line yet
+    }
+    chunk.resize(last_newline + 1);
+    offset += static_cast<std::streamoff>(chunk.size());
+
+    std::istringstream lines(chunk);
+    try {
+        return swarmavail::telemetry::read_telemetry_jsonl(lines);
+    } catch (const std::exception& error) {
+        std::cerr << "telemetry_watch: malformed snapshot stream in " << path
+                  << ": " << error.what() << "\n";
+        std::exit(1);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+
+    std::streamoff offset = 0;
+    std::size_t snapshots_seen = 0;
+    TelemetrySnapshot latest;
+    bool have_snapshot = false;
+
+    for (;;) {
+        const std::vector<TelemetrySnapshot> fresh =
+            read_new_snapshots(opt.path, offset);
+        if (!fresh.empty()) {
+            latest = fresh.back();
+            snapshots_seen += fresh.size();
+            have_snapshot = true;
+            if (!opt.once && opt.clear_screen) {
+                std::cout << "\033[2J\033[H";
+            }
+            render(latest, snapshots_seen, std::cout);
+        }
+        if (opt.once) {
+            if (!have_snapshot) {
+                std::cerr << "telemetry_watch: no snapshots in " << opt.path << "\n";
+                return 1;
+            }
+            return 0;
+        }
+        if (have_snapshot && latest.final_snapshot) {
+            return 0;  // the run is over; the stream will not grow again
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(opt.poll_s));
+    }
+}

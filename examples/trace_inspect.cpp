@@ -67,7 +67,20 @@ int main(int argc, char** argv) {
             std::cerr << "trace_inspect: cannot open " << argv[1] << "\n";
             return 1;
         }
-        trace = swarmavail::sim::read_trace_jsonl(in);
+        try {
+            trace = swarmavail::sim::read_trace_jsonl(in);
+        } catch (const std::exception& error) {
+            // Truncated or corrupt JSONL: fail with a diagnostic instead of
+            // letting the parse error abort the process.
+            std::cerr << "trace_inspect: " << argv[1]
+                      << " is not a valid JSONL trace: " << error.what() << "\n";
+            return 1;
+        }
+        if (trace.records.empty() && trace.annotations.empty()) {
+            std::cerr << "trace_inspect: " << argv[1]
+                      << " contains no trace records (empty trace?)\n";
+            return 1;
+        }
         std::cout << argv[1] << ": " << trace.records.size() << " trace records\n\n";
     }
 

@@ -29,6 +29,8 @@ omitted, so the first run on a fresh checkout still succeeds.
 `tracing_overhead_pct` is emitted on observability rows (name containing
 "TraceOn") and measures them against their plain counterpart (the name
 with the first "TraceOn" removed) from the same run.
+`telemetry_overhead_pct` works the same way for "TelemetryOn" rows (a run
+with a live TelemetrySession attached vs. the detached counterpart).
 
 `phase_profile` embeds the per-phase wall-time breakdown printed by
 bench_phase_profile (--profile), again tolerating a missing file.
@@ -111,13 +113,18 @@ def merge(input_paths, prior_path=None, profile_path=None):
             entry["speedup_vs_serial"] = round(serial_ns[family] / entry["ns_per_op"], 4)
 
     by_name = {entry["name"]: entry for entry in entries}
+    overhead_pairs = (
+        ("TraceOn", "tracing_overhead_pct"),
+        ("TelemetryOn", "telemetry_overhead_pct"),
+    )
     for entry in entries:
-        if "TraceOn" not in entry["name"]:
-            continue
-        plain = by_name.get(entry["name"].replace("TraceOn", "", 1))
-        if plain and plain["ns_per_op"] > 0:
-            entry["tracing_overhead_pct"] = round(
-                (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0, 2)
+        for marker, field in overhead_pairs:
+            if marker not in entry["name"]:
+                continue
+            plain = by_name.get(entry["name"].replace(marker, "", 1))
+            if plain and plain["ns_per_op"] > 0:
+                entry[field] = round(
+                    (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0, 2)
 
     prior = _load_json_or_none(prior_path)
     if isinstance(prior, dict):

@@ -1,6 +1,8 @@
 #include "catalog/catalog_engine.hpp"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -14,6 +16,10 @@
 namespace swarmavail::catalog {
 namespace {
 
+/// Telemetry name under which the engine tracks per-swarm arrival
+/// unavailability (the estimate catalog stop rules target).
+constexpr const char* kUnavailabilityTrack = "catalog.swarm_unavailability";
+
 std::vector<sim::AvailabilitySimConfig> swarm_configs(const Catalog& catalog,
                                                       const SwarmPlan& plan,
                                                       const CatalogEngineConfig& config) {
@@ -25,7 +31,27 @@ std::vector<sim::AvailabilitySimConfig> swarm_configs(const Catalog& catalog,
     return configs;
 }
 
+/// Announces a catalog run to an attached session: total swarm count and
+/// the simulated seconds the run intends to execute.
+void publish_run_shape(const CatalogEngineConfig& config, std::size_t swarms) {
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+    if (config.telemetry != nullptr) {
+        telemetry::RunCounters& counters = config.telemetry->counters();
+        counters.swarms_total.fetch_add(swarms, std::memory_order_relaxed);
+        telemetry::atomic_add(counters.sim_time_target,
+                              config.horizon * static_cast<double>(swarms));
+    }
+#else
+    (void)config;
+    (void)swarms;
+#endif
+}
+
 /// The multiplexed engine: every swarm's process on one queue, one thread.
+/// With telemetry attached the horizon is walked in slices — run_until(t1);
+/// run_until(t2) dispatches exactly the events run_until(t2) would, so the
+/// sample path is untouched — publishing queue depth and dispatch/sim-time
+/// deltas between slices.
 std::vector<sim::AvailabilitySimResult> run_shared_queue(
     const std::vector<sim::AvailabilitySimConfig>& configs,
     const CatalogEngineConfig& config) {
@@ -42,7 +68,34 @@ std::vector<sim::AvailabilitySimResult> run_shared_queue(
         process->start();
     }
     try {
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+        if (config.telemetry != nullptr) {
+            telemetry::RunCounters& counters = config.telemetry->counters();
+            const std::size_t swarms = configs.size();
+            constexpr int kSlices = 64;
+            std::uint64_t prev_dispatched = 0;
+            double prev_now = queue.now();
+            for (int slice = 1; slice <= kSlices; ++slice) {
+                queue.run_until(slice == kSlices ? config.horizon
+                                                 : config.horizon *
+                                                       static_cast<double>(slice) /
+                                                       static_cast<double>(kSlices));
+                counters.events_dispatched.fetch_add(
+                    queue.dispatched() - prev_dispatched, std::memory_order_relaxed);
+                prev_dispatched = queue.dispatched();
+                telemetry::atomic_add(counters.sim_time_advanced,
+                                      (queue.now() - prev_now) *
+                                          static_cast<double>(swarms));
+                prev_now = queue.now();
+                counters.queue_depth.store(static_cast<double>(queue.size()),
+                                           std::memory_order_relaxed);
+            }
+        } else {
+            queue.run_until(config.horizon);
+        }
+#else
         queue.run_until(config.horizon);
+#endif
     } catch (const CheckFailure& failure) {
         trace_check_failure(config.tracer, queue.now(), failure);
         throw;
@@ -51,21 +104,98 @@ std::vector<sim::AvailabilitySimResult> run_shared_queue(
     results.reserve(processes.size());
     for (auto& process : processes) {
         results.push_back(process->finish());
+        SWARMAVAIL_TELEMETRY(config.telemetry,
+                             counters().swarms_completed.fetch_add(
+                                 1, std::memory_order_relaxed));
+        SWARMAVAIL_TELEMETRY(config.telemetry,
+                             tracker().observe(kUnavailabilityTrack,
+                                               results.back().arrival_unavailability));
     }
     return results;
 }
 
+/// A sharded run's output: per-swarm results plus which swarms actually
+/// ran (all of them, unless a stop rule fired).
+struct ShardedRun {
+    std::vector<sim::AvailabilitySimResult> results;
+    std::vector<char> completed;
+    bool stopped_early = false;
+};
+
 /// The sharded engine: per-swarm private queues fanned over the pool;
 /// per-index result slots make any thread count bit-identical to serial.
-std::vector<sim::AvailabilitySimResult> run_sharded(
-    const std::vector<sim::AvailabilitySimConfig>& configs,
-    const CatalogEngineConfig& config) {
+/// The per-swarm simulation inlines run_availability_sim (same statements,
+/// same validation and failure routing) so the engine can read the private
+/// queue's dispatch count after each swarm finishes.
+ShardedRun run_sharded(const std::vector<sim::AvailabilitySimConfig>& configs,
+                       const CatalogEngineConfig& config) {
     SWARMAVAIL_PROF_SCOPE("catalog.sharded");
-    std::vector<sim::AvailabilitySimResult> results(configs.size());
-    sim::Parallel::for_index(configs.size(), config.policy, [&](std::size_t i) {
-        results[i] = sim::run_availability_sim(configs[i]);
-    });
-    return results;
+    ShardedRun run;
+    run.results.resize(configs.size());
+    run.completed.assign(configs.size(), 0);
+
+    const bool stoppable =
+        config.stop_rule.has_value() && config.stop_rule->ci95_target > 0.0;
+    std::atomic<bool> stop{false};
+    std::mutex observed_mutex;
+    StreamingStats observed;  // completion-order; drives the stop decision only
+
+    telemetry::RunCounters* counters = nullptr;
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+    if (config.telemetry != nullptr) {
+        counters = &config.telemetry->counters();
+    }
+#endif
+    sim::Parallel::for_index(
+        configs.size(), config.policy,
+        [&](std::size_t i) {
+            if (stoppable && stop.load(std::memory_order_acquire)) {
+                return;
+            }
+            sim::EventQueue queue;
+            queue.set_audit(configs[i].debug_audit);
+            sim::AvailabilityProcess process{queue, configs[i]};
+            process.start();
+            try {
+                queue.run_until(configs[i].horizon);
+            } catch (const CheckFailure& failure) {
+                trace_check_failure(configs[i].tracer, queue.now(), failure);
+                throw;
+            }
+            run.results[i] = process.finish();
+            run.completed[i] = 1;
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 counters().swarms_completed.fetch_add(
+                                     1, std::memory_order_relaxed));
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 counters().events_dispatched.fetch_add(
+                                     queue.dispatched(), std::memory_order_relaxed));
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+            if (config.telemetry != nullptr) {
+                telemetry::atomic_add(config.telemetry->counters().sim_time_advanced,
+                                      configs[i].horizon);
+            }
+#endif
+            const double unavailability = run.results[i].arrival_unavailability;
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 tracker().observe(kUnavailabilityTrack,
+                                                   unavailability));
+            if (stoppable) {
+                const std::lock_guard<std::mutex> lock(observed_mutex);
+                observed.add(unavailability);
+                if (config.stop_rule->satisfied(observed)) {
+                    stop.store(true, std::memory_order_release);
+                }
+            }
+        },
+        counters);
+    for (char completed : run.completed) {
+        if (completed == 0) {
+            run.stopped_early = true;
+            break;
+        }
+    }
+    return run;
 }
 
 }  // namespace
@@ -100,20 +230,30 @@ CatalogReport run_catalog_plan(const Catalog& catalog, const SwarmPlan& plan,
     SWARMAVAIL_REQUIRE(
         config.traced_swarm == kNoTracedSwarm || config.traced_swarm < plan.size(),
         "run_catalog: traced_swarm out of range");
+    SWARMAVAIL_REQUIRE(
+        !config.stop_rule.has_value() || config.execution == ExecutionMode::kSharded,
+        "run_catalog: stop_rule requires kSharded execution");
     validate_swarm_plan(catalog, plan);
+    publish_run_shape(config, plan.size());
 
     const auto configs = swarm_configs(catalog, plan, config);
-    std::vector<sim::AvailabilitySimResult> results =
-        config.execution == ExecutionMode::kSharedQueue
-            ? run_shared_queue(configs, config)
-            : run_sharded(configs, config);
-
     std::vector<model::SwarmParams> params;
     params.reserve(configs.size());
     for (const sim::AvailabilitySimConfig& swarm_config : configs) {
         params.push_back(swarm_config.params);
     }
-    CatalogReport report = build_report(catalog, plan, params, std::move(results));
+
+    CatalogReport report;
+    if (config.execution == ExecutionMode::kSharedQueue) {
+        report = build_report(catalog, plan, params,
+                              run_shared_queue(configs, config));
+    } else {
+        ShardedRun run = run_sharded(configs, config);
+        report = run.stopped_early
+                     ? build_partial_report(catalog, plan, params,
+                                            std::move(run.results), run.completed)
+                     : build_report(catalog, plan, params, std::move(run.results));
+    }
     if (config.metrics != nullptr) {
         record_metrics(report, *config.metrics);
     }

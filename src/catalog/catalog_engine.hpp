@@ -22,11 +22,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "catalog/bundling_policy.hpp"
 #include "catalog/report.hpp"
 #include "sim/availability_sim.hpp"
 #include "sim/parallel.hpp"
+#include "util/telemetry.hpp"
 
 namespace swarmavail {
 class MetricsRegistry;
@@ -68,6 +70,20 @@ struct CatalogEngineConfig {
     /// records are identical to tracing it in an isolated run.
     sim::Tracer* tracer = nullptr;
     std::size_t traced_swarm = kNoTracedSwarm;
+    /// Optional live-telemetry session. Pure observer: swarm progress,
+    /// dispatched-event and sim-time counters, and per-swarm arrival
+    /// unavailability (tracked as "catalog.swarm_unavailability") are
+    /// published as swarms complete (kSharded) or per horizon slice
+    /// (kSharedQueue); the report is bit-identical attached or detached.
+    telemetry::TelemetrySession* telemetry = nullptr;
+    /// Optional early stop over per-swarm arrival unavailability (kSharded
+    /// only): once the rule is satisfied by the swarms completed so far,
+    /// remaining swarms are skipped and the report covers only the swarms
+    /// that ran (stopped_early = true, demand weights renormalized over the
+    /// covered files). Under ParallelPolicy{1} the covered prefix is
+    /// deterministic; with more threads the cut point depends on
+    /// scheduling, which is why the decision is recorded in the report.
+    std::optional<telemetry::StopRule> stop_rule{};
 };
 
 /// The simulation config the engine uses for swarm `swarm_index` of `plan`.

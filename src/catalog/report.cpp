@@ -21,24 +21,33 @@ void write_stats(std::ostream& os, const StreamingStats& stats) {
        << ",\"max\":" << format_double_exact(stats.max()) << "}";
 }
 
-}  // namespace
-
-CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
-                           const std::vector<model::SwarmParams>& params,
-                           std::vector<sim::AvailabilitySimResult> results) {
+/// Shared accumulation core. `completed` == nullptr is the full-run path
+/// (byte-stable: denominators and iteration order exactly as before the
+/// partial variant existed); with a mask, only completed swarms contribute
+/// and the demand denominators are accumulated over the covered files.
+CatalogReport build_report_impl(const Catalog& catalog, const SwarmPlan& plan,
+                                const std::vector<model::SwarmParams>& params,
+                                std::vector<sim::AvailabilitySimResult>& results,
+                                const std::vector<char>* completed) {
     SWARMAVAIL_REQUIRE(plan.size() == params.size() && plan.size() == results.size(),
                        "build_report: plan/params/results size mismatch");
     CatalogReport report;
     report.swarms.reserve(plan.size());
     report.files.resize(catalog.files.size());
+    report.swarms_planned = plan.size();
 
     double download_seconds = 0.0;
     double online_fraction_sum = 0.0;
     double unavailable_time_weighted = 0.0;
     double unavailability_weighted = 0.0;
-    const double total_demand = catalog.total_demand();
+    double covered_demand = 0.0;
+    const double total_demand =
+        completed == nullptr ? catalog.total_demand() : 0.0;
 
     for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (completed != nullptr && !(*completed)[i]) {
+            continue;
+        }
         const sim::AvailabilitySimResult& result = results[i];
         report.arrivals += result.arrivals;
         report.served += result.served;
@@ -63,6 +72,7 @@ CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
             file.mean_download_time = swarm_download_mean;
             unavailability_weighted += file.demand_rate * file.arrival_unavailability;
             unavailable_time_weighted += file.demand_rate * file.unavailable_time_fraction;
+            covered_demand += file.demand_rate;
         }
 
         SwarmOutcome outcome;
@@ -73,9 +83,13 @@ CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
         report.swarms.push_back(std::move(outcome));
     }
 
-    if (total_demand > 0.0) {
-        report.demand_weighted_unavailability = unavailability_weighted / total_demand;
-        report.demand_weighted_unavailable_time = unavailable_time_weighted / total_demand;
+    const double demand_denominator =
+        completed == nullptr ? total_demand : covered_demand;
+    if (demand_denominator > 0.0) {
+        report.demand_weighted_unavailability =
+            unavailability_weighted / demand_denominator;
+        report.demand_weighted_unavailable_time =
+            unavailable_time_weighted / demand_denominator;
     }
     if (report.served > 0) {
         report.mean_download_time =
@@ -85,7 +99,34 @@ CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
         report.mean_publisher_online_fraction =
             online_fraction_sum / static_cast<double>(report.swarms.size());
     }
+    if (completed != nullptr) {
+        report.stopped_early = report.swarms.size() < plan.size();
+        // Drop the never-simulated files (every covered file has
+        // bundle_size >= 1, so the default-initialized entries are exactly
+        // the uncovered ones).
+        report.files.erase(
+            std::remove_if(report.files.begin(), report.files.end(),
+                           [](const FileOutcome& file) { return file.bundle_size == 0; }),
+            report.files.end());
+    }
     return report;
+}
+
+}  // namespace
+
+CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
+                           const std::vector<model::SwarmParams>& params,
+                           std::vector<sim::AvailabilitySimResult> results) {
+    return build_report_impl(catalog, plan, params, results, nullptr);
+}
+
+CatalogReport build_partial_report(const Catalog& catalog, const SwarmPlan& plan,
+                                   const std::vector<model::SwarmParams>& params,
+                                   std::vector<sim::AvailabilitySimResult> results,
+                                   const std::vector<char>& completed) {
+    SWARMAVAIL_REQUIRE(completed.size() == plan.size(),
+                       "build_partial_report: completed mask size mismatch");
+    return build_report_impl(catalog, plan, params, results, &completed);
 }
 
 void record_metrics(const CatalogReport& report, MetricsRegistry& metrics) {
@@ -122,6 +163,8 @@ void record_metrics(const CatalogReport& report, MetricsRegistry& metrics) {
 void write_json(const CatalogReport& report, std::ostream& os) {
     os << "{\"arrivals\":" << report.arrivals << ",\"served\":" << report.served
        << ",\"lost\":" << report.lost << ",\"stranded\":" << report.stranded
+       << ",\"swarms_planned\":" << report.swarms_planned
+       << ",\"stopped_early\":" << (report.stopped_early ? "true" : "false")
        << ",\"publisher_up_transitions\":" << report.publisher_up_transitions
        << ",\"demand_weighted_unavailability\":"
        << format_double_exact(report.demand_weighted_unavailability)
@@ -183,7 +226,12 @@ void write_json(const CatalogReport& report, std::ostream& os) {
 
 void write_summary(const CatalogReport& report, std::ostream& os) {
     os << "catalog: " << report.files.size() << " files in " << report.swarms.size()
-       << " swarms\n"
+       << " swarms";
+    if (report.stopped_early) {
+        os << " (stopped early: " << report.swarms.size() << " of "
+           << report.swarms_planned << " planned swarms ran)";
+    }
+    os << "\n"
        << "  arrivals " << report.arrivals << ", served " << report.served
        << ", lost " << report.lost << ", stranded " << report.stranded << "\n"
        << "  request unavailability " << format_double(report.demand_weighted_unavailability, 4)

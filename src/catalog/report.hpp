@@ -70,6 +70,15 @@ struct CatalogReport {
     /// never idle-capped; dedicated assignment scales it with swarm count,
     /// a partitioned budget keeps it constant.
     double expected_publisher_load = 0.0;
+
+    /// Swarms in the plan the run was asked to execute (== swarms.size()
+    /// unless a StopRule ended the run early).
+    std::size_t swarms_planned = 0;
+    /// True when a StopRule cut the run short: `swarms` and `files` then
+    /// cover only the swarms that completed (original indices preserved)
+    /// and the demand-weighted aggregates are normalized over the covered
+    /// demand rather than the whole catalog's.
+    bool stopped_early = false;
 };
 
 /// Builds the report from per-swarm results (index order). `params` and
@@ -77,6 +86,18 @@ struct CatalogReport {
 [[nodiscard]] CatalogReport build_report(const Catalog& catalog, const SwarmPlan& plan,
                                          const std::vector<model::SwarmParams>& params,
                                          std::vector<sim::AvailabilitySimResult> results);
+
+/// Early-stop variant: `completed` parallels `plan` and marks the swarms
+/// that actually ran. Only completed swarms (original indices preserved)
+/// and their files appear in the report, and the demand-weighted aggregates
+/// are normalized over the covered demand. With every swarm marked
+/// completed this still uses the partial accumulation path — callers with a
+/// full run should use build_report, whose output is byte-stable.
+[[nodiscard]] CatalogReport build_partial_report(
+    const Catalog& catalog, const SwarmPlan& plan,
+    const std::vector<model::SwarmParams>& params,
+    std::vector<sim::AvailabilitySimResult> results,
+    const std::vector<char>& completed);
 
 /// Records the catalog-wide aggregates and per-swarm distributions into a
 /// registry under "catalog.*" names (counters for peer totals, histograms

@@ -100,6 +100,7 @@ bool EventQueue::run_next() {
     --live_events_;
     drain_cancelled_head();
     now_ = entry.when;
+    ++dispatched_;
     action();
     return true;
 }

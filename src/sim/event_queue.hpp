@@ -60,6 +60,10 @@ class EventQueue {
     [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
     [[nodiscard]] std::size_t size() const noexcept { return live_events_; }
 
+    /// Number of events dispatched (popped and run) over the queue's
+    /// lifetime. Cancelled events are never dispatched and do not count.
+    [[nodiscard]] std::uint64_t dispatched() const noexcept { return dispatched_; }
+
     /// Time of the next live event, or a negative value if none is queued.
     /// Pure peek: the heap head is kept live eagerly, so no draining (and
     /// no mutation) happens here.
@@ -106,6 +110,7 @@ class EventQueue {
     std::uint32_t free_head_ = kNoSlot;
     SimTime now_ = 0.0;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t dispatched_ = 0;
     std::size_t live_events_ = 0;
     bool audit_ = false;
 };

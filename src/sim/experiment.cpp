@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "util/error.hpp"
@@ -13,41 +15,87 @@ struct ReplicationResult {
     SampleSet samples;
     double run_mean = 0.0;
     bool has_samples = false;
+    bool ran = false;
 };
 
 /// Shared pooling core: runs `invoke(i)` for every replication index under
-/// `policy`, buffers per-index results, and merges them in index order.
+/// `control`, buffers per-index results, and merges them in index order.
 /// Everything derived from the samples is bit-identical to a serial run
 /// regardless of the thread count or completion order.
+///
+/// Telemetry (if attached) sees one counter/tracker update per completed
+/// replication. A stop rule (if set) is evaluated over the run means in
+/// completion order, under a local mutex: once satisfied, not-yet-started
+/// replications are skipped (their `ran` flag stays false), and the merge
+/// below pools exactly the replications that ran.
 template <typename Invoke>
 ExperimentCell pool_replications(const std::string& label, std::size_t replications,
-                                 const ParallelPolicy& policy, const Invoke& invoke) {
+                                 const RunControl& control, const Invoke& invoke) {
     ExperimentCell cell;
     cell.label = label;
     cell.replications = replications;
 
+    telemetry::RunCounters* counters = nullptr;
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+    if (control.telemetry != nullptr) {
+        counters = &control.telemetry->counters();
+        counters->replications_total.fetch_add(replications,
+                                               std::memory_order_relaxed);
+    }
+#endif
+    const bool stoppable =
+        control.stop_rule.has_value() && control.stop_rule->ci95_target > 0.0;
+    std::atomic<bool> stop{false};
+    std::mutex observed_mutex;
+    StreamingStats observed;  // completion-order run means; stop decision only
+
     std::vector<ReplicationResult> results(replications);
-    Parallel::for_index(replications, policy, [&](std::size_t i) {
-        std::vector<double> samples = invoke(i);
-        if (samples.empty()) {
-            return;
-        }
-        ReplicationResult& out = results[i];
-        StreamingStats run;
-        for (double s : samples) {
-            run.add(s);
-        }
-        out.run_mean = run.mean();
-        out.samples = SampleSet{std::move(samples)};
-        out.has_samples = true;
-    });
+    Parallel::for_index(
+        replications, control.policy,
+        [&](std::size_t i) {
+            if (stoppable && stop.load(std::memory_order_acquire)) {
+                return;
+            }
+            std::vector<double> samples = invoke(i);
+            ReplicationResult& out = results[i];
+            out.ran = true;
+            if (!samples.empty()) {
+                StreamingStats run;
+                for (double s : samples) {
+                    run.add(s);
+                }
+                out.run_mean = run.mean();
+                out.samples = SampleSet{std::move(samples)};
+                out.has_samples = true;
+            }
+            SWARMAVAIL_TELEMETRY(control.telemetry,
+                                 counters().replications_completed.fetch_add(
+                                     1, std::memory_order_relaxed));
+            if (out.has_samples) {
+                SWARMAVAIL_TELEMETRY(control.telemetry,
+                                     tracker().observe(label, out.run_mean));
+            }
+            if (stoppable && out.has_samples) {
+                const std::lock_guard<std::mutex> lock(observed_mutex);
+                observed.add(out.run_mean);
+                if (control.stop_rule->satisfied(observed)) {
+                    stop.store(true, std::memory_order_release);
+                }
+            }
+        },
+        counters);
     for (ReplicationResult& result : results) {
+        if (!result.ran) {
+            continue;
+        }
+        ++cell.completed_replications;
         if (!result.has_samples) {
             continue;
         }
         cell.run_means.add(result.run_mean);
         cell.samples.merge(std::move(result.samples));
     }
+    cell.stopped_early = cell.completed_replications < replications;
     return cell;
 }
 
@@ -56,9 +104,15 @@ ExperimentCell pool_replications(const std::string& label, std::size_t replicati
 ExperimentCell run_replications(const std::string& label, const Replication& body,
                                 std::size_t replications, std::uint64_t seed,
                                 const ParallelPolicy& policy) {
+    return run_replications(label, body, replications, seed, RunControl{policy});
+}
+
+ExperimentCell run_replications(const std::string& label, const Replication& body,
+                                std::size_t replications, std::uint64_t seed,
+                                const RunControl& control) {
     require(replications >= 1, "run_replications: requires replications >= 1");
     require(static_cast<bool>(body), "run_replications: body required");
-    return pool_replications(label, replications, policy,
+    return pool_replications(label, replications, control,
                              [&](std::size_t i) { return body(seed + i); });
 }
 
@@ -66,14 +120,23 @@ ExperimentCell run_replications(const std::string& label, const MetricsReplicati
                                 std::size_t replications, std::uint64_t seed,
                                 MetricsRegistry& merged_metrics,
                                 const ParallelPolicy& policy) {
+    return run_replications(label, body, replications, seed, merged_metrics,
+                            RunControl{policy});
+}
+
+ExperimentCell run_replications(const std::string& label, const MetricsReplication& body,
+                                std::size_t replications, std::uint64_t seed,
+                                MetricsRegistry& merged_metrics,
+                                const RunControl& control) {
     require(replications >= 1, "run_replications: requires replications >= 1");
     require(static_cast<bool>(body), "run_replications: body required");
     // One private registry per replication (single-owner hot path), folded
     // below strictly in index order — same determinism contract as the
-    // sample statistics.
+    // sample statistics. Replications a stop rule skipped leave their
+    // registry empty, so merging all of them stays exact.
     std::vector<MetricsRegistry> registries(replications);
     ExperimentCell cell =
-        pool_replications(label, replications, policy,
+        pool_replications(label, replications, control,
                           [&](std::size_t i) { return body(seed + i, registries[i]); });
     for (const MetricsRegistry& registry : registries) {
         merged_metrics.merge(registry);

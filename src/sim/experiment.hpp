@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/parallel.hpp"
 #include "util/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/telemetry.hpp"
 
 namespace swarmavail::sim {
 
@@ -20,7 +22,9 @@ struct ExperimentCell {
     std::string label;
     SampleSet samples;          ///< pooled per-peer (or per-event) samples
     StreamingStats run_means;   ///< per-replication means (for run-level CIs)
-    std::size_t replications = 0;
+    std::size_t replications = 0;          ///< replications requested
+    std::size_t completed_replications = 0;  ///< replications actually run
+    bool stopped_early = false;  ///< a StopRule ended the batch before all ran
 
     /// Mean of the pooled samples (0 if empty).
     [[nodiscard]] double mean() const {
@@ -29,6 +33,23 @@ struct ExperimentCell {
     /// Half-width of the ~95% CI over replication means: the honest
     /// uncertainty when samples within a run are correlated.
     [[nodiscard]] double ci95() const { return run_means.ci95_halfwidth(); }
+};
+
+/// Optional run-time controls for a replication batch: threading policy,
+/// an attached telemetry session (observer only — never changes results),
+/// and an optional early-stop rule over the per-replication run means.
+///
+/// With a stop rule set, workers stop claiming new replications once the
+/// rule is satisfied by the run means observed so far (in completion
+/// order). The cell then reports completed_replications < replications and
+/// stopped_early = true, and its statistics pool exactly the replications
+/// that ran. Under ParallelPolicy{1} the stopped prefix is deterministic
+/// (seed, seed+1, ..., seed+k); with more threads the cut point depends on
+/// scheduling, which is why the decision is recorded in the cell.
+struct RunControl {
+    ParallelPolicy policy{};
+    telemetry::TelemetrySession* telemetry = nullptr;
+    std::optional<telemetry::StopRule> stop_rule{};
 };
 
 /// One replication's output: a batch of samples (may be empty).
@@ -50,6 +71,16 @@ using Replication = std::function<std::vector<double>(std::uint64_t seed)>;
                                               std::uint64_t seed,
                                               const ParallelPolicy& policy = {});
 
+/// RunControl form: same contract as above, plus live telemetry (progress
+/// counters, per-cell run-mean convergence tracking under the cell label)
+/// and optional early stopping. Without a stop rule the returned cell is
+/// bit-identical to the ParallelPolicy overload, telemetry attached or not.
+[[nodiscard]] ExperimentCell run_replications(const std::string& label,
+                                              const Replication& body,
+                                              std::size_t replications,
+                                              std::uint64_t seed,
+                                              const RunControl& control);
+
 /// A replication body that also records into a per-replication metrics
 /// registry (each call gets its own, so recording needs no synchronization).
 using MetricsReplication =
@@ -65,6 +96,16 @@ using MetricsReplication =
                                               std::uint64_t seed,
                                               MetricsRegistry& merged_metrics,
                                               const ParallelPolicy& policy = {});
+
+/// RunControl form of the metrics overload; see the Replication variant.
+/// Under a stop rule, only the registries of replications that ran are
+/// merged (skipped registries are empty).
+[[nodiscard]] ExperimentCell run_replications(const std::string& label,
+                                              const MetricsReplication& body,
+                                              std::size_t replications,
+                                              std::uint64_t seed,
+                                              MetricsRegistry& merged_metrics,
+                                              const RunControl& control);
 
 /// A one-dimensional sweep: runs `body(value, seed)` for every value.
 struct SweepPoint {

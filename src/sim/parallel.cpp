@@ -12,8 +12,30 @@
 
 #include "util/error.hpp"
 #include "util/profile.hpp"
+#include "util/telemetry.hpp"
 
 namespace swarmavail::sim {
+namespace {
+
+/// Publishes the remaining-index count after one more index completed.
+/// No-op when telemetry is compiled out or detached.
+inline void publish_queue_depth(telemetry::RunCounters* counters, std::size_t n,
+                                std::atomic<std::size_t>* completed) {
+#ifndef SWARMAVAIL_TELEMETRY_DISABLED
+    if (counters != nullptr) {
+        const std::size_t done =
+            completed->fetch_add(1, std::memory_order_relaxed) + 1;
+        counters->queue_depth.store(static_cast<double>(n - (done < n ? done : n)),
+                                    std::memory_order_relaxed);
+    }
+#else
+    (void)counters;
+    (void)n;
+    (void)completed;
+#endif
+}
+
+}  // namespace
 
 std::size_t ParallelPolicy::resolve() const {
     if (threads > 0) {
@@ -37,6 +59,8 @@ struct Parallel::Impl {
     std::condition_variable work_done;
     const std::function<void(std::size_t)>* fn = nullptr;
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    telemetry::RunCounters* counters = nullptr;
     std::size_t n = 0;
     std::uint64_t job_generation = 0;
     std::size_t busy_workers = 0;
@@ -60,6 +84,7 @@ struct Parallel::Impl {
                     first_error = std::current_exception();
                 }
             }
+            publish_queue_depth(counters, n, &completed);
         }
     }
 
@@ -105,7 +130,8 @@ Parallel::~Parallel() {
 
 std::size_t Parallel::threads() const noexcept { return impl_->workers.size() + 1; }
 
-void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& fn,
+                         telemetry::RunCounters* counters) {
     require(static_cast<bool>(fn), "Parallel::for_index: fn required");
     if (n == 0) {
         return;
@@ -113,8 +139,10 @@ void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& 
     if (impl_->workers.empty() || n == 1) {
         // Serial path: no shared state, exceptions propagate directly.
         SWARMAVAIL_PROF_SCOPE("parallel.worker_loop");
+        std::atomic<std::size_t> completed{0};
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
+            publish_queue_depth(counters, n, &completed);
         }
         return;
     }
@@ -122,6 +150,8 @@ void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& 
         const std::lock_guard<std::mutex> lock(impl_->mutex);
         impl_->fn = &fn;
         impl_->n = n;
+        impl_->counters = counters;
+        impl_->completed.store(0, std::memory_order_relaxed);
         impl_->next.store(0, std::memory_order_relaxed);
         impl_->busy_workers = impl_->workers.size();
         impl_->first_error = nullptr;
@@ -132,6 +162,7 @@ void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& 
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->work_done.wait(lock, [&] { return impl_->busy_workers == 0; });
     impl_->fn = nullptr;
+    impl_->counters = nullptr;
     if (impl_->first_error) {
         std::exception_ptr error = impl_->first_error;
         impl_->first_error = nullptr;
@@ -141,7 +172,8 @@ void Parallel::for_index(std::size_t n, const std::function<void(std::size_t)>& 
 }
 
 void Parallel::for_index(std::size_t n, const ParallelPolicy& policy,
-                         const std::function<void(std::size_t)>& fn) {
+                         const std::function<void(std::size_t)>& fn,
+                         telemetry::RunCounters* counters) {
     require(static_cast<bool>(fn), "Parallel::for_index: fn required");
     std::size_t threads = policy.resolve();
     if (threads > n) {
@@ -149,13 +181,15 @@ void Parallel::for_index(std::size_t n, const ParallelPolicy& policy,
     }
     if (threads <= 1) {
         SWARMAVAIL_PROF_SCOPE("parallel.worker_loop");
+        std::atomic<std::size_t> completed{0};
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
+            publish_queue_depth(counters, n, &completed);
         }
         return;
     }
     Parallel pool{threads};
-    pool.for_index(n, fn);
+    pool.for_index(n, fn, counters);
 }
 
 }  // namespace swarmavail::sim

@@ -16,6 +16,10 @@
 #include <functional>
 #include <memory>
 
+namespace swarmavail::telemetry {
+struct RunCounters;
+}  // namespace swarmavail::telemetry
+
 namespace swarmavail::sim {
 
 /// How many threads a replication harness may use.
@@ -52,13 +56,19 @@ class Parallel {
     /// invocation throws, the first exception (in completion order) is
     /// rethrown here after the remaining indices finish; `fn` must be safe
     /// to call concurrently from multiple threads unless threads() == 1.
-    void for_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+    ///
+    /// If `counters` is non-null the worker loop publishes the number of
+    /// not-yet-completed indices to `counters->queue_depth` as work drains
+    /// (relaxed stores only; compiled out under SWARMAVAIL_TELEMETRY_DISABLED).
+    void for_index(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   telemetry::RunCounters* counters = nullptr);
 
     /// One-shot convenience: resolves `policy`, clamps the pool to n, and
     /// runs fn over [0, n). With an effective thread count of 1 this is a
     /// plain loop with no threading machinery.
     static void for_index(std::size_t n, const ParallelPolicy& policy,
-                          const std::function<void(std::size_t)>& fn);
+                          const std::function<void(std::size_t)>& fn,
+                          telemetry::RunCounters* counters = nullptr);
 
  private:
     struct Impl;

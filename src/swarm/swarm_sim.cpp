@@ -15,6 +15,7 @@
 #include "util/metrics.hpp"
 #include "util/profile.hpp"
 #include "util/random.hpp"
+#include "util/telemetry.hpp"
 
 namespace swarmavail::swarm {
 namespace {
@@ -172,6 +173,15 @@ class SwarmSim {
         if (config_.tracer != nullptr) {
             config_.tracer->flush();
         }
+        SWARMAVAIL_TELEMETRY(config_.telemetry,
+                             counters().events_dispatched.fetch_add(
+                                 queue_.dispatched(), std::memory_order_relaxed));
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+        if (config_.telemetry != nullptr) {
+            telemetry::atomic_add(config_.telemetry->counters().sim_time_advanced,
+                                  end_time);
+        }
+#endif
         SwarmSimResult out = std::move(result_);
         out.stuck_at_horizon = 0;
         for (const auto& [id, peer] : peers_) {
@@ -965,15 +975,33 @@ std::vector<SwarmSimResult> run_swarm_replications(const SwarmSimConfig& config,
     // each replication records into a private registry, and the fold below
     // runs strictly in seed order, so the merged metrics are bit-identical
     // for every thread count too.
+    telemetry::RunCounters* counters = nullptr;
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+    if (config.telemetry != nullptr) {
+        counters = &config.telemetry->counters();
+        counters->replications_total.fetch_add(runs, std::memory_order_relaxed);
+    }
+#endif
     std::vector<SwarmSimResult> results(runs);
     std::vector<MetricsRegistry> registries(config.metrics != nullptr ? runs : 0);
-    sim::Parallel::for_index(runs, policy, [&](std::size_t i) {
-        SwarmSimConfig run_config = config;
-        run_config.seed = config.seed + i;
-        run_config.metrics = registries.empty() ? nullptr : &registries[i];
-        run_config.tracer = nullptr;  // tracing is single-run (see config docs)
-        results[i] = run_swarm_sim(run_config);
-    });
+    sim::Parallel::for_index(
+        runs, policy,
+        [&](std::size_t i) {
+            SwarmSimConfig run_config = config;
+            run_config.seed = config.seed + i;
+            run_config.metrics = registries.empty() ? nullptr : &registries[i];
+            run_config.tracer = nullptr;  // tracing is single-run (see config docs)
+            results[i] = run_swarm_sim(run_config);
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 counters().replications_completed.fetch_add(
+                                     1, std::memory_order_relaxed));
+            if (results[i].download_times.count() > 0) {
+                SWARMAVAIL_TELEMETRY(config.telemetry,
+                                     tracker().observe("swarm.download_time_s",
+                                                       results[i].download_times.mean()));
+            }
+        },
+        counters);
     for (const MetricsRegistry& registry : registries) {
         config.metrics->merge(registry);
     }

@@ -26,6 +26,10 @@ namespace swarmavail::sim {
 class Tracer;
 }  // namespace swarmavail::sim
 
+namespace swarmavail::telemetry {
+class TelemetrySession;
+}  // namespace swarmavail::telemetry
+
 namespace swarmavail::swarm {
 
 /// Publisher (initial seed) behavior.
@@ -110,6 +114,12 @@ struct SwarmSimConfig {
     /// only — run_swarm_replications detaches it from its replications
     /// (a shared tracer across parallel runs would interleave events).
     sim::Tracer* tracer = nullptr;
+    /// Optional live-telemetry session (see util/telemetry.hpp). Pure
+    /// observer: the run publishes its dispatched-event count and simulated
+    /// seconds when it finishes (relaxed atomics, safe to share across
+    /// parallel replications — run_swarm_replications keeps it attached and
+    /// adds replication progress). Never changes any result.
+    telemetry::TelemetrySession* telemetry = nullptr;
 };
 
 /// Arrival/departure record of one peer (one line segment of Figure 5).

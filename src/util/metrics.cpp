@@ -15,8 +15,11 @@ HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins,
     require(hi > lo, "HistogramMetric: hi must exceed lo");
     if (scale_ == HistogramScale::kLog2) {
         require(lo > 0.0, "HistogramMetric: log scale requires lo > 0");
-        log_lo_ = std::log(lo_);
-        inv_log_ratio_ = static_cast<double>(bins) / (std::log(hi_) - log_lo_);
+        // Base-2 logs, not natural: log2/exp2 are exact at powers of two,
+        // so for power-of-two lo/hi the bucket edges land exactly on the
+        // powers of two and an edge value never rounds into the wrong bin.
+        log_lo_ = std::log2(lo_);
+        inv_log_ratio_ = static_cast<double>(bins) / (std::log2(hi_) - log_lo_);
     } else {
         inv_width_ = static_cast<double>(bins) / (hi_ - lo_);
     }
@@ -29,7 +32,7 @@ std::size_t HistogramMetric::bucket_of(double x) const noexcept {
         if (x <= lo_) {
             return 0;
         }
-        position = (std::log(x) - log_lo_) * inv_log_ratio_;
+        position = (std::log2(x) - log_lo_) * inv_log_ratio_;
     } else {
         position = (x - lo_) * inv_width_;
     }
@@ -54,7 +57,7 @@ std::uint64_t HistogramMetric::bin_count(std::size_t i) const {
 double HistogramMetric::bin_lo(std::size_t i) const {
     require(i < counts_.size(), "HistogramMetric::bin_lo: bin out of range");
     if (scale_ == HistogramScale::kLog2) {
-        return std::exp(log_lo_ + static_cast<double>(i) / inv_log_ratio_);
+        return std::exp2(log_lo_ + static_cast<double>(i) / inv_log_ratio_);
     }
     return lo_ + static_cast<double>(i) / inv_width_;
 }

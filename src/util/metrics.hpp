@@ -107,8 +107,8 @@ class HistogramMetric {
 
     double lo_;
     double hi_;
-    double log_lo_ = 0.0;        ///< cached log(lo) for the log scale
-    double inv_log_ratio_ = 0.0; ///< bins / log(hi / lo) for the log scale
+    double log_lo_ = 0.0;        ///< cached log2(lo) for the log scale
+    double inv_log_ratio_ = 0.0; ///< bins / log2(hi / lo) for the log scale
     double inv_width_ = 0.0;     ///< bins / (hi - lo) for the linear scale
     HistogramScale scale_;
     std::vector<std::uint64_t> counts_;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,6 +18,7 @@
 #include "sim/availability_sim.hpp"
 #include "sim/trace.hpp"
 #include "util/metrics.hpp"
+#include "util/telemetry.hpp"
 
 namespace swarmavail::catalog {
 namespace {
@@ -221,6 +224,9 @@ TEST(CatalogEngine, PartitionedBudgetKeepsOfferedLoadConstant) {
 }
 
 TEST(CatalogEngine, TracedSwarmMatchesIsolatedRun) {
+#if defined(SWARMAVAIL_TRACING_DISABLED)
+    GTEST_SKIP() << "trace call sites are compiled out in this build";
+#endif
     const auto catalog = build_catalog(base_catalog_config(12));
     const FixedK policy{4};
     const auto plan = policy.assign(catalog);
@@ -285,6 +291,164 @@ TEST(CatalogEngine, ValidatesInputs) {
                  std::invalid_argument);
     config.traced_swarm = 3;
     EXPECT_NO_THROW((void)run_catalog(catalog, NoBundling{}, config));
+}
+
+TEST(CatalogEngine, TelemetryAttachmentIsObserverNeutral) {
+    // The acceptance-criterion pin: a run with a live telemetry session
+    // produces a byte-identical report to a detached run, for both
+    // execution modes and several thread counts.
+    const auto catalog = build_catalog(base_catalog_config(30));
+    const GreedyPopularity policy{4};
+    auto config = base_engine_config(1.0e4);
+    config.policy.threads = 1;
+    const std::string detached = report_json(run_catalog(catalog, policy, config));
+
+    for (const ExecutionMode mode :
+         {ExecutionMode::kSharded, ExecutionMode::kSharedQueue}) {
+        for (std::size_t threads : {1u, 2u, 4u}) {
+            telemetry::MemoryTelemetryExporter ring;
+            telemetry::TelemetryConfig telemetry_config;
+            telemetry_config.interval_s = 0.005;
+            telemetry_config.exporters.push_back(&ring);
+            telemetry::TelemetrySession session{telemetry_config};
+            session.start();
+
+            config.execution = mode;
+            config.policy.threads = threads;
+            config.telemetry = &session;
+            const auto report = run_catalog(catalog, policy, config);
+            session.stop();
+            config.telemetry = nullptr;
+
+            EXPECT_EQ(report_json(report), detached)
+                << "mode " << static_cast<int>(mode) << ", threads " << threads;
+            EXPECT_FALSE(report.stopped_early);
+            EXPECT_EQ(report.swarms_planned, report.swarms.size());
+
+            const auto& final_snapshot = ring.snapshots().back();
+            EXPECT_TRUE(final_snapshot.final_snapshot);
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+            // The session really observed the run (under the trace-off
+            // preset the engine call sites compile out and stay at zero).
+            EXPECT_EQ(session.counters().swarms_total.load(), report.swarms.size());
+            EXPECT_EQ(session.counters().swarms_completed.load(),
+                      report.swarms.size());
+            EXPECT_GT(session.counters().events_dispatched.load(), 0u);
+            EXPECT_GT(session.counters().sim_time_advanced.load(), 0.0);
+            ASSERT_EQ(final_snapshot.tracked.size(), 1u);
+            EXPECT_EQ(final_snapshot.tracked[0].name, "catalog.swarm_unavailability");
+            EXPECT_EQ(final_snapshot.tracked[0].count, report.swarms.size());
+#endif
+        }
+    }
+}
+
+TEST(CatalogEngine, StopRuleEndsShardedSweepEarlyAndRecordsIt) {
+    const auto catalog = build_catalog(base_catalog_config(60));
+    const FixedK policy{2};  // 30 swarms
+    auto config = base_engine_config(1.0e4);
+    config.policy.threads = 1;  // serial: the stopped prefix is deterministic
+    config.stop_rule = telemetry::StopRule{1.0, 8};  // generous: fires at 8
+
+    const auto report = run_catalog(catalog, policy, config);
+    EXPECT_TRUE(report.stopped_early);
+    EXPECT_EQ(report.swarms_planned, 30u);
+    EXPECT_EQ(report.swarms.size(), 8u);
+    // Original swarm indices are preserved: the serial prefix 0..7.
+    for (std::size_t i = 0; i < report.swarms.size(); ++i) {
+        EXPECT_EQ(report.swarms[i].swarm, i);
+    }
+    // Only covered files appear, and the demand weighting stays normalized
+    // over the demand that actually ran (a probability, not a ratio > 1).
+    EXPECT_LT(report.files.size(), 60u);
+    EXPECT_GE(report.demand_weighted_unavailability, 0.0);
+    EXPECT_LE(report.demand_weighted_unavailability, 1.0);
+
+    // The decision is visible in both serializations.
+    EXPECT_NE(report_json(report).find("\"stopped_early\":true"), std::string::npos);
+    std::ostringstream summary;
+    write_summary(report, summary);
+    EXPECT_NE(summary.str().find("stopped early: 8 of 30"), std::string::npos);
+
+    // Identical config without the rule runs everything.
+    config.stop_rule.reset();
+    const auto full = run_catalog(catalog, policy, config);
+    EXPECT_FALSE(full.stopped_early);
+    EXPECT_EQ(full.swarms.size(), 30u);
+    EXPECT_EQ(full.swarms_planned, 30u);
+}
+
+TEST(CatalogEngine, ThousandFileCatalogStreamsPeriodicTelemetry) {
+    // The PR acceptance run: a 1000-file catalog with a live JSONL +
+    // Prometheus telemetry session produces at least three periodic
+    // snapshots plus a final one, every snapshot parses back, and the
+    // counters are monotone across the stream.
+    auto catalog_config = base_catalog_config(1000);
+    catalog_config.aggregate_demand = 4.0;
+    const auto catalog = build_catalog(catalog_config);
+    const FixedK policy{4};  // 250 swarms
+
+    std::ostringstream jsonl;
+    const std::string prom_path =
+        ::testing::TempDir() + "swarmavail_catalog_test.prom";
+    telemetry::JsonlTelemetryExporter jsonl_exporter{jsonl};
+    telemetry::PrometheusTextExporter prom_exporter{prom_path};
+    telemetry::TelemetryConfig telemetry_config;
+    telemetry_config.interval_s = 0.001;
+    telemetry_config.exporters = {&jsonl_exporter, &prom_exporter};
+    telemetry::TelemetrySession session{telemetry_config};
+    session.start();
+
+    auto config = base_engine_config(1000.0);
+    config.telemetry = &session;
+    // Re-run with a doubled horizon until the run has demonstrably spanned
+    // three sampling periods, so the assertion is machine-speed independent
+    // (counters accumulate across runs; monotonicity is unaffected).
+    for (int attempt = 0; attempt < 6 && session.snapshots_taken() < 3; ++attempt) {
+        (void)run_catalog(catalog, policy, config);
+        config.horizon *= 2.0;
+        config.seed += 1;
+    }
+    session.stop();
+
+    std::istringstream in{jsonl.str()};
+    const auto snapshots = telemetry::read_telemetry_jsonl(in);
+    ASSERT_GE(snapshots.size(), 4u);  // >= 3 periodic + the final snapshot
+    EXPECT_TRUE(snapshots.back().final_snapshot);
+    for (std::size_t i = 0; i + 1 < snapshots.size(); ++i) {
+        EXPECT_FALSE(snapshots[i].final_snapshot);
+        EXPECT_EQ(snapshots[i].sequence + 1, snapshots[i + 1].sequence);
+        EXPECT_LE(snapshots[i].wall_time_s, snapshots[i + 1].wall_time_s);
+        EXPECT_LE(snapshots[i].events_dispatched, snapshots[i + 1].events_dispatched);
+        EXPECT_LE(snapshots[i].swarms_completed, snapshots[i + 1].swarms_completed);
+        EXPECT_LE(snapshots[i].replications_completed,
+                  snapshots[i + 1].replications_completed);
+    }
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+    EXPECT_GE(snapshots.back().swarms_completed, 250u);
+    EXPECT_GT(snapshots.back().events_dispatched, 0u);
+    ASSERT_EQ(snapshots.back().tracked.size(), 1u);
+    EXPECT_EQ(snapshots.back().tracked[0].name, "catalog.swarm_unavailability");
+#endif
+
+    // The Prometheus exposition on disk passes the format check.
+    std::ifstream prom{prom_path};
+    ASSERT_TRUE(prom.is_open());
+    std::ostringstream prom_text;
+    prom_text << prom.rdbuf();
+    std::string error;
+    EXPECT_TRUE(telemetry::validate_prometheus_text(prom_text.str(), &error))
+        << error;
+    std::remove(prom_path.c_str());
+}
+
+TEST(CatalogEngine, StopRuleRejectsSharedQueueExecution) {
+    const auto catalog = build_catalog(base_catalog_config(4));
+    auto config = base_engine_config(1.0e3);
+    config.execution = ExecutionMode::kSharedQueue;
+    config.stop_rule = telemetry::StopRule{0.1, 4};
+    EXPECT_THROW((void)run_catalog(catalog, NoBundling{}, config),
+                 std::invalid_argument);
 }
 
 TEST(CatalogEngine, ReportJsonRoundTripsDeterministically) {

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/telemetry.hpp"
+
 namespace swarmavail::swarm {
 namespace {
 
@@ -134,6 +136,41 @@ TEST(SwarmSim, ReplicationsUseDistinctSeeds) {
     ASSERT_EQ(runs.size(), 3u);
     EXPECT_FALSE(runs[0].completion_times == runs[1].completion_times &&
                  runs[1].completion_times == runs[2].completion_times);
+}
+
+TEST(SwarmSim, TelemetryAttachmentIsObserverNeutral) {
+    // Replication results with a live telemetry session must be
+    // bit-identical to the detached run at every thread count.
+    auto config = base_config();
+    config.publisher = PublisherBehavior::kOnOff;
+    const auto detached =
+        run_swarm_replications(config, 4, sim::ParallelPolicy{1});
+
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        telemetry::TelemetrySession session{telemetry::TelemetryConfig{60.0, {}}};
+        config.telemetry = &session;
+        const auto observed =
+            run_swarm_replications(config, 4, sim::ParallelPolicy{threads});
+        config.telemetry = nullptr;
+
+        ASSERT_EQ(observed.size(), detached.size());
+        for (std::size_t i = 0; i < observed.size(); ++i) {
+            EXPECT_EQ(observed[i].arrivals, detached[i].arrivals);
+            EXPECT_EQ(observed[i].completions, detached[i].completions);
+            EXPECT_EQ(observed[i].completion_times, detached[i].completion_times);
+            EXPECT_EQ(observed[i].download_times.mean(),
+                      detached[i].download_times.mean());
+        }
+#if !defined(SWARMAVAIL_TELEMETRY_DISABLED)
+        // The counters observed all four replications (trace-off preset:
+        // the engine call sites compile out and the counters stay zero).
+        EXPECT_EQ(session.counters().replications_total.load(), 4u);
+        EXPECT_EQ(session.counters().replications_completed.load(), 4u);
+        EXPECT_GT(session.counters().events_dispatched.load(), 0u);
+        EXPECT_DOUBLE_EQ(session.counters().sim_time_advanced.load(),
+                         4.0 * config.horizon);
+#endif
+    }
 }
 
 TEST(SwarmSim, AvailabilityIntervalsWellFormed) {

@@ -78,6 +78,58 @@ TEST(HistogramMetric, Log2BucketingCoversDecades) {
     EXPECT_EQ(h.hi(), 1024.0);
 }
 
+TEST(HistogramMetric, Log2EdgePinning) {
+    // Pin the bucket edges of the log2 scale with power-of-two lo/hi: one
+    // bin per octave, edges exactly at the powers of two. These cases catch
+    // the off-by-one that natural-log bucket math exhibits when log(2^k)
+    // rounds a hair above or below k*log(2).
+    HistogramMetric h{1.0, 1048576.0, 20, HistogramScale::kLog2};
+
+    // The edges themselves must be the exact powers of two.
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+        EXPECT_EQ(h.bin_lo(i), std::exp2(static_cast<double>(i))) << "bin " << i;
+        EXPECT_EQ(h.bin_hi(i), std::exp2(static_cast<double>(i + 1))) << "bin " << i;
+    }
+
+    // Zero and anything at or below lo clamp into bin 0.
+    h.add(0.0);
+    h.add(-5.0);
+    h.add(1.0);
+    EXPECT_EQ(h.bin_count(0), 3u);
+
+    // An exact power of two 2^k is the lower edge of bin k and must land
+    // there, consistent with bin_lo — half-open [bin_lo, bin_hi) buckets.
+    for (int p = 1; p < 20; ++p) {
+        h.add(std::exp2(p));
+    }
+    for (std::size_t i = 1; i < h.bins(); ++i) {
+        EXPECT_EQ(h.bin_count(i), 1u) << "power-of-two edge 2^" << i;
+    }
+
+    // Values at or beyond hi overflow into the last bucket.
+    h.add(1048576.0);        // == hi
+    h.add(3.0e7);            // way past hi
+    EXPECT_EQ(h.bin_count(19), 3u);
+    EXPECT_EQ(h.total(), 24u);
+}
+
+TEST(HistogramMetric, Log2NonPowerOfTwoRangeStillClamps) {
+    // The exactness argument is strongest for power-of-two ranges, but the
+    // clamping contract (never drop an observation, never index out of
+    // range) holds for any shape.
+    HistogramMetric h{0.5, 300.0, 7, HistogramScale::kLog2};
+    h.add(0.0);
+    h.add(0.5);
+    h.add(299.999);
+    h.add(300.0);
+    h.add(1.0e12);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(6), 3u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin_lo(0), 0.5);
+    EXPECT_EQ(h.bin_hi(6), 300.0);
+}
+
 TEST(HistogramMetric, RejectsBadShapes) {
     EXPECT_THROW((HistogramMetric{1.0, 1.0, 4}), std::invalid_argument);
     EXPECT_THROW((HistogramMetric{0.0, 8.0, 4, HistogramScale::kLog2}),
