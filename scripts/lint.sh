@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Reproduces the CI lint jobs locally: clang-format (dry run) and clang-tidy
-# over src/. Tools that are not installed are skipped with a notice so the
-# script is useful on minimal containers too.
+# Reproduces the CI lint jobs locally: clang-format (dry run) over the whole
+# tree, clang-tidy over src/, and swarmlint — the project's own invariant
+# checker (determinism, observer neutrality, contract hygiene). clang tools
+# that are not installed are skipped with a notice; swarmlint builds from
+# source on demand, so it always runs.
 #
 # Usage:
-#   scripts/lint.sh                 # format check + clang-tidy
+#   scripts/lint.sh                 # format check + clang-tidy + swarmlint
 #   scripts/lint.sh --format-only   # just clang-format --dry-run
 #   scripts/lint.sh --tidy-only     # just clang-tidy
+#   scripts/lint.sh --swarmlint     # just swarmlint (writes swarmlint-report.json)
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,18 +17,25 @@ cd "$repo_root"
 
 run_format=1
 run_tidy=1
+run_swarmlint=1
 case "${1:-}" in
-    --format-only) run_tidy=0 ;;
-    --tidy-only) run_format=0 ;;
+    --format-only) run_tidy=0; run_swarmlint=0 ;;
+    --tidy-only) run_format=0; run_swarmlint=0 ;;
+    --swarmlint) run_format=0; run_tidy=0 ;;
     "") ;;
     *)
-        echo "usage: scripts/lint.sh [--format-only|--tidy-only]" >&2
+        echo "usage: scripts/lint.sh [--format-only|--tidy-only|--swarmlint]" >&2
         exit 2
         ;;
 esac
 
-mapfile -t sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
-if [[ ${#sources[@]} -eq 0 ]]; then
+# Formatting covers every C++ file we maintain. swarmlint's rule fixtures
+# are excluded: they are test data with deliberately unidiomatic content.
+mapfile -t format_sources < <(find src tests examples bench tools \
+    -path tests/tools/swarmlint/fixtures -prune -o \
+    \( -name '*.cpp' -o -name '*.hpp' \) -print | sort)
+mapfile -t src_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+if [[ ${#src_sources[@]} -eq 0 ]]; then
     echo "lint.sh: no sources found under src/" >&2
     exit 1
 fi
@@ -34,8 +44,8 @@ status=0
 
 if [[ $run_format -eq 1 ]]; then
     if command -v clang-format >/dev/null 2>&1; then
-        echo "== clang-format --dry-run over ${#sources[@]} files"
-        if ! clang-format --dry-run --Werror "${sources[@]}"; then
+        echo "== clang-format --dry-run over ${#format_sources[@]} files"
+        if ! clang-format --dry-run --Werror "${format_sources[@]}"; then
             status=1
         fi
     else
@@ -51,7 +61,7 @@ if [[ $run_tidy -eq 1 ]]; then
             cmake --preset tidy >/dev/null
         fi
         cpp_sources=()
-        for f in "${sources[@]}"; do
+        for f in "${src_sources[@]}"; do
             [[ $f == *.cpp ]] && cpp_sources+=("$f")
         done
         echo "== clang-tidy over ${#cpp_sources[@]} translation units"
@@ -60,6 +70,19 @@ if [[ $run_tidy -eq 1 ]]; then
         fi
     else
         echo "== clang-tidy not installed; skipping static analysis"
+    fi
+fi
+
+if [[ $run_swarmlint -eq 1 ]]; then
+    swarmlint_bin="build/tools/swarmlint/swarmlint"
+    if [[ ! -x "$swarmlint_bin" ]]; then
+        echo "== building swarmlint"
+        cmake --preset default >/dev/null
+        cmake --build build --target swarmlint >/dev/null
+    fi
+    echo "== swarmlint over src/ (report: swarmlint-report.json)"
+    if ! "$swarmlint_bin" --root . --json swarmlint-report.json src; then
+        status=1
     fi
 fi
 

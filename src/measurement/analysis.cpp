@@ -89,6 +89,7 @@ std::vector<BundlingExtent> bundling_extent(const Catalog& catalog) {
     }
     std::vector<BundlingExtent> out;
     out.reserve(rows.size());
+    // swarmlint-allow(det-unordered-iter): every row is collected and the vector is sorted by category immediately below; iteration order cannot reach the result
     for (auto& [key, row] : rows) {
         out.push_back(row);
     }

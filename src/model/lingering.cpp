@@ -41,6 +41,9 @@ AvailabilityResult availability_lingering(const SwarmParams& params,
 
 DownloadTimeResult download_time_lingering(const SwarmParams& params,
                                            double linger_time) {
+    require(linger_time >= 0.0, "download_time_lingering: linger_time must be >= 0");
+    require(params.publisher_arrival_rate > 0.0,
+            "download_time_lingering: publisher arrival rate must be > 0");
     const auto availability = availability_lingering(params, linger_time);
     DownloadTimeResult out;
     out.service_time = params.service_time();
@@ -65,6 +68,7 @@ double lingering_time_for_bundle_parity(double s1, double s2, double lambda1,
     return inverse_gamma;
 }
 
+// swarmlint-allow(contract-require-numeric): all five parameters are validated by the delegated lingering_time_for_bundle_parity call
 double residence_with_parity_lingering(double s1, double s2, double lambda1,
                                        double lambda2, double mu) {
     return s1 / mu + lingering_time_for_bundle_parity(s1, s2, lambda1, lambda2, mu);

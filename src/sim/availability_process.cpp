@@ -1,5 +1,6 @@
 #include "sim/availability_process.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -199,9 +200,13 @@ struct AvailabilityProcess::Impl {
         // a fresh Exp(s/mu), matching the model's renewal view.
         std::vector<PeerId> interrupted;
         interrupted.reserve(downloading_.size());
+        // swarmlint-allow(det-unordered-iter): collection order is discarded by the sort below
         for (const auto& [id, peer] : downloading_) {
             interrupted.push_back(id);
         }
+        // Sorted so that the blocked_ queue (and with it the order service
+        // resumes, which consumes RNG draws) never depends on hash layout.
+        std::sort(interrupted.begin(), interrupted.end());
         for (PeerId id : interrupted) {
             queue_.cancel(downloading_.at(id));
             downloading_.erase(id);

@@ -41,6 +41,7 @@ std::size_t ParallelPolicy::resolve() const {
     if (threads > 0) {
         return threads;
     }
+    // swarmlint-allow(det-env): selects worker-pool width only; results are bit-identical at every thread count (index-order merge, tests/sim/test_parallel.cpp)
     if (const char* env = std::getenv("SWARMAVAIL_THREADS")) {
         char* end = nullptr;
         const unsigned long parsed = std::strtoul(env, &end, 10);
@@ -48,6 +49,7 @@ std::size_t ParallelPolicy::resolve() const {
             return static_cast<std::size_t>(parsed);
         }
     }
+    // swarmlint-allow(det-env): selects worker-pool width only; results are bit-identical at every thread count (index-order merge, tests/sim/test_parallel.cpp)
     const unsigned hardware = std::thread::hardware_concurrency();
     return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
 }

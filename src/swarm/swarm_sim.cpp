@@ -184,6 +184,7 @@ class SwarmSim {
 #endif
         SwarmSimResult out = std::move(result_);
         out.stuck_at_horizon = 0;
+        // swarmlint-allow(det-unordered-iter): order-independent count; every peer adds 0 or 1
         for (const auto& [id, peer] : peers_) {
             if (!peer.seed_only) {
                 ++out.stuck_at_horizon;
@@ -316,6 +317,7 @@ class SwarmSim {
         std::size_t lingering_seeds = 0;
         std::vector<std::uint64_t> recomputed_holders(pieces_total_, 0);
         std::vector<std::uint64_t> recomputed_offers(pieces_total_, 0);
+        // swarmlint-allow(det-unordered-iter): audit-only accumulation (sums and per-peer checks); nothing reaches results
         for (const auto& [id, peer] : peers_) {
             if (peer.seed_only) {
                 ++lingering_seeds;
@@ -537,6 +539,7 @@ class SwarmSim {
             auto& list = holder_list_[p];
             list.erase(std::remove(list.begin(), list.end(), id), list.end());
         });
+        // swarmlint-allow(det-unordered-iter): erases `id` from each neighbor's set by key; per-edge, commutative, no RNG
         for (const PeerId other : peer.neighbors) {
             const auto other_it = peers_.find(other);
             if (other_it != peers_.end()) {
@@ -554,7 +557,11 @@ class SwarmSim {
     /// Cancels every transfer in `ids` (a snapshot is taken: cancellation
     /// mutates the sets). `src_left` selects which endpoint is going away.
     void cancel_transfers(const std::unordered_set<TransferId>& ids, bool src_left) {
+        // swarmlint-allow(det-unordered-iter): snapshot order is discarded by the sort below
         cancel_snapshot_.assign(ids.begin(), ids.end());
+        // Cancellation frees slots and re-registers uploaders; process in id
+        // order so none of that bookkeeping depends on hash layout.
+        std::sort(cancel_snapshot_.begin(), cancel_snapshot_.end());
         for (TransferId tid : cancel_snapshot_) {
             const auto it = transfers_.find(tid);
             if (it == transfers_.end()) {
@@ -688,11 +695,16 @@ class SwarmSim {
         SWARMAVAIL_PROF_SCOPE("swarm.tracker");
         std::vector<PeerId>& candidates = tracker_candidates_;
         candidates.clear();
+        // swarmlint-allow(det-unordered-iter): collection order is discarded by the sort below
         for (const auto& [other, peer] : peers_) {
             if (other != id) {
                 candidates.push_back(other);
             }
         }
+        // The Fisher-Yates pass below maps RNG draws onto positions, so the
+        // starting permutation must be canonical: sort before shuffling or
+        // the handed-out neighbor sets would vary with hash layout.
+        std::sort(candidates.begin(), candidates.end());
         for (std::size_t i = candidates.size(); i > 1; --i) {
             std::swap(candidates[i - 1], candidates[rng_.uniform_index(i)]);
         }
@@ -714,14 +726,24 @@ class SwarmSim {
         if (me.neighbors.empty()) {
             return false;
         }
+        // swarmlint-allow(det-unordered-iter): snapshot order is discarded by the sort below
         pex_view_.assign(me.neighbors.begin(), me.neighbors.end());
+        // The RNG draw indexes into this view; sort so the draw lands on the
+        // same neighbor regardless of hash layout.
+        std::sort(pex_view_.begin(), pex_view_.end());
         const PeerId via = pex_view_[rng_.uniform_index(pex_view_.size())];
         const auto via_it = peers_.find(via);
         if (via_it == peers_.end()) {
             return false;
         }
         bool added = false;
-        for (const PeerId candidate : via_it->second.neighbors) {
+        // Adoption stops at the view cap, so which candidates make the cut
+        // depends on traversal order; canonicalize it.
+        // swarmlint-allow(det-unordered-iter): snapshot order is discarded by the sort below
+        pex_adopt_.assign(via_it->second.neighbors.begin(),
+                          via_it->second.neighbors.end());
+        std::sort(pex_adopt_.begin(), pex_adopt_.end());
+        for (const PeerId candidate : pex_adopt_) {
             if (candidate == id || me.neighbors.count(candidate) != 0) {
                 continue;
             }
@@ -937,6 +959,7 @@ class SwarmSim {
     std::vector<PeerId> source_candidates_;
     std::vector<PeerId> tracker_candidates_;
     std::vector<PeerId> pex_view_;
+    std::vector<PeerId> pex_adopt_;
     std::vector<TransferId> cancel_snapshot_;
 
     // Cached metric references (null when config_.metrics is null); see

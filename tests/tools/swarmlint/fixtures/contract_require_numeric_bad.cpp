@@ -1,0 +1,17 @@
+// swarmlint-fixture-path: src/model/fixture_contract.hpp
+#pragma once
+
+namespace swarmavail::model {
+
+double scale_rate(double rate, double factor);
+
+}  // namespace swarmavail::model
+// swarmlint-fixture-path: src/model/fixture_contract.cpp
+// swarmlint-expect: contract-require-numeric
+#include "model/fixture_contract.hpp"
+
+namespace swarmavail::model {
+
+double scale_rate(double rate, double factor) { return rate * factor; }
+
+}  // namespace swarmavail::model

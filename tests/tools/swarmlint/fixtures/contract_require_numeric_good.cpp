@@ -1,0 +1,21 @@
+// swarmlint-fixture-path: src/model/fixture_checked.hpp
+#pragma once
+
+namespace swarmavail::model {
+
+double half_life(double rate);
+
+}  // namespace swarmavail::model
+// swarmlint-fixture-path: src/model/fixture_checked.cpp
+#include "model/fixture_checked.hpp"
+
+#include "util/check.hpp"
+
+namespace swarmavail::model {
+
+double half_life(double rate) {
+    SWARMAVAIL_REQUIRE(rate > 0.0, "half_life: rate must be > 0");
+    return 0.6931 / rate;
+}
+
+}  // namespace swarmavail::model

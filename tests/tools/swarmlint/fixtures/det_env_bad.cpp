@@ -1,0 +1,14 @@
+// swarmlint-fixture-path: src/catalog/fixture_env.cpp
+// swarmlint-expect: det-env
+#include <cstdlib>
+
+namespace swarmavail::catalog {
+
+int worker_count() {
+    if (std::getenv("SWARM_WORKERS") != nullptr) {
+        return 8;
+    }
+    return 1;
+}
+
+}  // namespace swarmavail::catalog

@@ -1,0 +1,8 @@
+// swarmlint-fixture-path: src/util/fixture_host.cpp
+#include <thread>
+
+namespace swarmavail {
+
+unsigned host_parallelism() { return std::thread::hardware_concurrency(); }
+
+}  // namespace swarmavail

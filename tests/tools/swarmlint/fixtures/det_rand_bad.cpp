@@ -1,0 +1,12 @@
+// swarmlint-fixture-path: src/sim/fixture_rand.cpp
+// swarmlint-expect: det-rand
+#include <random>
+
+namespace swarmavail::sim {
+
+int draw_unseeded() {
+    std::mt19937 gen(42);
+    return static_cast<int>(gen());
+}
+
+}  // namespace swarmavail::sim

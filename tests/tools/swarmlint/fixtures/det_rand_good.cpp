@@ -1,0 +1,9 @@
+// swarmlint-fixture-path: src/util/random.cpp
+#include <cstdint>
+#include <random>
+
+namespace swarmavail {
+
+std::mt19937_64 make_engine(std::uint64_t seed) { return std::mt19937_64{seed}; }
+
+}  // namespace swarmavail

@@ -1,0 +1,13 @@
+// swarmlint-fixture-path: src/model/fixture_seed.cpp
+// swarmlint-expect: det-random-device
+#include <cstdint>
+#include <random>
+
+namespace swarmavail::model {
+
+std::uint64_t entropy_seed() {
+    std::random_device rd;
+    return rd();
+}
+
+}  // namespace swarmavail::model

@@ -1,0 +1,14 @@
+// swarmlint-fixture-path: src/util/random.hpp
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace swarmavail {
+
+inline std::uint64_t hardware_seed() {
+    std::random_device rd;
+    return rd();
+}
+
+}  // namespace swarmavail

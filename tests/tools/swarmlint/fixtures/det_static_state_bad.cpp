@@ -1,0 +1,11 @@
+// swarmlint-fixture-path: src/sim/fixture_counter.cpp
+// swarmlint-expect: det-static-state
+
+namespace swarmavail::sim {
+
+int next_event_id() {
+    static int counter = 0;
+    return ++counter;
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,19 @@
+// swarmlint-fixture-path: src/sim/fixture_constants.cpp
+
+namespace swarmavail::sim {
+
+double horizon_cap() {
+    static constexpr double kCap = 1.0e9;
+    return kCap;
+}
+
+const char* phase_name() {
+    static const char* const kName = "drain";
+    return kName;
+}
+
+static int local_helper(int x) { return x + 1; }
+
+int shifted(int x) { return local_helper(x); }
+
+}  // namespace swarmavail::sim

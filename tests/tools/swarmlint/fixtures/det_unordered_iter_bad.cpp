@@ -1,0 +1,25 @@
+// swarmlint-fixture-path: src/catalog/fixture_totals.cpp
+// swarmlint-expect: det-unordered-iter
+// swarmlint-expect: det-unordered-iter
+#include <unordered_map>
+#include <vector>
+
+namespace swarmavail::catalog {
+
+std::unordered_map<int, double> totals;
+
+double sum_totals() {
+    double s = 0.0;
+    for (const auto& [id, value] : totals) {
+        s += value;
+    }
+    return s;
+}
+
+std::vector<int> snapshot_keys() {
+    std::vector<int> out;
+    out.assign(totals.begin(), totals.end());
+    return out;
+}
+
+}  // namespace swarmavail::catalog

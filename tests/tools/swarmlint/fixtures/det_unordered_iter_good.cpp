@@ -1,0 +1,20 @@
+// swarmlint-fixture-path: src/catalog/fixture_lookup.cpp
+#include <map>
+#include <unordered_map>
+
+namespace swarmavail::catalog {
+
+double lookup(const std::unordered_map<int, double>& table, int key) {
+    const auto it = table.find(key);
+    return it == table.end() ? 0.0 : it->second;
+}
+
+double ordered_sum(const std::map<int, double>& rows) {
+    double s = 0.0;
+    for (const auto& [id, value] : rows) {
+        s += value;
+    }
+    return s;
+}
+
+}  // namespace swarmavail::catalog

@@ -1,0 +1,16 @@
+// swarmlint-fixture-path: src/swarm/fixture_timer.cpp
+// swarmlint-expect: det-wall-clock
+// swarmlint-expect: det-wall-clock
+#include <chrono>
+#include <ctime>
+
+namespace swarmavail::swarm {
+
+double now_seconds() {
+    const auto tp = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+long stamp_run() { return time(nullptr); }
+
+}  // namespace swarmavail::swarm

@@ -1,0 +1,25 @@
+// swarmlint-fixture-path: src/util/profile.cpp
+#include <chrono>
+
+namespace swarmavail::profile {
+
+double sample_now() {
+    const auto tp = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+}  // namespace swarmavail::profile
+// swarmlint-fixture-path: src/sim/fixture_member_time.cpp
+
+namespace swarmavail::sim {
+
+struct VirtualClock {
+    double now = 0.0;
+};
+
+double query(const VirtualClock& sched) {
+    int clock = 0;
+    return sched.time() + clock;
+}
+
+}  // namespace swarmavail::sim

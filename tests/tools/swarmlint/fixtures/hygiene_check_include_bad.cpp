@@ -1,0 +1,10 @@
+// swarmlint-fixture-path: src/sim/fixture_nocheck.cpp
+// swarmlint-expect: hygiene-check-include
+
+namespace swarmavail::sim {
+
+void validate_window(int n) {
+    SWARMAVAIL_REQUIRE(n > 0, "window must be positive");
+}
+
+}  // namespace swarmavail::sim

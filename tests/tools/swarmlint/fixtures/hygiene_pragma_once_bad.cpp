@@ -1,0 +1,8 @@
+// swarmlint-fixture-path: src/util/fixture_plain.hpp
+// swarmlint-expect: hygiene-pragma-once
+
+namespace swarmavail {
+
+int plain_header_value();
+
+}  // namespace swarmavail

@@ -1,0 +1,8 @@
+// swarmlint-fixture-path: src/util/fixture_guarded.hpp
+#pragma once
+
+namespace swarmavail {
+
+int guarded_header_value();
+
+}  // namespace swarmavail

@@ -1,0 +1,15 @@
+// swarmlint-fixture-path: src/sim/fixture_usedallow.cpp
+// swarmlint-expect-suppressed: det-rand
+// swarmlint-expect-suppressed: det-rand
+#include <random>
+
+namespace swarmavail::sim {
+
+int seeded_draw() {
+    // swarmlint-allow(det-rand): fixture exercises the line-above suppression path
+    std::mt19937 gen(7);
+    std::mt19937 gen2(9);  // swarmlint-allow(det-rand): fixture exercises the same-line suppression path
+    return static_cast<int>(gen() + gen2());
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,17 @@
+// swarmlint-fixture-path: src/sim/fixture_badallow.cpp
+// swarmlint-expect: hygiene-suppression
+// swarmlint-expect: hygiene-suppression
+// swarmlint-expect: hygiene-suppression
+
+namespace swarmavail::sim {
+
+// swarmlint-allow det-rand: missing the parentheses around the rule
+int fixture_one();
+
+// swarmlint-allow(det-env) missing the colon separator
+int fixture_two();
+
+// swarmlint-allow(det-wall-clock):
+int fixture_three();
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,9 @@
+// swarmlint-fixture-path: src/sim/fixture_staleallow.cpp
+// swarmlint-expect: hygiene-suppression
+
+namespace swarmavail::sim {
+
+// swarmlint-allow(det-rand): nothing on the next line draws randomness
+int fixture_stale();
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,9 @@
+// swarmlint-fixture-path: src/sim/fixture_unknownallow.cpp
+// swarmlint-expect: hygiene-suppression
+
+namespace swarmavail::sim {
+
+// swarmlint-allow(no-such-rule): the registry has never heard of this rule
+int fixture_unknown();
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,19 @@
+// swarmlint-fixture-path: src/sim/fixture_guarded.cpp
+
+namespace telemetry {
+struct RunCounters;
+void publish(double value);
+}
+
+namespace swarmavail::sim {
+
+void attach_counters(telemetry::RunCounters* counters);
+
+void tick_guarded() {
+#ifndef SWARMAVAIL_TELEMETRY_DISABLED
+    telemetry::publish(1.0);
+#endif
+    SWARMAVAIL_TELEMETRY(telemetry::publish(2.0));
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,8 @@
+// swarmlint-fixture-path: src/swarm/fixture_trace_call.cpp
+// swarmlint-expect: obs-macro-compile-out
+
+namespace swarmavail::swarm {
+
+void record_exchange() { SWARMAVAIL_TRACE_EVENT("exchange"); }
+
+}  // namespace swarmavail::swarm

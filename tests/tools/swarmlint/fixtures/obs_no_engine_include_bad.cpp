@@ -1,0 +1,10 @@
+// swarmlint-fixture-path: src/util/metrics.cpp
+// swarmlint-expect: obs-no-engine-include
+#include "swarm/swarm_sim.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::metrics {
+
+void observe();
+
+}  // namespace swarmavail::metrics

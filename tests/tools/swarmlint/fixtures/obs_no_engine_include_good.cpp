@@ -1,0 +1,9 @@
+// swarmlint-fixture-path: src/sim/trace.cpp
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace swarmavail::sim {
+
+void flush_trace();
+
+}  // namespace swarmavail::sim

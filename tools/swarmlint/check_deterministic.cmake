@@ -1,0 +1,18 @@
+# ctest helper: run swarmlint twice over src/ and require byte-identical
+# JSON reports. Exercised as `swarmlint.deterministic_report` (label: lint).
+foreach(run a b)
+    execute_process(
+        COMMAND ${SWARMLINT} --root ${ROOT} --quiet
+                --json ${WORK}/determinism-${run}.json src
+        RESULT_VARIABLE code)
+    if(code GREATER 1)
+        message(FATAL_ERROR "swarmlint run '${run}' failed with exit code ${code}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK}/determinism-a.json ${WORK}/determinism-b.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "swarmlint reports differ between two identical runs")
+endif()

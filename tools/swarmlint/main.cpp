@@ -1,0 +1,150 @@
+// swarmlint CLI.
+//
+//   swarmlint [--root DIR] [--json FILE] [--rule NAME]... [--list-rules]
+//             [--quiet] [paths...]
+//
+// Paths are repo-relative files or directories (default: src). Exit code 0
+// when clean (suppressed findings are clean), 1 when findings remain, 2 on
+// usage or I/O errors.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "swarmlint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+    os << "usage: swarmlint [--root DIR] [--json FILE] [--rule NAME]...\n"
+          "                 [--list-rules] [--quiet] [paths...]\n"
+          "\n"
+          "Lints repo sources against the project's determinism, observer-\n"
+          "neutrality and contract-hygiene rules. Paths default to 'src'.\n"
+          "Suppress one finding with '// swarmlint-allow(rule): reason'.\n";
+    return code;
+}
+
+bool is_source_file(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fs::path root = fs::current_path();
+    std::string json_path;
+    std::vector<std::string> rule_filter;
+    std::vector<std::string> targets;
+    bool list_rules = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "swarmlint: " << flag << " needs a value\n";
+                std::exit(usage(std::cerr, 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = value("--root");
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--rule") {
+            rule_filter.push_back(value("--rule"));
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "swarmlint: unknown option '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            targets.push_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        for (const swarmlint::Rule& rule : swarmlint::all_rules()) {
+            std::cout << rule.name << "\n    " << rule.description << "\n";
+        }
+        return 0;
+    }
+
+    if (targets.empty()) {
+        targets.emplace_back("src");
+    }
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "swarmlint: cannot resolve root: " << ec.message() << "\n";
+        return 2;
+    }
+
+    // Collect candidate files, then sort by repo-relative path so the scan
+    // order (and with it the report) is independent of directory order.
+    std::vector<std::string> rel_paths;
+    for (const std::string& target : targets) {
+        fs::path abs = fs::path(target).is_absolute() ? fs::path(target) : root / target;
+        abs = fs::weakly_canonical(abs, ec);
+        if (ec || !fs::exists(abs)) {
+            std::cerr << "swarmlint: no such path: " << target << "\n";
+            return 2;
+        }
+        auto add = [&](const fs::path& p) {
+            const fs::path rel = fs::relative(p, root, ec);
+            rel_paths.push_back(ec ? p.generic_string() : rel.generic_string());
+        };
+        if (fs::is_directory(abs)) {
+            for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+                if (entry.is_regular_file() && is_source_file(entry.path())) {
+                    add(entry.path());
+                }
+            }
+        } else {
+            add(abs);
+        }
+    }
+    std::sort(rel_paths.begin(), rel_paths.end());
+    rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()), rel_paths.end());
+
+    std::vector<swarmlint::LintInput> inputs;
+    inputs.reserve(rel_paths.size());
+    for (const std::string& rel : rel_paths) {
+        std::ifstream in(root / rel, std::ios::binary);
+        if (!in) {
+            std::cerr << "swarmlint: cannot read " << rel << "\n";
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        inputs.push_back({rel, buffer.str()});
+    }
+
+    const swarmlint::LintResult result = swarmlint::lint_sources(inputs, rule_filter);
+
+    if (!quiet) {
+        swarmlint::write_console(result, std::cout);
+    }
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "swarmlint: cannot write " << json_path << "\n";
+            return 2;
+        }
+        swarmlint::write_json(result, out);
+    }
+    return result.findings.empty() ? 0 : 1;
+}

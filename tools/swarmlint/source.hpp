@@ -1,0 +1,132 @@
+// Lexical model of one C++ source file, as seen by swarmlint.
+//
+// swarmlint is deliberately AST-free: it tokenizes enough of C++ to blank
+// out comments and string/character literals, track the preprocessor
+// conditional stack per line, and parse `// swarmlint-allow(rule): reason`
+// suppression comments. Rules then pattern-match over the blanked code,
+// which keeps the tool dependency-free (no LLVM) while staying immune to
+// the classic grep failure modes (matches inside comments or strings).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swarmlint {
+
+/// One `// swarmlint-allow(rule): reason` comment. A suppression silences
+/// findings of `rule` on its own line and on the next code line, and must
+/// carry a non-empty written justification (enforced by the
+/// hygiene-suppression meta-rule, which cannot itself be suppressed).
+struct Suppression {
+    std::string rule;     ///< rule name between the parentheses
+    std::string reason;   ///< justification text after the colon
+    int line = 0;         ///< 1-based line of the comment
+    bool malformed = false;
+    std::string problem;  ///< human-readable description when malformed
+    bool used = false;    ///< set by the driver when it silences a finding
+};
+
+/// A parsed source file: raw text, comment/string-blanked code, per-line
+/// preprocessor guard stack, and suppression comments.
+class SourceFile {
+ public:
+    /// Parses `content` under the repo-relative `path` ('/'-separated).
+    /// The path, not the on-disk location, decides which rules apply,
+    /// so tests can lint fixture snippets under virtual paths.
+    static SourceFile parse(std::string path, std::string_view content);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Blanked code: same length/line structure as the input, with comment
+    /// bodies and string/char literal contents replaced by spaces (the
+    /// delimiting quotes survive so token boundaries stay intact).
+    [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+    [[nodiscard]] int line_count() const noexcept {
+        return static_cast<int>(line_offsets_.size());
+    }
+
+    /// 1-based line containing byte `offset` of code().
+    [[nodiscard]] int line_of_offset(std::size_t offset) const;
+
+    /// Blanked code of one 1-based line (no trailing newline).
+    [[nodiscard]] std::string_view code_line(int line) const;
+
+    /// Raw text of one 1-based line (no trailing newline).
+    [[nodiscard]] std::string_view raw_line(int line) const;
+
+    /// True when `line` sits inside a preprocessor conditional whose
+    /// condition text mentions `token` (any nesting level, either branch:
+    /// the #else of a `#if defined(X)` region still "mentions" X).
+    [[nodiscard]] bool guard_mentions(int line, std::string_view token) const;
+
+    /// True when `line` is a preprocessor directive (or its continuation).
+    [[nodiscard]] bool is_directive_line(int line) const;
+
+    [[nodiscard]] const std::vector<Suppression>& suppressions() const noexcept {
+        return suppressions_;
+    }
+    [[nodiscard]] std::vector<Suppression>& suppressions() noexcept {
+        return suppressions_;
+    }
+
+    /// True if a well-formed suppression for `rule` covers `line` (the
+    /// comment's own line or the line directly above). Marks it used.
+    [[nodiscard]] bool consume_suppression(std::string_view rule, int line);
+
+ private:
+    std::string path_;
+    std::string raw_;
+    std::string code_;
+    std::vector<std::size_t> line_offsets_;     // start offset of each line
+    std::vector<std::string> guard_stack_;      // scratch during parse
+    std::vector<std::vector<std::string>> guards_;  // per line, outermost first
+    std::vector<bool> directive_;               // per line
+    std::vector<Suppression> suppressions_;
+
+    void scan_preprocessor();
+    void scan_suppressions();
+};
+
+/// True when `c` can appear in a C++ identifier.
+[[nodiscard]] bool is_ident_char(char c) noexcept;
+
+/// Walks every identifier in `code`, invoking `fn(name, offset)`.
+template <typename Fn>
+void for_each_identifier(std::string_view code, Fn&& fn) {
+    std::size_t i = 0;
+    const std::size_t n = code.size();
+    while (i < n) {
+        const char c = code[i];
+        if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_') {
+            std::size_t begin = i;
+            while (i < n && is_ident_char(code[i])) {
+                ++i;
+            }
+            fn(code.substr(begin, i - begin), begin);
+        } else {
+            ++i;
+        }
+    }
+}
+
+/// First non-whitespace character at or after `pos`, or '\0' at end.
+[[nodiscard]] char next_nonspace(std::string_view code, std::size_t pos);
+
+/// Offset of the first non-whitespace character at or after `pos`.
+[[nodiscard]] std::size_t skip_space(std::string_view code, std::size_t pos);
+
+/// Last non-whitespace character strictly before `pos`, or '\0'.
+[[nodiscard]] char prev_nonspace(std::string_view code, std::size_t pos);
+
+/// Given `pos` pointing at '<', returns the offset one past the matching
+/// '>' (handles nesting and '>>'), or std::string_view::npos on imbalance.
+[[nodiscard]] std::size_t skip_template_args(std::string_view code, std::size_t pos);
+
+/// Given `pos` pointing at an opening bracket ('(', '{', '['), returns the
+/// offset one past the matching closer, or npos on imbalance.
+[[nodiscard]] std::size_t skip_balanced(std::string_view code, std::size_t pos);
+
+}  // namespace swarmlint

@@ -1,0 +1,208 @@
+#include "swarmlint.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+namespace swarmlint {
+namespace {
+
+/// JSON string escaping (ASCII control chars, quote, backslash).
+void write_json_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            case '\r': os << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char kHex[] = "0123456789abcdef";
+                    os << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_finding_json(std::ostream& os, const Finding& f, bool with_reason) {
+    os << "    {\"rule\": ";
+    write_json_string(os, f.rule);
+    os << ", \"file\": ";
+    write_json_string(os, f.path);
+    os << ", \"line\": " << f.line << ", \"message\": ";
+    write_json_string(os, f.message);
+    if (with_reason) {
+        os << ", \"justification\": ";
+        write_json_string(os, f.justification);
+    }
+    os << "}";
+}
+
+}  // namespace
+
+LintResult lint_sources(const std::vector<LintInput>& inputs,
+                        const std::vector<std::string>& rule_filter) {
+    LintResult result;
+    result.files_scanned = inputs.size();
+
+    std::vector<SourceFile> files;
+    files.reserve(inputs.size());
+    for (const LintInput& input : inputs) {
+        files.push_back(SourceFile::parse(input.path, input.content));
+    }
+
+    LintOptions options;
+    options.all_rules_active = rule_filter.empty();
+
+    // Cross-file pass: the public numeric-contract surface and the
+    // compile-out-able macro set, both derived from the inputs.
+    std::set<std::string> derived_macros;
+    for (const SourceFile& file : files) {
+        collect_numeric_declarations(file, options.numeric_declarations);
+        if (classify_path(file.path()) == Layer::kObserver) {
+            collect_compile_out_macros(file, derived_macros);
+        }
+    }
+    if (!derived_macros.empty()) {
+        options.compile_out_macros = std::move(derived_macros);
+    }
+    // Stable declaration order regardless of input file order.
+    std::sort(options.numeric_declarations.begin(), options.numeric_declarations.end(),
+              [](const NumericDeclaration& a, const NumericDeclaration& b) {
+                  if (a.name != b.name) return a.name < b.name;
+                  if (a.header != b.header) return a.header < b.header;
+                  return a.line < b.line;
+              });
+    options.numeric_declarations.erase(
+        std::unique(options.numeric_declarations.begin(),
+                    options.numeric_declarations.end(),
+                    [](const NumericDeclaration& a, const NumericDeclaration& b) {
+                        return a.name == b.name;
+                    }),
+        options.numeric_declarations.end());
+
+    const std::vector<Rule>& rules = all_rules();
+    auto rule_active = [&](const std::string& name) {
+        return rule_filter.empty() ||
+               std::find(rule_filter.begin(), rule_filter.end(), name) !=
+                   rule_filter.end();
+    };
+    std::set<std::string> known_rules;
+    for (const Rule& rule : rules) {
+        known_rules.insert(rule.name);
+        if (rule_active(rule.name)) {
+            result.rules_run.push_back(rule.name);
+        }
+    }
+
+    for (SourceFile& file : files) {
+        std::vector<Finding> raw;
+        RuleContext ctx{file, options, raw};
+        for (const Rule& rule : rules) {
+            if (rule_active(rule.name)) {
+                rule.check(ctx);
+            }
+        }
+        for (Finding& f : raw) {
+            bool silenced = false;
+            if (f.rule != "hygiene-suppression") {
+                for (Suppression& s : file.suppressions()) {
+                    if (!s.malformed && s.rule == f.rule &&
+                        (s.line == f.line || s.line == f.line - 1)) {
+                        s.used = true;
+                        f.suppressed = true;
+                        f.justification = s.reason;
+                        silenced = true;
+                        break;
+                    }
+                }
+            }
+            (silenced ? result.suppressed : result.findings).push_back(std::move(f));
+        }
+        // Meta-rule: suppression hygiene, after matching so staleness is known.
+        if (!rule_active("hygiene-suppression")) {
+            continue;
+        }
+        for (const Suppression& s : file.suppressions()) {
+            Finding f;
+            f.rule = "hygiene-suppression";
+            f.path = file.path();
+            f.line = s.line;
+            if (s.malformed) {
+                f.message = "malformed swarmlint-allow comment: " + s.problem +
+                            " (expected '// swarmlint-allow(rule): reason')";
+            } else if (known_rules.count(s.rule) == 0) {
+                f.message = "swarmlint-allow names unknown rule '" + s.rule +
+                            "'; run swarmlint --list-rules for the registry";
+            } else if (!s.used && options.all_rules_active) {
+                f.message = "stale suppression: swarmlint-allow(" + s.rule +
+                            ") silences nothing on this or the next line; delete "
+                            "it so dead waivers cannot accumulate";
+            } else {
+                continue;
+            }
+            result.findings.push_back(std::move(f));
+        }
+    }
+
+    std::sort(result.findings.begin(), result.findings.end());
+    std::sort(result.suppressed.begin(), result.suppressed.end());
+    return result;
+}
+
+void write_console(const LintResult& result, std::ostream& os) {
+    for (const Finding& f : result.findings) {
+        os << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    os << "swarmlint: " << result.files_scanned << " files, "
+       << result.rules_run.size() << " rules, " << result.findings.size()
+       << " finding(s), " << result.suppressed.size() << " suppressed\n";
+}
+
+void write_json(const LintResult& result, std::ostream& os) {
+    os << "{\n";
+    os << "  \"tool\": \"swarmlint\",\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"files_scanned\": " << result.files_scanned << ",\n";
+    os << "  \"rules\": [\n";
+    const std::vector<Rule>& rules = all_rules();
+    bool first = true;
+    for (const Rule& rule : rules) {
+        if (std::find(result.rules_run.begin(), result.rules_run.end(), rule.name) ==
+            result.rules_run.end()) {
+            continue;
+        }
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+        os << "    {\"name\": ";
+        write_json_string(os, rule.name);
+        os << ", \"description\": ";
+        write_json_string(os, rule.description);
+        os << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"findings\": [\n";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        write_finding_json(os, result.findings[i], false);
+        os << (i + 1 < result.findings.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"suppressed\": [\n";
+    for (std::size_t i = 0; i < result.suppressed.size(); ++i) {
+        write_finding_json(os, result.suppressed[i], true);
+        os << (i + 1 < result.suppressed.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"summary\": {\"findings\": " << result.findings.size()
+       << ", \"suppressed\": " << result.suppressed.size() << "}\n";
+    os << "}\n";
+}
+
+}  // namespace swarmlint

@@ -1,0 +1,42 @@
+// swarmlint driver: runs the rule registry over a set of sources, applies
+// `// swarmlint-allow(rule): reason` suppressions, and emits deterministic
+// console + JSON reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace swarmlint {
+
+struct LintInput {
+    std::string path;     ///< repo-relative, '/'-separated
+    std::string content;
+};
+
+struct LintResult {
+    std::vector<Finding> findings;    ///< active findings, sorted
+    std::vector<Finding> suppressed;  ///< silenced findings, with justification
+    std::size_t files_scanned = 0;
+    std::vector<std::string> rules_run;  ///< names, registration order
+};
+
+/// Lints in-memory sources. `rule_filter` empty means "all rules".
+/// Cross-file state (numeric declarations, the compile-out macro set) is
+/// derived from the inputs themselves, so a run is a pure function of
+/// (inputs, filter) — two identical invocations produce byte-identical
+/// reports.
+[[nodiscard]] LintResult lint_sources(const std::vector<LintInput>& inputs,
+                                      const std::vector<std::string>& rule_filter);
+
+/// Renders findings as `path:line: [rule] message` lines plus a summary.
+void write_console(const LintResult& result, std::ostream& os);
+
+/// Machine-readable report. Deterministic: stable ordering, no timestamps,
+/// repo-relative paths only.
+void write_json(const LintResult& result, std::ostream& os);
+
+}  // namespace swarmlint
