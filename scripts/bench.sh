@@ -15,6 +15,10 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_perf.json}"
+# Baseline the merge computes delta_vs_prior_pct against. Defaults to the
+# output file (self-trajectory); CI's perf smoke points it at the
+# checked-in BENCH_perf.json so perf_gate.py has deltas on a fresh clone.
+PRIOR="${PRIOR:-${OUT}}"
 BENCH_MIN_TIME="${BENCH_MIN_TIME:-}"
 BENCH_REPEAT="${BENCH_REPEAT:-1}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
@@ -26,7 +30,11 @@ cmake --build "${BUILD_DIR}" --target swarmavail_benches -j "${JOBS}"
 
 extra_args=()
 if [[ -n "${BENCH_MIN_TIME}" ]]; then
-    extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME}s")
+    # Seconds, as a plain number: the pinned google-benchmark parses the
+    # flag as a bare double and rejects a "s" suffix (newer releases require
+    # it — normalize here so callers never have to care which one is baked
+    # into the image).
+    extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME%s}")
 fi
 
 tmpdir="$(mktemp -d)"
@@ -47,9 +55,11 @@ run_bench() {
 inputs=()
 for rep in $(seq 1 "${BENCH_REPEAT}"); do
     run_bench bench_perf_micro "${rep}"
+    run_bench bench_event_queue "${rep}"
     run_bench bench_replication_scaling "${rep}"
     run_bench bench_catalog_scaling "${rep}"
     inputs+=("${tmpdir}/bench_perf_micro.${rep}.json"
+             "${tmpdir}/bench_event_queue.${rep}.json"
              "${tmpdir}/bench_replication_scaling.${rep}.json"
              "${tmpdir}/bench_catalog_scaling.${rep}.json")
 done
@@ -61,7 +71,7 @@ echo "== bench_phase_profile ==" >&2
 # baseline before python gets to read it for the delta_vs_prior_pct rows.
 python3 scripts/merge_bench_json.py \
     "${inputs[@]}" \
-    --prior "${OUT}" \
+    --prior "${PRIOR}" \
     --profile "${tmpdir}/phase_profile.json" \
     > "${tmpdir}/merged.json"
 mv "${tmpdir}/merged.json" "${OUT}"

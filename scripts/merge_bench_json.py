@@ -40,6 +40,16 @@ BENCH_REPEAT mode feeds each run as a separate file), the row with the
 minimum ns_per_op wins: on hosts with background load the minimum is the
 least-contaminated estimate, and derived fields (speedups, overheads,
 deltas) are computed from the kept rows only.
+
+Noise handling: an overhead pair is two independent minima, so sampling
+noise can make the instrumented row come out *faster* than its plain
+counterpart — a physically impossible negative overhead. Negative
+overheads within NOISE_FLOOR_PCT are clamped to 0.0; ones beyond the
+floor are kept as measured but the row gains `noise_suspect: true`.
+The same flag is set when the interleaved repeats of a row disagree by
+more than SPREAD_SUSPECT_PCT (max/min - 1): a spread that wide means
+even the minimum is probably contaminated, so treat the row's derived
+fields as indicative rather than gating-quality.
 """
 import argparse
 import datetime
@@ -49,6 +59,15 @@ import re
 import sys
 
 _THREADS_ARG = re.compile(r"/threads:(\d+)")
+
+# A negative overhead no larger than this is ordinary minimum-of-minima
+# jitter: clamp it to zero. Anything more negative is left visible (and
+# flagged) so a genuinely broken measurement cannot hide inside the clamp.
+NOISE_FLOOR_PCT = 2.0
+
+# Repeat spread (max/min - 1, in percent) beyond which a row's minimum is
+# assumed contaminated by host load and the row is flagged noise_suspect.
+SPREAD_SUSPECT_PCT = 10.0
 
 
 def _to_ns(value, unit):
@@ -91,17 +110,30 @@ def merge(input_paths, prior_path=None, profile_path=None):
             })
 
     # Repeated runs: keep the fastest observation per name, preserving
-    # first-appearance order.
+    # first-appearance order. Track the slowest too: the repeat spread is
+    # the noise estimate behind the noise_suspect flag.
     best = {}
+    worst_ns = {}
     order = []
     for entry in entries:
         kept = best.get(entry["name"])
         if kept is None:
             order.append(entry["name"])
             best[entry["name"]] = entry
-        elif entry["ns_per_op"] < kept["ns_per_op"]:
-            best[entry["name"]] = entry
+            worst_ns[entry["name"]] = entry["ns_per_op"]
+        else:
+            worst_ns[entry["name"]] = max(worst_ns[entry["name"]], entry["ns_per_op"])
+            if entry["ns_per_op"] < kept["ns_per_op"]:
+                best[entry["name"]] = entry
     entries = [best[name] for name in order]
+    for entry in entries:
+        low = entry["ns_per_op"]
+        high = worst_ns[entry["name"]]
+        if low > 0 and high > low:
+            spread_pct = (high / low - 1.0) * 100.0
+            entry["repeat_spread_pct"] = round(spread_pct, 2)
+            if spread_pct > SPREAD_SUSPECT_PCT:
+                entry["noise_suspect"] = True
 
     serial_ns = {}
     for entry in entries:
@@ -123,8 +155,12 @@ def merge(input_paths, prior_path=None, profile_path=None):
                 continue
             plain = by_name.get(entry["name"].replace(marker, "", 1))
             if plain and plain["ns_per_op"] > 0:
-                entry[field] = round(
-                    (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0, 2)
+                overhead = (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0
+                if -NOISE_FLOOR_PCT <= overhead < 0.0:
+                    overhead = 0.0
+                elif overhead < -NOISE_FLOOR_PCT:
+                    entry["noise_suspect"] = True
+                entry[field] = round(overhead, 2)
 
     prior = _load_json_or_none(prior_path)
     if isinstance(prior, dict):

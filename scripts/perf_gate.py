@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf regression gate over a merged BENCH_perf.json.
+
+Reads the merged baseline produced by scripts/bench.sh (see
+merge_bench_json.py for the schema) and fails when any benchmark row
+regressed against the prior baseline by more than the allowed budget:
+
+    scripts/perf_gate.py BENCH_perf.json --max-regression-pct 10
+
+The gate consumes the `delta_vs_prior_pct` field (current ns_per_op vs the
+same-named row of the previous baseline, positive = slower). Rows without
+the field (first recording, renamed rows) pass trivially.
+
+Noise discipline: rows carrying `noise_suspect: true` — interleaved-repeat
+spread beyond merge_bench_json.SPREAD_SUSPECT_PCT, or a physically
+impossible negative overhead — are reported but never fail the gate, and
+any other row only fails when its regression also exceeds its own measured
+`repeat_spread_pct`. A regression smaller than the run's own jitter is not
+evidence. CI runs this as an advisory step (shared runners are too noisy
+to block on); the tracked baseline on a quiet host is where the exit code
+matters.
+
+Exit codes: 0 clean (or advisory-only findings), 1 hard regression,
+2 usage/input error.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def evaluate(doc, max_regression_pct, name_filter=None):
+    """Returns (hard, soft): rows failing the gate, rows only worth noting."""
+    hard = []
+    soft = []
+    pattern = re.compile(name_filter) if name_filter else None
+    for row in doc.get("benchmarks", []):
+        if not isinstance(row, dict):
+            continue
+        name = row.get("name", "")
+        if pattern and not pattern.search(name):
+            continue
+        delta = row.get("delta_vs_prior_pct")
+        if delta is None or delta <= max_regression_pct:
+            continue
+        spread = row.get("repeat_spread_pct", 0.0) or 0.0
+        if row.get("noise_suspect") or delta <= spread:
+            soft.append((name, delta, spread))
+        else:
+            hard.append((name, delta, spread))
+    return hard, soft
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="merged BENCH_perf.json to check")
+    parser.add_argument("--max-regression-pct", type=float, default=10.0,
+                        help="allowed slowdown vs the prior baseline "
+                             "(default: %(default)s%%)")
+    parser.add_argument("--filter", default=None,
+                        help="only gate rows whose name matches this regex")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf_gate: cannot read {args.baseline}: {error}", file=sys.stderr)
+        return 2
+
+    hard, soft = evaluate(doc, args.max_regression_pct, args.filter)
+    for name, delta, spread in soft:
+        print(f"NOISY  {name}: +{delta:.2f}% vs prior "
+              f"(repeat spread {spread:.2f}%, not gating)")
+    for name, delta, spread in hard:
+        print(f"REGRESSION  {name}: +{delta:.2f}% vs prior "
+              f"(budget {args.max_regression_pct}%, repeat spread {spread:.2f}%)")
+    if hard:
+        return 1
+    if not hard and not soft:
+        print(f"perf_gate: all rows within {args.max_regression_pct}% of prior")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

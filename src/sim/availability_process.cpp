@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/audit.hpp"
@@ -24,12 +23,22 @@ constexpr double kDurationHistLo = 1.0;
 constexpr double kDurationHistHi = 1048576.0;
 constexpr std::size_t kDurationHistBins = 20;
 
-/// Per-peer bookkeeping while the peer is in the system.
+/// Per-peer bookkeeping while the peer is in the system. Records live in a
+/// flat vector ordered by id (ids are handed out monotonically and erases
+/// preserve order), so lookups are a binary search over one or two cache
+/// lines instead of a hash probe, and entering/leaving the system never
+/// allocates. The old layout — two unordered_maps (peer state plus a
+/// separate downloading index) — cost two node allocations per served peer
+/// and scattered the per-swarm state across the heap, which dominated the
+/// shared-queue catalog profile where thousands of mostly-idle swarms each
+/// touch their state once per event.
 struct PeerState {
+    std::uint64_t id = 0;
     SimTime arrival = 0.0;
     double waited = 0.0;      ///< idle time accumulated so far
     SimTime wait_start = 0.0; ///< when the current wait began (if blocked)
     EventId completion = 0;   ///< pending completion event (if downloading)
+    bool downloading = false; ///< has a pending completion event
 };
 
 /// Validates the config before any member construction, so a bad config
@@ -140,8 +149,20 @@ struct AvailabilityProcess::Impl {
         }
     }
 
+    /// Locates a peer's record by id (binary search: peers_ stays sorted
+    /// because ids are handed out monotonically and erases keep order).
+    /// Requires the peer to be in the system.
+    [[nodiscard]] PeerState& peer_at(PeerId id) {
+        const auto it = std::lower_bound(
+            peers_.begin(), peers_.end(), id,
+            [](const PeerState& peer, PeerId key) { return peer.id < key; });
+        ensure(it != peers_.end() && it->id == id,
+               "AvailabilitySim: lookup of a peer not in the system");
+        return *it;
+    }
+
     [[nodiscard]] std::size_t coverage() const noexcept {
-        return downloading_.size() + lingering_;
+        return downloading_count_ + lingering_;
     }
 
     void account_interval(SimTime now) {
@@ -170,9 +191,9 @@ struct AvailabilityProcess::Impl {
         served_this_busy_ = 0;
         // Blocked (patient) peers immediately begin service.
         for (PeerId id : blocked_) {
-            auto& peer = peers_.at(id);
+            PeerState& peer = peer_at(id);
             peer.waited += queue_.now() - peer.wait_start;
-            start_service(id);
+            start_service(peer);
         }
         blocked_.clear();
     }
@@ -198,35 +219,40 @@ struct AvailabilityProcess::Impl {
         // Figure 2): they block until a publisher returns, or leave if
         // impatient. By memorylessness their remaining service on resume is
         // a fresh Exp(s/mu), matching the model's renewal view.
-        std::vector<PeerId> interrupted;
-        interrupted.reserve(downloading_.size());
-        // swarmlint-allow(det-unordered-iter): collection order is discarded by the sort below
-        for (const auto& [id, peer] : downloading_) {
-            interrupted.push_back(id);
-        }
-        // Sorted so that the blocked_ queue (and with it the order service
-        // resumes, which consumes RNG draws) never depends on hash layout.
-        std::sort(interrupted.begin(), interrupted.end());
-        for (PeerId id : interrupted) {
-            queue_.cancel(downloading_.at(id));
-            downloading_.erase(id);
+        // Peers are interrupted in ascending id order -- the vector's own
+        // order -- which matches the sorted-id order the map-based layout
+        // had to reconstruct, so the blocked_ queue (and with it the order
+        // service resumes, which consumes RNG draws) is unchanged.
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < peers_.size(); ++i) {
+            PeerState& peer = peers_[i];
+            if (!peer.downloading) {
+                peers_[keep++] = peers_[i];
+                continue;
+            }
+            queue_.cancel(peer.completion);
+            peer.downloading = false;
+            --downloading_count_;
             ++result_.stranded;
             if (m_stranded_ != nullptr) {
                 m_stranded_->add();
             }
-            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerStranded, queue_.now(), id);
+            SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerStranded, queue_.now(),
+                             peer.id);
             if (config_.patient_peers) {
-                peers_.at(id).wait_start = queue_.now();
-                blocked_.push_back(id);
+                peer.wait_start = queue_.now();
+                blocked_.push_back(peer.id);
+                peers_[keep++] = peers_[i];
             } else {
-                peers_.erase(id);
                 ++result_.lost;
                 if (m_lost_ != nullptr) {
                     m_lost_->add();
                 }
-                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(), id);
+                SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerLost, queue_.now(),
+                                 peer.id);
             }
         }
+        peers_.resize(keep);
         // Lingering seeds have nothing to serve once the content is dead;
         // they exit (their coverage contribution ended the moment the
         // threshold was crossed). Bump the epoch so their pending departure
@@ -253,14 +279,27 @@ struct AvailabilityProcess::Impl {
         }
         audit::check_peer_conservation(result_.arrivals, result_.served, result_.lost,
                                        peers_.size());
-        SWARMAVAIL_INVARIANT(downloading_.size() + blocked_.size() == peers_.size(),
+        std::size_t recomputed_downloading = 0;
+        for (const PeerState& peer : peers_) {
+            recomputed_downloading += peer.downloading ? 1U : 0U;
+        }
+        SWARMAVAIL_INVARIANT(recomputed_downloading == downloading_count_,
+                             "AvailabilitySim: downloading counter diverged from "
+                             "the per-peer flags");
+        SWARMAVAIL_INVARIANT(downloading_count_ + blocked_.size() == peers_.size(),
                              "AvailabilitySim: peers_ diverged from the union of "
                              "downloading and blocked sets");
+        SWARMAVAIL_INVARIANT(
+            std::is_sorted(peers_.begin(), peers_.end(),
+                           [](const PeerState& a, const PeerState& b) {
+                               return a.id < b.id;
+                           }),
+            "AvailabilitySim: peer records out of id order");
         audit::check_nonnegative_count("publishers",
                                        static_cast<std::int64_t>(publishers_));
         audit::check_nonnegative_count("lingering seeds",
                                        static_cast<std::int64_t>(lingering_));
-        SWARMAVAIL_INVARIANT(available_ || downloading_.empty(),
+        SWARMAVAIL_INVARIANT(available_ || downloading_count_ == 0,
                              "AvailabilitySim: peers downloading while content is "
                              "unavailable");
         SWARMAVAIL_INVARIANT(available_ == busy_open_,
@@ -320,15 +359,16 @@ struct AvailabilityProcess::Impl {
         }
         SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerArrival, queue_.now(), id);
         PeerState peer;
+        peer.id = id;
         peer.arrival = queue_.now();
         if (available_) {
-            peers_.emplace(id, peer);
-            start_service(id);
+            peers_.push_back(peer);
+            start_service(peers_.back());
         } else {
             ++arrivals_blocked_;
             if (config_.patient_peers) {
                 peer.wait_start = queue_.now();
-                peers_.emplace(id, peer);
+                peers_.push_back(peer);
                 blocked_.push_back(id);
             } else {
                 ++result_.lost;
@@ -342,20 +382,22 @@ struct AvailabilityProcess::Impl {
         audit_state();
     }
 
-    void start_service(PeerId id) {
+    void start_service(PeerState& peer) {
         const double service = rng_.exponential_mean(config_.params.service_time());
-        const EventId event =
+        const PeerId id = peer.id;
+        peer.completion =
             queue_.schedule_at(queue_.now() + service, [this, id] { on_completion(id); });
-        downloading_[id] = event;
-        peers_.at(id).completion = event;
+        peer.downloading = true;
+        ++downloading_count_;
     }
 
     void on_completion(PeerId id) {
-        downloading_.erase(id);
-        const auto it = peers_.find(id);
-        ensure(it != peers_.end(), "AvailabilitySim: completion for unknown peer");
-        const PeerState peer = it->second;
-        peers_.erase(it);
+        PeerState& record = peer_at(id);
+        ensure(record.downloading, "AvailabilitySim: completion for a peer not "
+                                   "downloading");
+        const PeerState peer = record;
+        --downloading_count_;
+        peers_.erase(peers_.begin() + (&record - peers_.data()));
         ++result_.served;
         ++served_this_busy_;
         const double elapsed = queue_.now() - peer.arrival;
@@ -415,17 +457,18 @@ struct AvailabilityProcess::Impl {
         audit_state();
     }
 
+    // Declaration order doubles as cache layout: in the shared-queue
+    // catalog engine every event lands on a cold Impl (thousands of swarms
+    // round-robin through one queue), so the fields an event handler always
+    // touches — config, rng, queue, the population scalars and flags — are
+    // packed up front, the per-event-type process objects follow, and the
+    // result accumulator plus the metric pointers (null in benchmarks,
+    // resolved once in bind_metrics) trail at the end.
     AvailabilitySimConfig config_;
     Rng rng_;
     EventQueue& queue_;
-    PoissonProcess peer_arrivals_;
-    PoissonProcess publisher_arrivals_;
-    OnOffProcess on_off_;
-    AvailabilitySimResult result_;
 
-    std::unordered_map<PeerId, PeerState> peers_;
-    std::unordered_map<PeerId, EventId> downloading_;
-    std::vector<PeerId> blocked_;
+    std::size_t downloading_count_ = 0;
     std::size_t lingering_ = 0;
     std::uint64_t linger_epoch_ = 0;
     std::size_t publishers_ = 0;
@@ -436,6 +479,7 @@ struct AvailabilityProcess::Impl {
     bool available_ = false;
     bool busy_open_ = false;
     bool idle_open_ = false;
+    bool publisher_ever_toggled_ = false;
     SimTime busy_start_ = 0.0;
     SimTime idle_start_ = 0.0;
     std::uint64_t served_this_busy_ = 0;
@@ -447,7 +491,16 @@ struct AvailabilityProcess::Impl {
 
     SimTime last_publisher_change_ = 0.0;
     double publisher_online_seconds_ = 0.0;
-    bool publisher_ever_toggled_ = false;
+
+    /// In-system peers ordered by id; see the PeerState comment for why
+    /// this is a flat vector rather than a map.
+    std::vector<PeerState> peers_;
+    std::vector<PeerId> blocked_;
+
+    PoissonProcess peer_arrivals_;
+    PoissonProcess publisher_arrivals_;
+    OnOffProcess on_off_;
+    AvailabilitySimResult result_;
 
     // Cached metric references (null when config_.metrics is null); see
     // bind_metrics. Either all are bound or none.

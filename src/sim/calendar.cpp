@@ -1,0 +1,313 @@
+#include "sim/calendar.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/audit.hpp"
+#include "util/check.hpp"
+
+namespace swarmavail::sim {
+
+void CalendarLadder::push(const CalendarEntry& entry) {
+    ++entries_;
+    if (!have_window_) {
+        ladder_.push_back(entry);
+        return;
+    }
+    // Routing arithmetic is the single source of truth for bucket
+    // membership: floor((when - win_start) / width) is monotone in `when`,
+    // so the partition preserves the (when, seq) order across buckets.
+    const double offset = (entry.when - win_start_) * inv_width_;
+    if (offset >= static_cast<double>(num_buckets_)) {
+        ladder_.push_back(entry);
+        return;
+    }
+    const auto bucket = offset > 0.0 ? static_cast<std::size_t>(offset) : 0;
+    if (bucket <= cur_bucket_) {
+        stage(entry);
+        return;
+    }
+    buckets_[bucket].push_back(entry);
+    set_bit(bucket);
+}
+
+void CalendarLadder::stage(const CalendarEntry& entry) {
+    staged_.push_back(entry);
+    staged_min_when_ = std::min(staged_min_when_, entry.when);
+}
+
+const CalendarEntry* CalendarLadder::peek() {
+    for (;;) {
+        if (entries_ == 0) {
+            return nullptr;
+        }
+        if (!have_window_) {
+            rewindow();
+            continue;
+        }
+        std::vector<CalendarEntry>& bucket = buckets_[cur_bucket_];
+        if (cursor_ < bucket.size()) {
+            // A staged insert preempts the head only with a strictly
+            // earlier time: staged seqs are newer than anything already
+            // sorted, so on equal times the in-place head stays first.
+            if (staged_min_when_ < bucket[cursor_].when) {
+                merge_staged();
+            }
+            return &bucket[cursor_];
+        }
+        if (!staged_.empty()) {
+            activate_staged();
+            continue;
+        }
+        bucket.clear();
+        clear_bit(cur_bucket_);
+        const std::size_t next = next_occupied(cur_bucket_ + 1);
+        if (next < num_buckets_) {
+            cur_bucket_ = next;
+            cursor_ = 0;
+            sort_bucket(next);
+            continue;
+        }
+        have_window_ = false;  // window drained; remaining entries ladder out
+    }
+}
+
+CalendarEntry CalendarLadder::pop() {
+    std::vector<CalendarEntry>& bucket = buckets_[cur_bucket_];
+    SWARMAVAIL_INVARIANT(have_window_ && cursor_ < bucket.size(),
+                         "CalendarLadder::pop without a positioned head");
+    --entries_;
+    return bucket[cursor_++];
+}
+
+void CalendarLadder::merge_staged() {
+    std::vector<CalendarEntry>& bucket = buckets_[cur_bucket_];
+    if (staged_.size() <= kSmallMerge) {
+        // The common shape: an event handler scheduled one or two
+        // entries that preempt the head. Splicing them into the sorted
+        // remainder is a binary search plus a short memmove — the full
+        // re-sort below would dwarf the work it orders.
+        for (const CalendarEntry& entry : staged_) {
+            const auto pos = std::upper_bound(
+                bucket.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                bucket.end(), entry,
+                [](const CalendarEntry& a, const CalendarEntry& b) {
+                    return calendar_earlier(a, b);
+                });
+            bucket.insert(pos, entry);
+        }
+    } else {
+        bucket.erase(bucket.begin(),
+                     bucket.begin() + static_cast<std::ptrdiff_t>(cursor_));
+        bucket.insert(bucket.end(), staged_.begin(), staged_.end());
+        cursor_ = 0;
+        sort_bucket(cur_bucket_);
+    }
+    staged_.clear();
+    staged_min_when_ = std::numeric_limits<SimTime>::infinity();
+}
+
+void CalendarLadder::activate_staged() {
+    std::vector<CalendarEntry>& bucket = buckets_[cur_bucket_];
+    bucket.clear();
+    bucket.swap(staged_);
+    staged_min_when_ = std::numeric_limits<SimTime>::infinity();
+    cursor_ = 0;
+    set_bit(cur_bucket_);
+    sort_bucket(cur_bucket_);
+}
+
+void CalendarLadder::rewindow() {
+    SWARMAVAIL_INVARIANT(!ladder_.empty(),
+                         "CalendarLadder: rewindow with an empty ladder");
+    const std::size_t count = ladder_.size();
+    if (count <= kSmallLadder) {
+        // Small-ladder fast path. Tiny queues (the catalog engine's
+        // sharded mode runs thousands of mostly-idle per-swarm queues
+        // with a handful of live events each) would otherwise rewindow
+        // every couple of pops: near-half sizing windows in only half
+        // the ladder, so the window drains almost immediately. A queue
+        // this size gains nothing from density-adaptive sizing — the
+        // skew pathology the median split guards against needs a dense
+        // head worth splitting — so span the full range, window in
+        // everything, and make the next rewindow a full drain away.
+        SimTime lo = ladder_[0].when;
+        SimTime hi = lo;
+        for (const CalendarEntry& entry : ladder_) {
+            lo = std::min(lo, entry.when);
+            hi = std::max(hi, entry.when);
+        }
+        SWARMAVAIL_INVARIANT(std::isfinite(lo) && std::isfinite(hi),
+                             "CalendarLadder: non-finite event time in ladder");
+        num_buckets_ = kMinBuckets;
+        // A width that puts the max in the last bucket keeps every entry
+        // inside the window while still spreading the batch, so pushes
+        // arriving mid-drain usually land in a later bucket instead of
+        // the active one (staging an active-bucket push costs a re-sort).
+        // Routing stays monotone for any width, so pop order is
+        // unaffected.
+        SimTime width = (hi - lo) / static_cast<double>(kMinBuckets - 1);
+        if (!(width > 0.0) || !std::isfinite(width)) {
+            width = 1.0;
+        }
+        build_window(lo, width);
+        return;
+    }
+    // Partition the ladder around its time median. Sizing the window from
+    // the density of the *near half* instead of the full span keeps a few
+    // far-future outliers (peer/publisher churn scheduled orders of
+    // magnitude out) from stretching the bucket width until the dense head
+    // collapses into one giant bucket -- the classic calendar-queue skew
+    // pathology, where every near-future push then lands in the active
+    // bucket and forces a staged-merge re-sort. Internal ladder order is
+    // irrelevant to pop order (every bucket is fully sorted by (when, seq)
+    // before it is consumed), so the nth_element shuffle is invisible.
+    const std::size_t mid = (count - 1) / 2;
+    std::nth_element(ladder_.begin(),
+                     ladder_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     ladder_.end(),
+                     [](const CalendarEntry& a, const CalendarEntry& b) {
+                         return a.when < b.when;
+                     });
+    const SimTime t_mid = ladder_[mid].when;
+    // The global minimum sits in the near partition.
+    SimTime lo = t_mid;
+    for (std::size_t i = 0; i < mid; ++i) {
+        lo = std::min(lo, ladder_[i].when);
+    }
+    SWARMAVAIL_INVARIANT(std::isfinite(lo) && std::isfinite(t_mid),
+                         "CalendarLadder: non-finite event time in ladder");
+    // ~kTargetPerBucket entries per bucket over the near-half span, so the
+    // window covers roughly the soonest half of the ladder and the far
+    // tail rungs out to later rewindows. A degenerate near-half (all
+    // entries at one instant) falls back to the full span, then to unit
+    // width; ties never force merges (staged preemption is strict).
+    SimTime width = (t_mid - lo) * static_cast<double>(2 * kTargetPerBucket) /
+                    static_cast<double>(count);
+    if (!(width > 0.0) || !std::isfinite(width)) {
+        SimTime hi = t_mid;
+        for (std::size_t i = mid + 1; i < count; ++i) {
+            hi = std::max(hi, ladder_[i].when);
+        }
+        SWARMAVAIL_INVARIANT(std::isfinite(hi),
+                             "CalendarLadder: non-finite event time in ladder");
+        width = (hi - lo) * static_cast<double>(kTargetPerBucket) /
+                static_cast<double>(count);
+        if (!(width > 0.0) || !std::isfinite(width)) {
+            width = 1.0;
+        }
+    }
+    const std::size_t want =
+        std::bit_ceil(count / (2 * kTargetPerBucket) | std::size_t{1});
+    num_buckets_ = std::clamp(want, kMinBuckets, kMaxBuckets);
+    build_window(lo, width);
+}
+
+void CalendarLadder::build_window(SimTime lo, SimTime width) {
+    win_start_ = lo;
+    width_ = width;
+    inv_width_ = 1.0 / width;
+    if (buckets_.size() < num_buckets_) {
+        buckets_.resize(num_buckets_);
+    }
+    occupancy_.assign((num_buckets_ + 63) / 64, 0);
+    scratch_.clear();
+    for (const CalendarEntry& entry : ladder_) {
+        const double offset = (entry.when - win_start_) * inv_width_;
+        if (offset < static_cast<double>(num_buckets_)) {
+            const auto bucket = static_cast<std::size_t>(offset);
+            buckets_[bucket].push_back(entry);
+            set_bit(bucket);
+        } else {
+            scratch_.push_back(entry);
+        }
+    }
+    ladder_.swap(scratch_);
+    // The ladder minimum routes to bucket 0, so the window is never empty.
+    cur_bucket_ = next_occupied(0);
+    cursor_ = 0;
+    sort_bucket(cur_bucket_);
+    have_window_ = true;
+}
+
+void CalendarLadder::sort_bucket(std::size_t index) {
+    std::vector<CalendarEntry>& bucket = buckets_[index];
+    // Lambda (not the function's address) so the comparator inlines.
+    std::sort(bucket.begin(), bucket.end(),
+              [](const CalendarEntry& a, const CalendarEntry& b) {
+                  return calendar_earlier(a, b);
+              });
+}
+
+std::size_t CalendarLadder::next_occupied(std::size_t from) const noexcept {
+    std::size_t word = from >> 6U;
+    const std::size_t words = occupancy_.size();
+    if (word >= words) {
+        return num_buckets_;
+    }
+    std::uint64_t bits = occupancy_[word] >> (from & 63U);
+    if (bits != 0) {
+        return from + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+    for (++word; word < words; ++word) {
+        bits = occupancy_[word];
+        if (bits != 0) {
+            return (word << 6U) + static_cast<std::size_t>(std::countr_zero(bits));
+        }
+    }
+    return num_buckets_;
+}
+
+void CalendarLadder::audit_structure() const {
+    std::size_t counted = staged_.size() + ladder_.size();
+    if (have_window_) {
+        for (std::size_t b = 0; b < num_buckets_; ++b) {
+            const std::vector<CalendarEntry>& bucket = buckets_[b];
+            if (b < cur_bucket_) {
+                SWARMAVAIL_INVARIANT(bucket.empty(),
+                                     "CalendarLadder: drained bucket not empty");
+                continue;
+            }
+            if (b == cur_bucket_) {
+                SWARMAVAIL_INVARIANT(cursor_ <= bucket.size(),
+                                     "CalendarLadder: cursor past active bucket");
+                counted += bucket.size() - cursor_;
+                for (std::size_t i = cursor_ + 1; i < bucket.size(); ++i) {
+                    SWARMAVAIL_INVARIANT(
+                        calendar_earlier(bucket[i - 1], bucket[i]),
+                        "CalendarLadder: active bucket out of (when, seq) order");
+                }
+                continue;
+            }
+            counted += bucket.size();
+            SWARMAVAIL_INVARIANT(bucket.empty() || test_bit(b),
+                                 "CalendarLadder: occupied bucket missing its bit");
+            for (const CalendarEntry& entry : bucket) {
+                audit::check_calendar_bucket(entry.when, win_start_, width_,
+                                             num_buckets_, b);
+            }
+        }
+        for (const CalendarEntry& entry : ladder_) {
+            audit::check_ladder_horizon(entry.when, win_start_, width_,
+                                        num_buckets_);
+        }
+        SimTime staged_min = std::numeric_limits<SimTime>::infinity();
+        for (const CalendarEntry& entry : staged_) {
+            staged_min = std::min(staged_min, entry.when);
+        }
+        SWARMAVAIL_INVARIANT(staged_min == staged_min_when_,
+                             "CalendarLadder: staged minimum cache out of sync");
+    } else {
+        SWARMAVAIL_INVARIANT(staged_.empty(),
+                             "CalendarLadder: staged entries without a window");
+        for (const std::vector<CalendarEntry>& bucket : buckets_) {
+            SWARMAVAIL_INVARIANT(bucket.empty(),
+                                 "CalendarLadder: bucket entries without a window");
+        }
+    }
+    SWARMAVAIL_INVARIANT(counted == entries_,
+                         "CalendarLadder: entry count drifted");
+}
+
+}  // namespace swarmavail::sim

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/audit.hpp"
@@ -28,77 +28,87 @@ constexpr std::uint32_t id_generation(EventId id) noexcept {
 std::uint32_t EventQueue::acquire_slot() {
     if (free_head_ != kNoSlot) {
         const std::uint32_t index = free_head_;
-        free_head_ = slab_[index].next_free;
-        slab_[index].next_free = kNoSlot;
+        free_head_ = meta_[index].next_free;
+        meta_[index].next_free = kNoSlot;
         return index;
     }
-    slab_.emplace_back();
-    return static_cast<std::uint32_t>(slab_.size() - 1);
+    meta_.emplace_back();
+    actions_.emplace_back();
+    return static_cast<std::uint32_t>(meta_.size() - 1);
 }
 
 void EventQueue::release_slot(std::uint32_t index) noexcept {
-    Slot& slot = slab_[index];
-    slot.action.reset();
-    slot.live = false;
-    ++slot.generation;  // invalidates every EventId handed out for this slot
-    slot.next_free = free_head_;
+    actions_[index].reset();
+    SlotMeta& meta = meta_[index];
+    meta.live = false;
+    ++meta.generation;  // invalidates every EventId handed out for this slot
+    meta.next_free = free_head_;
     free_head_ = index;
 }
 
-void EventQueue::drain_cancelled_head() {
-    while (!heap_.empty() && !slab_[heap_.front().slot].live) {
-        const std::uint32_t slot = heap_.front().slot;
-        std::pop_heap(heap_.begin(), heap_.end(), later);
-        heap_.pop_back();
-        release_slot(slot);
+void EventQueue::reposition() {
+    const CalendarEntry* head = calendar_.peek();
+    while (head != nullptr && !meta_[head->slot].live) {
+        release_slot(calendar_.pop().slot);
+        head = calendar_.peek();
+    }
+    next_when_ = head != nullptr ? head->when : -1.0;
+    if (head != nullptr) {
+        // The next dispatch will read this action; warming the line here
+        // overlaps the miss with whatever runs between now and then.
+        __builtin_prefetch(&actions_[head->slot]);
     }
 }
 
 EventId EventQueue::schedule_at(SimTime when, EventFn action) {
     require(when >= now_, "EventQueue::schedule_at: cannot schedule in the past");
+    require(std::isfinite(when), "EventQueue::schedule_at: event time must be finite");
     const std::uint32_t slot = acquire_slot();
-    Slot& record = slab_[slot];
-    record.action = std::move(action);
-    record.live = true;
-    heap_.push_back(HeapEntry{when, next_seq_++, slot});
-    std::push_heap(heap_.begin(), heap_.end(), later);
+    actions_[slot] = std::move(action);
+    meta_[slot].live = true;
+    calendar_.push(CalendarEntry{when, next_seq_++, slot});
     ++live_events_;
-    return make_id(record.generation, slot);
+    // The new entry is live, so the cached head only ever moves earlier.
+    if (next_when_ < 0.0 || when < next_when_) {
+        next_when_ = when;
+    }
+    return make_id(meta_[slot].generation, slot);
 }
 
 void EventQueue::cancel(EventId id) {
     const std::uint32_t slot = id_slot(id);
-    if (slot >= slab_.size()) {
+    if (slot >= meta_.size()) {
         return;
     }
-    Slot& record = slab_[slot];
-    if (!record.live || record.generation != id_generation(id)) {
+    SlotMeta& meta = meta_[slot];
+    if (!meta.live || meta.generation != id_generation(id)) {
         return;  // already fired, already cancelled, or a recycled slot
     }
-    record.live = false;
-    record.action.reset();  // release captured resources eagerly
+    meta.live = false;
+    actions_[slot].reset();  // release captured resources eagerly
     --live_events_;
-    drain_cancelled_head();  // keep the heap head live for const next_time()
+    reposition();  // keep the head live for const next_time()
 }
 
 bool EventQueue::run_next() {
-    if (heap_.empty()) {
+    if (live_events_ == 0) {
         return false;
     }
     // Inclusive of the dispatched action: "event dispatch" is the pop plus
     // whatever handler work the event triggers.
     SWARMAVAIL_PROF_SCOPE("sim.event_dispatch");
-    const HeapEntry entry = heap_.front();
+    // reposition() left the calendar head on a live entry, so this peek is
+    // the O(1) fast path (or first-time positioning after pushes).
+    const CalendarEntry entry = *calendar_.peek();
     if (audit_) {
         audit::check_monotone_time(now_, entry.when);
         audit_bookkeeping();
     }
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
-    EventFn action = std::move(slab_[entry.slot].action);
+    calendar_.pop();
+    EventFn action = std::move(actions_[entry.slot]);
     release_slot(entry.slot);
     --live_events_;
-    drain_cancelled_head();
+    reposition();
     now_ = entry.when;
     ++dispatched_;
     action();
@@ -106,7 +116,7 @@ bool EventQueue::run_next() {
 }
 
 void EventQueue::run_until(SimTime horizon) {
-    while (!heap_.empty() && heap_.front().when <= horizon) {
+    while (live_events_ != 0 && next_when_ <= horizon) {
         run_next();
     }
     if (horizon > now_) {
@@ -115,40 +125,60 @@ void EventQueue::run_until(SimTime horizon) {
 }
 
 void EventQueue::audit_bookkeeping() const {
-    // The head must be live (cancelled entries are drained eagerly).
-    SWARMAVAIL_INVARIANT(!heap_.empty() && slab_[heap_.front().slot].live,
-                         "EventQueue: heap head is not a live event");
+    calendar_.audit_structure();
     // Every live slot is counted exactly once by live_events_.
     std::size_t live_slots = 0;
-    for (const Slot& slot : slab_) {
-        if (slot.live) {
+    for (const SlotMeta& meta : meta_) {
+        if (meta.live) {
             ++live_slots;
         }
     }
     SWARMAVAIL_INVARIANT(live_slots == live_events_,
                          "EventQueue: live-event count out of sync with the slab");
-    // Each heap entry owns a distinct in-range slot.
-    std::vector<bool> owned(slab_.size(), false);
-    for (const HeapEntry& entry : heap_) {
-        SWARMAVAIL_INVARIANT(entry.slot < slab_.size(),
-                             "EventQueue: heap entry references an out-of-range slot");
+    // Each calendar entry owns a distinct in-range slot; track the
+    // (when, seq)-minimal live entry to validate the cached head.
+    std::vector<bool> owned(meta_.size(), false);
+    std::size_t entry_count = 0;
+    CalendarEntry best{};
+    bool found_live = false;
+    calendar_.for_each_entry([&](const CalendarEntry& entry) {
+        SWARMAVAIL_INVARIANT(
+            entry.slot < meta_.size(),
+            "EventQueue: calendar entry references an out-of-range slot");
         SWARMAVAIL_INVARIANT(!owned[entry.slot],
-                             "EventQueue: two heap entries share one slot");
+                             "EventQueue: two calendar entries share one slot");
         owned[entry.slot] = true;
-    }
-    // The free list and the heap partition the slab.
+        ++entry_count;
+        if (meta_[entry.slot].live &&
+            (!found_live || calendar_earlier(entry, best))) {
+            best = entry;
+            found_live = true;
+        }
+    });
+    SWARMAVAIL_INVARIANT(entry_count == calendar_.entries(),
+                         "EventQueue: calendar entry count drifted");
+    // The free list and the calendar partition the slab.
     std::size_t free_slots = 0;
     for (std::uint32_t cursor = free_head_; cursor != kNoSlot;
-         cursor = slab_[cursor].next_free) {
-        SWARMAVAIL_INVARIANT(cursor < slab_.size() && !slab_[cursor].live &&
-                                 !owned[cursor],
-                             "EventQueue: free list holds a live or heap-owned slot");
+         cursor = meta_[cursor].next_free) {
+        SWARMAVAIL_INVARIANT(
+            cursor < meta_.size() && !meta_[cursor].live && !owned[cursor],
+            "EventQueue: free list holds a live or calendar-owned slot");
         ++free_slots;
-        SWARMAVAIL_INVARIANT(free_slots <= slab_.size(),
+        SWARMAVAIL_INVARIANT(free_slots <= meta_.size(),
                              "EventQueue: free list cycle detected");
     }
-    SWARMAVAIL_INVARIANT(heap_.size() + free_slots == slab_.size(),
-                         "EventQueue: heap and free list do not partition the slab");
+    SWARMAVAIL_INVARIANT(entry_count + free_slots == meta_.size(),
+                         "EventQueue: calendar and free list do not partition the slab");
+    SWARMAVAIL_INVARIANT(found_live == (live_events_ > 0),
+                         "EventQueue: live events missing from the calendar");
+    if (found_live) {
+        SWARMAVAIL_INVARIANT(next_when_ == best.when,
+                             "EventQueue: cached next_time out of sync");
+    } else {
+        SWARMAVAIL_INVARIANT(next_when_ < 0.0,
+                             "EventQueue: cached next_time set on an empty queue");
+    }
 }
 
 }  // namespace swarmavail::sim

@@ -1,23 +1,26 @@
 // Discrete-event simulation core: a time-ordered event queue with stable
 // FIFO ordering for simultaneous events and O(1) logical cancellation.
 //
-// Hot-path layout: callbacks live in a slab of reusable slots (small-buffer
-// optimized, so typical [this, id] captures never touch the heap) and the
-// heap itself holds only POD {when, seq, slot} entries. cancel() flips a
-// bit in the slot -- no hash lookup anywhere on the schedule/pop path.
-// Cancelled entries are drained from the heap head eagerly, so the head is
-// always a live event and next_time() is a const peek.
+// Generation 3: scheduling runs on a calendar/ladder structure
+// (sim/calendar.hpp) instead of a binary heap -- O(1) amortized push/pop,
+// with same-timestamp runs dispatched back-to-back out of one sorted
+// bucket (no per-pop reordering work). Storage is split hot/cold: the
+// calendar holds POD {when, seq, slot} records and the slot metadata
+// (liveness, generation, free list) lives in its own packed array, while
+// the SBO callbacks sit in a separate cold slab that the scheduling loop
+// only touches at dispatch. cancel() flips a bit in the hot metadata -- no
+// hash lookup anywhere on the schedule/pop path. Cancelled entries are
+// drained from the structure head eagerly, so the head is always a live
+// event and next_time() stays a const O(1) peek of a cached value.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/calendar.hpp"
 #include "util/inplace_function.hpp"
 
 namespace swarmavail::sim {
-
-/// Simulation time in seconds.
-using SimTime = double;
 
 /// Handle identifying a scheduled event; used to cancel it. Encodes the
 /// slab slot and its generation, so a stale id (the event fired or its slot
@@ -28,18 +31,19 @@ using EventId = std::uint64_t;
 /// every simulator in this repo), heap fallback beyond that.
 using EventFn = InplaceFunction<void(), 48>;
 
-/// Min-heap event queue. Events scheduled for the same time fire in
+/// Calendar-queue event loop. Events scheduled for the same time fire in
 /// scheduling order (sequence numbers break ties), which keeps simulations
-/// deterministic for a fixed RNG seed.
+/// deterministic for a fixed RNG seed; the pop order is bit-identical to
+/// the generation-2 binary heap.
 class EventQueue {
  public:
-    /// Schedules `action` at absolute time `when` (must be >= now()).
-    /// Returns an id usable with cancel().
+    /// Schedules `action` at absolute time `when` (must be finite and
+    /// >= now()). Returns an id usable with cancel().
     EventId schedule_at(SimTime when, EventFn action);
 
     /// Marks an event as cancelled and releases its callback immediately;
-    /// the heap entry is dropped lazily. Cancelling an already-fired or
-    /// unknown id is a no-op.
+    /// the calendar entry is dropped lazily. Cancelling an already-fired
+    /// or unknown id is a no-op.
     void cancel(EventId id);
 
     /// Pops and runs the next event. Returns false when the queue is empty.
@@ -50,9 +54,9 @@ class EventQueue {
     void run_until(SimTime horizon);
 
     /// Enables the invariant-audit mode: every pop re-verifies that event
-    /// time is monotone and that the slab/heap/free-list bookkeeping is
-    /// consistent, throwing CheckFailure on corruption. Off by default
-    /// (zero overhead).
+    /// time is monotone and that the slab/calendar/free-list bookkeeping
+    /// (including bucket routing and ladder-horizon bounds) is consistent,
+    /// throwing CheckFailure on corruption. Off by default (zero overhead).
     void set_audit(bool on) noexcept { audit_ = on; }
     [[nodiscard]] bool audit() const noexcept { return audit_; }
 
@@ -65,25 +69,17 @@ class EventQueue {
     [[nodiscard]] std::uint64_t dispatched() const noexcept { return dispatched_; }
 
     /// Time of the next live event, or a negative value if none is queued.
-    /// Pure peek: the heap head is kept live eagerly, so no draining (and
-    /// no mutation) happens here.
-    [[nodiscard]] SimTime next_time() const noexcept {
-        return heap_.empty() ? -1.0 : heap_.front().when;
-    }
+    /// Pure peek: every mutator repositions the calendar on a live head
+    /// and refreshes this cache, so no draining (and no mutation) happens
+    /// here.
+    [[nodiscard]] SimTime next_time() const noexcept { return next_when_; }
 
  private:
-    /// POD heap entry; the callback lives in the slab, not the heap.
-    struct HeapEntry {
-        SimTime when;
-        std::uint64_t seq;
-        std::uint32_t slot;
-    };
-
-    /// Slab record for one scheduled event. A slot is owned by exactly one
-    /// heap entry from schedule to pop; `generation` invalidates stale
-    /// EventIds once the slot is recycled.
-    struct Slot {
-        EventFn action;
+    /// Hot per-slot metadata, packed separately from the callbacks so
+    /// liveness scans and free-list walks never page in payload storage.
+    /// A slot is owned by exactly one calendar entry from schedule to pop;
+    /// `generation` invalidates stale EventIds once the slot is recycled.
+    struct SlotMeta {
         std::uint32_t generation = 1;
         std::uint32_t next_free = kNoSlot;
         bool live = false;
@@ -91,24 +87,20 @@ class EventQueue {
 
     static constexpr std::uint32_t kNoSlot = UINT32_MAX;
 
-    static bool later(const HeapEntry& a, const HeapEntry& b) noexcept {
-        if (a.when != b.when) {
-            return a.when > b.when;
-        }
-        return a.seq > b.seq;
-    }
-
     [[nodiscard]] std::uint32_t acquire_slot();
     void release_slot(std::uint32_t index) noexcept;
-    /// Pops cancelled entries off the heap head so the head is always live.
-    void drain_cancelled_head();
-    /// Audit-mode full consistency check of slab vs heap vs free list.
+    /// Pops cancelled entries off the calendar head so the head is always
+    /// live, and refreshes the next_time() cache.
+    void reposition();
+    /// Audit-mode full consistency check of slab vs calendar vs free list.
     void audit_bookkeeping() const;
 
-    std::vector<HeapEntry> heap_;  ///< binary min-heap over (when, seq)
-    std::vector<Slot> slab_;
+    CalendarLadder calendar_;        ///< hot POD scheduling records
+    std::vector<SlotMeta> meta_;     ///< hot slot metadata
+    std::vector<EventFn> actions_;   ///< cold payload slab; touched at dispatch
     std::uint32_t free_head_ = kNoSlot;
     SimTime now_ = 0.0;
+    SimTime next_when_ = -1.0;       ///< cached next_time(); -1 when empty
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
     std::size_t live_events_ = 0;

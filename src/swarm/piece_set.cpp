@@ -4,40 +4,31 @@
 
 namespace swarmavail::swarm {
 
-PieceSet::PieceSet(std::size_t num_pieces)
-    : words_((num_pieces + kWordBits - 1) / kWordBits, 0), num_pieces_(num_pieces) {
+PieceSet::PieceSet(std::size_t num_pieces) : num_pieces_(num_pieces) {
     require(num_pieces >= 1, "PieceSet: requires at least one piece");
+    if (num_words() > 1) {
+        heap_words_.assign(num_words(), 0);
+    }
 }
 
 PieceSet PieceSet::complete(std::size_t num_pieces) {
     PieceSet set{num_pieces};
-    set.words_.assign(set.words_.size(), ~std::uint64_t{0});
-    set.words_.back() &= set.tail_mask();
+    std::uint64_t* w = set.words();
+    for (std::size_t wi = 0; wi < set.num_words(); ++wi) {
+        w[wi] = ~std::uint64_t{0};
+    }
+    w[set.num_words() - 1] &= set.tail_mask();
     set.count_ = num_pieces;
     return set;
 }
 
-bool PieceSet::has(std::size_t piece) const {
-    require(piece < num_pieces_, "PieceSet::has: piece index out of range");
-    return ((words_[piece / kWordBits] >> (piece % kWordBits)) & 1U) != 0;
-}
-
 std::size_t PieceSet::recount() const noexcept {
     std::size_t owned = 0;
-    for (const std::uint64_t word : words_) {
-        owned += static_cast<std::size_t>(std::popcount(word));
+    const std::uint64_t* w = words();
+    for (std::size_t wi = 0; wi < num_words(); ++wi) {
+        owned += static_cast<std::size_t>(std::popcount(w[wi]));
     }
     return owned;
-}
-
-void PieceSet::add(std::size_t piece) {
-    require(piece < num_pieces_, "PieceSet::add: piece index out of range");
-    const std::uint64_t bit = std::uint64_t{1} << (piece % kWordBits);
-    std::uint64_t& word = words_[piece / kWordBits];
-    if ((word & bit) == 0) {
-        word |= bit;
-        ++count_;
-    }
 }
 
 }  // namespace swarmavail::swarm

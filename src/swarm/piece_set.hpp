@@ -8,13 +8,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace swarmavail::swarm {
 
 /// Fixed-size piece bitmap with O(1) count queries.
 ///
 /// Stored as packed 64-bit words so the rarest-first scans of the swarm
 /// simulator can enumerate held/missing pieces a word at a time, skipping
-/// fully-held words outright instead of probing every piece.
+/// fully-held words outright instead of probing every piece. Bitmaps of up
+/// to 64 pieces -- the common simulator shape -- live in a single inline
+/// word, so a peer's have/in-flight scans touch no storage beyond the
+/// object itself; larger bitmaps spill to the heap.
 class PieceSet {
  public:
     /// Creates an all-empty set over `num_pieces` pieces (>= 1).
@@ -23,9 +28,36 @@ class PieceSet {
     /// Creates a complete set (a seed's bitmap).
     [[nodiscard]] static PieceSet complete(std::size_t num_pieces);
 
-    [[nodiscard]] bool has(std::size_t piece) const;
+    // has/add/remove live in the header: they sit inside the simulator's
+    // rarest-first scan, where the call overhead would rival the bit test.
+    [[nodiscard]] bool has(std::size_t piece) const {
+        require(piece < num_pieces_, "PieceSet::has: piece index out of range");
+        return ((words()[piece / kWordBits] >> (piece % kWordBits)) & 1U) != 0;
+    }
+
     /// Marks `piece` owned. Adding an owned piece is a no-op.
-    void add(std::size_t piece);
+    void add(std::size_t piece) {
+        require(piece < num_pieces_, "PieceSet::add: piece index out of range");
+        const std::uint64_t bit = std::uint64_t{1} << (piece % kWordBits);
+        std::uint64_t& word = words()[piece / kWordBits];
+        if ((word & bit) == 0) {
+            word |= bit;
+            ++count_;
+        }
+    }
+
+    /// Clears `piece`. Removing an unowned piece is a no-op. (Peers never
+    /// lose content pieces; this serves bitmap-backed scratch sets such as
+    /// the in-flight fetch set.)
+    void remove(std::size_t piece) {
+        require(piece < num_pieces_, "PieceSet::remove: piece index out of range");
+        const std::uint64_t bit = std::uint64_t{1} << (piece % kWordBits);
+        std::uint64_t& word = words()[piece / kWordBits];
+        if ((word & bit) != 0) {
+            word &= ~bit;
+            --count_;
+        }
+    }
 
     [[nodiscard]] std::size_t size() const noexcept { return num_pieces_; }
     [[nodiscard]] std::size_t count() const noexcept { return count_; }
@@ -48,8 +80,9 @@ class PieceSet {
     /// fn must not mutate this set.
     template <typename Fn>
     void for_each_held(Fn&& fn) const {
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-            std::uint64_t word = words_[wi];
+        const std::uint64_t* w = words();
+        for (std::size_t wi = 0; wi < num_words(); ++wi) {
+            std::uint64_t word = w[wi];
             while (word != 0) {
                 const auto bit = static_cast<std::size_t>(std::countr_zero(word));
                 fn(wi * kWordBits + bit);
@@ -63,9 +96,33 @@ class PieceSet {
     /// held words cost one compare). fn must not mutate this set.
     template <typename Fn>
     void for_each_missing(Fn&& fn) const {
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-            std::uint64_t word = ~words_[wi];
-            if (wi + 1 == words_.size()) {
+        const std::uint64_t* w = words();
+        for (std::size_t wi = 0; wi < num_words(); ++wi) {
+            std::uint64_t word = ~w[wi];
+            if (wi + 1 == num_words()) {
+                word &= tail_mask();
+            }
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                fn(wi * kWordBits + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /// Like for_each_missing, but also skips pieces present in `excluded`
+    /// (same size required): one OR per word replaces a per-piece probe of
+    /// the excluded set. Visits exactly the pieces for_each_missing would
+    /// visit minus those in `excluded`, in the same ascending order.
+    template <typename Fn>
+    void for_each_missing_excluding(const PieceSet& excluded, Fn&& fn) const {
+        require(excluded.num_pieces_ == num_pieces_,
+                "PieceSet::for_each_missing_excluding: size mismatch");
+        const std::uint64_t* w = words();
+        const std::uint64_t* x = excluded.words();
+        for (std::size_t wi = 0; wi < num_words(); ++wi) {
+            std::uint64_t word = ~(w[wi] | x[wi]);
+            if (wi + 1 == num_words()) {
                 word &= tail_mask();
             }
             while (word != 0) {
@@ -86,7 +143,22 @@ class PieceSet {
         return tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
     }
 
-    std::vector<std::uint64_t> words_;
+    [[nodiscard]] std::size_t num_words() const noexcept {
+        return (num_pieces_ + kWordBits - 1) / kWordBits;
+    }
+
+    // Storage accessors: one inline word when the bitmap fits (heap_words_
+    // stays empty), a heap vector otherwise. The discriminator is the
+    // vector itself, so the object carries no extra flag.
+    [[nodiscard]] std::uint64_t* words() noexcept {
+        return heap_words_.empty() ? &inline_word_ : heap_words_.data();
+    }
+    [[nodiscard]] const std::uint64_t* words() const noexcept {
+        return heap_words_.empty() ? &inline_word_ : heap_words_.data();
+    }
+
+    std::uint64_t inline_word_ = 0;
+    std::vector<std::uint64_t> heap_words_;  ///< used only when > 64 pieces
     std::size_t num_pieces_ = 0;
     std::size_t count_ = 0;
 };

@@ -1,7 +1,7 @@
 #include "swarm/swarm_sim.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <memory>
 #include <unordered_set>
 
 #include "sim/audit.hpp"
@@ -41,22 +41,37 @@ constexpr PeerId kPublisher = 0;
 
 struct Peer {
     PieceSet have;
+    PieceSet inflight;      ///< pieces being fetched (bitmap: O(1) probes on
+                            ///< the rarest-first scan, no hashing)
     double capacity = 0.0;  ///< upload capacity, bits/s
     std::size_t up_used = 0;
-    std::size_t down_used = 0;
     SimTime arrival = 0.0;
+    std::size_t record_index = 0;  ///< this peer's row in result_.peers
     bool seed_only = false;  ///< completed and lingering: uploads, never downloads
-    /// Offered-set version at the peer's last failed fetch attempt: the
-    /// peer is skipped by the scheduler until new pieces are offered
-    /// (UINT64_MAX = never failed / must retry).
-    std::uint64_t dormant_version = UINT64_MAX;
-    std::unordered_set<PeerId> neighbors{};          ///< visible peers (PEX/tracker)
-    std::unordered_set<std::size_t> inflight{};      ///< pieces being fetched
-    std::unordered_set<TransferId> up_transfers{};   ///< transfers it serves
-    std::unordered_set<TransferId> down_transfers{}; ///< transfers it receives
+    std::unordered_set<PeerId> neighbors{};       ///< visible peers (PEX/tracker)
+    std::vector<TransferId> up_transfers{};       ///< transfers it serves
+    std::vector<TransferId> down_transfers{};     ///< transfers it receives
 };
+// Peer::down_used, Peer::dormant_version and the free-uploader flag live
+// in a dense per-id side array on SwarmSim instead (hot_): the pump loop
+// reads the first two for every leecher on every pass and most visits end
+// right there (slots full, or dormant), and source selection probes the
+// flag for every holder of the chosen piece. Packing these fields in one
+// flat record spares the pointer-chase into the heap-allocated Peer for
+// probes that never needed the rest of it.
+
+/// Drops one occurrence of `value` (order-insensitive swap-erase: every
+/// consumer of these lists snapshots and sorts before acting on them).
+void erase_value(std::vector<TransferId>& values, TransferId value) {
+    const auto it = std::find(values.begin(), values.end(), value);
+    if (it != values.end()) {
+        *it = values.back();
+        values.pop_back();
+    }
+}
 
 struct Transfer {
+    TransferId id = 0;
     PeerId src = 0;
     PeerId dst = 0;
     std::size_t piece = 0;
@@ -108,8 +123,8 @@ class SwarmSim {
         result_.completion_times.reserve(expected_arrivals);
         leechers_.reserve(expected_arrivals);
         pump_order_.reserve(expected_arrivals);
-        peers_.reserve(expected_arrivals);
-        peer_record_index_.reserve(expected_arrivals);
+        peer_slots_.reserve(expected_arrivals);
+        hot_.reserve(expected_arrivals);
         sim::PoissonProcess arrivals{queue_, rng_, aggregate_rate,
                                      [this] { on_peer_arrival(); }};
         std::vector<double> trimmed_trace;
@@ -184,9 +199,8 @@ class SwarmSim {
 #endif
         SwarmSimResult out = std::move(result_);
         out.stuck_at_horizon = 0;
-        // swarmlint-allow(det-unordered-iter): order-independent count; every peer adds 0 or 1
-        for (const auto& [id, peer] : peers_) {
-            if (!peer.seed_only) {
+        for (const auto& slot : peer_slots_) {
+            if (slot != nullptr && !slot->seed_only) {
                 ++out.stuck_at_horizon;
             }
         }
@@ -237,6 +251,21 @@ class SwarmSim {
             m_queue_depth_->set(static_cast<double>(queue_.size()));
         }
     }
+
+    // ---- peer store -------------------------------------------------------
+
+    /// Resolves a peer id to its record, or nullptr if it departed (or the
+    /// id was never handed out). O(1) indexing into the dense slot store.
+    [[nodiscard]] Peer* find_peer(PeerId id) noexcept {
+        return id < peer_slots_.size() ? peer_slots_[id].get() : nullptr;
+    }
+    [[nodiscard]] const Peer* find_peer(PeerId id) const noexcept {
+        return id < peer_slots_.size() ? peer_slots_[id].get() : nullptr;
+    }
+
+    /// Resolves a peer id known to be live (leecher lists, holder lists and
+    /// transfer endpoints only ever reference live peers).
+    [[nodiscard]] Peer& peer_at(PeerId id) { return *peer_slots_[id]; }
 
     // ---- coverage bookkeeping -------------------------------------------
 
@@ -315,31 +344,40 @@ class SwarmSim {
         SWARMAVAIL_INVARIANT(result_.arrivals == next_peer_id_ - 1,
                              "SwarmSim: arrival counter diverged from handed-out ids");
         std::size_t lingering_seeds = 0;
+        std::size_t live_peers = 0;
+        std::size_t free_uploaders = 0;
         std::vector<std::uint64_t> recomputed_holders(pieces_total_, 0);
         std::vector<std::uint64_t> recomputed_offers(pieces_total_, 0);
-        // swarmlint-allow(det-unordered-iter): audit-only accumulation (sums and per-peer checks); nothing reaches results
-        for (const auto& [id, peer] : peers_) {
+        for (PeerId id = 0; id < peer_slots_.size(); ++id) {
+            if (peer_slots_[id] == nullptr) {
+                continue;
+            }
+            const Peer& peer = *peer_slots_[id];
+            ++live_peers;
             if (peer.seed_only) {
                 ++lingering_seeds;
             }
             audit::check_piece_accounting(peer.have);
             audit::check_slot_budget("peer upload slots", peer.up_used,
                                      config_.max_upload_slots);
-            audit::check_slot_budget("peer download slots", peer.down_used,
+            audit::check_slot_budget("peer download slots", hot_[id].down_used,
                                      config_.max_download_slots);
             SWARMAVAIL_INVARIANT(peer.up_used == peer.up_transfers.size(),
                                  "SwarmSim: upload slot counter diverged from the "
                                  "transfer set");
-            SWARMAVAIL_INVARIANT(peer.down_used == peer.down_transfers.size(),
+            SWARMAVAIL_INVARIANT(hot_[id].down_used == peer.down_transfers.size(),
                                  "SwarmSim: download slot counter diverged from the "
                                  "transfer set");
-            SWARMAVAIL_INVARIANT(peer.inflight.size() == peer.down_used,
+            SWARMAVAIL_INVARIANT(peer.inflight.count() == hot_[id].down_used,
                                  "SwarmSim: in-flight piece set diverged from the "
                                  "download slot counter");
             audit::check_capacity_budget(
                 static_cast<double>(peer.up_used) * (peer.capacity / per_slot_divisor),
                 peer.capacity);
-            const bool listed_free = free_uploaders_.count(id) != 0;
+            const bool listed_free = hot_[id].free_uploader != 0;
+            if (listed_free) {
+                ++free_uploaders;
+            }
             SWARMAVAIL_INVARIANT(listed_free ==
                                      (peer.up_used < config_.max_upload_slots),
                                  "SwarmSim: free-uploader index out of sync with slot "
@@ -353,7 +391,13 @@ class SwarmSim {
                 }
             }
         }
-        SWARMAVAIL_INVARIANT(leechers_.size() + lingering_seeds == peers_.size(),
+        SWARMAVAIL_INVARIANT(live_peers == live_peers_,
+                             "SwarmSim: live-peer counter diverged from the slot "
+                             "store");
+        SWARMAVAIL_INVARIANT(free_uploaders == free_uploader_count_,
+                             "SwarmSim: free-uploader counter diverged from the "
+                             "per-peer flags");
+        SWARMAVAIL_INVARIANT(leechers_.size() + lingering_seeds == live_peers,
                              "SwarmSim: leecher list and lingering seeds do not "
                              "partition the peer set");
         audit::check_slot_budget("publisher upload slots", publisher_up_used_,
@@ -391,6 +435,7 @@ class SwarmSim {
         ++result_.arrivals;
         const PeerId id = next_peer_id_++;
         Peer peer{.have = PieceSet{pieces_total_},
+                  .inflight = PieceSet{pieces_total_},
                   .capacity = config_.peer_capacity->sample(rng_),
                   .arrival = queue_.now()};
         if (m_arrivals_ != nullptr) {
@@ -399,8 +444,13 @@ class SwarmSim {
         SWARMAVAIL_TRACE(config_.tracer, TraceKind::kPeerArrival, queue_.now(), id,
                          peer.capacity);
         result_.peers.push_back({queue_.now(), -1.0, peer.capacity});
-        peer_record_index_[id] = result_.peers.size() - 1;
-        peers_.emplace(id, std::move(peer));
+        peer.record_index = result_.peers.size() - 1;
+        if (peer_slots_.size() <= id) {
+            peer_slots_.resize(id + 1);
+            hot_.resize(id + 1, PeerHot{UINT64_MAX, 0, 0});
+        }
+        peer_slots_[id] = std::make_unique<Peer>(std::move(peer));
+        ++live_peers_;
         leechers_.push_back(id);
         refresh_uploader_status(id);
         if (config_.max_neighbors > 0) {
@@ -450,9 +500,10 @@ class SwarmSim {
 
     void on_transfer_complete(TransferId tid) {
         SWARMAVAIL_PROF_SCOPE("swarm.piece_transfer");
-        const auto it = transfers_.find(tid);
-        ensure(it != transfers_.end(), "SwarmSim: completion for unknown transfer");
-        const Transfer transfer = it->second;
+        const auto it = find_transfer(tid);
+        ensure(it != transfers_.end() && it->id == tid,
+               "SwarmSim: completion for unknown transfer");
+        const Transfer transfer = *it;
         transfers_.erase(it);
         if (m_transfers_completed_ != nullptr) {
             m_transfers_completed_->add();
@@ -462,16 +513,16 @@ class SwarmSim {
                          static_cast<double>(transfer.dst));
 
         release_src_slot(tid, transfer);
-        auto& dst = peers_.at(transfer.dst);
-        dst.down_transfers.erase(tid);
-        --dst.down_used;
-        dst.inflight.erase(transfer.piece);
+        Peer& dst = peer_at(transfer.dst);
+        erase_value(dst.down_transfers, tid);
+        --hot_[transfer.dst].down_used;
+        dst.inflight.remove(transfer.piece);
 
         if (!dst.have.has(transfer.piece)) {
             dst.have.add(transfer.piece);
             inc_holder(transfer.piece);
             holder_list_[transfer.piece].push_back(transfer.dst);
-            if (free_uploaders_.count(transfer.dst) != 0) {
+            if (hot_[transfer.dst].free_uploader != 0) {
                 if (offered_count_[transfer.piece]++ == 0) {
                     ++offered_gain_version_;
                 }
@@ -488,7 +539,7 @@ class SwarmSim {
     }
 
     void on_peer_complete(PeerId id) {
-        auto& peer = peers_.at(id);
+        Peer& peer = peer_at(id);
         const double elapsed = queue_.now() - peer.arrival;
         ++result_.completions;
         if (m_completions_ != nullptr) {
@@ -500,7 +551,7 @@ class SwarmSim {
         result_.download_times.add(elapsed);
         result_.completion_times.push_back(queue_.now());
         result_.last_completion = queue_.now();
-        result_.peers[peer_record_index_.at(id)].completion = queue_.now();
+        result_.peers[peer.record_index].completion = queue_.now();
 
         if (config_.publisher == PublisherBehavior::kLeaveAfterFirstCompletion &&
             !publisher_departed_) {
@@ -520,17 +571,18 @@ class SwarmSim {
     }
 
     void remove_peer(PeerId id) {
-        const auto it = peers_.find(id);
-        if (it == peers_.end()) {
+        Peer* found = find_peer(id);
+        if (found == nullptr) {
             return;
         }
-        Peer& peer = it->second;
+        Peer& peer = *found;
         // Cancel transfers in both directions.
         cancel_transfers(peer.up_transfers, /*src_left=*/true);
         cancel_transfers(peer.down_transfers, /*src_left=*/false);
         // Retire its offered pieces while its bitmap is still known.
-        if (free_uploaders_.count(id) != 0) {
-            free_uploaders_.erase(id);
+        if (hot_[id].free_uploader != 0) {
+            hot_[id].free_uploader = 0;
+            --free_uploader_count_;
             remove_offer(peer.have);
         }
         // Drop its pieces from the coverage map.
@@ -541,14 +593,15 @@ class SwarmSim {
         });
         // swarmlint-allow(det-unordered-iter): erases `id` from each neighbor's set by key; per-edge, commutative, no RNG
         for (const PeerId other : peer.neighbors) {
-            const auto other_it = peers_.find(other);
-            if (other_it != peers_.end()) {
-                other_it->second.neighbors.erase(id);
+            Peer* other_peer = find_peer(other);
+            if (other_peer != nullptr) {
+                other_peer->neighbors.erase(id);
             }
         }
         leechers_.erase(std::remove(leechers_.begin(), leechers_.end(), id),
                         leechers_.end());
-        peers_.erase(it);
+        peer_slots_[id].reset();
+        --live_peers_;
         update_availability();
         pump();
         audit_state();
@@ -556,18 +609,17 @@ class SwarmSim {
 
     /// Cancels every transfer in `ids` (a snapshot is taken: cancellation
     /// mutates the sets). `src_left` selects which endpoint is going away.
-    void cancel_transfers(const std::unordered_set<TransferId>& ids, bool src_left) {
-        // swarmlint-allow(det-unordered-iter): snapshot order is discarded by the sort below
+    void cancel_transfers(const std::vector<TransferId>& ids, bool src_left) {
         cancel_snapshot_.assign(ids.begin(), ids.end());
         // Cancellation frees slots and re-registers uploaders; process in id
         // order so none of that bookkeeping depends on hash layout.
         std::sort(cancel_snapshot_.begin(), cancel_snapshot_.end());
         for (TransferId tid : cancel_snapshot_) {
-            const auto it = transfers_.find(tid);
-            if (it == transfers_.end()) {
+            const auto it = find_transfer(tid);
+            if (it == transfers_.end() || it->id != tid) {
                 continue;
             }
-            const Transfer transfer = it->second;
+            const Transfer transfer = *it;
             queue_.cancel(transfer.event);
             transfers_.erase(it);
             if (m_transfers_cancelled_ != nullptr) {
@@ -575,39 +627,50 @@ class SwarmSim {
             }
             if (src_left) {
                 // The receiver keeps nothing but frees its slot.
-                const auto dst_it = peers_.find(transfer.dst);
-                if (dst_it != peers_.end()) {
-                    dst_it->second.down_transfers.erase(tid);
-                    --dst_it->second.down_used;
-                    dst_it->second.inflight.erase(transfer.piece);
+                Peer* dst = find_peer(transfer.dst);
+                if (dst != nullptr) {
+                    erase_value(dst->down_transfers, tid);
+                    --hot_[transfer.dst].down_used;
+                    dst->inflight.remove(transfer.piece);
                 }
                 if (transfer.src != kPublisher) {
-                    const auto src_it = peers_.find(transfer.src);
-                    if (src_it != peers_.end()) {
-                        src_it->second.up_transfers.erase(tid);
+                    Peer* src = find_peer(transfer.src);
+                    if (src != nullptr) {
+                        erase_value(src->up_transfers, tid);
                     }
                 }
             } else {
                 release_src_slot(tid, transfer);
-                const auto dst_it = peers_.find(transfer.dst);
-                if (dst_it != peers_.end()) {
-                    dst_it->second.down_transfers.erase(tid);
+                Peer* dst = find_peer(transfer.dst);
+                if (dst != nullptr) {
+                    erase_value(dst->down_transfers, tid);
                 }
             }
         }
     }
 
+    /// Locates a live transfer by id (binary search: transfers_ stays
+    /// sorted because ids are handed out monotonically and erases keep
+    /// order). Callers check the returned iterator against end() and the
+    /// stored id -- a cancelled/completed transfer is simply absent.
+    [[nodiscard]] std::vector<Transfer>::iterator find_transfer(TransferId tid) {
+        return std::lower_bound(transfers_.begin(), transfers_.end(), tid,
+                                [](const Transfer& t, TransferId key) {
+                                    return t.id < key;
+                                });
+    }
+
     void release_src_slot(TransferId tid, const Transfer& transfer) {
         if (transfer.src == kPublisher) {
-            publisher_up_transfers_.erase(tid);
+            erase_value(publisher_up_transfers_, tid);
             if (publisher_up_used_ > 0) {
                 --publisher_up_used_;
             }
         } else {
-            const auto src_it = peers_.find(transfer.src);
-            if (src_it != peers_.end()) {
-                src_it->second.up_transfers.erase(tid);
-                --src_it->second.up_used;
+            Peer* src = find_peer(transfer.src);
+            if (src != nullptr) {
+                erase_value(src->up_transfers, tid);
+                --src->up_used;
                 refresh_uploader_status(transfer.src);
             }
         }
@@ -616,21 +679,22 @@ class SwarmSim {
     /// Keeps the free-uploader index and the offered-piece counts in sync
     /// with a peer's slot usage.
     void refresh_uploader_status(PeerId id) {
-        const auto it = peers_.find(id);
-        const bool was_free = free_uploaders_.count(id) != 0;
-        const bool now_free =
-            it != peers_.end() && it->second.up_used < config_.max_upload_slots;
+        Peer* peer = find_peer(id);
+        if (peer == nullptr) {
+            return;  // departed: its flag and offers died with it
+        }
+        const bool was_free = hot_[id].free_uploader != 0;
+        const bool now_free = peer->up_used < config_.max_upload_slots;
         if (was_free == now_free) {
             return;
         }
+        hot_[id].free_uploader = now_free ? 1 : 0;
         if (now_free) {
-            free_uploaders_.insert(id);
-            add_offer(it->second.have);
+            ++free_uploader_count_;
+            add_offer(peer->have);
         } else {
-            free_uploaders_.erase(id);
-            if (it != peers_.end()) {
-                remove_offer(it->second.have);
-            }
+            --free_uploader_count_;
+            remove_offer(peer->have);
         }
     }
 
@@ -675,13 +739,19 @@ class SwarmSim {
             }
             const bool publisher_free =
                 publisher_on_ && publisher_up_used_ < config_.max_upload_slots;
-            for (const PeerId id : pump_order_) {
-                auto& peer = peers_.at(id);
+            for (std::size_t j = 0; j < pump_order_.size(); ++j) {
+                // The visit order is random, so each hot_ probe is a cold
+                // line; warming the next peer's record overlaps that miss
+                // with this peer's check.
+                if (j + 1 < pump_order_.size()) {
+                    __builtin_prefetch(&hot_[pump_order_[j + 1]]);
+                }
+                const PeerId id = pump_order_[j];
                 if (config_.max_neighbors == 0 && !publisher_free &&
-                    peer.dormant_version == offered_gain_version_) {
+                    hot_[id].dormant_version == offered_gain_version_) {
                     continue;  // nothing new offered since its last failure
                 }
-                while (peer.down_used < config_.max_download_slots &&
+                while (hot_[id].down_used < config_.max_download_slots &&
                        try_start_transfer(id)) {
                     progress = true;
                 }
@@ -695,26 +765,25 @@ class SwarmSim {
         SWARMAVAIL_PROF_SCOPE("swarm.tracker");
         std::vector<PeerId>& candidates = tracker_candidates_;
         candidates.clear();
-        // swarmlint-allow(det-unordered-iter): collection order is discarded by the sort below
-        for (const auto& [other, peer] : peers_) {
-            if (other != id) {
+        // The slot store iterates in ascending id order, so the starting
+        // permutation the Fisher-Yates pass below consumes is already
+        // canonical (the RNG draws map onto the same positions the sorted
+        // hash-map snapshot used to produce).
+        for (PeerId other = 1; other < peer_slots_.size(); ++other) {
+            if (other != id && peer_slots_[other] != nullptr) {
                 candidates.push_back(other);
             }
         }
-        // The Fisher-Yates pass below maps RNG draws onto positions, so the
-        // starting permutation must be canonical: sort before shuffling or
-        // the handed-out neighbor sets would vary with hash layout.
-        std::sort(candidates.begin(), candidates.end());
         for (std::size_t i = candidates.size(); i > 1; --i) {
             std::swap(candidates[i - 1], candidates[rng_.uniform_index(i)]);
         }
-        auto& me = peers_.at(id);
+        Peer& me = peer_at(id);
         for (const PeerId other : candidates) {
             if (me.neighbors.size() >= config_.max_neighbors) {
                 break;
             }
             me.neighbors.insert(other);
-            peers_.at(other).neighbors.insert(id);
+            peer_at(other).neighbors.insert(id);
         }
     }
 
@@ -722,7 +791,7 @@ class SwarmSim {
     /// the current one offers no usable source. Returns true if any new
     /// edge was added.
     bool pex_expand(PeerId id) {
-        auto& me = peers_.at(id);
+        Peer& me = peer_at(id);
         if (me.neighbors.empty()) {
             return false;
         }
@@ -732,27 +801,26 @@ class SwarmSim {
         // same neighbor regardless of hash layout.
         std::sort(pex_view_.begin(), pex_view_.end());
         const PeerId via = pex_view_[rng_.uniform_index(pex_view_.size())];
-        const auto via_it = peers_.find(via);
-        if (via_it == peers_.end()) {
+        const Peer* via_peer = find_peer(via);
+        if (via_peer == nullptr) {
             return false;
         }
         bool added = false;
         // Adoption stops at the view cap, so which candidates make the cut
         // depends on traversal order; canonicalize it.
         // swarmlint-allow(det-unordered-iter): snapshot order is discarded by the sort below
-        pex_adopt_.assign(via_it->second.neighbors.begin(),
-                          via_it->second.neighbors.end());
+        pex_adopt_.assign(via_peer->neighbors.begin(), via_peer->neighbors.end());
         std::sort(pex_adopt_.begin(), pex_adopt_.end());
         for (const PeerId candidate : pex_adopt_) {
             if (candidate == id || me.neighbors.count(candidate) != 0) {
                 continue;
             }
-            const auto candidate_it = peers_.find(candidate);
-            if (candidate_it == peers_.end()) {
+            Peer* candidate_peer = find_peer(candidate);
+            if (candidate_peer == nullptr) {
                 continue;
             }
             me.neighbors.insert(candidate);
-            candidate_it->second.neighbors.insert(id);
+            candidate_peer->neighbors.insert(id);
             added = true;
             if (me.neighbors.size() >= 4 * config_.max_neighbors) {
                 break;
@@ -767,7 +835,7 @@ class SwarmSim {
             if (src == dst_id || dst.neighbors.count(src) == 0) {
                 continue;
             }
-            if (free_uploaders_.count(src) != 0) {
+            if (hot_[src].free_uploader != 0) {
                 return true;
             }
         }
@@ -783,23 +851,21 @@ class SwarmSim {
     /// a peer with a free slot qualify. This keeps the hot path O(free
     /// uploaders x pieces) instead of O(pieces x holders).
     bool try_start_transfer(PeerId dst_id) {
-        auto& dst = peers_.at(dst_id);
+        Peer& dst = peer_at(dst_id);
         const bool publisher_free =
             publisher_on_ && publisher_up_used_ < config_.max_upload_slots;
         std::size_t best_piece = pieces_total_;
         std::size_t best_rarity = SIZE_MAX;
         std::size_t ties = 0;
-        if (!publisher_free && free_uploaders_.empty()) {
-            dst.dormant_version = offered_gain_version_;
+        if (!publisher_free && free_uploader_count_ == 0) {
+            hot_[dst_id].dormant_version = offered_gain_version_;
             return false;
         }
-        // Enumerating missing pieces word-at-a-time over the bitmap skips
-        // fully-held regions; candidate order stays ascending, so the
-        // rarest-first choice (and the RNG draw sequence) is unchanged.
-        dst.have.for_each_missing([&](std::size_t p) {
-            if (dst.inflight.count(p) != 0) {
-                return;
-            }
+        // Enumerating missing-and-not-in-flight pieces word-at-a-time over
+        // the two bitmaps skips fully-held regions and in-flight fetches in
+        // one OR; candidate order stays ascending, so the rarest-first
+        // choice (and the RNG draw sequence) is unchanged.
+        dst.have.for_each_missing_excluding(dst.inflight, [&](std::size_t p) {
             // A piece is obtainable if the publisher has a free slot (it
             // holds everything) or some free uploader holds it. Note the
             // subtlety: offered_count_ counts the receiver itself if it is a
@@ -842,12 +908,12 @@ class SwarmSim {
                 // via PEX once; the next pump pass retries.
                 (void)pex_expand(dst_id);
             } else if (!publisher_free) {
-                dst.dormant_version = offered_gain_version_;
+                hot_[dst_id].dormant_version = offered_gain_version_;
             }
             return false;
         }
         if (start_transfer(best_piece, dst_id)) {
-            dst.dormant_version = UINT64_MAX;
+            hot_[dst_id].dormant_version = UINT64_MAX;
             return true;
         }
         return false;
@@ -862,7 +928,7 @@ class SwarmSim {
             (!config_.super_seeding || holders_[piece] == 0)) {
             sources.push_back(kPublisher);
         }
-        const auto& dst_view = peers_.at(dst_id);
+        const Peer& dst_view = peer_at(dst_id);
         for (PeerId src : holder_list_[piece]) {
             if (src == dst_id) {
                 continue;
@@ -870,7 +936,7 @@ class SwarmSim {
             if (config_.max_neighbors > 0 && dst_view.neighbors.count(src) == 0) {
                 continue;
             }
-            if (free_uploaders_.count(src) != 0) {
+            if (hot_[src].free_uploader != 0) {
                 sources.push_back(src);
             }
         }
@@ -879,9 +945,9 @@ class SwarmSim {
         }
         const PeerId src_id = sources[rng_.uniform_index(sources.size())];
         double capacity = src_id == kPublisher ? config_.publisher_capacity
-                                               : peers_.at(src_id).capacity;
+                                               : peer_at(src_id).capacity;
         if (config_.reciprocity_cap && src_id != kPublisher) {
-            capacity = std::min(capacity, peers_.at(dst_id).capacity);
+            capacity = std::min(capacity, dst_view.capacity);
         }
         const double rate = capacity / static_cast<double>(config_.max_upload_slots);
         double duration = piece_bits_ / rate;
@@ -891,9 +957,9 @@ class SwarmSim {
         }
 
         const TransferId tid = next_transfer_id_++;
-        auto& dst = peers_.at(dst_id);
-        ++dst.down_used;
-        dst.inflight.insert(piece);
+        Peer& dst = peer_at(dst_id);
+        ++hot_[dst_id].down_used;
+        dst.inflight.add(piece);
 
         if (m_transfers_started_ != nullptr) {
             m_transfers_started_->add();
@@ -903,15 +969,15 @@ class SwarmSim {
                          static_cast<double>(piece), duration);
         const EventId event = queue_.schedule_at(
             queue_.now() + duration, [this, tid] { on_transfer_complete(tid); });
-        transfers_.emplace(tid, Transfer{src_id, dst_id, piece, event});
-        dst.down_transfers.insert(tid);
+        transfers_.push_back(Transfer{tid, src_id, dst_id, piece, event});
+        dst.down_transfers.push_back(tid);
         if (src_id == kPublisher) {
             ++publisher_up_used_;
-            publisher_up_transfers_.insert(tid);
+            publisher_up_transfers_.push_back(tid);
         } else {
-            auto& src = peers_.at(src_id);
+            Peer& src = peer_at(src_id);
             ++src.up_used;
-            src.up_transfers.insert(tid);
+            src.up_transfers.push_back(tid);
             refresh_uploader_status(src_id);
         }
         return true;
@@ -927,23 +993,43 @@ class SwarmSim {
     std::size_t pieces_total_ = 0;
     double piece_bits_ = 0.0;
 
-    std::unordered_map<PeerId, Peer> peers_;
-    std::unordered_map<PeerId, std::size_t> peer_record_index_;
+    /// Dense peer store indexed by PeerId (ids are handed out sequentially
+    /// from 1; slot 0 is the publisher sentinel and stays empty). A null
+    /// slot is a departed or not-yet-arrived peer. Event handlers resolve
+    /// peers by direct indexing -- no hash lookup anywhere on the hot path.
+    std::vector<std::unique_ptr<Peer>> peer_slots_;
+    std::size_t live_peers_ = 0;
     std::vector<PeerId> leechers_;  ///< active downloaders, arrival order
-    std::unordered_set<PeerId> free_uploaders_;  ///< peers with a free upload slot
+    std::size_t free_uploader_count_ = 0;  ///< peers with hot_[id].free_uploader set
     std::vector<std::uint32_t> offered_count_;   ///< free uploaders holding each piece
     std::uint64_t offered_gain_version_ = 0;     ///< bumped when new pieces get offered
     PeerId next_peer_id_ = 1;
 
-    std::unordered_map<TransferId, Transfer> transfers_;
+    /// Live transfers ordered by id. Ids are handed out monotonically and
+    /// erases keep order, so the vector stays sorted: lookups are a binary
+    /// search over the (small) set of concurrent transfers instead of a
+    /// hash probe, and start/finish never allocate hash nodes.
+    std::vector<Transfer> transfers_;
     TransferId next_transfer_id_ = 1;
+
+    /// Dense per-peer-id mirror of the fields the pump pass and source
+    /// scans read for every candidate; see the note at struct Peer. Packed
+    /// into one 16-byte record so a randomly-ordered visit costs one cache
+    /// line, not one per field. Sized in step with peer_slots_; entries of
+    /// departed peers are stale but the loops only visit live peers.
+    struct PeerHot {
+        std::uint64_t dormant_version;  ///< offered_gain_version_ at last failed scan
+        std::uint32_t down_used;        ///< busy download slots
+        std::uint8_t free_uploader;     ///< nonzero iff online with a free upload slot
+    };
+    std::vector<PeerHot> hot_;
 
     bool publisher_on_ = false;
     bool publisher_departed_ = false;
     SimTime last_publisher_change_ = 0.0;
     bool publisher_ever_toggled_ = false;
     std::size_t publisher_up_used_ = 0;
-    std::unordered_set<TransferId> publisher_up_transfers_;
+    std::vector<TransferId> publisher_up_transfers_;
 
     std::vector<std::uint32_t> holders_;            ///< online peer holders per piece
     std::vector<std::vector<PeerId>> holder_list_;  ///< who holds each piece

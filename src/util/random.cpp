@@ -9,10 +9,6 @@
 namespace swarmavail {
 namespace {
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-
 // SplitMix64: expands a single seed into well-distributed state words.
 std::uint64_t splitmix64(std::uint64_t& x) noexcept {
     x += 0x9e3779b97f4a7c15ULL;
@@ -29,60 +25,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
     for (auto& word : state_) {
         word = splitmix64(s);
     }
-}
-
-Rng::result_type Rng::operator()() noexcept {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double Rng::uniform() noexcept {
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-    require(lo < hi, "uniform(lo, hi): requires lo < hi");
-    return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t Rng::uniform_index(std::uint64_t n) {
-    require(n > 0, "uniform_index: requires n > 0");
-    // Lemire's nearly-divisionless bounded sampling with rejection.
-    std::uint64_t x = (*this)();
-    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
-    auto lo = static_cast<std::uint64_t>(m);
-    if (lo < n) {
-        const std::uint64_t threshold = -n % n;
-        while (lo < threshold) {
-            x = (*this)();
-            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
-            lo = static_cast<std::uint64_t>(m);
-        }
-    }
-    return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Rng::exponential_mean(double mean) {
-    require(mean > 0.0, "exponential_mean: requires mean > 0");
-    double v = uniform();
-    // uniform() can return exactly 0; -log(0) would be inf.
-    while (v <= 0.0) {
-        v = uniform();
-    }
-    return -mean * std::log(v);
-}
-
-double Rng::exponential_rate(double rate) {
-    require(rate > 0.0, "exponential_rate: requires rate > 0");
-    return exponential_mean(1.0 / rate);
 }
 
 std::uint64_t Rng::poisson(double mean) {

@@ -7,8 +7,12 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace swarmavail {
 
@@ -26,23 +30,71 @@ class Rng {
     static constexpr result_type min() noexcept { return 0; }
     static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 
+    // The raw generator and the bounded draws are defined inline: they sit
+    // inside simulator shuffle/tie-break loops that draw millions of times
+    // per run, where an out-of-line call would cost more than the draw.
+
     /// Next raw 64-bit output.
-    result_type operator()() noexcept;
+    result_type operator()() noexcept {
+        const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17U;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = std::rotl(state_[3], 45);
+        return result;
+    }
 
     /// Uniform double in [0, 1).
-    [[nodiscard]] double uniform() noexcept;
+    [[nodiscard]] double uniform() noexcept {
+        // 53 high bits -> double in [0, 1).
+        return static_cast<double>((*this)() >> 11U) * 0x1.0p-53;
+    }
 
     /// Uniform double in [lo, hi). Requires lo < hi.
-    [[nodiscard]] double uniform(double lo, double hi);
+    [[nodiscard]] double uniform(double lo, double hi) {
+        require(lo < hi, "uniform(lo, hi): requires lo < hi");
+        return lo + (hi - lo) * uniform();
+    }
 
     /// Uniform integer in [0, n). Requires n > 0.
-    [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+    [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+        require(n > 0, "uniform_index: requires n > 0");
+        // Lemire's nearly-divisionless bounded sampling with rejection.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = -n % n;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64U);
+    }
 
     /// Exponential variate with the given mean. Requires mean > 0.
-    [[nodiscard]] double exponential_mean(double mean);
+    /// Inline for the same reason as the draws above: every simulated
+    /// arrival, transfer, and residence time is one of these.
+    [[nodiscard]] double exponential_mean(double mean) {
+        require(mean > 0.0, "exponential_mean: requires mean > 0");
+        double v = uniform();
+        // uniform() can return exactly 0; -log(0) would be inf.
+        while (v <= 0.0) {
+            v = uniform();
+        }
+        return -mean * std::log(v);
+    }
 
     /// Exponential variate with the given rate. Requires rate > 0.
-    [[nodiscard]] double exponential_rate(double rate);
+    [[nodiscard]] double exponential_rate(double rate) {
+        require(rate > 0.0, "exponential_rate: requires rate > 0");
+        return exponential_mean(1.0 / rate);
+    }
 
     /// Poisson variate with the given mean (inversion for small means,
     /// PTRS-style transformed rejection for large). Requires mean >= 0.
