@@ -127,4 +127,39 @@ void BM_SwarmSimTraceOn(benchmark::State& state) {
 }
 BENCHMARK(BM_SwarmSimTraceOn)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Fingerprint overhead rows: the plain rows above run with determinism
+// fingerprints ON (the config default), so these disable them and
+// merge_bench_json.py pairs BM_*FingerprintOff with its plain counterpart
+// to emit fingerprint_overhead_pct — note the inverted direction versus
+// the TraceOn/TelemetryOn pairs (here the suffixed row is the baseline).
+// Budget: <= 2% on BM_SwarmSim/4.
+void BM_AvailabilitySimFingerprintOff(benchmark::State& state) {
+    sim::AvailabilitySimConfig config;
+    config.params = base_params();
+    config.horizon = static_cast<double>(state.range(0));
+    config.seed = 3;
+    config.fingerprint = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_availability_sim(config));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AvailabilitySimFingerprintOff)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SwarmSimFingerprintOff(benchmark::State& state) {
+    swarm::SwarmSimConfig config;
+    config.bundle_size = static_cast<std::size_t>(state.range(0));
+    config.peer_arrival_rate = 1.0 / 60.0;
+    config.peer_capacity = std::make_shared<swarm::HomogeneousCapacity>(50.0 * swarm::kKBps);
+    config.publisher_capacity = 100.0 * swarm::kKBps;
+    config.publisher = swarm::PublisherBehavior::kOnOff;
+    config.horizon = 2400.0;
+    config.seed = 4;
+    config.fingerprint = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(swarm::run_swarm_sim(config));
+    }
+}
+BENCHMARK(BM_SwarmSimFingerprintOff)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace

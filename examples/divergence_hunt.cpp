@@ -1,0 +1,291 @@
+// Divergence hunt: localize the first point where two runs' event paths
+// split.
+//
+// Given two availability-run configs (by default the same swarm with two
+// seeds — an injected divergence), the tool:
+//   1. runs both with periodic checkpoint fingerprints (the per-process
+//      digest polled between run_until slices — see
+//      AvailabilityProcess::fingerprint_digest) and finds the first
+//      checkpoint window where the digests disagree;
+//   2. binary-searches inside that window by replaying both runs to probe
+//      times, shrinking the window until --refine probes are spent;
+//   3. replays both runs once more with a flight recorder attached
+//      (sim/flight_recorder.hpp) up to the window's end and prints the two
+//      retained event windows side by side, marking the first differing
+//      record.
+//
+// Replaying is sound because every run is deterministic in its config: a
+// digest polled at time t is a pure function of (config, t), so probes
+// taken in separate replays are mutually consistent.
+//
+// Usage:
+//   divergence_hunt [--seed-a N] [--seed-b N] [--lambda-b RATE]
+//                   [--horizon S] [--checkpoints N] [--refine N]
+//
+// Identical configs report "no divergence" and exit 0; differing configs
+// print the localized window and the side-by-side event log, and exit 2
+// (divergence found — distinct from the clean exit so scripts can branch).
+// Builds with fingerprinting or tracing compiled out report the missing
+// instrumentation and exit 3.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/availability_process.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fingerprint.hpp"
+#include "sim/flight_recorder.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace swarmavail;
+
+struct Options {
+    std::uint64_t seed_a = 1;
+    std::uint64_t seed_b = 2;
+    double lambda_b = 0.0;  ///< 0: same arrival rate as run A
+    double horizon = 20000.0;
+    int checkpoints = 16;
+    int refine = 16;
+};
+
+[[noreturn]] void usage_error(std::string_view message) {
+    std::cerr << "divergence_hunt: " << message << "\n"
+              << "usage: divergence_hunt [--seed-a N] [--seed-b N] "
+                 "[--lambda-b RATE] [--horizon S] [--checkpoints N] "
+                 "[--refine N]\n";
+    std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    const auto value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            usage_error(std::string{argv[i]} + " needs a value");
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--seed-a") {
+            opt.seed_a = std::stoull(value(i));
+        } else if (arg == "--seed-b") {
+            opt.seed_b = std::stoull(value(i));
+        } else if (arg == "--lambda-b") {
+            opt.lambda_b = std::stod(value(i));
+        } else if (arg == "--horizon") {
+            opt.horizon = std::stod(value(i));
+        } else if (arg == "--checkpoints") {
+            opt.checkpoints = std::stoi(value(i));
+        } else if (arg == "--refine") {
+            opt.refine = std::stoi(value(i));
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("usage");
+        } else {
+            usage_error("unknown argument " + std::string{arg});
+        }
+    }
+    if (opt.horizon <= 0.0) {
+        usage_error("--horizon must be > 0");
+    }
+    if (opt.checkpoints < 2) {
+        usage_error("--checkpoints must be >= 2");
+    }
+    if (opt.refine < 0) {
+        usage_error("--refine must be >= 0");
+    }
+    return opt;
+}
+
+/// The demo swarm: modest load, intermittent publishers, enough churn that
+/// two seeds diverge within the first few hundred simulated seconds.
+sim::AvailabilitySimConfig make_config(std::uint64_t seed, double lambda,
+                                       double horizon) {
+    sim::AvailabilitySimConfig config;
+    config.params.peer_arrival_rate = lambda;
+    config.params.content_size = 4.0e6 * 8.0;
+    config.params.download_rate = 50.0e3 * 8.0;
+    config.params.publisher_arrival_rate = 1.0 / 900.0;
+    config.params.publisher_residence = 300.0;
+    config.horizon = horizon;
+    config.seed = seed;
+    return config;
+}
+
+/// Replays `config` from time zero and returns the process digest at each
+/// requested poll time (ascending). A tracer, when given, sees the whole
+/// replayed prefix.
+std::vector<std::uint64_t> digests_at(const sim::AvailabilitySimConfig& config,
+                                      const std::vector<double>& times,
+                                      sim::Tracer* tracer = nullptr) {
+    sim::AvailabilitySimConfig run = config;
+    run.tracer = tracer;
+    sim::EventQueue queue;
+    sim::AvailabilityProcess process{queue, run};
+    process.start();
+    std::vector<std::uint64_t> out;
+    out.reserve(times.size());
+    for (const double t : times) {
+        queue.run_until(t);
+        out.push_back(process.fingerprint_digest());
+    }
+    if (tracer != nullptr) {
+        tracer->flush();
+    }
+    return out;
+}
+
+std::uint64_t digest_at(const sim::AvailabilitySimConfig& config, double t) {
+    return digests_at(config, {t}).front();
+}
+
+void print_record(std::ostream& os, const sim::TraceRecord& record) {
+    os << "t=" << record.time << " " << sim::trace_kind_name(record.kind)
+       << " entity=" << record.entity << " a=" << record.a << " b=" << record.b;
+}
+
+/// Prints the two retained windows side by side (interleaved A/B pairs by
+/// index), marking the first index where the records differ.
+void print_windows(const std::vector<sim::TraceRecord>& a,
+                   const std::vector<sim::TraceRecord>& b) {
+    const std::size_t rows = std::max(a.size(), b.size());
+    bool marked = false;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const bool differs =
+            i >= a.size() || i >= b.size() || !(a[i] == b[i]);
+        std::cout << "  A ";
+        if (i < a.size()) {
+            print_record(std::cout, a[i]);
+        } else {
+            std::cout << "(no record)";
+        }
+        std::cout << "\n  B ";
+        if (i < b.size()) {
+            print_record(std::cout, b[i]);
+        } else {
+            std::cout << "(no record)";
+        }
+        if (differs && !marked) {
+            std::cout << "   <-- first differing record";
+            marked = true;
+        }
+        std::cout << "\n";
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+
+    const sim::AvailabilitySimConfig config_a =
+        make_config(opt.seed_a, 1.0 / 120.0, opt.horizon);
+    const sim::AvailabilitySimConfig config_b = make_config(
+        opt.seed_b, opt.lambda_b > 0.0 ? opt.lambda_b : 1.0 / 120.0,
+        opt.horizon);
+
+    std::cout << "divergence hunt over " << opt.horizon << " s: run A (seed "
+              << opt.seed_a << ") vs run B (seed " << opt.seed_b;
+    if (opt.lambda_b > 0.0) {
+        std::cout << ", lambda " << opt.lambda_b;
+    }
+    std::cout << ")\n";
+
+    // Phase 1: coarse checkpoint sweep, one replay per run.
+    std::vector<double> checkpoints;
+    checkpoints.reserve(static_cast<std::size_t>(opt.checkpoints));
+    for (int i = 1; i <= opt.checkpoints; ++i) {
+        checkpoints.push_back(opt.horizon * i / opt.checkpoints);
+    }
+    const std::vector<std::uint64_t> digests_a = digests_at(config_a, checkpoints);
+    const std::vector<std::uint64_t> digests_b = digests_at(config_b, checkpoints);
+
+    if (digests_a.back() == 0 && digests_b.back() == 0) {
+        std::cout << "fingerprinting is compiled out or disabled in this "
+                     "build; nothing to compare\n";
+        return 3;
+    }
+
+    std::size_t first = checkpoints.size();
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        const bool same = digests_a[i] == digests_b[i];
+        std::cout << "  checkpoint t=" << checkpoints[i] << "  A "
+                  << sim::fingerprint_hex(digests_a[i]) << "  B "
+                  << sim::fingerprint_hex(digests_b[i])
+                  << (same ? "" : "  DIVERGED") << "\n";
+        if (!same && first == checkpoints.size()) {
+            first = i;
+        }
+    }
+    if (first == checkpoints.size()) {
+        std::cout << "no divergence: every checkpoint digest matches ("
+                  << sim::fingerprint_hex(digests_a.back()) << ")\n";
+        return 0;
+    }
+
+    // Phase 2: bisect the window. The invariant is digests agree at `lo`
+    // and disagree at `hi`; each probe replays both runs to the midpoint.
+    // Chains that already disagree at t=0 (different seeds fold different
+    // initial states) have no divergent *event* to bisect for: the runs
+    // are distinct executions from their first event on.
+    double lo = first == 0 ? 0.0 : checkpoints[first - 1];
+    double hi = checkpoints[first];
+    if (first == 0 && digest_at(config_a, 0.0) != digest_at(config_b, 0.0)) {
+        std::cout << "chains differ before any event (distinct seeds or "
+                     "configs); showing each run's first events\n";
+    } else {
+        for (int probe = 0; probe < opt.refine && hi - lo > 1e-9; ++probe) {
+            const double mid = lo + (hi - lo) / 2.0;
+            if (digest_at(config_a, mid) == digest_at(config_b, mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        std::cout << "first divergent window: (" << lo << " s, " << hi
+                  << " s] after " << opt.refine << " bisection probes\n";
+    }
+
+    // Phase 3: replay both runs to the window's end with flight recorders
+    // attached and show the retained event windows side by side. When the
+    // window closes before either run recorded anything (divergence via a
+    // draw that produced no event yet), extend the replay until the first
+    // records exist — the ring then still holds the earliest ones.
+    std::vector<sim::TraceRecord> window_a;
+    std::vector<sim::TraceRecord> window_b;
+    double show = hi;
+    for (;;) {
+        sim::FlightRecorder recorder_a{64};
+        sim::FlightRecorder recorder_b{64};
+        sim::Tracer tracer_a{recorder_a};
+        sim::Tracer tracer_b{recorder_b};
+        tracer_a.set_enabled(true);
+        tracer_b.set_enabled(true);
+        (void)digests_at(config_a, {show}, &tracer_a);
+        (void)digests_at(config_b, {show}, &tracer_b);
+        window_a = recorder_a.window();
+        window_b = recorder_b.window();
+        if (!window_a.empty() || !window_b.empty() || show >= opt.horizon) {
+            break;
+        }
+        show = std::min(opt.horizon,
+                        std::max(show * 2.0, opt.horizon / 64.0));
+    }
+    if (window_a.empty() && window_b.empty()) {
+        std::cout << "tracing is compiled out in this build; cannot show "
+                     "the event windows\n";
+        return 3;
+    }
+    std::cout << "flight-recorder windows up to t=" << show << " (last "
+              << window_a.size() << " A records, " << window_b.size()
+              << " B records):\n";
+    print_windows(window_a, window_b);
+    // Divergence found and localized: distinct from both the clean exit
+    // (0) and the compiled-out exit (3), so scripts can branch on it.
+    return 2;
+}

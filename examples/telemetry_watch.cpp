@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/fingerprint.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
 
@@ -108,7 +109,15 @@ void render(const TelemetrySnapshot& snapshot, std::size_t snapshots_seen,
        << " seen) · wall " << format_duration(snapshot.wall_time_s) << " · progress "
        << format_double(snapshot.progress * 100.0, 3) << "% · eta "
        << format_duration(snapshot.eta_s)
-       << (snapshot.final_snapshot ? " · FINAL" : "") << "\n\n";
+       << (snapshot.final_snapshot ? " · FINAL" : "") << "\n";
+    // The live XOR of completed-swarm digests: compare two runs' watch
+    // output at the same completion count to spot a determinism break
+    // before either run finishes. Zero until a fingerprinted swarm lands.
+    if (snapshot.fingerprint_xor != 0) {
+        os << "fingerprint xor " << swarmavail::sim::fingerprint_hex(snapshot.fingerprint_xor)
+           << "\n";
+    }
+    os << "\n";
 
     TableWriter run{{"replications", "swarms", "events", "events/s", "sim s",
                      "sim s/s", "queue", "rss MB"}};

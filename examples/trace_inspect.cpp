@@ -154,6 +154,23 @@ int main(int argc, char** argv) {
         for (const auto& annotation : trace.annotations) {
             std::cout << "  t=" << annotation.time << ": " << annotation.text << "\n";
         }
+        // An annotated trace is typically a flight-recorder dump (a
+        // CheckFailure or fingerprint mismatch dumped its retained window,
+        // ending at the failure); show the records leading up to it.
+        const std::size_t tail =
+            trace.records.size() < 16 ? trace.records.size() : 16;
+        if (tail > 0) {
+            std::cout << "\nflight-recorder view (last " << tail
+                      << " records before the annotation):\n";
+            for (std::size_t i = trace.records.size() - tail;
+                 i < trace.records.size(); ++i) {
+                const TraceRecord& record = trace.records[i];
+                std::cout << "  t=" << record.time << " "
+                          << swarmavail::sim::trace_kind_name(record.kind)
+                          << " entity=" << record.entity << " a=" << record.a
+                          << " b=" << record.b << "\n";
+            }
+        }
     }
 
     if (self_run) {

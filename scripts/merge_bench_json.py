@@ -31,6 +31,10 @@ omitted, so the first run on a fresh checkout still succeeds.
 with the first "TraceOn" removed) from the same run.
 `telemetry_overhead_pct` works the same way for "TelemetryOn" rows (a run
 with a live TelemetrySession attached vs. the detached counterpart).
+`fingerprint_overhead_pct` is the inverse pairing: determinism
+fingerprints are ON by default, so the "FingerprintOff" row is the
+baseline and the field (attached to the FingerprintOff row alongside the
+measurement it anchors) reports what the plain row pays for them.
 
 `phase_profile` embeds the per-phase wall-time breakdown printed by
 bench_phase_profile (--profile), again tolerating a missing file.
@@ -102,12 +106,21 @@ def merge(input_paths, prior_path=None, profile_path=None):
             if bench.get("run_type") == "aggregate":
                 continue
             match = _THREADS_ARG.search(bench["name"])
-            entries.append({
+            row = {
                 "name": bench["name"],
                 "ns_per_op": _to_ns(bench["real_time"], bench.get("time_unit", "ns")),
                 "items_per_s": bench.get("items_per_second"),
                 "threads": int(match.group(1)) if match else 1,
-            })
+            }
+            # Calendar-regime counters (bench_event_queue publishes its
+            # CalendarDebugStats as cal_* user counters): carried verbatim
+            # so BENCH_perf.json records *which* queue regime a row
+            # exercised — a perf delta can then be read against a regime
+            # shift (rewindow storm, ladder spill change) instead of guessed.
+            for key, value in bench.items():
+                if key.startswith("cal_"):
+                    row[key] = value
+            entries.append(row)
 
     # Repeated runs: keep the fastest observation per name, preserving
     # first-appearance order. Track the slowest too: the repeat spread is
@@ -145,17 +158,26 @@ def merge(input_paths, prior_path=None, profile_path=None):
             entry["speedup_vs_serial"] = round(serial_ns[family] / entry["ns_per_op"], 4)
 
     by_name = {entry["name"]: entry for entry in entries}
+    # (marker, field, inverted): non-inverted pairs measure the suffixed row
+    # against its plain counterpart (TraceOn is the instrumented run).
+    # Inverted pairs flip the ratio: the plain BM_SwarmSim rows run with
+    # fingerprints ON (the config default), so the FingerprintOff row is
+    # the baseline and the overhead lives in the plain row's cost.
     overhead_pairs = (
-        ("TraceOn", "tracing_overhead_pct"),
-        ("TelemetryOn", "telemetry_overhead_pct"),
+        ("TraceOn", "tracing_overhead_pct", False),
+        ("TelemetryOn", "telemetry_overhead_pct", False),
+        ("FingerprintOff", "fingerprint_overhead_pct", True),
     )
     for entry in entries:
-        for marker, field in overhead_pairs:
+        for marker, field, inverted in overhead_pairs:
             if marker not in entry["name"]:
                 continue
             plain = by_name.get(entry["name"].replace(marker, "", 1))
-            if plain and plain["ns_per_op"] > 0:
-                overhead = (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0
+            if plain and plain["ns_per_op"] > 0 and entry["ns_per_op"] > 0:
+                if inverted:
+                    overhead = (plain["ns_per_op"] / entry["ns_per_op"] - 1.0) * 100.0
+                else:
+                    overhead = (entry["ns_per_op"] / plain["ns_per_op"] - 1.0) * 100.0
                 if -NOISE_FLOOR_PCT <= overhead < 0.0:
                     overhead = 0.0
                 elif overhead < -NOISE_FLOOR_PCT:

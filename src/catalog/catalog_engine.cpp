@@ -110,6 +110,12 @@ std::vector<sim::AvailabilitySimResult> run_shared_queue(
         SWARMAVAIL_TELEMETRY(config.telemetry,
                              tracker().observe(kUnavailabilityTrack,
                                                results.back().arrival_unavailability));
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        SWARMAVAIL_TELEMETRY(config.telemetry,
+                             counters().fingerprint_xor.fetch_xor(
+                                 results.back().fingerprint,
+                                 std::memory_order_relaxed));
+#endif
     }
     return results;
 }
@@ -180,6 +186,12 @@ ShardedRun run_sharded(const std::vector<sim::AvailabilitySimConfig>& configs,
             SWARMAVAIL_TELEMETRY(config.telemetry,
                                  tracker().observe(kUnavailabilityTrack,
                                                    unavailability));
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 counters().fingerprint_xor.fetch_xor(
+                                     run.results[i].fingerprint,
+                                     std::memory_order_relaxed));
+#endif
             if (stoppable) {
                 const std::lock_guard<std::mutex> lock(observed_mutex);
                 observed.add(unavailability);
@@ -220,6 +232,7 @@ sim::AvailabilitySimConfig swarm_sim_config(const Catalog& catalog,
     swarm_config.metrics = nullptr;
     swarm_config.tracer =
         swarm_index == config.traced_swarm ? config.tracer : nullptr;
+    swarm_config.fingerprint = config.fingerprint;
     return swarm_config;
 }
 

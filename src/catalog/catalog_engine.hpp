@@ -84,6 +84,13 @@ struct CatalogEngineConfig {
     /// deterministic; with more threads the cut point depends on
     /// scheduling, which is why the decision is recorded in the report.
     std::optional<telemetry::StopRule> stop_rule{};
+    /// Determinism fingerprints (see sim/fingerprint.hpp): every swarm
+    /// folds its own event path process-side — queue-agnostic, so sharded
+    /// and shared-queue runs digest identically — and the report combines
+    /// the per-swarm digests in swarm-index order into one catalog-wide
+    /// fingerprint. Pure observer; ignored when the build defines
+    /// SWARMAVAIL_FINGERPRINT_DISABLED.
+    bool fingerprint = true;
 };
 
 /// The simulation config the engine uses for swarm `swarm_index` of `plan`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "sim/fingerprint.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
@@ -43,6 +44,10 @@ CatalogReport build_report_impl(const Catalog& catalog, const SwarmPlan& plan,
     double covered_demand = 0.0;
     const double total_demand =
         completed == nullptr ? catalog.total_demand() : 0.0;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    sim::Fingerprint combined_fingerprint;
+    std::uint64_t fingerprinted_swarms = 0;
+#endif
 
     for (std::size_t i = 0; i < plan.size(); ++i) {
         if (completed != nullptr && !(*completed)[i]) {
@@ -58,6 +63,17 @@ CatalogReport build_report_impl(const Catalog& catalog, const SwarmPlan& plan,
         online_fraction_sum += result.publisher_online_fraction;
         report.expected_publisher_load +=
             params[i].publisher_arrival_rate * params[i].publisher_residence;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        // Canonical catalog fingerprint: index-order fold of the per-swarm
+        // digests, so any execution mode / thread count that produced the
+        // same per-swarm sample paths combines to the same value.
+        if (result.fingerprint != 0) {
+            combined_fingerprint.fold(static_cast<std::uint64_t>(i));
+            combined_fingerprint.fold(result.fingerprint);
+            combined_fingerprint.fold(result.fingerprint_events);
+            ++fingerprinted_swarms;
+        }
+#endif
 
         const double swarm_download_mean =
             result.download_times.count() > 0 ? result.download_times.mean() : 0.0;
@@ -99,6 +115,11 @@ CatalogReport build_report_impl(const Catalog& catalog, const SwarmPlan& plan,
         report.mean_publisher_online_fraction =
             online_fraction_sum / static_cast<double>(report.swarms.size());
     }
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    if (fingerprinted_swarms > 0) {
+        report.fingerprint = combined_fingerprint.digest();
+    }
+#endif
     if (completed != nullptr) {
         report.stopped_early = report.swarms.size() < plan.size();
         // Drop the never-simulated files (every covered file has
@@ -158,6 +179,12 @@ void record_metrics(const CatalogReport& report, MetricsRegistry& metrics) {
     metrics.gauge("catalog.mean_download_time_s").set(report.mean_download_time);
     metrics.gauge("catalog.expected_publisher_load")
         .set(report.expected_publisher_load);
+    // Gauges hold doubles, which lose integer precision past 2^53: export
+    // the 64-bit fingerprint as exact 32-bit halves.
+    metrics.gauge("catalog.fingerprint_lo")
+        .set(static_cast<double>(report.fingerprint & 0xffffffffULL));
+    metrics.gauge("catalog.fingerprint_hi")
+        .set(static_cast<double>(report.fingerprint >> 32U));
 }
 
 void write_json(const CatalogReport& report, std::ostream& os) {
@@ -174,7 +201,8 @@ void write_json(const CatalogReport& report, std::ostream& os) {
        << ",\"mean_publisher_online_fraction\":"
        << format_double_exact(report.mean_publisher_online_fraction)
        << ",\"expected_publisher_load\":"
-       << format_double_exact(report.expected_publisher_load);
+       << format_double_exact(report.expected_publisher_load)
+       << ",\"fingerprint\":" << report.fingerprint;
 
     os << ",\"swarms\":[";
     for (std::size_t i = 0; i < report.swarms.size(); ++i) {
@@ -196,7 +224,10 @@ void write_json(const CatalogReport& report, std::ostream& os) {
            << format_double_exact(r.unavailable_time_fraction)
            << ",\"publisher_up_transitions\":" << r.publisher_up_transitions
            << ",\"publisher_online_fraction\":"
-           << format_double_exact(r.publisher_online_fraction) << ",\"busy_periods\":";
+           << format_double_exact(r.publisher_online_fraction)
+           << ",\"fingerprint\":" << r.fingerprint
+           << ",\"fingerprint_events\":" << r.fingerprint_events
+           << ",\"busy_periods\":";
         write_stats(os, r.busy_periods);
         os << ",\"idle_periods\":";
         write_stats(os, r.idle_periods);
@@ -241,7 +272,8 @@ void write_summary(const CatalogReport& report, std::ostream& os) {
        << ", mean online fraction "
        << format_double(report.mean_publisher_online_fraction, 4)
        << ", offered publisher load "
-       << format_double(report.expected_publisher_load, 4) << "\n";
+       << format_double(report.expected_publisher_load, 4) << "\n"
+       << "  fingerprint " << sim::fingerprint_hex(report.fingerprint) << "\n";
 
     TableWriter table{{"file", "lambda", "swarm", "K", "unavail", "E[T] (s)"}};
     const std::size_t n = report.files.size();

@@ -71,6 +71,13 @@ struct CatalogReport {
     /// a partitioned budget keeps it constant.
     double expected_publisher_load = 0.0;
 
+    /// Catalog-wide determinism fingerprint: every covered swarm's
+    /// (index, digest, event count) folded in swarm-index order (see
+    /// sim/fingerprint.hpp). A pure function of the per-swarm digests, so
+    /// sharded and shared-queue runs at any thread count must agree here.
+    /// 0 when fingerprinting was off or compiled out.
+    std::uint64_t fingerprint = 0;
+
     /// Swarms in the plan the run was asked to execute (== swarms.size()
     /// unless a StopRule ended the run early).
     std::size_t swarms_planned = 0;

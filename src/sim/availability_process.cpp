@@ -6,6 +6,7 @@
 
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fingerprint.hpp"
 #include "sim/processes.hpp"
 #include "sim/trace.hpp"
 #include "util/check.hpp"
@@ -41,6 +42,18 @@ struct PeerState {
     bool downloading = false; ///< has a pending completion event
 };
 
+/// Fingerprint event kinds, one per event handler of this process. The
+/// codes feed serialized digests, so they are stable: append only.
+enum FpKind : std::uint32_t {
+    kFpPeerArrival = 1,
+    kFpCompletion = 2,
+    kFpPublisherArrival = 3,
+    kFpPublisherDeparture = 4,
+    kFpLingerEnd = 5,
+    kFpPublisherUp = 6,
+    kFpPublisherDown = 7,
+};
+
 /// Validates the config before any member construction, so a bad config
 /// fails with the simulator's own message rather than a process ctor's.
 const AvailabilitySimConfig& validated(const AvailabilitySimConfig& config) {
@@ -74,6 +87,12 @@ struct AvailabilityProcess::Impl {
         if (config_.metrics != nullptr) {
             bind_metrics(*config_.metrics);
         }
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        if (config_.fingerprint) {
+            fingerprint_state_ = Fingerprint{config_.seed};
+            fingerprint_ = &fingerprint_state_;
+        }
+#endif
     }
 
     void start() {
@@ -109,6 +128,15 @@ struct AvailabilityProcess::Impl {
                 ? static_cast<double>(arrivals_blocked_) / static_cast<double>(out.arrivals)
                 : 0.0;
         out.publisher_online_fraction = publisher_online_seconds_ / config_.horizon;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        if (fingerprint_ != nullptr) {
+            // Terminal fold: the RNG draw count catches divergences that
+            // consumed randomness without changing any visible event.
+            fingerprint_->fold(rng_.draws());
+            out.fingerprint = fingerprint_->digest();
+            out.fingerprint_events = fingerprint_->events();
+        }
+#endif
         return out;
     }
 
@@ -352,6 +380,7 @@ struct AvailabilityProcess::Impl {
     }
 
     void on_peer_arrival() {
+        SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpPeerArrival);
         ++result_.arrivals;
         const PeerId id = next_peer_id_++;
         if (m_arrivals_ != nullptr) {
@@ -392,6 +421,7 @@ struct AvailabilityProcess::Impl {
     }
 
     void on_completion(PeerId id) {
+        SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpCompletion);
         PeerState& record = peer_at(id);
         ensure(record.downloading, "AvailabilitySim: completion for a peer not "
                                    "downloading");
@@ -418,6 +448,7 @@ struct AvailabilityProcess::Impl {
             // already flushed all lingering seeds.
             const std::uint64_t epoch = linger_epoch_;
             queue_.schedule_at(queue_.now() + linger, [this, epoch] {
+                SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpLingerEnd);
                 if (epoch == linger_epoch_ && lingering_ > 0) {
                     --lingering_;
                     maybe_end_busy_period();
@@ -430,9 +461,11 @@ struct AvailabilityProcess::Impl {
     }
 
     void on_publisher_arrival() {
+        SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpPublisherArrival);
         change_publishers(+1);
         const double stay = rng_.exponential_mean(config_.params.publisher_residence);
         queue_.schedule_at(queue_.now() + stay, [this] {
+            SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpPublisherDeparture);
             change_publishers(-1);
             maybe_end_busy_period();
             audit_state();
@@ -444,6 +477,7 @@ struct AvailabilityProcess::Impl {
     }
 
     void on_publisher_up() {
+        SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpPublisherUp);
         change_publishers(+1);
         if (!available_) {
             become_available();
@@ -452,6 +486,7 @@ struct AvailabilityProcess::Impl {
     }
 
     void on_publisher_down() {
+        SWARMAVAIL_FPRINT(fingerprint_, queue_.now(), kFpPublisherDown);
         change_publishers(-1);
         maybe_end_busy_period();
         audit_state();
@@ -467,6 +502,11 @@ struct AvailabilityProcess::Impl {
     AvailabilitySimConfig config_;
     Rng rng_;
     EventQueue& queue_;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    // Touched once per event handler, so it rides with the hot scalars.
+    Fingerprint fingerprint_state_;
+    Fingerprint* fingerprint_ = nullptr;  ///< &fingerprint_state_ when enabled
+#endif
 
     std::size_t downloading_count_ = 0;
     std::size_t lingering_ = 0;
@@ -535,6 +575,15 @@ AvailabilitySimResult AvailabilityProcess::finish() { return impl_->finish(); }
 
 const AvailabilitySimConfig& AvailabilityProcess::config() const noexcept {
     return impl_->config_;
+}
+
+std::uint64_t AvailabilityProcess::fingerprint_digest() const noexcept {
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    if (impl_->fingerprint_ != nullptr) {
+        return impl_->fingerprint_->digest();
+    }
+#endif
+    return 0;
 }
 
 }  // namespace swarmavail::sim

@@ -10,6 +10,7 @@
 // the results of running each in isolation (see DESIGN.md §11).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "sim/availability_sim.hpp"
@@ -50,6 +51,12 @@ class AvailabilityProcess {
     [[nodiscard]] AvailabilitySimResult finish();
 
     [[nodiscard]] const AvailabilitySimConfig& config() const noexcept;
+
+    /// Digest of the events folded so far (0 when fingerprinting is off or
+    /// compiled out). Safe to poll between run_until slices: this is how
+    /// divergence_hunt takes checkpoint fingerprints without perturbing
+    /// the run.
+    [[nodiscard]] std::uint64_t fingerprint_digest() const noexcept;
 
  private:
     struct Impl;

@@ -58,6 +58,13 @@ struct AvailabilitySimConfig {
     /// Optional structured-event tracer (see sim/trace.hpp). The tracer's
     /// runtime enable flag still applies. Null: one branch per call site.
     Tracer* tracer = nullptr;
+    /// Determinism fingerprint (see sim/fingerprint.hpp): fold every event
+    /// handled by this process — (now, ordinal, kind) — plus the final RNG
+    /// draw count into the result's fingerprint. Queue-agnostic by design,
+    /// so a swarm digests identically on a private or a shared queue. Pure
+    /// observer (cannot change any result bit); ignored when the build
+    /// defines SWARMAVAIL_FINGERPRINT_DISABLED.
+    bool fingerprint = true;
 };
 
 /// Aggregate outcome of a run.
@@ -77,6 +84,13 @@ struct AvailabilitySimResult {
     /// publisher count): how often and how long publishers carried the swarm.
     std::uint64_t publisher_up_transitions = 0;  ///< offline -> online crossings
     double publisher_online_fraction = 0.0;      ///< time fraction with a publisher online
+    /// Determinism fingerprint of the run's event path (0 when
+    /// fingerprinting is off or compiled out): the digest of every handled
+    /// event plus the RNG draw count, and the events folded into it. Two
+    /// runs with equal configs must match here; a mismatch means the
+    /// executions diverged even if the statistics happen to agree.
+    std::uint64_t fingerprint = 0;
+    std::uint64_t fingerprint_events = 0;
 };
 
 /// Runs the simulation for `config.horizon` simulated seconds.

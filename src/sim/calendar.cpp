@@ -20,6 +20,7 @@ void CalendarLadder::push(const CalendarEntry& entry) {
     // so the partition preserves the (when, seq) order across buckets.
     const double offset = (entry.when - win_start_) * inv_width_;
     if (offset >= static_cast<double>(num_buckets_)) {
+        ++stats_.ladder_spills;
         ladder_.push_back(entry);
         return;
     }
@@ -83,7 +84,9 @@ CalendarEntry CalendarLadder::pop() {
 
 void CalendarLadder::merge_staged() {
     std::vector<CalendarEntry>& bucket = buckets_[cur_bucket_];
+    ++stats_.staged_merges;
     if (staged_.size() <= kSmallMerge) {
+        ++stats_.insertion_merges;
         // The common shape: an event handler scheduled one or two
         // entries that preempt the head. Splicing them into the sorted
         // remainder is a binary search plus a short memmove — the full
@@ -121,8 +124,10 @@ void CalendarLadder::activate_staged() {
 void CalendarLadder::rewindow() {
     SWARMAVAIL_INVARIANT(!ladder_.empty(),
                          "CalendarLadder: rewindow with an empty ladder");
+    ++stats_.rewindows;
     const std::size_t count = ladder_.size();
     if (count <= kSmallLadder) {
+        ++stats_.small_rewindows;
         // Small-ladder fast path. Tiny queues (the catalog engine's
         // sharded mode runs thousands of mostly-idle per-swarm queues
         // with a handful of live events each) would otherwise rewindow
@@ -224,6 +229,7 @@ void CalendarLadder::build_window(SimTime lo, SimTime width) {
         }
     }
     ladder_.swap(scratch_);
+    stats_.ladder_spills += ladder_.size();  // rewindow leftovers past the window
     // The ladder minimum routes to bucket 0, so the window is never empty.
     cur_bucket_ = next_occupied(0);
     cursor_ = 0;
@@ -233,6 +239,10 @@ void CalendarLadder::build_window(SimTime lo, SimTime width) {
 
 void CalendarLadder::sort_bucket(std::size_t index) {
     std::vector<CalendarEntry>& bucket = buckets_[index];
+    // Occupancy is observed at activation (the only moment a bucket's full
+    // content is in hand anyway), so the hot push path stays untouched.
+    stats_.max_bucket_occupancy =
+        std::max<std::uint64_t>(stats_.max_bucket_occupancy, bucket.size());
     // Lambda (not the function's address) so the comparator inlines.
     std::sort(bucket.begin(), bucket.end(),
               [](const CalendarEntry& a, const CalendarEntry& b) {

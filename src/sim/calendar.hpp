@@ -49,6 +49,21 @@ struct CalendarEntry {
     return a.seq < b.seq;
 }
 
+/// Lifetime introspection counters of one CalendarLadder. Pure structural
+/// bookkeeping (plain integer increments on the cold regime-transition
+/// paths, a size max at bucket activation); the counters never influence
+/// routing or pop order. bench_event_queue publishes them so the regime
+/// transitions (adaptive vs small-ladder windows, insertion vs re-sort
+/// merges) are visible in BENCH_perf.json.
+struct CalendarDebugStats {
+    std::uint64_t rewindows = 0;        ///< window rebuilds from the ladder
+    std::uint64_t small_rewindows = 0;  ///< of which took the small-ladder path
+    std::uint64_t ladder_spills = 0;    ///< entries routed past the window
+    std::uint64_t staged_merges = 0;    ///< staged batches merged mid-bucket
+    std::uint64_t insertion_merges = 0; ///< of which spliced by insertion
+    std::uint64_t max_bucket_occupancy = 0;  ///< largest bucket at activation
+};
+
 class CalendarLadder {
  public:
     /// Appends an entry. `entry.when` must be finite and no earlier than
@@ -99,6 +114,11 @@ class CalendarLadder {
     /// staged-minimum cache, and the entry count. Throws CheckFailure on
     /// corruption.
     void audit_structure() const;
+
+    /// Lifetime regime counters; see CalendarDebugStats.
+    [[nodiscard]] const CalendarDebugStats& debug_stats() const noexcept {
+        return stats_;
+    }
 
  private:
     /// Sizing targets for the adaptive window: aim for kTargetPerBucket
@@ -151,6 +171,7 @@ class CalendarLadder {
     std::size_t cur_bucket_ = 0;
     std::size_t cursor_ = 0;
     std::size_t entries_ = 0;
+    CalendarDebugStats stats_;
     bool have_window_ = false;  ///< false: every entry lives in ladder_
 };
 

@@ -111,6 +111,7 @@ bool EventQueue::run_next() {
     reposition();
     now_ = entry.when;
     ++dispatched_;
+    SWARMAVAIL_FPRINT(fingerprint_, entry.when, entry.seq, 0U);
     action();
     return true;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/calendar.hpp"
+#include "sim/fingerprint.hpp"
 #include "util/inplace_function.hpp"
 
 namespace swarmavail::sim {
@@ -74,6 +75,22 @@ class EventQueue {
     /// here.
     [[nodiscard]] SimTime next_time() const noexcept { return next_when_; }
 
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    /// Attaches a determinism fingerprint: every dispatch folds its
+    /// (when, seq) into the chain (kind 0 — the queue has no event
+    /// semantics). The fingerprint must outlive the queue or be detached
+    /// (null) first. Pure observer; absent under the trace-off preset.
+    void set_fingerprint(Fingerprint* fingerprint) noexcept {
+        fingerprint_ = fingerprint;
+    }
+#endif
+
+    /// Introspection counters of the calendar/ladder structure behind the
+    /// queue (rewindows, ladder spills, merges, max bucket occupancy).
+    [[nodiscard]] const CalendarDebugStats& calendar_stats() const noexcept {
+        return calendar_.debug_stats();
+    }
+
  private:
     /// Hot per-slot metadata, packed separately from the callbacks so
     /// liveness scans and free-list walks never page in payload storage.
@@ -104,6 +121,9 @@ class EventQueue {
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
     std::size_t live_events_ = 0;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    Fingerprint* fingerprint_ = nullptr;  ///< folds every dispatch when set
+#endif
     bool audit_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "sim/fingerprint.hpp"
 #include "util/error.hpp"
 
 namespace swarmavail::sim {
@@ -14,6 +15,7 @@ namespace {
 struct ReplicationResult {
     SampleSet samples;
     double run_mean = 0.0;
+    std::uint64_t fingerprint = 0;  ///< digest of the sample bits (0: compiled out)
     bool has_samples = false;
     bool ran = false;
 };
@@ -59,6 +61,18 @@ ExperimentCell pool_replications(const std::string& label, std::size_t replicati
             std::vector<double> samples = invoke(i);
             ReplicationResult& out = results[i];
             out.ran = true;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+            {
+                // Digest the sample bits worker-side: equal digests iff the
+                // replication produced bit-identical samples in order.
+                Fingerprint fp;
+                fp.fold(static_cast<std::uint64_t>(samples.size()));
+                for (double s : samples) {
+                    fp.fold(s);
+                }
+                out.fingerprint = fp.digest();
+            }
+#endif
             if (!samples.empty()) {
                 StreamingStats run;
                 for (double s : samples) {
@@ -84,17 +98,30 @@ ExperimentCell pool_replications(const std::string& label, std::size_t replicati
             }
         },
         counters);
-    for (ReplicationResult& result : results) {
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    Fingerprint combined;
+#endif
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ReplicationResult& result = results[i];
         if (!result.ran) {
             continue;
         }
         ++cell.completed_replications;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        combined.fold(static_cast<std::uint64_t>(i));
+        combined.fold(result.fingerprint);
+#endif
         if (!result.has_samples) {
             continue;
         }
         cell.run_means.add(result.run_mean);
         cell.samples.merge(std::move(result.samples));
     }
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    if (cell.completed_replications > 0) {
+        cell.fingerprint = combined.digest();
+    }
+#endif
     cell.stopped_early = cell.completed_replications < replications;
     return cell;
 }

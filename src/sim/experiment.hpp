@@ -25,6 +25,11 @@ struct ExperimentCell {
     std::size_t replications = 0;          ///< replications requested
     std::size_t completed_replications = 0;  ///< replications actually run
     bool stopped_early = false;  ///< a StopRule ended the batch before all ran
+    /// Determinism fingerprint of the batch (see sim/fingerprint.hpp):
+    /// each replication's sample bits digested worker-side, the digests
+    /// folded in index order. Bit-identical for every thread count; 0 when
+    /// the build defines SWARMAVAIL_FINGERPRINT_DISABLED.
+    std::uint64_t fingerprint = 0;
 
     /// Mean of the pooled samples (0 if empty).
     [[nodiscard]] double mean() const {

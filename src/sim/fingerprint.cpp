@@ -1,0 +1,24 @@
+#include "sim/fingerprint.hpp"
+
+namespace swarmavail::sim {
+
+void Fingerprint::fold_event(double when, std::uint64_t seq,
+                             std::uint32_t kind) noexcept {
+    std::uint64_t x = state_ + std::bit_cast<std::uint64_t>(when);
+    x = mix(x) + seq;
+    x = mix(x) + kind;
+    state_ = mix(x);
+    ++events_;
+}
+
+std::string fingerprint_hex(std::uint64_t digest) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (std::size_t i = 0; i < 16; ++i) {
+        out[15 - i] = kHex[digest & 0xFU];
+        digest >>= 4U;
+    }
+    return out;
+}
+
+}  // namespace swarmavail::sim

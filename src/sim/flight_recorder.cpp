@@ -1,0 +1,60 @@
+#include "sim/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+    require(capacity >= 1, "FlightRecorder: capacity must be >= 1");
+    ring_.resize(capacity);
+}
+
+void FlightRecorder::write(const TraceRecord* records, std::size_t count) {
+    const std::size_t cap = ring_.size();
+    if (count >= cap) {
+        // The batch alone fills the ring: keep its newest `cap` records.
+        std::copy(records + (count - cap), records + count, ring_.begin());
+        head_ = 0;
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            ring_[head_] = records[i];
+            head_ = head_ + 1 == cap ? 0 : head_ + 1;
+        }
+    }
+    total_ += count;
+}
+
+void FlightRecorder::annotate(double time, std::string_view text) {
+    annotations_.emplace_back(text);
+    if (dump_os_ != nullptr) {
+        dump(*dump_os_, time, text);
+    }
+    ++dumps_;
+}
+
+void FlightRecorder::dump(std::ostream& os, double time,
+                          std::string_view reason) const {
+    JsonlTraceSink sink{os};
+    const std::vector<TraceRecord> records = window();
+    sink.write(records.data(), records.size());
+    sink.annotate(time, reason);
+    sink.finish();
+}
+
+std::vector<TraceRecord> FlightRecorder::window() const {
+    const std::size_t cap = ring_.size();
+    const std::size_t kept = total_ < cap ? static_cast<std::size_t>(total_) : cap;
+    std::vector<TraceRecord> out;
+    out.reserve(kept);
+    // Oldest record first: when the ring has wrapped, head_ points at it.
+    const std::size_t start = total_ < cap ? 0 : head_;
+    for (std::size_t i = 0; i < kept; ++i) {
+        out.push_back(ring_[(start + i) % cap]);
+    }
+    return out;
+}
+
+}  // namespace swarmavail::sim

@@ -1,0 +1,82 @@
+// Execution flight recorder: the last N trace records, kept in a fixed ring
+// and dumped only when something goes wrong.
+//
+// A FlightRecorder is a TraceSink that retains the newest `capacity`
+// records (40-byte POD TraceRecords, no allocation after construction)
+// instead of persisting the whole stream. Attach one to an engine through
+// the ordinary Tracer plumbing and the recorder sees every record the
+// engine emits; because Tracer::annotate() flushes buffered records before
+// forwarding the annotation, the existing `trace_check_failure` path —
+// every engine already routes CheckFailure through it — delivers both the
+// final event window and the failure text here, in order. On annotation
+// the recorder dumps the window as JSONL (JsonlTraceSink's exact shape, so
+// trace_inspect parses it) to the configured stream.
+//
+// divergence_hunt uses the same ring for the "first fingerprint mismatch"
+// case: it runs two configs side by side and dumps both recorders' windows
+// when their checkpoint digests first disagree.
+//
+// Observer contract: recording never draws randomness or mutates simulator
+// state. Under the trace-off preset every engine SWARMAVAIL_TRACE call
+// site is compiled out, so a recorder attached there sees nothing and the
+// engines reference none of this machinery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace swarmavail::sim {
+
+/// Fixed-size ring of the last N TraceRecords with dump-on-annotate.
+class FlightRecorder final : public TraceSink {
+ public:
+    /// `capacity` records are retained (>= 1). Storage is allocated once
+    /// here; write() never allocates.
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    void write(const TraceRecord* records, std::size_t count) override;
+
+    /// Records the annotation and dumps the window to the dump stream (if
+    /// set). Reached via trace_check_failure -> Tracer::annotate, which
+    /// flushes pending records first, so the window ends at the failure.
+    void annotate(double time, std::string_view text) override;
+
+    /// Where annotate() dumps to; null (the default) keeps the window in
+    /// memory only (read it back with window()). The stream must outlive
+    /// the recorder.
+    void set_dump_stream(std::ostream* os) noexcept { dump_os_ = os; }
+
+    /// Writes the retained window as JSONL — one record object per line in
+    /// JsonlTraceSink's shape, then one annotation line carrying `reason` —
+    /// so read_trace_jsonl / trace_inspect consume dumps directly.
+    void dump(std::ostream& os, double time, std::string_view reason) const;
+
+    /// The retained window, oldest record first.
+    [[nodiscard]] std::vector<TraceRecord> window() const;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+    /// Records ever written (>= window().size(); the excess fell off).
+    [[nodiscard]] std::uint64_t total_records() const noexcept { return total_; }
+    /// True once annotate() has dumped at least one window.
+    [[nodiscard]] std::uint64_t dumps() const noexcept { return dumps_; }
+    /// The annotation texts seen, in order (failure diagnostics).
+    [[nodiscard]] const std::vector<std::string>& annotations() const noexcept {
+        return annotations_;
+    }
+
+ private:
+    std::vector<TraceRecord> ring_;
+    std::size_t head_ = 0;        ///< next write position
+    std::uint64_t total_ = 0;     ///< records ever written
+    std::uint64_t dumps_ = 0;
+    std::ostream* dump_os_ = nullptr;
+    std::vector<std::string> annotations_;
+};
+
+}  // namespace swarmavail::sim

@@ -6,6 +6,7 @@
 
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fingerprint.hpp"
 #include "sim/processes.hpp"
 #include "sim/trace.hpp"
 #include "swarm/audit.hpp"
@@ -102,6 +103,13 @@ class SwarmSim {
         holder_list_.assign(pieces_total_, {});
         offered_count_.assign(pieces_total_, 0);
         queue_.set_audit(config_.debug_audit);
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        if (config_.fingerprint) {
+            fingerprint_state_ = sim::Fingerprint{config_.seed};
+            fingerprint_ = &fingerprint_state_;
+            queue_.set_fingerprint(fingerprint_);
+        }
+#endif
         if (config_.metrics != nullptr) {
             bind_metrics(*config_.metrics);
         }
@@ -197,7 +205,19 @@ class SwarmSim {
                                   end_time);
         }
 #endif
+        if (config_.metrics != nullptr) {
+            record_calendar_metrics(*config_.metrics, queue_.calendar_stats());
+        }
         SwarmSimResult out = std::move(result_);
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+        if (fingerprint_ != nullptr) {
+            // Fold the RNG draw count so divergences that consume randomness
+            // without producing a visible event still move the digest.
+            fingerprint_->fold(rng_.draws());
+            out.fingerprint = fingerprint_->digest();
+            out.fingerprint_events = fingerprint_->events();
+        }
+#endif
         out.stuck_at_horizon = 0;
         for (const auto& slot : peer_slots_) {
             if (slot != nullptr && !slot->seed_only) {
@@ -238,6 +258,21 @@ class SwarmSim {
         m_leechers_gauge_ = &m.gauge("swarm.leechers");
         m_coverage_gauge_ = &m.gauge("swarm.coverage_fraction");
         m_queue_depth_ = &m.gauge("swarm.queue_depth");
+    }
+
+    /// Publishes the calendar/ladder regime counters once at end of run.
+    /// Counters merge by sum across replications; the occupancy gauge keeps
+    /// min/mean/max, so a pathological bucket blow-up in any replication is
+    /// visible in the merged registry.
+    static void record_calendar_metrics(MetricsRegistry& m,
+                                        const sim::CalendarDebugStats& cal) {
+        m.counter("calendar.rewindows").add(cal.rewindows);
+        m.counter("calendar.small_rewindows").add(cal.small_rewindows);
+        m.counter("calendar.ladder_spills").add(cal.ladder_spills);
+        m.counter("calendar.staged_merges").add(cal.staged_merges);
+        m.counter("calendar.insertion_merges").add(cal.insertion_merges);
+        m.gauge("calendar.max_bucket_occupancy")
+            .set(static_cast<double>(cal.max_bucket_occupancy));
     }
 
     /// Samples the population/coverage/queue-depth gauges; called at peer
@@ -989,6 +1024,10 @@ class SwarmSim {
     Rng rng_;
     EventQueue queue_;
     SwarmSimResult result_;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    sim::Fingerprint fingerprint_state_;
+    sim::Fingerprint* fingerprint_ = nullptr;  ///< null: fingerprinting off
+#endif
 
     std::size_t pieces_total_ = 0;
     double piece_bits_ = 0.0;
@@ -1104,6 +1143,12 @@ std::vector<SwarmSimResult> run_swarm_replications(const SwarmSimConfig& config,
             SWARMAVAIL_TELEMETRY(config.telemetry,
                                  counters().replications_completed.fetch_add(
                                      1, std::memory_order_relaxed));
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+            SWARMAVAIL_TELEMETRY(config.telemetry,
+                                 counters().fingerprint_xor.fetch_xor(
+                                     results[i].fingerprint,
+                                     std::memory_order_relaxed));
+#endif
             if (results[i].download_times.count() > 0) {
                 SWARMAVAIL_TELEMETRY(config.telemetry,
                                      tracker().observe("swarm.download_time_s",

@@ -120,6 +120,12 @@ struct SwarmSimConfig {
     /// parallel replications — run_swarm_replications keeps it attached and
     /// adds replication progress). Never changes any result.
     telemetry::TelemetrySession* telemetry = nullptr;
+    /// Determinism fingerprint (see sim/fingerprint.hpp): fold every event
+    /// the private queue dispatches — (when, seq, kind) — plus the final
+    /// RNG draw count into the result's fingerprint. Pure observer (cannot
+    /// change any result bit); ignored when the build defines
+    /// SWARMAVAIL_FINGERPRINT_DISABLED.
+    bool fingerprint = true;
 };
 
 /// Arrival/departure record of one peer (one line segment of Figure 5).
@@ -150,6 +156,13 @@ struct SwarmSimResult {
     /// Time of the last completion (0 if none): how long the swarm kept
     /// serving peers, the Figure 4 "self-sustaining" signal.
     double last_completion = 0.0;
+    /// Determinism fingerprint of the run's dispatch path (0 when
+    /// fingerprinting is off or compiled out): the digest of every event the
+    /// queue dispatched plus the RNG draw count, and the events folded into
+    /// it. Two runs with equal configs must match here; a mismatch means the
+    /// executions diverged even if the statistics happen to agree.
+    std::uint64_t fingerprint = 0;
+    std::uint64_t fingerprint_events = 0;
 };
 
 /// Runs one block-level swarm simulation.

@@ -138,7 +138,8 @@ void JsonlTelemetryExporter::export_snapshot(const TelemetrySnapshot& s) {
         << ",\"progress\":" << format_double_exact(s.progress)
         << ",\"eta_s\":" << format_double_exact(s.eta_s)
         << ",\"rss_bytes\":" << s.rss_bytes
-        << ",\"peak_rss_bytes\":" << s.peak_rss_bytes << ",\"tracked\":[";
+        << ",\"peak_rss_bytes\":" << s.peak_rss_bytes
+        << ",\"fingerprint_xor\":" << s.fingerprint_xor << ",\"tracked\":[";
     for (std::size_t i = 0; i < s.tracked.size(); ++i) {
         if (i > 0) {
             os_ << ',';
@@ -235,6 +236,14 @@ void write_prometheus(const TelemetrySnapshot& s, std::ostream& os) {
                 static_cast<double>(s.rss_bytes));
     prom_sample(os, "swarmavail_peak_resident_memory_bytes", "Peak resident set size.",
                 "gauge", static_cast<double>(s.peak_rss_bytes));
+    // The 64-bit fingerprint XOR is split into 32-bit halves: Prometheus
+    // samples are doubles, which lose integer precision past 2^53.
+    prom_sample(os, "swarmavail_fingerprint_xor_lo",
+                "Low 32 bits of the completed-work fingerprint XOR.", "gauge",
+                static_cast<double>(s.fingerprint_xor & 0xffffffffULL));
+    prom_sample(os, "swarmavail_fingerprint_xor_hi",
+                "High 32 bits of the completed-work fingerprint XOR.", "gauge",
+                static_cast<double>(s.fingerprint_xor >> 32U));
 
     if (!s.tracked.empty()) {
         os << "# HELP swarmavail_tracked_mean Streaming mean of a tracked estimate.\n"
@@ -504,6 +513,21 @@ class Scanner {
         return pos_ < line_.size() && line_[pos_] == c;
     }
 
+    /// Consumes `"key":` if it is next; false (no movement) otherwise.
+    /// For fields added after the format shipped: streams written before
+    /// the field existed still parse (the field keeps its default).
+    [[nodiscard]] bool try_key(std::string_view key) {
+        const std::size_t need = key.size() + 3;  // quotes and colon
+        if (line_.size() - pos_ < need || line_[pos_] != '"' ||
+            line_.substr(pos_ + 1, key.size()) != key ||
+            line_[pos_ + 1 + key.size()] != '"' ||
+            line_[pos_ + 2 + key.size()] != ':') {
+            return false;
+        }
+        pos_ += need;
+        return true;
+    }
+
     void expect_end() {
         if (pos_ != line_.size()) {
             parse_fail(line_no_, "trailing characters");
@@ -581,6 +605,10 @@ std::vector<TelemetrySnapshot> read_telemetry_jsonl(std::istream& in) {
         scan.expect_key("peak_rss_bytes");
         s.peak_rss_bytes = scan.read_u64();
         scan.expect(',');
+        if (scan.try_key("fingerprint_xor")) {
+            s.fingerprint_xor = scan.read_u64();
+            scan.expect(',');
+        }
         scan.expect_key("tracked");
         scan.expect('[');
         if (!scan.peek(']')) {
@@ -703,6 +731,7 @@ TelemetrySnapshot TelemetrySession::snapshot_now(bool final_snapshot) {
     s.sim_time_advanced = c.sim_time_advanced.load(std::memory_order_relaxed);
     s.sim_time_target = c.sim_time_target.load(std::memory_order_relaxed);
     s.queue_depth = c.queue_depth.load(std::memory_order_relaxed);
+    s.fingerprint_xor = c.fingerprint_xor.load(std::memory_order_relaxed);
 
     const double wall_delta = s.wall_time_s - prev_wall_s_;
     if (wall_delta > 0.0) {

@@ -80,6 +80,13 @@ struct RunCounters {
     /// Pending-work gauge, last writer wins: event-queue depth in shared-
     /// queue/single-sim runs, unclaimed fan-out indices under sim::Parallel.
     std::atomic<double> queue_depth{0.0};
+    /// Running XOR of completed work units' determinism fingerprints (see
+    /// sim/fingerprint.hpp). XOR is commutative, so the value at run
+    /// completion is identical for every thread count / completion order;
+    /// mid-run it only reflects the units finished so far. The canonical
+    /// order-sensitive catalog fingerprint lives in CatalogReport — this is
+    /// the live view. Stays 0 with fingerprinting off or compiled out.
+    std::atomic<std::uint64_t> fingerprint_xor{0};
 };
 
 /// One tracked estimate's streaming summary at snapshot time.
@@ -150,6 +157,9 @@ struct TelemetrySnapshot {
     double eta_s = -1.0;              ///< estimated remaining wall seconds (< 0 unknown)
     std::uint64_t rss_bytes = 0;      ///< resident set size (0 where unsupported)
     std::uint64_t peak_rss_bytes = 0;
+    /// XOR of completed work units' determinism fingerprints at sample time
+    /// (see RunCounters::fingerprint_xor); 0 when fingerprinting is off.
+    std::uint64_t fingerprint_xor = 0;
     std::vector<TrackedStat> tracked; ///< convergence-tracker summaries
 };
 

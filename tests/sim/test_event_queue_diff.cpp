@@ -195,6 +195,39 @@ TEST(EventQueueDifferential, AuditModeStaysConsistent) {
     run_differential(config);
 }
 
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+TEST(EventQueueDifferential, FingerprintMatchesReferenceDispatchOrder) {
+    // The queue folds (when, seq, 0) per dispatch; folding the reference
+    // heap's dispatch stream into an identically seeded chain must land on
+    // the same digest — the O(1) form of the order-equality the
+    // differential runs above assert event by event. The reference tags
+    // are the scheduling sequence numbers, matching the queue's seq.
+    for (const std::uint64_t seed : {3ULL, 99ULL}) {
+        EventQueue queue;
+        Fingerprint queue_chain{seed};
+        queue.set_fingerprint(&queue_chain);
+        ReferenceHeapQueue reference;
+        Fingerprint reference_chain{seed};
+
+        Rng rng{seed};
+        for (std::size_t i = 0; i < 3000; ++i) {
+            const bool churn = (rng() & 7U) == 0;
+            const SimTime when =
+                queue.now() + rng.uniform() * (churn ? 512.0 : 1.0);
+            (void)queue.schedule_at(when, [] {});
+            (void)reference.push(when);
+        }
+        while (!queue.empty()) {
+            const auto [when, tag] = reference.pop();
+            reference_chain.fold_event(when, tag, 0U);
+            ASSERT_TRUE(queue.run_next());
+        }
+        EXPECT_EQ(queue_chain.digest(), reference_chain.digest());
+        EXPECT_EQ(queue_chain.events(), 3000U);
+    }
+}
+#endif
+
 TEST(EventQueueDifferential, StaleIdAfterSlotReuseIsInert) {
     // Slot generations: once an event fires, its slot is recycled under a
     // new generation, so a retained id from the fired event must not

@@ -1,0 +1,135 @@
+// Flight-recorder tests: ring retention semantics (last N records, oldest
+// first, batch overfill), the dump-on-annotate path that the engines reach
+// through trace_check_failure, and the JSONL dump shape (parsable by
+// read_trace_jsonl, i.e. by trace_inspect).
+#include "sim/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace swarmavail::sim {
+namespace {
+
+TraceRecord record_at(double time, std::uint64_t entity = 0) {
+    TraceRecord record;
+    record.time = time;
+    record.kind = TraceKind::kCustom;
+    record.entity = entity;
+    return record;
+}
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+    FlightRecorder recorder{8};
+    for (int i = 0; i < 5; ++i) {
+        const TraceRecord record = record_at(i);
+        recorder.write(&record, 1);
+    }
+    const auto window = recorder.window();
+    ASSERT_EQ(window.size(), 5U);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(window[static_cast<std::size_t>(i)].time, i);
+    }
+    EXPECT_EQ(recorder.total_records(), 5U);
+    EXPECT_EQ(recorder.capacity(), 8U);
+}
+
+TEST(FlightRecorder, KeepsNewestOldestFirstAfterWrap) {
+    FlightRecorder recorder{4};
+    for (int i = 0; i < 11; ++i) {
+        const TraceRecord record = record_at(i);
+        recorder.write(&record, 1);
+    }
+    const auto window = recorder.window();
+    ASSERT_EQ(window.size(), 4U);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(window[static_cast<std::size_t>(i)].time, 7 + i);
+    }
+    EXPECT_EQ(recorder.total_records(), 11U);
+}
+
+TEST(FlightRecorder, BatchLargerThanCapacityKeepsItsTail) {
+    FlightRecorder recorder{3};
+    std::vector<TraceRecord> batch;
+    for (int i = 0; i < 10; ++i) {
+        batch.push_back(record_at(i));
+    }
+    recorder.write(batch.data(), batch.size());
+    const auto window = recorder.window();
+    ASSERT_EQ(window.size(), 3U);
+    EXPECT_EQ(window[0].time, 7.0);
+    EXPECT_EQ(window[2].time, 9.0);
+}
+
+TEST(FlightRecorder, RejectsZeroCapacity) {
+    EXPECT_THROW(FlightRecorder{0}, std::invalid_argument);
+}
+
+TEST(FlightRecorder, DumpIsParseableJsonlWithAnnotation) {
+    FlightRecorder recorder{4};
+    for (int i = 0; i < 6; ++i) {
+        const TraceRecord record = record_at(i, static_cast<std::uint64_t>(i));
+        recorder.write(&record, 1);
+    }
+    std::ostringstream os;
+    recorder.dump(os, 5.5, "fingerprint mismatch at checkpoint 3");
+    std::istringstream in{os.str()};
+    const ParsedTrace parsed = read_trace_jsonl(in);
+    ASSERT_EQ(parsed.records.size(), 4U);
+    EXPECT_EQ(parsed.records.front().time, 2.0);
+    EXPECT_EQ(parsed.records.back().time, 5.0);
+    ASSERT_EQ(parsed.annotations.size(), 1U);
+    EXPECT_EQ(parsed.annotations[0].time, 5.5);
+    EXPECT_EQ(parsed.annotations[0].text, "fingerprint mismatch at checkpoint 3");
+}
+
+TEST(FlightRecorder, AnnotateDumpsToConfiguredStream) {
+    FlightRecorder recorder{4};
+    const TraceRecord record = record_at(1.0);
+    recorder.write(&record, 1);
+    std::ostringstream os;
+    recorder.set_dump_stream(&os);
+    EXPECT_EQ(recorder.dumps(), 0U);
+    recorder.annotate(2.0, "boom");
+    EXPECT_EQ(recorder.dumps(), 1U);
+    ASSERT_EQ(recorder.annotations().size(), 1U);
+    EXPECT_EQ(recorder.annotations()[0], "boom");
+    std::istringstream in{os.str()};
+    const ParsedTrace parsed = read_trace_jsonl(in);
+    EXPECT_EQ(parsed.records.size(), 1U);
+    ASSERT_EQ(parsed.annotations.size(), 1U);
+    EXPECT_EQ(parsed.annotations[0].text, "boom");
+}
+
+TEST(FlightRecorder, CheckFailurePathDeliversWindowAndDiagnostic) {
+    // The engine-side wiring: a recorder behind a Tracer receives buffered
+    // records and then the CheckFailure annotation, because
+    // Tracer::annotate flushes before forwarding. No engine changes needed.
+    FlightRecorder recorder{8};
+    Tracer tracer{recorder};
+    tracer.set_enabled(true);
+    tracer.record(TraceKind::kPeerArrival, 1.0, 7);
+    tracer.record(TraceKind::kPeerCompletion, 2.0, 7, 1.0);
+    try {
+        ensure(false, "injected invariant break");
+        FAIL() << "ensure must throw";
+    } catch (const CheckFailure& failure) {
+        trace_check_failure(&tracer, 2.5, failure);
+    }
+    const auto window = recorder.window();
+    ASSERT_EQ(window.size(), 2U);
+    EXPECT_EQ(window[0].kind, TraceKind::kPeerArrival);
+    EXPECT_EQ(window[1].kind, TraceKind::kPeerCompletion);
+    ASSERT_EQ(recorder.annotations().size(), 1U);
+    EXPECT_NE(recorder.annotations()[0].find("injected invariant break"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmavail::sim

@@ -173,6 +173,12 @@ TEST(SwarmlintFixtures, ObsGuardedTelemetryBad) {
 TEST(SwarmlintFixtures, ObsGuardedTelemetryGood) {
     expect_fixture("obs_guarded_telemetry_good.cpp");
 }
+TEST(SwarmlintFixtures, ObsGuardedFingerprintBad) {
+    expect_fixture("obs_guarded_fingerprint_bad.cpp");
+}
+TEST(SwarmlintFixtures, ObsGuardedFingerprintGood) {
+    expect_fixture("obs_guarded_fingerprint_good.cpp");
+}
 TEST(SwarmlintFixtures, ObsMacroCompileOutBad) {
     expect_fixture("obs_macro_compile_out_bad.cpp");
 }
@@ -231,6 +237,9 @@ TEST(SwarmlintRegistry, ClassifiesLayersByPath) {
     EXPECT_EQ(swarmlint::classify_path("src/swarm/swarm_sim.cpp"), Layer::kEngine);
     EXPECT_EQ(swarmlint::classify_path("src/util/telemetry.cpp"), Layer::kObserver);
     EXPECT_EQ(swarmlint::classify_path("src/sim/trace.hpp"), Layer::kObserver);
+    EXPECT_EQ(swarmlint::classify_path("src/sim/fingerprint.hpp"), Layer::kObserver);
+    EXPECT_EQ(swarmlint::classify_path("src/sim/flight_recorder.cpp"),
+              Layer::kObserver);
     EXPECT_EQ(swarmlint::classify_path("src/util/random.hpp"), Layer::kRandom);
     EXPECT_EQ(swarmlint::classify_path("src/util/stats.hpp"), Layer::kSupport);
     EXPECT_EQ(swarmlint::classify_path("tools/swarmlint/main.cpp"), Layer::kOther);

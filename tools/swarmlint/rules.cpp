@@ -21,10 +21,12 @@ bool ends_with(string_view text, string_view suffix) {
 bool is_header(string_view path) { return ends_with(path, ".hpp"); }
 
 /// The engine headers an observer must never include: anything that can
-/// mutate simulation state. sim/trace.hpp is the one sim/ header that is
-/// itself an observer.
+/// mutate simulation state. sim/trace.hpp, sim/fingerprint.hpp, and
+/// sim/flight_recorder.hpp are the sim/ headers that are themselves
+/// observers.
 bool is_engine_header_include(string_view target) {
-    if (target == "sim/trace.hpp") {
+    if (target == "sim/trace.hpp" || target == "sim/fingerprint.hpp" ||
+        target == "sim/flight_recorder.hpp") {
         return false;
     }
     static constexpr std::array<string_view, 6> kEnginePrefixes = {
@@ -425,6 +427,50 @@ void check_obs_guarded_telemetry(RuleContext& ctx) {
     });
 }
 
+void check_obs_guarded_fingerprint(RuleContext& ctx) {
+    if (classify_path(ctx.file.path()) != Layer::kEngine) {
+        return;
+    }
+    const string_view code = ctx.file.code();
+    for_each_identifier(code, [&](string_view name, std::size_t off) {
+        // A touch is a dereference of an attached fingerprint pointer or
+        // any use of the Fingerprint type (members, locals, constructions).
+        // Copying the runtime `bool fingerprint` config flag around is not
+        // a touch: it survives the trace-off build as a dead bool.
+        const bool pointer = name == "fingerprint" || name == "fingerprint_";
+        const bool type = name == "Fingerprint";
+        if (!pointer && !type) {
+            return;
+        }
+        const int line = ctx.file.line_of_offset(off);
+        if (ctx.file.is_directive_line(line)) {
+            return;
+        }
+        bool touch = type;
+        if (pointer) {
+            const std::size_t p = skip_space(code, off + name.size());
+            touch = p + 1 < code.size() && code[p] == '-' && code[p + 1] == '>';
+        }
+        if (!touch) {
+            return;
+        }
+        if (ctx.file.guard_mentions(line, "SWARMAVAIL_FINGERPRINT_DISABLED")) {
+            return;
+        }
+        const string_view line_code = ctx.file.code_line(line);
+        for (const std::string& macro : ctx.options.compile_out_macros) {
+            if (line_code.find(macro) != string_view::npos) {
+                return;  // routed through a compile-out-able macro
+            }
+        }
+        ctx.report("obs-guarded-fingerprint", line,
+                   "fingerprint touch outside an #if/#ifndef region keyed on "
+                   "SWARMAVAIL_FINGERPRINT_DISABLED (and not via the "
+                   "SWARMAVAIL_FPRINT macro); the trace-off preset must erase "
+                   "every fingerprint call site from the engines");
+    });
+}
+
 void check_obs_macro_compile_out(RuleContext& ctx) {
     if (classify_path(ctx.file.path()) != Layer::kEngine) {
         return;
@@ -436,7 +482,8 @@ void check_obs_macro_compile_out(RuleContext& ctx) {
         const string_view tail = name.substr(string_view{"SWARMAVAIL_"}.size());
         const bool observability = starts_with(tail, "TRACE") ||
                                    starts_with(tail, "TELEMETRY") ||
-                                   starts_with(tail, "PROF");
+                                   starts_with(tail, "PROF") ||
+                                   starts_with(tail, "FPRINT");
         if (!observability || ends_with(name, "_DISABLED")) {
             return;
         }
@@ -696,7 +743,9 @@ void RuleContext::report(std::string rule, int line, std::string message) {
 
 Layer classify_path(std::string_view path) {
     if (starts_with(path, "src/util/metrics.") || starts_with(path, "src/util/telemetry.") ||
-        starts_with(path, "src/util/profile.") || starts_with(path, "src/sim/trace.")) {
+        starts_with(path, "src/util/profile.") || starts_with(path, "src/sim/trace.") ||
+        starts_with(path, "src/sim/fingerprint.") ||
+        starts_with(path, "src/sim/flight_recorder.")) {
         return Layer::kObserver;
     }
     if (starts_with(path, "src/util/random.")) {
@@ -758,6 +807,12 @@ const std::vector<Rule>& all_rules() {
          "SWARMAVAIL_TELEMETRY_DISABLED guards or a compile-out-able macro, so "
          "the trace-off preset erases it.",
          &check_obs_guarded_telemetry},
+        {"obs-guarded-fingerprint",
+         "Every fingerprint touch in an engine file (Fingerprint type use or "
+         "dereference of an attached fingerprint pointer) must sit behind "
+         "SWARMAVAIL_FINGERPRINT_DISABLED guards or the SWARMAVAIL_FPRINT "
+         "macro, so the trace-off preset erases it.",
+         &check_obs_guarded_fingerprint},
         {"obs-macro-compile-out",
          "Observability macros used by engines must come from the "
          "compile-out-able set defined by the trace/telemetry/profile headers "

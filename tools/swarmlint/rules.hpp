@@ -51,6 +51,7 @@ struct LintOptions {
         "SWARMAVAIL_TRACE",
         "SWARMAVAIL_TELEMETRY",
         "SWARMAVAIL_PROF_SCOPE",
+        "SWARMAVAIL_FPRINT",
     };
 
     /// Header-declared functions with raw double/float parameters, indexed
@@ -67,7 +68,8 @@ struct LintOptions {
 /// rule families apply.
 enum class Layer {
     kEngine,    ///< result-producing: sim/swarm/catalog/model/queueing/measurement
-    kObserver,  ///< util/metrics, util/telemetry, util/profile, sim/trace
+    kObserver,  ///< util/metrics, util/telemetry, util/profile, sim/trace,
+                ///< sim/fingerprint, sim/flight_recorder
     kRandom,    ///< util/random — the one home for entropy primitives
     kSupport,   ///< remaining util/ (stats, check, ...) — result-adjacent
     kOther,     ///< outside src/
