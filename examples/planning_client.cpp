@@ -1,0 +1,334 @@
+// Client for the planning daemon: one-shot queries, scripted sessions,
+// a loopback benchmark mode, and an offline parser harness.
+//
+// Usage:
+//   planning_client (--port P | --port-file FILE) --request JSON
+//   planning_client (--port P | --port-file FILE) --stats
+//   planning_client (--port P | --port-file FILE) --bench N --request JSON
+//   planning_client (--port P | --port-file FILE)            # stdin session
+//   planning_client --parse-only FILE
+//
+// One-shot: sends the JSON request as one frame, prints the response
+// payload, exits 0 on an ok:true answer and 1 on a structured error.
+// --stats sends STATS and prints the embedded Prometheus exposition as
+// text. --bench sends the request N times in lockstep over one connection
+// and reports wall time and queries/s (end-to-end loopback numbers; the
+// in-process router throughput lives in bench_planning_qps). With no mode
+// flag, each stdin line is sent as one request and each response printed
+// on its own line — the scripted-session mode CI smoke tests use.
+//
+// --parse-only runs the server's exact decode pipeline (frame decoder,
+// UTF-8 check, strict JSON, request validation) over raw bytes from FILE
+// without a server, printing each diagnostic; nonzero exit on any
+// malformed input. The protocol-hardening fixtures drive this mode, also
+// under AddressSanitizer in CI.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request.hpp"
+
+namespace {
+
+using swarmavail::serve::FrameDecoder;
+
+struct Options {
+    int port = -1;
+    std::string port_file;
+    std::string request;
+    std::string parse_only;
+    bool stats = false;
+    long bench = 0;
+};
+
+[[noreturn]] void usage_error(std::string_view message) {
+    std::cerr << "planning_client: " << message << "\n"
+              << "usage: planning_client (--port P | --port-file FILE) "
+                 "[--request JSON | --stats | --bench N --request JSON]\n"
+              << "       planning_client --parse-only FILE\n";
+    std::exit(2);
+}
+
+const char* next_value(int argc, char** argv, int& i, std::string_view flag) {
+    if (i + 1 >= argc) {
+        usage_error(std::string{flag} + " needs a value");
+    }
+    return argv[++i];
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--port") {
+            opt.port = std::stoi(next_value(argc, argv, i, arg));
+        } else if (arg == "--port-file") {
+            opt.port_file = next_value(argc, argv, i, arg);
+        } else if (arg == "--request") {
+            opt.request = next_value(argc, argv, i, arg);
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--bench") {
+            opt.bench = std::stol(next_value(argc, argv, i, arg));
+            if (opt.bench < 1) {
+                usage_error("--bench must be >= 1");
+            }
+        } else if (arg == "--parse-only") {
+            opt.parse_only = next_value(argc, argv, i, arg);
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("usage");
+        } else {
+            usage_error("unknown flag " + std::string{arg});
+        }
+    }
+    return opt;
+}
+
+/// The server's decode pipeline, offline: frames, UTF-8, JSON, request
+/// schema. Returns the number of malformed inputs found.
+int parse_only(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "planning_client: cannot read " << path << "\n";
+        return 1;
+    }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string bytes = raw.str();
+
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    int failures = 0;
+    std::size_t frames = 0;
+    std::string payload;
+    std::string error;
+    while (true) {
+        const FrameDecoder::Status status = decoder.next(payload, error);
+        if (status == FrameDecoder::Status::kNeedMore) {
+            break;
+        }
+        if (status == FrameDecoder::Status::kError) {
+            std::cerr << "frame error: " << error << "\n";
+            return 1;  // framing is unrecoverable once poisoned
+        }
+        ++frames;
+        if (!swarmavail::serve::validate_utf8(payload)) {
+            std::cerr << "frame " << frames << ": payload is not valid UTF-8\n";
+            ++failures;
+            continue;
+        }
+        swarmavail::serve::JsonValue value;
+        std::string json_error;
+        if (!swarmavail::serve::parse_json(payload, value, &json_error)) {
+            std::cerr << "frame " << frames << ": " << json_error << "\n";
+            ++failures;
+            continue;
+        }
+        swarmavail::serve::Request request;
+        swarmavail::serve::ServeError serve_error;
+        if (!swarmavail::serve::parse_request(value, swarmavail::serve::RequestPolicy{},
+                                              request, serve_error)) {
+            std::cerr << "frame " << frames << ": [" << serve_error.code << "] "
+                      << serve_error.message << "\n";
+            ++failures;
+            continue;
+        }
+        std::cout << "frame " << frames << ": ok ("
+                  << swarmavail::serve::verb_name(request.verb) << ")\n";
+    }
+    if (decoder.pending_bytes() > 0) {
+        std::cerr << "trailing bytes form a truncated frame ("
+                  << decoder.pending_bytes() << " bytes)\n";
+        ++failures;
+    }
+    if (frames == 0 && failures == 0) {
+        std::cerr << "no frames in " << path << "\n";
+        return 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int connect_to(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Sends one request frame and reads one response payload.
+bool round_trip(int fd, FrameDecoder& decoder, const std::string& request,
+                std::string& response) {
+    if (!send_all(fd, swarmavail::serve::encode_frame(request))) {
+        return false;
+    }
+    std::string error;
+    char buffer[65536];
+    while (true) {
+        const FrameDecoder::Status status = decoder.next(response, error);
+        if (status == FrameDecoder::Status::kFrame) {
+            return true;
+        }
+        if (status == FrameDecoder::Status::kError) {
+            std::cerr << "planning_client: protocol error: " << error << "\n";
+            return false;
+        }
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0) {
+            std::cerr << "planning_client: connection closed by server\n";
+            return false;
+        }
+        decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+}
+
+/// True when the response says ok:true (cheap scan; responses are ours).
+bool response_ok(const std::string& response) {
+    return response.find("\"ok\":true") != std::string::npos;
+}
+
+int run_stats(int fd, FrameDecoder& decoder) {
+    std::string response;
+    if (!round_trip(fd, decoder, "{\"verb\":\"STATS\"}", response)) {
+        return 1;
+    }
+    swarmavail::serve::JsonValue value;
+    std::string error;
+    if (!swarmavail::serve::parse_json(response, value, &error)) {
+        std::cerr << "planning_client: unparseable response: " << error << "\n";
+        return 1;
+    }
+    const auto* result = value.find("result");
+    const auto* text = result != nullptr ? result->find("prometheus") : nullptr;
+    if (text == nullptr || !text->is_string()) {
+        std::cerr << response << "\n";
+        return 1;
+    }
+    std::cout << text->as_string();
+    return 0;
+}
+
+int run_bench(int fd, FrameDecoder& decoder, const Options& opt) {
+    std::string response;
+    // Warm the caches (and fault in the code path) outside the timed loop.
+    if (!round_trip(fd, decoder, opt.request, response)) {
+        return 1;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    for (long i = 0; i < opt.bench; ++i) {
+        if (!round_trip(fd, decoder, opt.request, response)) {
+            return 1;
+        }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    std::cout << "requests " << opt.bench << "\n"
+              << "seconds " << seconds << "\n"
+              << "queries_per_s " << (seconds > 0.0 ? opt.bench / seconds : 0.0)
+              << "\n"
+              << "last_response " << response << "\n";
+    return 0;
+}
+
+int run_session(int fd, FrameDecoder& decoder) {
+    std::string line;
+    std::string response;
+    int failures = 0;
+    while (std::getline(std::cin, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        if (!round_trip(fd, decoder, line, response)) {
+            return 1;
+        }
+        std::cout << response << "\n";
+        if (!response_ok(response)) {
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+
+    if (!opt.parse_only.empty()) {
+        return parse_only(opt.parse_only);
+    }
+
+    int port = opt.port;
+    if (port < 0 && !opt.port_file.empty()) {
+        std::ifstream in(opt.port_file);
+        if (!(in >> port)) {
+            std::cerr << "planning_client: cannot read a port from "
+                      << opt.port_file << "\n";
+            return 1;
+        }
+    }
+    if (port <= 0 || port > 65535) {
+        usage_error("need --port or --port-file naming a bound port");
+    }
+
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        std::cerr << "planning_client: cannot connect to 127.0.0.1:" << port << "\n";
+        return 1;
+    }
+    FrameDecoder decoder;
+
+    int rc = 0;
+    if (opt.stats) {
+        rc = run_stats(fd, decoder);
+    } else if (opt.bench > 0) {
+        if (opt.request.empty()) {
+            usage_error("--bench needs --request JSON");
+        }
+        rc = run_bench(fd, decoder, opt);
+    } else if (!opt.request.empty()) {
+        std::string response;
+        if (round_trip(fd, decoder, opt.request, response)) {
+            std::cout << response << "\n";
+            rc = response_ok(response) ? 0 : 1;
+        } else {
+            rc = 1;
+        }
+    } else {
+        rc = run_session(fd, decoder);
+    }
+    ::close(fd);
+    return rc;
+}

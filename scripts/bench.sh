@@ -58,10 +58,12 @@ for rep in $(seq 1 "${BENCH_REPEAT}"); do
     run_bench bench_event_queue "${rep}"
     run_bench bench_replication_scaling "${rep}"
     run_bench bench_catalog_scaling "${rep}"
+    run_bench bench_planning_qps "${rep}"
     inputs+=("${tmpdir}/bench_perf_micro.${rep}.json"
              "${tmpdir}/bench_event_queue.${rep}.json"
              "${tmpdir}/bench_replication_scaling.${rep}.json"
-             "${tmpdir}/bench_catalog_scaling.${rep}.json")
+             "${tmpdir}/bench_catalog_scaling.${rep}.json"
+             "${tmpdir}/bench_planning_qps.${rep}.json")
 done
 
 echo "== bench_phase_profile ==" >&2

@@ -117,8 +117,10 @@ def merge(input_paths, prior_path=None, profile_path=None):
             # so BENCH_perf.json records *which* queue regime a row
             # exercised — a perf delta can then be read against a regime
             # shift (rewindow storm, ladder spill change) instead of guessed.
+            # srv_* counters are the planning-service rows (queries/s
+            # through the router and the loopback server).
             for key, value in bench.items():
-                if key.startswith("cal_"):
+                if key.startswith(("cal_", "srv_")):
                     row[key] = value
             entries.append(row)
 

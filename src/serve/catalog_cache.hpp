@@ -1,0 +1,167 @@
+// Single-flight result caches keyed by canonical request serializations.
+//
+// The daemon's "warm state": every completed answer is cached under its
+// canonical key (serve/request.hpp), so byte-equal semantics <=> cache
+// hit. Concurrency is single-flight — when N workers ask for the same
+// missing key at once, exactly one computes while the rest block on the
+// entry; a simulation refinement is therefore never duplicated, and every
+// waiter receives the one deterministic outcome. Failed computations are
+// NOT cached (the entry is erased and the error rethrown to all waiters),
+// so a transient failure cannot poison a key.
+//
+// Capacity is bounded with FIFO eviction over *completed* entries —
+// in-flight computations are never evicted. FIFO (not LRU) keeps hits
+// O(1) with no per-hit bookkeeping writes beyond a counter.
+//
+// CatalogCache instantiates the template for simulation refinements
+// (RefineOutcome: the CatalogReport aggregates plus the determinism
+// fingerprint); the router reuses the same template with std::string
+// values to memoize model-path response fragments.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace swarmavail::serve {
+
+/// Aggregates of one catalog refinement, as cached and serialized into
+/// REFINE responses (a compact projection of catalog::CatalogReport).
+struct RefineOutcome {
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t stranded = 0;
+    double demand_weighted_unavailability = 0.0;
+    double mean_download_time = 0.0;
+    double demand_weighted_unavailable_time = 0.0;
+    double mean_publisher_online_fraction = 0.0;
+    double expected_publisher_load = 0.0;
+    std::uint64_t publisher_up_transitions = 0;
+    /// Catalog-wide determinism fingerprint (CatalogReport::fingerprint);
+    /// 0 only when fingerprinting is compiled out.
+    std::uint64_t fingerprint = 0;
+    std::size_t swarms = 0;
+    std::size_t swarms_planned = 0;
+    bool stopped_early = false;
+};
+
+/// Bounded single-flight cache; Value must be copyable.
+template <typename Value>
+class SingleFlightCache {
+ public:
+    explicit SingleFlightCache(std::size_t max_entries = 256)
+        : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+    /// Returns the cached value for `key`, computing it via `compute` on a
+    /// miss. Concurrent callers with the same key share one computation.
+    /// If `compute` throws, the error is propagated to every waiter and
+    /// the key is forgotten.
+    Value get_or_compute(const std::string& key,
+                         const std::function<Value()>& compute) {
+        std::shared_ptr<Entry> entry;
+        bool owner = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it == entries_.end()) {
+                entry = std::make_shared<Entry>();
+                entries_.emplace(key, entry);
+                owner = true;
+                misses_ += 1;
+            } else {
+                entry = it->second;
+                hits_ += 1;
+            }
+        }
+        if (owner) {
+            try {
+                Value value = compute();
+                {
+                    std::unique_lock<std::mutex> entry_lock(entry->mutex);
+                    entry->value = value;
+                    entry->ready = true;
+                }
+                entry->cv.notify_all();
+                finish_entry(key);
+                return value;
+            } catch (const std::exception& e) {
+                {
+                    std::unique_lock<std::mutex> entry_lock(entry->mutex);
+                    entry->failed = true;
+                    entry->error = e.what();
+                    entry->ready = true;
+                }
+                entry->cv.notify_all();
+                forget_entry(key);
+                throw;
+            }
+        }
+        std::unique_lock<std::mutex> entry_lock(entry->mutex);
+        entry->cv.wait(entry_lock, [&entry] { return entry->ready; });
+        if (entry->failed) {
+            throw std::runtime_error(entry->error);
+        }
+        return entry->value;
+    }
+
+    [[nodiscard]] std::uint64_t hits() const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return hits_;
+    }
+    [[nodiscard]] std::uint64_t misses() const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return misses_;
+    }
+    [[nodiscard]] std::size_t size() const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+ private:
+    struct Entry {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool ready = false;
+        bool failed = false;
+        std::string error;
+        Value value{};
+    };
+
+    /// Records a completed entry in FIFO order and evicts the oldest
+    /// completed entries beyond capacity.
+    void finish_entry(const std::string& key) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        completed_.push_back(key);
+        while (completed_.size() > max_entries_) {
+            entries_.erase(completed_.front());
+            completed_.pop_front();
+        }
+    }
+
+    /// Drops a failed computation so later requests retry it.
+    void forget_entry(const std::string& key) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        entries_.erase(key);
+    }
+
+    std::size_t max_entries_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    std::deque<std::string> completed_;  ///< FIFO eviction order
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/// The refinement cache: canonical REFINE key -> deterministic outcome.
+using CatalogCache = SingleFlightCache<RefineOutcome>;
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,116 @@
+// Bounded two-lane MPMC request queue of the planning server.
+//
+// One mutex + one condition variable over two bounded deques: a model
+// lane (PING/EVAL/PLAN/STATS — microsecond work) and a sim lane (REFINE —
+// milliseconds to seconds of simulation). Workers pop with a mode that
+// encodes their lane affinity, so the server can guarantee the tentpole's
+// scheduling property: model-path requests never wait behind simulation
+// refinements, because at least one worker pops kModelOnly while sim work
+// is drained by workers preferring (but not limited to) the sim lane.
+//
+// try_push never blocks: a full lane is the server's backpressure signal
+// (--max-inflight), turned into a structured "overloaded" error by the
+// acceptor. close() stops intake but lets pops drain what is queued —
+// exactly the SIGTERM "finish in-flight, then exit" semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "serve/request.hpp"
+
+namespace swarmavail::serve {
+
+/// Which lanes a worker drains, and in what order of preference.
+enum class PopMode {
+    kModelOnly,    ///< dedicated model worker; never touches the sim lane
+    kPreferModel,  ///< both lanes, model first (the single-worker mode)
+    kPreferSim,    ///< both lanes, sim first (sim workers help when idle)
+};
+
+template <typename T>
+class LaneQueues {
+ public:
+    explicit LaneQueues(std::size_t capacity_per_lane)
+        : capacity_(capacity_per_lane == 0 ? 1 : capacity_per_lane) {}
+
+    /// False when the lane is at capacity or the queue is closed.
+    bool try_push(Lane lane, T item) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            std::deque<T>& queue = lane == Lane::kSim ? sim_ : model_;
+            if (closed_ || queue.size() >= capacity_) {
+                return false;
+            }
+            queue.push_back(std::move(item));
+        }
+        // notify_all, not notify_one: waiters are mode-selective, so one
+        // notification can land on a kModelOnly worker that cannot take a
+        // sim item — it re-waits and the wakeup is swallowed while the
+        // sim-capable worker sleeps on. The herd is at most the worker
+        // pool, and pushes are paced by socket io, so waking everyone is
+        // cheap; losing a wakeup stalls a request until the next push.
+        cv_.notify_all();
+        return true;
+    }
+
+    /// Blocks until an item is available on an allowed lane or the queue
+    /// is closed and the allowed lanes are empty (then returns false).
+    bool pop(PopMode mode, T& out) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+            std::deque<T>* first = &model_;
+            std::deque<T>* second = mode == PopMode::kModelOnly ? nullptr : &sim_;
+            if (mode == PopMode::kPreferSim) {
+                first = &sim_;
+                second = &model_;
+            }
+            if (!first->empty()) {
+                out = std::move(first->front());
+                first->pop_front();
+                return true;
+            }
+            if (second != nullptr && !second->empty()) {
+                out = std::move(second->front());
+                second->pop_front();
+                return true;
+            }
+            if (closed_) {
+                return false;
+            }
+            cv_.wait(lock);
+        }
+    }
+
+    /// Stops intake; queued items keep draining through pop().
+    void close() {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t depth(Lane lane) const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return lane == Lane::kSim ? sim_.size() : model_.size();
+    }
+
+    [[nodiscard]] bool empty() const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return model_.empty() && sim_.empty();
+    }
+
+ private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> model_;
+    std::deque<T> sim_;
+    bool closed_ = false;
+};
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,160 @@
+#include "serve/planning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/params.hpp"
+#include "util/check.hpp"
+
+namespace swarmavail::serve {
+namespace {
+
+/// Which base parameter a bisection plan searches over.
+enum class Knob { kSeedUptime, kPublisherBudget };
+
+/// Evaluation with one knob of the *base* parameters overridden; bundling
+/// (and with it the proportional publisher scaling) is applied after the
+/// override, matching what a deployer controls.
+model::AvailabilityResult evaluate_with(const EvalRequest& request, Knob knob,
+                                        double value) {
+    EvalRequest probe = request;
+    if (knob == Knob::kSeedUptime) {
+        probe.params.publisher_residence = value;
+    } else {
+        probe.params.publisher_arrival_rate = value;
+    }
+    return evaluate_model(probe);
+}
+
+/// Shared log-space bisection for the monotone-decreasing u / r plans.
+PlanOutcome bisect_plan(const PlanRequest& request, Knob knob) {
+    SWARMAVAIL_REQUIRE(request.lo > 0.0 && request.hi > request.lo,
+                       "bisect_plan: requires 0 < lo < hi");
+    const double target = request.target_unavailability;
+    PlanOutcome outcome;
+
+    model::AvailabilityResult at_lo = evaluate_with(request.base, knob, request.lo);
+    ++outcome.evaluations;
+    if (at_lo.unavailability <= target) {
+        outcome.feasible = true;
+        outcome.value = request.lo;
+        outcome.achieved = at_lo;
+        return outcome;
+    }
+
+    // Bracket by geometric expansion from lo instead of probing hi first:
+    // the mixed busy-period series costs O(hump^2) with hump ~ lambda*K*u,
+    // so an evaluation at a huge knob value is orders of magnitude more
+    // expensive than one near the answer. Expanding upward keeps the total
+    // cost proportional to where the answer actually lies; only a genuinely
+    // infeasible target ever pays for an evaluation at hi.
+    constexpr double kExpand = 16.0;
+    double a = request.lo;
+    double b = request.lo;
+    model::AvailabilityResult at_b = at_lo;
+    bool bracketed = false;
+    while (b < request.hi) {
+        const double probe = std::min(b * kExpand, request.hi);
+        at_b = evaluate_with(request.base, knob, probe);
+        ++outcome.evaluations;
+        if (at_b.unavailability <= target) {
+            b = probe;
+            bracketed = true;
+            break;
+        }
+        a = probe;
+        b = probe;
+    }
+    if (!bracketed) {
+        outcome.feasible = false;
+        outcome.value = request.hi;
+        outcome.achieved = at_b;
+        return outcome;
+    }
+
+    // Invariant: f(a) > target >= f(b). Geometric midpoints cover the
+    // bracket's decades evenly; the fixed relative tolerance ends the
+    // search deterministically (~10 iterations for the one-decade-ish
+    // bracket the expansion leaves).
+    constexpr double kRelTol = 1.0e-9;
+    constexpr std::size_t kMaxIterations = 200;
+    for (std::size_t i = 0; i < kMaxIterations && (b - a) > kRelTol * b; ++i) {
+        const double mid = std::sqrt(a * b);
+        if (mid <= a || mid >= b) {
+            break;  // bracket exhausted at double resolution
+        }
+        const model::AvailabilityResult at_mid =
+            evaluate_with(request.base, knob, mid);
+        ++outcome.evaluations;
+        if (at_mid.unavailability <= target) {
+            b = mid;
+            at_b = at_mid;
+        } else {
+            a = mid;
+        }
+    }
+    outcome.feasible = true;
+    outcome.value = b;
+    outcome.achieved = at_b;
+    return outcome;
+}
+
+}  // namespace
+
+model::AvailabilityResult evaluate_model(const EvalRequest& request) {
+    const model::SwarmParams bundled =
+        model::make_bundle(request.params, request.bundle, request.scaling);
+    switch (request.model) {
+        case AvailabilityModel::kPublishersOnly:
+            return model::availability_publishers_only(bundled);
+        case AvailabilityModel::kPeersPublishers:
+            return model::availability_peers_and_publishers(bundled);
+        case AvailabilityModel::kImpatient:
+            break;
+    }
+    return model::availability_impatient(bundled);
+}
+
+PlanOutcome plan_bundle_size(const PlanRequest& request) {
+    PlanOutcome outcome;
+    EvalRequest probe = request.base;
+    for (std::size_t k = 1; k <= request.max_bundle; ++k) {
+        probe.bundle = k;
+        const model::AvailabilityResult result = evaluate_model(probe);
+        ++outcome.evaluations;
+        outcome.bundle = k;
+        outcome.achieved = result;
+        if (result.unavailability <= request.target_unavailability) {
+            outcome.feasible = true;
+            return outcome;
+        }
+    }
+    outcome.feasible = false;  // even max_bundle misses the target
+    return outcome;
+}
+
+PlanOutcome plan_seed_uptime(const PlanRequest& request) {
+    PlanOutcome outcome = bisect_plan(request, Knob::kSeedUptime);
+    outcome.bundle = request.base.bundle;
+    return outcome;
+}
+
+PlanOutcome plan_publisher_budget(const PlanRequest& request) {
+    PlanOutcome outcome = bisect_plan(request, Knob::kPublisherBudget);
+    outcome.bundle = request.base.bundle;
+    return outcome;
+}
+
+PlanOutcome run_plan(const PlanRequest& request) {
+    switch (request.variable) {
+        case PlanRequest::Variable::kSeedUptime:
+            return plan_seed_uptime(request);
+        case PlanRequest::Variable::kPublisherBudget:
+            return plan_publisher_budget(request);
+        case PlanRequest::Variable::kBundleSize:
+            break;
+    }
+    return plan_bundle_size(request);
+}
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,59 @@
+// Inverse planning over the closed-form availability models.
+//
+// The paper's planning questions run the Section 3.2/3.3 formulas
+// backwards: instead of "what unavailability does this configuration
+// yield", a planner asks "what bundle size K / seed uptime u / publisher
+// budget r reaches a target unavailability". Each evaluation is
+// microseconds (model/availability.hpp), so planners simply search:
+//
+//   - K:    linear scan for the smallest K in [1, max_k] meeting the
+//           target (K is a small integer; a scan is exact even where the
+//           e^{-Theta(K^2)} decay is not strictly monotone in its
+//           pre-asymptotic range);
+//   - u, r: log-space bisection over [lo, hi] — unavailability
+//           P = (1/r)/(E[B] + 1/r) is monotone decreasing in both (a
+//           longer publisher stay or a faster publisher return can only
+//           lengthen busy periods / shorten idles).
+//
+// All planners are pure functions of their request: deterministic,
+// allocation-light, thread-safe.
+#pragma once
+
+#include <cstddef>
+
+#include "model/availability.hpp"
+#include "serve/request.hpp"
+
+namespace swarmavail::serve {
+
+/// Runs the requested closed-form evaluator on the bundled parameters.
+/// Throws std::invalid_argument on parameters the model layer rejects
+/// (the request layer's range checks make that unreachable in the
+/// service path).
+[[nodiscard]] model::AvailabilityResult evaluate_model(const EvalRequest& request);
+
+/// Outcome of one inverse plan.
+struct PlanOutcome {
+    /// False when even the search ceiling (max_k / hi) misses the target;
+    /// `bundle`/`value` then hold the ceiling and `achieved` its result.
+    bool feasible = false;
+    std::size_t bundle = 0;  ///< planned K (kBundleSize plans)
+    double value = 0.0;      ///< planned u or r (bisection plans)
+    model::AvailabilityResult achieved{};  ///< evaluation at the answer
+    std::size_t evaluations = 0;           ///< model evaluations performed
+};
+
+/// Smallest K in [1, max_bundle] with unavailability <= target.
+[[nodiscard]] PlanOutcome plan_bundle_size(const PlanRequest& request);
+
+/// Smallest publisher residence u in [lo, hi] meeting the target
+/// (log-space bisection; K fixed at request.base.bundle).
+[[nodiscard]] PlanOutcome plan_seed_uptime(const PlanRequest& request);
+
+/// Smallest publisher arrival rate r in [lo, hi] meeting the target.
+[[nodiscard]] PlanOutcome plan_publisher_budget(const PlanRequest& request);
+
+/// Dispatches on request.variable.
+[[nodiscard]] PlanOutcome run_plan(const PlanRequest& request);
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,109 @@
+#include "serve/protocol.hpp"
+
+#include "util/check.hpp"
+
+namespace swarmavail::serve {
+
+std::string encode_frame(std::string_view payload_json) {
+    SWARMAVAIL_REQUIRE(!payload_json.empty(), "encode_frame: payload must be non-empty");
+    const std::size_t length = payload_json.size() + 1;  // + trailing newline
+    std::string frame = std::to_string(length);
+    frame.push_back('\n');
+    frame.append(payload_json);
+    frame.push_back('\n');
+    return frame;
+}
+
+FrameDecoder::FrameDecoder(ProtocolLimits limits) : limits_(limits) {}
+
+void FrameDecoder::feed(std::string_view bytes) {
+    if (poisoned_) {
+        return;  // the connection is done for; don't accumulate garbage
+    }
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection's buffer stays bounded by one frame plus one read chunk.
+    if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 4096)) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buffer_.append(bytes);
+}
+
+std::size_t FrameDecoder::pending_bytes() const noexcept {
+    return buffer_.size() - pos_;
+}
+
+FrameDecoder::Status FrameDecoder::poison(std::string_view message,
+                                          std::string& error) {
+    if (!poisoned_) {
+        poisoned_ = true;
+        poison_message_ = std::string(message);
+        buffer_.clear();
+        pos_ = 0;
+    }
+    error = poison_message_;
+    return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload, std::string& error) {
+    if (poisoned_) {
+        error = poison_message_;
+        return Status::kError;
+    }
+    const std::size_t avail = buffer_.size() - pos_;
+    if (avail == 0) {
+        return Status::kNeedMore;
+    }
+
+    // Length prefix: 1..max digits followed by '\n'.
+    std::size_t digits = 0;
+    std::size_t length = 0;
+    while (true) {
+        if (pos_ + digits >= buffer_.size()) {
+            if (digits > limits_.max_length_digits) {
+                return poison("frame length prefix exceeds 8 digits", error);
+            }
+            return Status::kNeedMore;
+        }
+        const char c = buffer_[pos_ + digits];
+        if (c == '\n') {
+            break;
+        }
+        if (c < '0' || c > '9') {
+            return poison(digits == 0
+                              ? "frame must start with a decimal length prefix"
+                              : "non-digit byte in frame length prefix",
+                          error);
+        }
+        if (digits == 1 && buffer_[pos_] == '0') {
+            return poison("frame length prefix has a leading zero", error);
+        }
+        ++digits;
+        if (digits > limits_.max_length_digits) {
+            return poison("frame length prefix exceeds 8 digits", error);
+        }
+        length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (digits == 0) {
+        return poison("frame must start with a decimal length prefix", error);
+    }
+    if (length < 2) {
+        return poison("frame payload length must be at least 2 bytes", error);
+    }
+    if (length > limits_.max_payload_bytes) {
+        return poison("frame payload length exceeds the frame size limit", error);
+    }
+
+    const std::size_t payload_at = pos_ + digits + 1;  // past length + '\n'
+    if (payload_at + length > buffer_.size()) {
+        return Status::kNeedMore;
+    }
+    if (buffer_[payload_at + length - 1] != '\n') {
+        return poison("frame payload must end with a newline", error);
+    }
+    payload.assign(buffer_, payload_at, length - 1);  // strip the newline
+    pos_ = payload_at + length;
+    return Status::kFrame;
+}
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,76 @@
+// Wire framing of the planning service (DESIGN.md §15).
+//
+// One frame is an ASCII-decimal length prefix, a newline, and exactly that
+// many payload bytes — the payload itself a newline-terminated JSON text
+// (the trailing newline is counted by the prefix):
+//
+//     frame   := length '\n' payload
+//     length  := DIGIT{1,8}          ; no sign, no leading zeros
+//     payload := json-text '\n'      ; length bytes, last byte is '\n'
+//
+// The decimal prefix (rather than a binary u32) keeps frames writable from
+// scripts and CMake fixtures and debuggable with netcat, while still being
+// strictly length-prefixed: the reader never scans for a delimiter inside
+// the payload. Parsing is incremental and bounds-checked at every step —
+// a prefix longer than 8 digits, a non-digit byte, a zero/oversized
+// length, or a payload not ending in '\n' poisons the decoder with a
+// diagnostic; the server answers with a structured error and closes the
+// connection (framing cannot be resynchronized once broken).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace swarmavail::serve {
+
+/// Framing ceilings; a frame violating any of them is a protocol error.
+struct ProtocolLimits {
+    /// Max payload bytes (JSON text plus its trailing newline).
+    std::size_t max_payload_bytes = 1U << 20U;
+    /// Max digits of the length prefix (8 digits cap any length < 10^8,
+    /// comfortably above max_payload_bytes; more digits is malformed).
+    std::size_t max_length_digits = 8;
+};
+
+/// Wraps `payload_json` (without trailing newline) into one wire frame:
+/// "<length>\n<payload_json>\n".
+[[nodiscard]] std::string encode_frame(std::string_view payload_json);
+
+/// Incremental frame reader: feed() bytes as they arrive, then drain
+/// next() until it reports kNeedMore. A protocol error poisons the
+/// decoder — every later next() repeats kError with the same diagnostic.
+class FrameDecoder {
+ public:
+    enum class Status {
+        kNeedMore,  ///< no complete frame buffered yet
+        kFrame,     ///< `payload` holds one JSON text (newline stripped)
+        kError,     ///< malformed framing; `error` holds the diagnostic
+    };
+
+    explicit FrameDecoder(ProtocolLimits limits = {});
+
+    /// Appends received bytes to the internal buffer.
+    void feed(std::string_view bytes);
+
+    /// Extracts the next complete frame, if any. On kFrame, `payload`
+    /// receives the JSON text without its mandatory trailing newline.
+    [[nodiscard]] Status next(std::string& payload, std::string& error);
+
+    /// Bytes buffered but not yet consumed (a partial frame); nonzero at
+    /// connection close means the peer truncated a frame mid-send.
+    [[nodiscard]] std::size_t pending_bytes() const noexcept;
+
+    [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+    Status poison(std::string_view message, std::string& error);
+
+    ProtocolLimits limits_;
+    std::string buffer_;
+    std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+    bool poisoned_ = false;
+    std::string poison_message_;
+};
+
+}  // namespace swarmavail::serve

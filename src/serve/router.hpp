@@ -1,0 +1,102 @@
+// RequestRouter: one decoded payload in, one response payload out.
+//
+// The router is the server's engine-facing half, usable without any
+// socket: route() takes the JSON text of one frame and returns the JSON
+// text of the response (bench_planning_qps drives it in-process; the
+// PlanningServer wraps it with the acceptor/worker machinery). It is
+// thread-safe — many workers call route() concurrently — and
+// deterministic: the response bytes for a given request depend only on
+// the request semantics and the router's configuration, never on thread
+// interleaving (STATS, which reports live counters, is the deliberate
+// exception and is excluded from the bit-identical-response contract).
+//
+// Warm state: two single-flight caches keyed by canonical request
+// serializations — REFINE outcomes (simulation results with their
+// determinism fingerprints) and model-path result fragments (EVAL/PLAN),
+// which turns the 17 us..175 us closed-form series evaluations into
+// sub-microsecond hash hits for repeated planning queries. Responses are
+// assembled per request around the cached fragment, so a request id never
+// leaks into the shared cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/catalog_cache.hpp"
+#include "serve/request.hpp"
+
+namespace swarmavail::serve {
+
+struct RouterConfig {
+    RequestPolicy policy{};
+    JsonLimits json_limits{};
+    std::size_t model_cache_entries = 4096;
+    std::size_t refine_cache_entries = 256;
+    /// Threads of the sharded catalog engine per refinement. Results are
+    /// bit-identical at any value; forced to 1 when a StopRule is attached
+    /// so the covered prefix is deterministic too.
+    std::size_t refine_threads = 1;
+};
+
+/// One routed request's outcome.
+struct RouteResult {
+    std::string payload;       ///< response JSON text (no frame, no newline)
+    Verb verb = Verb::kPing;   ///< parsed verb (kPing when parsing failed)
+    bool ok = false;           ///< false when payload carries an error object
+};
+
+class RequestRouter {
+ public:
+    explicit RequestRouter(RouterConfig config = {});
+
+    /// Handles one request payload. Never throws: every failure becomes a
+    /// structured {"ok":false,"error":{...}} response.
+    [[nodiscard]] RouteResult route(std::string_view payload);
+
+    /// Builds a structured error response (also used by the server for
+    /// frame-level and overload errors that never reach route()).
+    [[nodiscard]] static std::string error_response(std::string_view code,
+                                                    std::string_view message);
+
+    /// Prometheus text exposition of the router's counters and caches,
+    /// plus whatever the stats appender contributes (the server hooks its
+    /// latency histograms and queue gauges in). Ends with a newline;
+    /// structurally valid per telemetry::validate_prometheus_text.
+    [[nodiscard]] std::string render_stats() const;
+
+    /// Extra series appended to render_stats(); set before serving starts.
+    void set_stats_appender(std::function<void(std::string&)> appender);
+
+    [[nodiscard]] CatalogCache& refine_cache() noexcept { return refine_cache_; }
+    [[nodiscard]] SingleFlightCache<std::string>& model_cache() noexcept {
+        return model_cache_;
+    }
+    [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+
+    [[nodiscard]] std::uint64_t requests(Verb verb) const noexcept;
+    [[nodiscard]] std::uint64_t errors() const noexcept;
+
+    /// XOR of the fingerprints of refinements actually computed (cache hits
+    /// excluded, so a digest never cancels itself). The server maps this
+    /// onto RunCounters::fingerprint_xor for the --prom-out exposition.
+    [[nodiscard]] std::uint64_t refine_fingerprint_xor() const noexcept {
+        return refine_fingerprint_xor_.load(std::memory_order_relaxed);
+    }
+
+ private:
+    [[nodiscard]] std::string handle(const Request& request, ServeError& error,
+                                     bool& ok);
+
+    RouterConfig config_;
+    SingleFlightCache<std::string> model_cache_;
+    CatalogCache refine_cache_;
+    std::function<void(std::string&)> stats_appender_;
+    std::atomic<std::uint64_t> requests_[kVerbCount] = {};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> refine_fingerprint_xor_{0};
+};
+
+}  // namespace swarmavail::serve

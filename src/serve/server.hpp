@@ -1,0 +1,157 @@
+// PlanningServer: the long-running availability-planning daemon.
+//
+// A loopback TCP service speaking the length-prefixed frame protocol
+// (serve/protocol.hpp) with one JSON request per frame. Threading:
+//
+//   - one io thread owns the listening socket and every connection's
+//     *read* side (poll + FrameDecoder), classifies each decoded frame's
+//     lane, and pushes it into the bounded two-lane queue (serve/lanes.hpp)
+//     — a full lane answers "overloaded" immediately, which is what
+//     --max-inflight means;
+//   - a worker pool drains the queue through the RequestRouter. With one
+//     worker it prefers the model lane; with T >= 2, max(1, T/2) workers
+//     prefer the sim lane (REFINE) and the rest are model-only, so a
+//     model-path query is never stuck behind a running simulation.
+//
+// Responses are written by the worker that produced them, serialized per
+// connection by a write mutex; when a client pipelines requests across
+// lanes the responses may interleave out of order, which is why they echo
+// the request id. Closing a connection never races a write: a worker's
+// task keeps the connection alive until its response is out.
+//
+// Shutdown is graceful by design: request_stop() is async-signal-safe
+// (SIGTERM handlers call exactly it), stop() then stops accepting,
+// finishes every queued request, flushes the telemetry exporters
+// (--prom-out), and closes the sockets.
+//
+// Observability: per-verb latency histograms live in per-worker
+// {mutex, MetricsRegistry} slots — single-owner registries, merged in
+// index order when the STATS verb renders them — plus queue-depth gauges
+// and accept/overload counters, all under swarmavail_server_* in the
+// Prometheus exposition the router's STATS verb returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/lanes.hpp"
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
+#include "util/metrics.hpp"
+
+namespace swarmavail::telemetry {
+class PrometheusTextExporter;
+class TelemetrySession;
+}  // namespace swarmavail::telemetry
+
+namespace swarmavail::serve {
+
+struct ServerConfig {
+    /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+    /// (read the answer back via port()).
+    std::uint16_t port = 0;
+    /// Worker threads draining the request queue (>= 1; see lane rules).
+    std::size_t threads = 2;
+    /// Bound on queued requests per lane; beyond it clients get the
+    /// structured "overloaded" error instead of unbounded latency.
+    std::size_t max_inflight = 256;
+    RouterConfig router{};
+    ProtocolLimits protocol{};
+    /// Prometheus text-exposition file kept fresh by a TelemetrySession
+    /// sampler and flushed on shutdown; empty disables it.
+    std::string prom_out;
+    /// Sampling period of the --prom-out session, seconds.
+    double prom_interval_s = 0.5;
+};
+
+class PlanningServer {
+ public:
+    explicit PlanningServer(ServerConfig config);
+    ~PlanningServer();
+
+    PlanningServer(const PlanningServer&) = delete;
+    PlanningServer& operator=(const PlanningServer&) = delete;
+
+    /// Binds, listens, and spawns the io thread and worker pool. Throws
+    /// std::runtime_error when the socket setup fails.
+    void start();
+
+    /// Graceful drain: stop accepting, finish queued requests, flush the
+    /// exporters, close every socket. Idempotent; also run by ~PlanningServer.
+    void stop();
+
+    /// Async-signal-safe stop request (atomic flag + self-pipe writes);
+    /// the SIGTERM handler calls exactly this. Someone must then run
+    /// stop() — typically the thread blocked in wait_until_stop_requested.
+    void request_stop() noexcept;
+
+    /// Blocks until request_stop() (from any thread or a signal handler).
+    void wait_until_stop_requested();
+
+    [[nodiscard]] bool running() const noexcept { return started_; }
+    /// The bound port (the kernel's pick when config.port was 0).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    [[nodiscard]] RequestRouter& router() noexcept { return router_; }
+    [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+    [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t overloaded() const noexcept {
+        return overloaded_.load(std::memory_order_relaxed);
+    }
+
+ private:
+    struct Connection;
+    struct Task {
+        std::shared_ptr<Connection> connection;
+        std::string payload;
+    };
+    /// Single-owner per-worker metrics; STATS merges the registries in
+    /// slot-index order under the mutexes.
+    struct WorkerSlot {
+        std::mutex mutex;
+        MetricsRegistry registry;
+        HistogramMetric* latency[kVerbCount] = {nullptr, nullptr, nullptr,
+                                                nullptr, nullptr};
+    };
+
+    void io_loop();
+    void worker_loop(std::size_t slot_index, PopMode mode);
+    void handle_frames(const std::shared_ptr<Connection>& connection);
+    void send_frame(Connection& connection, std::string_view payload);
+    void append_server_stats(std::string& out);
+    void publish_telemetry();
+
+    ServerConfig config_;
+    RequestRouter router_;
+    LaneQueues<Task> queues_;
+
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};  ///< io-thread wakeup (read end polled)
+    int stop_pipe_[2] = {-1, -1};  ///< wait_until_stop_requested wakeup
+    std::uint16_t port_ = 0;
+
+    std::thread io_thread_;
+    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::vector<std::shared_ptr<Connection>> connections_;  ///< io thread only
+
+    std::unique_ptr<telemetry::PrometheusTextExporter> prom_exporter_;
+    std::unique_ptr<telemetry::TelemetrySession> telemetry_;
+
+    std::atomic<bool> stop_requested_{false};
+    bool started_ = false;
+    bool stopped_ = false;
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> overloaded_{0};
+    std::atomic<std::uint64_t> bad_frames_{0};
+};
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,215 @@
+// Single-flight cache and the two-lane queue: warm-state semantics
+// (one computation per key, failures never cached, FIFO eviction of
+// completed entries) and the lane-affinity scheduling property.
+#include "serve/catalog_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/lanes.hpp"
+
+namespace serve = swarmavail::serve;
+using serve::Lane;
+using serve::LaneQueues;
+using serve::PopMode;
+using serve::SingleFlightCache;
+
+namespace {
+
+TEST(ServeCache, ComputesOnMissAndReusesOnHit) {
+    SingleFlightCache<std::string> cache(8);
+    int computed = 0;
+    const auto compute = [&computed] {
+        ++computed;
+        return std::string("value");
+    };
+    EXPECT_EQ(cache.get_or_compute("a", compute), "value");
+    EXPECT_EQ(cache.get_or_compute("a", compute), "value");
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(cache.hits(), 1U);
+    EXPECT_EQ(cache.misses(), 1U);
+    EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(ServeCache, SingleFlightConcurrentSameKeyComputesOnce) {
+    SingleFlightCache<std::string> cache(8);
+    std::atomic<int> computed{0};
+    std::atomic<int> started{0};
+    constexpr int kThreads = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<std::string> results(kThreads);
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            started.fetch_add(1);
+            while (started.load() < kThreads) {
+                std::this_thread::yield();  // maximize same-key contention
+            }
+            results[static_cast<std::size_t>(i)] =
+                cache.get_or_compute("shared", [&] {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                    computed.fetch_add(1);
+                    return std::string("once");
+                });
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(computed.load(), 1);
+    for (const std::string& r : results) {
+        EXPECT_EQ(r, "once");
+    }
+    EXPECT_EQ(cache.misses(), 1U);
+    EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ServeCache, FailedComputationIsNotCached) {
+    SingleFlightCache<std::string> cache(8);
+    int attempts = 0;
+    const auto failing = [&attempts]() -> std::string {
+        ++attempts;
+        throw std::runtime_error("transient");
+    };
+    EXPECT_THROW(cache.get_or_compute("k", failing), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0U);  // the key was forgotten
+
+    // The next request retries and can succeed.
+    EXPECT_EQ(cache.get_or_compute("k",
+                                   [&attempts] {
+                                       ++attempts;
+                                       return std::string("recovered");
+                                   }),
+              "recovered");
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(cache.misses(), 2U);
+}
+
+TEST(ServeCache, EvictsCompletedEntriesFifo) {
+    SingleFlightCache<std::string> cache(2);
+    int computed = 0;
+    const auto make = [&computed](const std::string& v) {
+        return [&computed, v] {
+            ++computed;
+            return v;
+        };
+    };
+    cache.get_or_compute("a", make("1"));
+    cache.get_or_compute("b", make("2"));
+    cache.get_or_compute("c", make("3"));  // evicts "a" (oldest completed)
+    EXPECT_EQ(cache.size(), 2U);
+    cache.get_or_compute("b", make("2"));  // still resident
+    EXPECT_EQ(cache.hits(), 1U);
+    cache.get_or_compute("a", make("1"));  // recomputed after eviction
+    EXPECT_EQ(computed, 4);
+}
+
+TEST(ServeCache, RefineOutcomeRoundTripsThroughCatalogCache) {
+    serve::CatalogCache cache(4);
+    serve::RefineOutcome outcome;
+    outcome.arrivals = 100;
+    outcome.fingerprint = 0xdeadbeefULL;
+    outcome.swarms = 3;
+    const serve::RefineOutcome got =
+        cache.get_or_compute("key", [&outcome] { return outcome; });
+    EXPECT_EQ(got.arrivals, 100U);
+    EXPECT_EQ(got.fingerprint, 0xdeadbeefULL);
+    EXPECT_EQ(got.swarms, 3U);
+}
+
+TEST(ServeLanes, FullLaneRejectsWithoutBlocking) {
+    LaneQueues<int> queues(2);
+    EXPECT_TRUE(queues.try_push(Lane::kModel, 1));
+    EXPECT_TRUE(queues.try_push(Lane::kModel, 2));
+    EXPECT_FALSE(queues.try_push(Lane::kModel, 3));  // model lane full
+    EXPECT_TRUE(queues.try_push(Lane::kSim, 4));     // sim lane independent
+    EXPECT_EQ(queues.depth(Lane::kModel), 2U);
+    EXPECT_EQ(queues.depth(Lane::kSim), 1U);
+}
+
+TEST(ServeLanes, PopModesRespectLaneAffinity) {
+    LaneQueues<int> queues(8);
+    ASSERT_TRUE(queues.try_push(Lane::kSim, 100));
+    ASSERT_TRUE(queues.try_push(Lane::kModel, 1));
+
+    int out = 0;
+    // kPreferSim drains the sim lane first.
+    ASSERT_TRUE(queues.pop(PopMode::kPreferSim, out));
+    EXPECT_EQ(out, 100);
+    // kModelOnly takes model work...
+    ASSERT_TRUE(queues.pop(PopMode::kModelOnly, out));
+    EXPECT_EQ(out, 1);
+
+    // ...but never sim work: with only sim items queued, a kModelOnly pop
+    // must still be blocked when the queue closes.
+    ASSERT_TRUE(queues.try_push(Lane::kSim, 200));
+    std::thread closer([&queues] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        queues.close();
+    });
+    EXPECT_FALSE(queues.pop(PopMode::kModelOnly, out));
+    closer.join();
+    // The sim item is still drainable after close().
+    ASSERT_TRUE(queues.pop(PopMode::kPreferSim, out));
+    EXPECT_EQ(out, 200);
+}
+
+TEST(ServeLanes, CloseDrainsQueuedItemsThenReturnsFalse) {
+    LaneQueues<int> queues(8);
+    ASSERT_TRUE(queues.try_push(Lane::kModel, 1));
+    ASSERT_TRUE(queues.try_push(Lane::kSim, 2));
+    queues.close();
+    EXPECT_FALSE(queues.try_push(Lane::kModel, 3));  // intake stopped
+
+    int out = 0;
+    ASSERT_TRUE(queues.pop(PopMode::kPreferModel, out));
+    EXPECT_EQ(out, 1);
+    ASSERT_TRUE(queues.pop(PopMode::kPreferModel, out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(queues.pop(PopMode::kPreferModel, out));  // drained + closed
+    EXPECT_TRUE(queues.empty());
+}
+
+TEST(ServeLanes, SimPushAlwaysWakesASimCapableWorker) {
+    // Regression for a lost wakeup: waiters are mode-selective, so a
+    // notify_one after a sim push could land on the kModelOnly worker,
+    // which cannot take the item and re-waits — swallowing the only
+    // notification while the kPreferSim worker sleeps. Each round blocks
+    // both workers, pushes one sim item, and requires prompt consumption.
+    LaneQueues<int> queues(64);
+    std::atomic<int> consumed{0};
+    std::thread model_worker([&] {
+        int item = 0;
+        while (queues.pop(PopMode::kModelOnly, item)) {
+        }
+    });
+    std::thread sim_worker([&] {
+        int item = 0;
+        while (queues.pop(PopMode::kPreferSim, item)) {
+            consumed.fetch_add(1);
+        }
+    });
+    for (int round = 0; round < 20; ++round) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));  // re-block
+        ASSERT_TRUE(queues.try_push(Lane::kSim, round));
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (consumed.load() <= round &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ASSERT_EQ(consumed.load(), round + 1) << "sim push lost its wakeup";
+    }
+    queues.close();
+    model_worker.join();
+    sim_worker.join();
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Inverse planners over the closed-form models: the K scan, the u / r
+// expansion-plus-bisection, and feasibility edges.
+#include "serve/planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/availability.hpp"
+
+namespace serve = swarmavail::serve;
+using serve::EvalRequest;
+using serve::PlanOutcome;
+using serve::PlanRequest;
+
+namespace {
+
+EvalRequest base_eval() {
+    // u = 30 keeps the single-file swarm visibly unavailable (P ~ 0.2), so
+    // bundle plans have real work to do: P(K) here is 0.203, 0.022,
+    // 1.4e-5, 2.6e-10 for K = 1..4. (At u = 300 even K = 1 is already at
+    // P ~ 3e-7 and every plan would trivially answer K = 1.)
+    EvalRequest request;
+    request.params.peer_arrival_rate = 2.0;
+    request.params.content_size = 1.0;
+    request.params.download_rate = 1.25;
+    request.params.publisher_arrival_rate = 0.05;
+    request.params.publisher_residence = 30.0;
+    return request;
+}
+
+TEST(ServePlanning, EvaluateModelMatchesModelLayer) {
+    const EvalRequest request = base_eval();
+    const auto direct = swarmavail::model::availability_impatient(
+        swarmavail::model::make_bundle(request.params, 1,
+                                       swarmavail::model::PublisherScaling::kConstant));
+    const auto served = serve::evaluate_model(request);
+    EXPECT_EQ(served.unavailability, direct.unavailability);
+    EXPECT_EQ(served.busy_period, direct.busy_period);
+
+    EvalRequest bundled = request;
+    bundled.bundle = 4;
+    bundled.scaling = swarmavail::model::PublisherScaling::kProportional;
+    const auto direct4 = swarmavail::model::availability_impatient(
+        swarmavail::model::make_bundle(request.params, 4,
+                                       swarmavail::model::PublisherScaling::kProportional));
+    EXPECT_EQ(serve::evaluate_model(bundled).unavailability,
+              direct4.unavailability);
+
+    EvalRequest pubs_only = request;
+    pubs_only.model = serve::AvailabilityModel::kPublishersOnly;
+    EXPECT_EQ(serve::evaluate_model(pubs_only).unavailability,
+              swarmavail::model::availability_publishers_only(request.params)
+                  .unavailability);
+}
+
+TEST(ServePlanning, BundlePlanFindsSmallestFeasibleK) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kBundleSize;
+    request.target_unavailability = 1.0e-3;
+    request.max_bundle = 64;
+
+    const PlanOutcome outcome = serve::plan_bundle_size(request);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_LE(outcome.achieved.unavailability, request.target_unavailability);
+    EXPECT_EQ(outcome.evaluations, outcome.bundle);  // linear scan from K=1
+
+    // Minimality: K-1 must miss the target.
+    ASSERT_GT(outcome.bundle, 1U);
+    EvalRequest prev = request.base;
+    prev.bundle = outcome.bundle - 1;
+    EXPECT_GT(serve::evaluate_model(prev).unavailability,
+              request.target_unavailability);
+}
+
+TEST(ServePlanning, BundlePlanReportsInfeasibleCeiling) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kBundleSize;
+    request.target_unavailability = 1.0e-12;
+    request.max_bundle = 2;  // nowhere near enough
+
+    const PlanOutcome outcome = serve::plan_bundle_size(request);
+    EXPECT_FALSE(outcome.feasible);
+    EXPECT_EQ(outcome.bundle, 2U);  // the ceiling, with its achieved result
+    EXPECT_GT(outcome.achieved.unavailability, request.target_unavailability);
+    EXPECT_EQ(outcome.evaluations, 2U);
+}
+
+TEST(ServePlanning, SeedUptimePlanMeetsTargetTightly) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kSeedUptime;
+    // A modest target keeps the answer (and with it the O((lambda*u)^2)
+    // evaluator cost) small; tightness is what's under test, not scale.
+    request.target_unavailability = 0.05;
+    request.lo = 1.0e-3;
+    request.hi = 1.0e5;
+
+    const PlanOutcome outcome = serve::plan_seed_uptime(request);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_LE(outcome.achieved.unavailability, request.target_unavailability);
+    EXPECT_GT(outcome.value, request.lo);
+    EXPECT_LT(outcome.value, request.hi);
+
+    // Tightness: a slightly smaller u misses the target (unavailability is
+    // monotone decreasing in u).
+    EvalRequest below = request.base;
+    below.params.publisher_residence = outcome.value * 0.99;
+    EXPECT_GT(serve::evaluate_model(below).unavailability,
+              request.target_unavailability);
+}
+
+TEST(ServePlanning, PublisherBudgetPlanMeetsTargetTightly) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kPublisherBudget;
+    request.target_unavailability = 1.0e-3;
+    request.lo = 1.0e-9;
+    request.hi = 1.0e3;
+
+    const PlanOutcome outcome = serve::run_plan(request);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_LE(outcome.achieved.unavailability, request.target_unavailability);
+
+    EvalRequest below = request.base;
+    below.params.publisher_arrival_rate = outcome.value * 0.99;
+    EXPECT_GT(serve::evaluate_model(below).unavailability,
+              request.target_unavailability);
+}
+
+TEST(ServePlanning, BisectionIsFeasibleImmediatelyAtLo) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kSeedUptime;
+    request.target_unavailability = 0.999;  // trivially met
+    request.lo = 100.0;
+    request.hi = 1.0e5;
+
+    const PlanOutcome outcome = serve::plan_seed_uptime(request);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_DOUBLE_EQ(outcome.value, request.lo);
+    EXPECT_EQ(outcome.evaluations, 1U);  // the expansion never ran
+}
+
+TEST(ServePlanning, BisectionReportsInfeasibleBracket) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kSeedUptime;
+    request.target_unavailability = 1.0e-6;
+    request.lo = 1.0;
+    request.hi = 10.0;  // far too small a stay to reach 1e-6
+
+    const PlanOutcome outcome = serve::plan_seed_uptime(request);
+    EXPECT_FALSE(outcome.feasible);
+    EXPECT_DOUBLE_EQ(outcome.value, request.hi);
+    EXPECT_GT(outcome.achieved.unavailability, request.target_unavailability);
+}
+
+TEST(ServePlanning, BisectionCostTracksAnswerNotCeiling) {
+    // The expansion brackets upward from lo, so a huge hi costs nothing
+    // extra when the answer is small. (This is the guard against the
+    // O((lambda*K*u)^2) evaluator cost: only infeasible targets ever pay
+    // for an evaluation at hi.)
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kSeedUptime;
+    request.target_unavailability = 0.02;
+    request.lo = 1.0e-3;
+    request.hi = 1.0e5;
+
+    const PlanOutcome small_hi = serve::plan_seed_uptime(request);
+    request.hi = 3.0e5;  // triple the ceiling
+    const PlanOutcome large_hi = serve::plan_seed_uptime(request);
+    ASSERT_TRUE(small_hi.feasible);
+    ASSERT_TRUE(large_hi.feasible);
+    EXPECT_NEAR(large_hi.value, small_hi.value, 1e-6 * small_hi.value);
+    EXPECT_EQ(large_hi.evaluations, small_hi.evaluations);
+}
+
+TEST(ServePlanning, PlansAreDeterministic) {
+    PlanRequest request;
+    request.base = base_eval();
+    request.variable = PlanRequest::Variable::kPublisherBudget;
+    request.target_unavailability = 1.0e-4;
+    request.lo = 1.0e-9;
+    request.hi = 1.0e3;
+
+    const PlanOutcome first = serve::run_plan(request);
+    const PlanOutcome second = serve::run_plan(request);
+    EXPECT_EQ(first.value, second.value);
+    EXPECT_EQ(first.evaluations, second.evaluations);
+    EXPECT_EQ(first.achieved.unavailability, second.achieved.unavailability);
+}
+
+}  // namespace

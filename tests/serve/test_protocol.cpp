@@ -1,0 +1,137 @@
+// Frame codec of the planning service: encode/decode round trips,
+// incremental feeds, and every poison path of the strict length-prefixed
+// framing (DESIGN.md §15).
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace serve = swarmavail::serve;
+using serve::FrameDecoder;
+using serve::ProtocolLimits;
+
+namespace {
+
+TEST(ServeProtocol, EncodeProducesLengthPrefixedFrame) {
+    EXPECT_EQ(serve::encode_frame("{\"verb\":\"PING\"}"),
+              "16\n{\"verb\":\"PING\"}\n");
+    EXPECT_EQ(serve::encode_frame("x"), "2\nx\n");
+    EXPECT_THROW(serve::encode_frame(""), std::exception);
+}
+
+TEST(ServeProtocol, DecodeRoundTripsSingleAndBackToBackFrames) {
+    FrameDecoder decoder;
+    decoder.feed(serve::encode_frame("{\"a\":1}") + serve::encode_frame("{\"b\":2}"));
+
+    std::string payload;
+    std::string error;
+    ASSERT_EQ(decoder.next(payload, error), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(payload, "{\"a\":1}");
+    ASSERT_EQ(decoder.next(payload, error), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(payload, "{\"b\":2}");
+    EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kNeedMore);
+    EXPECT_EQ(decoder.pending_bytes(), 0U);
+    EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(ServeProtocol, DecodesByteByByteFeeds) {
+    const std::string wire = serve::encode_frame("{\"verb\":\"PING\",\"id\":3}");
+    FrameDecoder decoder;
+    std::string payload;
+    std::string error;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        decoder.feed(std::string(1, wire[i]));
+        EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kNeedMore)
+            << "completed early at byte " << i;
+    }
+    decoder.feed(std::string(1, wire.back()));
+    ASSERT_EQ(decoder.next(payload, error), FrameDecoder::Status::kFrame);
+    EXPECT_EQ(payload, "{\"verb\":\"PING\",\"id\":3}");
+}
+
+TEST(ServeProtocol, PendingBytesTracksBufferedInput) {
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.pending_bytes(), 0U);
+    decoder.feed("16\n{\"verb\":");
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kNeedMore);
+    EXPECT_GT(decoder.pending_bytes(), 0U);
+}
+
+void expect_poison(const std::string& wire, const std::string& needle) {
+    FrameDecoder decoder;
+    decoder.feed(wire);
+    std::string payload;
+    std::string error;
+    ASSERT_EQ(decoder.next(payload, error), FrameDecoder::Status::kError)
+        << "accepted: " << wire;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "diagnostic \"" << error << "\" lacks \"" << needle << "\"";
+    EXPECT_TRUE(decoder.poisoned());
+    // Poison is sticky: further feeds keep reporting the error.
+    decoder.feed(serve::encode_frame("{\"verb\":\"PING\"}"));
+    EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kError);
+}
+
+TEST(ServeProtocol, PoisonsOnOversizedLengthPrefix) {
+    expect_poison("123456789\n{}\n", "exceeds 8 digits");
+}
+
+TEST(ServeProtocol, PoisonsOnLeadingZeroPrefix) {
+    expect_poison("016\n{\"verb\":\"PING\"}\n", "leading zero");
+}
+
+TEST(ServeProtocol, PoisonsOnNonDigitPrefix) {
+    expect_poison("1a\n{}\n", "length prefix");
+    expect_poison("\n{}\n", "length prefix");
+    expect_poison("-3\n{}\n", "length prefix");
+}
+
+TEST(ServeProtocol, PoisonsOnZeroLength) {
+    expect_poison("0\n\n", "length");
+}
+
+TEST(ServeProtocol, PoisonsOnPayloadOverLimit) {
+    ProtocolLimits limits;
+    limits.max_payload_bytes = 8;
+    FrameDecoder decoder(limits);
+    decoder.feed("9\n12345678\n");
+    std::string payload;
+    std::string error;
+    ASSERT_EQ(decoder.next(payload, error), FrameDecoder::Status::kError);
+    EXPECT_NE(error.find("payload"), std::string::npos) << error;
+    EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(ServeProtocol, PoisonsWhenPayloadLacksTrailingNewline) {
+    // Length counts the payload's trailing '\n'; a frame whose counted
+    // bytes do not end in '\n' is malformed.
+    expect_poison("4\nabcd", "newline");
+}
+
+TEST(ServeProtocol, TruncatedFrameStaysPendingNotPoisoned) {
+    FrameDecoder decoder;
+    decoder.feed("64\n{\"verb\":\"PING\"}");  // promises 64 bytes, has 15
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(decoder.next(payload, error), FrameDecoder::Status::kNeedMore);
+    EXPECT_FALSE(decoder.poisoned());
+    EXPECT_GT(decoder.pending_bytes(), 0U);  // the server's EOF check keys on this
+}
+
+TEST(ServeProtocol, MaxLengthPrefixWithinLimitIsAccepted) {
+    // An 8-digit prefix is legal as long as the payload limit allows it.
+    ProtocolLimits limits;
+    limits.max_payload_bytes = 20'000'000;
+    const std::string payload(9'999'999, 'x');
+    FrameDecoder decoder(limits);
+    decoder.feed("10000000\n" + payload + "\n");
+    std::string out;
+    std::string error;
+    ASSERT_EQ(decoder.next(out, error), FrameDecoder::Status::kFrame) << error;
+    EXPECT_EQ(out, payload);
+}
+
+}  // namespace

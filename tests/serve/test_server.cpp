@@ -1,0 +1,359 @@
+// PlanningServer end-to-end over loopback TCP: the wire protocol, the
+// concurrent-correctness satellite (identical query streams must receive
+// bit-identical answers — refinement fingerprints included — at every
+// worker count), frame-error handling, and graceful drain.
+//
+// Test names carry "Planning" so the tsan CI leg's name filter picks the
+// suite up alongside the engine concurrency suites.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "util/telemetry.hpp"
+
+namespace serve = swarmavail::serve;
+using serve::FrameDecoder;
+using serve::PlanningServer;
+using serve::ServerConfig;
+
+namespace {
+
+/// Minimal blocking loopback client for the frame protocol.
+class TestClient {
+ public:
+    explicit TestClient(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0) << std::strerror(errno);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+                  0)
+            << std::strerror(errno);
+    }
+    ~TestClient() {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+    }
+    TestClient(const TestClient&) = delete;
+    TestClient& operator=(const TestClient&) = delete;
+
+    void send_raw(std::string_view bytes) {
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                     bytes.size() - sent, MSG_NOSIGNAL);
+            ASSERT_GT(n, 0) << std::strerror(errno);
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    void send_request(std::string_view payload) {
+        send_raw(serve::encode_frame(payload));
+    }
+
+    /// Half-closes the write side, signalling EOF to the server.
+    void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+    /// Reads one response frame (empty string on connection close).
+    std::string read_response() {
+        std::string payload;
+        std::string error;
+        while (true) {
+            switch (decoder_.next(payload, error)) {
+                case FrameDecoder::Status::kFrame:
+                    return payload;
+                case FrameDecoder::Status::kError:
+                    ADD_FAILURE() << "malformed response frame: " << error;
+                    return {};
+                case FrameDecoder::Status::kNeedMore:
+                    break;
+            }
+            char buffer[4096];
+            const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+            if (n <= 0) {
+                return {};
+            }
+            decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+        }
+    }
+
+    std::string round_trip(std::string_view payload) {
+        send_request(payload);
+        return read_response();
+    }
+
+ private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+ServerConfig small_config(std::size_t threads) {
+    ServerConfig config;
+    config.threads = threads;
+    // Small default catalog so uncached REFINEs stay fast in tests.
+    config.router.policy.default_catalog.num_files = 4;
+    return config;
+}
+
+const std::string kPing = "{\"verb\":\"PING\",\"id\":1}";
+const std::string kEval =
+    "{\"verb\":\"EVAL\",\"id\":2,\"lambda\":2,\"size\":1,\"mu\":1.25,"
+    "\"r\":0.05,\"u\":300}";
+const std::string kPlan =
+    "{\"verb\":\"PLAN\",\"id\":3,\"lambda\":2,\"size\":1,\"mu\":1.25,"
+    "\"r\":0.05,\"u\":300,\"variable\":\"k\",\"target\":0.01}";
+const std::string kRefine =
+    "{\"verb\":\"REFINE\",\"id\":4,\"catalog\":{\"files\":4},\"k\":2,"
+    "\"horizon\":2000,\"seed\":3}";
+
+TEST(PlanningServerTest, SequentialConnectionsAlternatingLanesAreServed) {
+    // Regression: with one model-only and one sim-preferring worker both
+    // blocked on the queue, a sim push whose single notify_one landed on
+    // the model-only worker was swallowed — the worker re-waited, the
+    // sim-capable one slept on, and a lone REFINE after an EVAL hung
+    // until the next push. try_push must wake every waiter.
+    PlanningServer server(small_config(2));
+    server.start();
+    for (int round = 0; round < 3; ++round) {
+        TestClient eval_client(server.port());
+        EXPECT_NE(eval_client.round_trip(kEval).find("\"ok\":true"),
+                  std::string::npos);
+        TestClient refine_client(server.port());
+        EXPECT_NE(refine_client.round_trip(kRefine).find("\"ok\":true"),
+                  std::string::npos);
+    }
+    server.stop();
+}
+
+TEST(PlanningServerTest, AnswersPingOverLoopback) {
+    PlanningServer server(small_config(2));
+    server.start();
+    ASSERT_TRUE(server.running());
+    ASSERT_NE(server.port(), 0);
+
+    TestClient client(server.port());
+    const std::string response = client.round_trip(kPing);
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"id\":1"), std::string::npos);
+    EXPECT_NE(response.find("swarmavail-planning"), std::string::npos);
+    server.stop();
+    EXPECT_EQ(server.connections_accepted(), 1U);
+}
+
+// The concurrent-correctness satellite: N concurrent clients replay one
+// identical mixed query stream against servers at --threads 1, 2, and 4;
+// every client at every thread count must read bit-identical response
+// bytes, refinement fingerprints included.
+TEST(PlanningServerTest, IdenticalStreamsGetBitIdenticalAnswersAcrossThreadCounts) {
+    const std::vector<std::string> stream = {kPing,   kEval, kRefine, kPlan,
+                                             kRefine, kEval, kPing};
+    constexpr std::size_t kClients = 4;
+
+    std::vector<std::vector<std::string>> per_thread_count;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        PlanningServer server(small_config(threads));
+        server.start();
+
+        std::vector<std::vector<std::string>> replies(kClients);
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (std::size_t c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                TestClient client(server.port());
+                for (const std::string& request : stream) {
+                    replies[c].push_back(client.round_trip(request));
+                }
+            });
+        }
+        for (std::thread& t : clients) {
+            t.join();
+        }
+        server.stop();
+
+        for (std::size_t c = 1; c < kClients; ++c) {
+            EXPECT_EQ(replies[c], replies[0])
+                << "client " << c << " diverged at threads=" << threads;
+        }
+        ASSERT_FALSE(replies[0].empty());
+        per_thread_count.push_back(replies[0]);
+    }
+    ASSERT_EQ(per_thread_count.size(), 3U);
+    EXPECT_EQ(per_thread_count[1], per_thread_count[0])
+        << "threads=2 diverged from threads=1";
+    EXPECT_EQ(per_thread_count[2], per_thread_count[0])
+        << "threads=4 diverged from threads=1";
+
+    // And the refinement answer really carries a fingerprint.
+    const std::string& refine_reply = per_thread_count[0][2];
+    EXPECT_NE(refine_reply.find("\"fingerprint\":\""), std::string::npos)
+        << refine_reply;
+#if !defined(SWARMAVAIL_FINGERPRINT_DISABLED)
+    EXPECT_EQ(refine_reply.find("\"fingerprint\":\"0000000000000000\""),
+              std::string::npos);
+#endif
+}
+
+TEST(PlanningServerTest, MalformedFrameGetsStructuredErrorBeforeClose) {
+    PlanningServer server(small_config(1));
+    server.start();
+
+    TestClient client(server.port());
+    client.send_raw("123456789\nnot a frame\n");  // 9-digit length prefix
+    const std::string response = client.read_response();
+    EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+    EXPECT_NE(response.find("bad-frame"), std::string::npos) << response;
+    // The connection is dropped afterwards.
+    EXPECT_EQ(client.read_response(), "");
+    server.stop();
+}
+
+TEST(PlanningServerTest, TruncatedFrameAtEofGetsStructuredError) {
+    PlanningServer server(small_config(1));
+    server.start();
+
+    TestClient client(server.port());
+    client.send_raw("64\n{\"verb\":\"PING\"}");  // promises 64 bytes, sends 15
+    client.shutdown_write();
+    const std::string response = client.read_response();
+    EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+    EXPECT_NE(response.find("bad-frame"), std::string::npos) << response;
+    server.stop();
+}
+
+TEST(PlanningServerTest, PipelinedRequestsAllAnsweredAcrossLanes) {
+    PlanningServer server(small_config(2));
+    server.start();
+
+    TestClient client(server.port());
+    // Pipeline without reading: two sim-lane and two model-lane requests.
+    client.send_request(kRefine);
+    client.send_request(kEval);
+    client.send_request(kRefine);
+    client.send_request(kPing);
+
+    // Responses may interleave across lanes; collect ids.
+    std::vector<std::string> responses;
+    for (int i = 0; i < 4; ++i) {
+        responses.push_back(client.read_response());
+        ASSERT_FALSE(responses.back().empty()) << "response " << i << " missing";
+    }
+    int pings = 0;
+    int evals = 0;
+    int refines = 0;
+    for (const std::string& r : responses) {
+        EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+        pings += r.find("\"verb\":\"PING\"") != std::string::npos ? 1 : 0;
+        evals += r.find("\"verb\":\"EVAL\"") != std::string::npos ? 1 : 0;
+        refines += r.find("\"verb\":\"REFINE\"") != std::string::npos ? 1 : 0;
+    }
+    EXPECT_EQ(pings, 1);
+    EXPECT_EQ(evals, 1);
+    EXPECT_EQ(refines, 2);
+    server.stop();
+}
+
+TEST(PlanningServerTest, GracefulStopAnswersQueuedRequests) {
+    PlanningServer server(small_config(2));
+    server.start();
+
+    TestClient client(server.port());
+    // Pipeline a batch, then stop the server before reading anything:
+    // the drain contract says every accepted frame still gets its answer.
+    client.send_request(kEval);
+    client.send_request(kRefine);
+    client.send_request(kPing);
+    // Give the io thread a moment to decode and enqueue the frames; stop()
+    // closes the read side immediately, so unread bytes would be dropped.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    server.stop();
+    EXPECT_FALSE(server.running());
+
+    std::vector<std::string> responses;
+    for (int i = 0; i < 3; ++i) {
+        const std::string r = client.read_response();
+        if (r.empty()) {
+            break;
+        }
+        responses.push_back(r);
+    }
+    ASSERT_EQ(responses.size(), 3U);
+    for (const std::string& r : responses) {
+        EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+    }
+    // After the drain the socket is closed.
+    EXPECT_EQ(client.read_response(), "");
+}
+
+TEST(PlanningServerTest, StatsExposesServerSeries) {
+    PlanningServer server(small_config(2));
+    server.start();
+
+    TestClient client(server.port());
+    static_cast<void>(client.round_trip(kEval));
+    const std::string response = client.round_trip("{\"verb\":\"STATS\",\"id\":9}");
+    server.stop();
+
+    serve::JsonValue value;
+    std::string error;
+    ASSERT_TRUE(serve::parse_json(response, value, &error)) << error;
+    const serve::JsonValue* result = value.find("result");
+    ASSERT_NE(result, nullptr) << response;
+    const std::string text = result->find("prometheus")->as_string();
+
+    std::string why;
+    EXPECT_TRUE(swarmavail::telemetry::validate_prometheus_text(text, &why)) << why;
+    EXPECT_NE(text.find("swarmavail_server_connections_accepted_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("swarmavail_server_queue_depth{lane=\"model\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("swarmavail_server_latency_seconds_eval_count"),
+              std::string::npos)
+        << text;
+}
+
+TEST(PlanningServerTest, StopIsIdempotentAndRestartableAcrossInstances) {
+    auto config = small_config(1);
+    std::uint16_t port = 0;
+    {
+        PlanningServer server(config);
+        server.start();
+        port = server.port();
+        server.stop();
+        server.stop();  // idempotent
+    }
+    // The port is released; a new instance can bind it right away
+    // (SO_REUSEADDR covers the TIME_WAIT case).
+    config.port = port;
+    PlanningServer second(config);
+    second.start();
+    TestClient client(second.port());
+    EXPECT_NE(client.round_trip(kPing).find("\"ok\":true"), std::string::npos);
+    second.stop();
+}
+
+TEST(PlanningServerTest, RequestStopUnblocksWaiter) {
+    PlanningServer server(small_config(1));
+    server.start();
+    std::thread waiter([&server] { server.wait_until_stop_requested(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.request_stop();
+    waiter.join();  // would hang forever if the self-pipe wakeup failed
+    server.stop();
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// swarmlint-fixture-path: src/serve/latency.cpp
+// The service layer measures request latency: wall clocks are its job, so
+// det-wall-clock must stand down for src/serve/ (Layer::kService).
+#include <chrono>
+
+namespace swarmavail::serve {
+
+double request_latency_seconds(std::chrono::steady_clock::time_point start) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace swarmavail::serve

@@ -1,0 +1,15 @@
+// swarmlint-fixture-path: src/serve/jitter.cpp
+// swarmlint-expect: det-rand
+// The wall-clock exemption for src/serve/ is not a blanket pass: entropy
+// hygiene still applies, because response bytes must be a function of the
+// request (seeds arrive in REFINE payloads, never from local PRNGs).
+#include <random>
+
+namespace swarmavail::serve {
+
+unsigned backoff_jitter() {
+    std::mt19937 gen(12345);
+    return static_cast<unsigned>(gen());
+}
+
+}  // namespace swarmavail::serve

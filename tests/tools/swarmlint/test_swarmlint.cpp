@@ -158,6 +158,12 @@ TEST(SwarmlintFixtures, DetStaticStateBad) {
 TEST(SwarmlintFixtures, DetStaticStateGood) {
     expect_fixture("det_static_state_good.cpp");
 }
+TEST(SwarmlintFixtures, ServiceLayerWallClockAllowed) {
+    expect_fixture("service_layer_good.cpp");
+}
+TEST(SwarmlintFixtures, ServiceLayerEntropyStillBanned) {
+    expect_fixture("service_layer_rand_bad.cpp");
+}
 
 // --- observer-neutrality family --------------------------------------------
 
@@ -242,6 +248,8 @@ TEST(SwarmlintRegistry, ClassifiesLayersByPath) {
               Layer::kObserver);
     EXPECT_EQ(swarmlint::classify_path("src/util/random.hpp"), Layer::kRandom);
     EXPECT_EQ(swarmlint::classify_path("src/util/stats.hpp"), Layer::kSupport);
+    EXPECT_EQ(swarmlint::classify_path("src/serve/server.cpp"), Layer::kService);
+    EXPECT_EQ(swarmlint::classify_path("src/serve/router.hpp"), Layer::kService);
     EXPECT_EQ(swarmlint::classify_path("tools/swarmlint/main.cpp"), Layer::kOther);
 }
 

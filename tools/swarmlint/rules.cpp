@@ -111,7 +111,9 @@ void check_det_random_device(RuleContext& ctx) {
 
 void check_det_wall_clock(RuleContext& ctx) {
     const Layer layer = classify_path(ctx.file.path());
-    if (layer == Layer::kOther || layer == Layer::kRandom) {
+    // kService measures request latency; wall clocks are its purpose.
+    if (layer == Layer::kOther || layer == Layer::kRandom ||
+        layer == Layer::kService) {
         return;
     }
     if (is_wall_clock_whitelisted(ctx.file.path())) {
@@ -750,6 +752,9 @@ Layer classify_path(std::string_view path) {
     }
     if (starts_with(path, "src/util/random.")) {
         return Layer::kRandom;
+    }
+    if (starts_with(path, "src/serve/")) {
+        return Layer::kService;
     }
     for (string_view prefix : {string_view{"src/sim/"}, string_view{"src/swarm/"},
                                string_view{"src/catalog/"}, string_view{"src/model/"},

@@ -72,6 +72,10 @@ enum class Layer {
                 ///< sim/fingerprint, sim/flight_recorder
     kRandom,    ///< util/random — the one home for entropy primitives
     kSupport,   ///< remaining util/ (stats, check, ...) — result-adjacent
+    kService,   ///< src/serve/ — the planning daemon. Wall clocks are its
+                ///< job (latency histograms), so the engine-determinism
+                ///< clock rules stand down; entropy hygiene still applies
+                ///< (response bytes must be a function of the request).
     kOther,     ///< outside src/
 };
 
