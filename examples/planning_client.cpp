@@ -4,31 +4,50 @@
 // Usage:
 //   planning_client (--port P | --port-file FILE) --request JSON
 //   planning_client (--port P | --port-file FILE) --stats
+//   planning_client (--port P | --port-file FILE) --stats-raw
 //   planning_client (--port P | --port-file FILE) --bench N --request JSON
 //   planning_client (--port P | --port-file FILE)            # stdin session
 //   planning_client --parse-only FILE
+//   planning_client --check-spans FILE
 //
 // One-shot: sends the JSON request as one frame, prints the response
 // payload, exits 0 on an ok:true answer and 1 on a structured error.
-// --stats sends STATS and prints the embedded Prometheus exposition as
-// text. --bench sends the request N times in lockstep over one connection
-// and reports wall time and queries/s (end-to-end loopback numbers; the
-// in-process router throughput lives in bench_planning_qps). With no mode
-// flag, each stdin line is sent as one request and each response printed
-// on its own line — the scripted-session mode CI smoke tests use.
+// --stats sends STATS and renders the exposition as readable tables:
+// per-verb traffic and latency quantiles, per-stage latency quantiles
+// (decode/parse/cache/queue-wait/compute/serialize/write, fed by request
+// spans), cache hit/miss/evict/coalesce counters, and span bookkeeping.
+// Quantiles come from the cumulative histogram buckets, so p50/p99 are
+// upper bin edges, not exact order statistics. --stats-raw prints the raw
+// Prometheus text instead (what scripts and scrapers want). --bench sends
+// the request N times in lockstep over one connection and reports wall
+// time and queries/s (end-to-end loopback numbers; the in-process router
+// throughput lives in bench_planning_qps). With no mode flag, each stdin
+// line is sent as one request and each response printed on its own line —
+// the scripted-session mode CI smoke tests use.
 //
 // --parse-only runs the server's exact decode pipeline (frame decoder,
 // UTF-8 check, strict JSON, request validation) over raw bytes from FILE
 // without a server, printing each diagnostic; nonzero exit on any
 // malformed input. The protocol-hardening fixtures drive this mode, also
 // under AddressSanitizer in CI.
+//
+// --check-spans parses a span JSONL file (a --span-out drain or --slow-ms
+// slow-query log) with the library's own reader and summarizes it:
+// record/request counts, per-stage totals, and the slowest request's full
+// stage breakdown. Nonzero exit when the file is empty or malformed — the
+// CI smoke uses it to prove the slow-query log round-trips.
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -37,6 +56,7 @@
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
 #include "serve/request.hpp"
+#include "serve/span.hpp"
 
 namespace {
 
@@ -47,15 +67,19 @@ struct Options {
     std::string port_file;
     std::string request;
     std::string parse_only;
+    std::string check_spans;
     bool stats = false;
+    bool stats_raw = false;
     long bench = 0;
 };
 
 [[noreturn]] void usage_error(std::string_view message) {
     std::cerr << "planning_client: " << message << "\n"
               << "usage: planning_client (--port P | --port-file FILE) "
-                 "[--request JSON | --stats | --bench N --request JSON]\n"
-              << "       planning_client --parse-only FILE\n";
+                 "[--request JSON | --stats | --stats-raw | --bench N "
+                 "--request JSON]\n"
+              << "       planning_client --parse-only FILE\n"
+              << "       planning_client --check-spans FILE\n";
     std::exit(2);
 }
 
@@ -78,6 +102,10 @@ Options parse_options(int argc, char** argv) {
             opt.request = next_value(argc, argv, i, arg);
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--stats-raw") {
+            opt.stats_raw = true;
+        } else if (arg == "--check-spans") {
+            opt.check_spans = next_value(argc, argv, i, arg);
         } else if (arg == "--bench") {
             opt.bench = std::stol(next_value(argc, argv, i, arg));
             if (opt.bench < 1) {
@@ -218,24 +246,309 @@ bool response_ok(const std::string& response) {
     return response.find("\"ok\":true") != std::string::npos;
 }
 
-int run_stats(int fd, FrameDecoder& decoder) {
+/// Fetches the STATS exposition text; false on transport/shape failure.
+bool fetch_stats(int fd, FrameDecoder& decoder, std::string& text) {
     std::string response;
     if (!round_trip(fd, decoder, "{\"verb\":\"STATS\"}", response)) {
-        return 1;
+        return false;
     }
     swarmavail::serve::JsonValue value;
     std::string error;
     if (!swarmavail::serve::parse_json(response, value, &error)) {
         std::cerr << "planning_client: unparseable response: " << error << "\n";
-        return 1;
+        return false;
     }
     const auto* result = value.find("result");
-    const auto* text = result != nullptr ? result->find("prometheus") : nullptr;
-    if (text == nullptr || !text->is_string()) {
+    const auto* prometheus =
+        result != nullptr ? result->find("prometheus") : nullptr;
+    if (prometheus == nullptr || !prometheus->is_string()) {
         std::cerr << response << "\n";
+        return false;
+    }
+    text = prometheus->as_string();
+    return true;
+}
+
+// ---- STATS table rendering -------------------------------------------
+//
+// A deliberately small scanner over the server's own exposition (not a
+// general Prometheus parser): sample lines are `name value` or
+// `name{label="v"} value`, and histogram families follow the
+// _bucket/_sum/_count convention with cumulative bucket counts.
+
+/// Cumulative histogram pulled out of the exposition text.
+struct PromHistogram {
+    std::vector<std::pair<double, std::uint64_t>> buckets;  ///< (le, cumulative)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/// Value of the sample line starting exactly with `prefix` + ' '.
+bool find_sample(const std::string& text, const std::string& prefix, double& out) {
+    std::size_t pos = 0;
+    const std::string needle = prefix + " ";
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string_view line(text.data() + pos,
+                                    (eol == std::string::npos ? text.size() : eol) -
+                                        pos);
+        if (line.substr(0, needle.size()) == needle) {
+            out = std::strtod(line.data() + needle.size(), nullptr);
+            return true;
+        }
+        if (eol == std::string::npos) {
+            break;
+        }
+        pos = eol + 1;
+    }
+    return false;
+}
+
+std::uint64_t counter_or_zero(const std::string& text, const std::string& name) {
+    double value = 0.0;
+    find_sample(text, name, value);
+    return static_cast<std::uint64_t>(value);
+}
+
+bool read_histogram(const std::string& text, const std::string& family,
+                    PromHistogram& out) {
+    out = PromHistogram{};
+    const std::string bucket_prefix = family + "_bucket{le=\"";
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t len =
+            (eol == std::string::npos ? text.size() : eol) - pos;
+        const std::string line = text.substr(pos, len);
+        if (line.compare(0, bucket_prefix.size(), bucket_prefix) == 0) {
+            const std::size_t close = line.find("\"} ", bucket_prefix.size());
+            if (close != std::string::npos) {
+                const std::string le_text =
+                    line.substr(bucket_prefix.size(), close - bucket_prefix.size());
+                const double le = le_text == "+Inf"
+                                      ? std::numeric_limits<double>::infinity()
+                                      : std::strtod(le_text.c_str(), nullptr);
+                const std::uint64_t cumulative = std::strtoull(
+                    line.c_str() + close + 3, nullptr, 10);
+                out.buckets.emplace_back(le, cumulative);
+            }
+        }
+        if (eol == std::string::npos) {
+            break;
+        }
+        pos = eol + 1;
+    }
+    double sum = 0.0;
+    double count = 0.0;
+    const bool have_sum = find_sample(text, family + "_sum", sum);
+    const bool have_count = find_sample(text, family + "_count", count);
+    out.sum = sum;
+    out.count = static_cast<std::uint64_t>(count);
+    return have_sum && have_count && !out.buckets.empty();
+}
+
+/// Upper bin edge of the q-quantile (smallest le whose cumulative count
+/// reaches q * total); 0 for an empty histogram.
+double histogram_quantile(const PromHistogram& histogram, double q) {
+    if (histogram.count == 0) {
+        return 0.0;
+    }
+    const double target = q * static_cast<double>(histogram.count);
+    for (const auto& [le, cumulative] : histogram.buckets) {
+        if (static_cast<double>(cumulative) >= target) {
+            return le;
+        }
+    }
+    return histogram.buckets.back().first;
+}
+
+std::string format_seconds(double seconds) {
+    char buffer[32];
+    if (seconds <= 0.0) {
+        return "-";
+    }
+    if (seconds < 1.0e-3) {
+        std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1.0e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1.0e3);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+    }
+    return buffer;
+}
+
+void print_histogram_row(const std::string& label, const PromHistogram& histogram) {
+    const double mean = histogram.count > 0
+                            ? histogram.sum / static_cast<double>(histogram.count)
+                            : 0.0;
+    std::printf("  %-10s %10llu %10s %10s %10s\n", label.c_str(),
+                static_cast<unsigned long long>(histogram.count),
+                format_seconds(mean).c_str(),
+                format_seconds(histogram_quantile(histogram, 0.50)).c_str(),
+                format_seconds(histogram_quantile(histogram, 0.99)).c_str());
+}
+
+int run_stats_table(int fd, FrameDecoder& decoder) {
+    std::string text;
+    if (!fetch_stats(fd, decoder, text)) {
         return 1;
     }
-    std::cout << text->as_string();
+    static constexpr const char* kVerbs[] = {"ping", "eval", "plan", "refine",
+                                             "stats"};
+    static constexpr const char* kStages[] = {"decode",     "parse",   "cache",
+                                              "queue_wait", "compute", "serialize",
+                                              "write"};
+
+    std::printf("requests by verb\n");
+    std::printf("  %-10s %10s %10s %10s %10s\n", "verb", "count", "mean", "p50",
+                "p99");
+    for (const char* verb : kVerbs) {
+        PromHistogram histogram;
+        if (!read_histogram(text,
+                            std::string("swarmavail_server_latency_seconds_") + verb,
+                            histogram)) {
+            continue;
+        }
+        print_histogram_row(verb, histogram);
+    }
+    std::printf("  errors %llu  overloaded %llu  bad frames %llu\n",
+                static_cast<unsigned long long>(
+                    counter_or_zero(text, "swarmavail_server_errors_total")),
+                static_cast<unsigned long long>(
+                    counter_or_zero(text, "swarmavail_server_overloaded_total")),
+                static_cast<unsigned long long>(
+                    counter_or_zero(text, "swarmavail_server_bad_frames_total")));
+
+    std::printf("\nstage latency (request spans)\n");
+    std::printf("  %-10s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50",
+                "p99");
+    for (const char* stage : kStages) {
+        PromHistogram histogram;
+        if (!read_histogram(text,
+                            std::string("swarmavail_server_stage_seconds_") + stage,
+                            histogram)) {
+            continue;
+        }
+        print_histogram_row(stage, histogram);
+    }
+
+    std::printf("\ncaches\n");
+    std::printf("  %-10s %10s %10s %10s %10s %10s %8s\n", "cache", "hits",
+                "misses", "evicted", "coalesced", "entries", "hit%");
+    for (const char* cache : {"model", "refine"}) {
+        const std::string base =
+            std::string("swarmavail_server_") + cache + "_cache_";
+        const std::uint64_t hits = counter_or_zero(text, base + "hits_total");
+        const std::uint64_t misses = counter_or_zero(text, base + "misses_total");
+        const double total = static_cast<double>(hits + misses);
+        std::printf("  %-10s %10llu %10llu %10llu %10llu %10llu %7.1f%%\n", cache,
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses),
+                    static_cast<unsigned long long>(
+                        counter_or_zero(text, base + "evictions_total")),
+                    static_cast<unsigned long long>(
+                        counter_or_zero(text, base + "coalesced_total")),
+                    static_cast<unsigned long long>(
+                        counter_or_zero(text, base + "entries")),
+                    total > 0.0 ? 100.0 * static_cast<double>(hits) / total : 0.0);
+    }
+
+    double model_depth = 0.0;
+    double sim_depth = 0.0;
+    find_sample(text, "swarmavail_server_queue_depth{lane=\"model\"}", model_depth);
+    find_sample(text, "swarmavail_server_queue_depth{lane=\"sim\"}", sim_depth);
+    std::printf("\nqueues  model %.0f  sim %.0f\n", model_depth, sim_depth);
+    std::printf(
+        "spans   records %llu  dropped %llu  slow %llu\n",
+        static_cast<unsigned long long>(
+            counter_or_zero(text, "swarmavail_server_span_records_total")),
+        static_cast<unsigned long long>(counter_or_zero(
+            text, "swarmavail_server_span_records_dropped_total")),
+        static_cast<unsigned long long>(
+            counter_or_zero(text, "swarmavail_server_slow_queries_total")));
+    return 0;
+}
+
+int run_stats_raw(int fd, FrameDecoder& decoder) {
+    std::string text;
+    if (!fetch_stats(fd, decoder, text)) {
+        return 1;
+    }
+    std::cout << text;
+    return 0;
+}
+
+/// Parses a span JSONL file and summarizes it; nonzero on empty/malformed.
+int check_spans(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "planning_client: cannot read " << path << "\n";
+        return 1;
+    }
+    std::vector<swarmavail::serve::SpanRecord> records;
+    try {
+        records = swarmavail::serve::read_spans_jsonl(in);
+    } catch (const std::exception& e) {
+        std::cerr << "planning_client: " << path << ": " << e.what() << "\n";
+        return 1;
+    }
+    if (records.empty()) {
+        std::cerr << "planning_client: no span records in " << path << "\n";
+        return 1;
+    }
+
+    std::uint64_t stage_counts[swarmavail::serve::kSpanStageCount] = {};
+    // Per-request [t_min, t_max] over its records (request 0 = accept
+    // events, which belong to a connection rather than a request).
+    std::map<std::uint64_t, std::pair<double, double>> requests;
+    for (const auto& record : records) {
+        if (record.stage < swarmavail::serve::kSpanStageCount) {
+            stage_counts[record.stage] += 1;
+        }
+        if (record.request == 0) {
+            continue;
+        }
+        auto [it, inserted] = requests.emplace(
+            record.request, std::make_pair(record.t_start, record.t_end));
+        if (!inserted) {
+            it->second.first = std::min(it->second.first, record.t_start);
+            it->second.second = std::max(it->second.second, record.t_end);
+        }
+    }
+
+    std::cout << "records " << records.size() << "\n"
+              << "requests " << requests.size() << "\n";
+    for (std::size_t s = 0; s < swarmavail::serve::kSpanStageCount; ++s) {
+        if (stage_counts[s] == 0) {
+            continue;
+        }
+        std::cout << "stage " << swarmavail::serve::span_stage_name(
+                         static_cast<swarmavail::serve::SpanStage>(s))
+                  << " " << stage_counts[s] << "\n";
+    }
+
+    if (!requests.empty()) {
+        const auto slowest = std::max_element(
+            requests.begin(), requests.end(), [](const auto& a, const auto& b) {
+                return a.second.second - a.second.first <
+                       b.second.second - b.second.first;
+            });
+        std::cout << "slowest_request " << slowest->first << " "
+                  << (slowest->second.second - slowest->second.first) << "s\n";
+        for (const auto& record : records) {
+            if (record.request != slowest->first) {
+                continue;
+            }
+            std::cout << "  " << swarmavail::serve::span_stage_name(
+                             static_cast<swarmavail::serve::SpanStage>(record.stage))
+                      << " t0 " << record.t_start << " t1 " << record.t_end
+                      << " bytes " << record.bytes << " cache "
+                      << swarmavail::serve::span_cache_outcome_name(
+                             static_cast<swarmavail::serve::SpanCacheOutcome>(
+                                 record.cache))
+                      << "\n";
+        }
+    }
     return 0;
 }
 
@@ -289,6 +602,9 @@ int main(int argc, char** argv) {
     if (!opt.parse_only.empty()) {
         return parse_only(opt.parse_only);
     }
+    if (!opt.check_spans.empty()) {
+        return check_spans(opt.check_spans);
+    }
 
     int port = opt.port;
     if (port < 0 && !opt.port_file.empty()) {
@@ -312,7 +628,9 @@ int main(int argc, char** argv) {
 
     int rc = 0;
     if (opt.stats) {
-        rc = run_stats(fd, decoder);
+        rc = run_stats_table(fd, decoder);
+    } else if (opt.stats_raw) {
+        rc = run_stats_raw(fd, decoder);
     } else if (opt.bench > 0) {
         if (opt.request.empty()) {
             usage_error("--bench needs --request JSON");

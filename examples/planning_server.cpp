@@ -11,12 +11,22 @@
 //   planning_server [--port P] [--port-file FILE] [--threads T]
 //                   [--max-inflight N] [--catalog N ALPHA BUDGET]
 //                   [--prom-out FILE]
+//                   [--spans] [--span-out FILE] [--slow-ms MS]
+//                   [--slow-log FILE] [--span-ring N]
 //
 // --port 0 (default) binds an ephemeral port; --port-file writes the bound
 // port as one decimal line once the server is listening, which is how
 // scripts connect race-free. --catalog sets the default REFINE catalog
 // (files, Zipf exponent, partitioned publisher budget r) that requests may
 // override field by field.
+//
+// Span tracing (serve/span.hpp): --spans turns request-lifecycle spans on
+// (--span-out drains every ring to a JSONL file at shutdown and implies
+// --spans, as do the other span flags); --slow-ms M writes the complete
+// stage breakdown of any request slower than M milliseconds end-to-end to
+// the --slow-log file (stderr-less, JSONL) as it finishes; --span-ring
+// sets the records retained per thread ring. All five are ignored in
+// trace-off builds (SWARMAVAIL_SPANS_DISABLED).
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -36,7 +46,9 @@ using swarmavail::serve::ServerConfig;
               << "usage: planning_server [--port P] [--port-file FILE] "
                  "[--threads T] [--max-inflight N]\n"
               << "                       [--catalog N ALPHA BUDGET] "
-                 "[--prom-out FILE]\n";
+                 "[--prom-out FILE]\n"
+              << "                       [--spans] [--span-out FILE] "
+                 "[--slow-ms MS] [--slow-log FILE] [--span-ring N]\n";
     std::exit(2);
 }
 
@@ -89,6 +101,24 @@ ServerConfig parse_options(int argc, char** argv, std::string& port_file) {
             }
         } else if (arg == "--prom-out") {
             config.prom_out = next_value(argc, argv, i, arg);
+        } else if (arg == "--spans") {
+            config.spans = true;
+        } else if (arg == "--span-out") {
+            config.span_out = next_value(argc, argv, i, arg);
+        } else if (arg == "--slow-ms") {
+            const double ms = std::stod(next_value(argc, argv, i, arg));
+            if (ms <= 0.0) {
+                usage_error("--slow-ms must be > 0");
+            }
+            config.slow_query_seconds = ms / 1000.0;
+        } else if (arg == "--slow-log") {
+            config.slow_query_log = next_value(argc, argv, i, arg);
+        } else if (arg == "--span-ring") {
+            const long ring = std::stol(next_value(argc, argv, i, arg));
+            if (ring < 1) {
+                usage_error("--span-ring must be >= 1");
+            }
+            config.span_ring_capacity = static_cast<std::size_t>(ring);
         } else if (arg == "--help" || arg == "-h") {
             usage_error("usage");
         } else {

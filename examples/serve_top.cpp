@@ -1,0 +1,406 @@
+// serve_top: live terminal view of a running planning daemon.
+//
+// Polls the STATS verb and renders the service's health the way top
+// renders a host: per-verb queries/s (deltas between polls), per-stage
+// latency quantiles from the span-fed stage histograms, lane queue
+// depths, cache hit rates, and the slow-query counter. Quantiles are
+// upper histogram bin edges (log2 bins), not exact order statistics.
+//
+// Usage:
+//   serve_top (--port P | --port-file FILE)
+//             [--interval S] [--iterations N | --once] [--no-clear]
+//
+// The default is an endless 1 s poll loop that repaints the screen in
+// place; --once polls a single time and exits (what CI smoke tests use),
+// --iterations bounds the loop, --no-clear appends frames instead of
+// repainting (pipe-friendly). Exits nonzero when the server cannot be
+// reached or STATS stops parsing.
+//
+// The stage rows answer the tail-latency question directly: a p99 that
+// lives in queue_wait is an overload (add workers or raise --max-inflight),
+// one that lives in compute is the workload itself (REFINE simulations),
+// and cache hit rates tell whether the warm path is actually warm. See
+// EXPERIMENTS.md "Attributing tail latency".
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using swarmavail::serve::FrameDecoder;
+
+struct Options {
+    int port = -1;
+    std::string port_file;
+    double interval_s = 1.0;
+    long iterations = -1;  ///< -1 = until killed
+    bool clear = true;
+};
+
+[[noreturn]] void usage_error(std::string_view message) {
+    std::cerr << "serve_top: " << message << "\n"
+              << "usage: serve_top (--port P | --port-file FILE) [--interval S]\n"
+              << "                 [--iterations N | --once] [--no-clear]\n";
+    std::exit(2);
+}
+
+const char* next_value(int argc, char** argv, int& i, std::string_view flag) {
+    if (i + 1 >= argc) {
+        usage_error(std::string{flag} + " needs a value");
+    }
+    return argv[++i];
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--port") {
+            opt.port = std::stoi(next_value(argc, argv, i, arg));
+        } else if (arg == "--port-file") {
+            opt.port_file = next_value(argc, argv, i, arg);
+        } else if (arg == "--interval") {
+            opt.interval_s = std::stod(next_value(argc, argv, i, arg));
+            if (opt.interval_s <= 0.0) {
+                usage_error("--interval must be > 0");
+            }
+        } else if (arg == "--iterations") {
+            opt.iterations = std::stol(next_value(argc, argv, i, arg));
+            if (opt.iterations < 1) {
+                usage_error("--iterations must be >= 1");
+            }
+        } else if (arg == "--once") {
+            opt.iterations = 1;
+        } else if (arg == "--no-clear") {
+            opt.clear = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("usage");
+        } else {
+            usage_error("unknown flag " + std::string{arg});
+        }
+    }
+    return opt;
+}
+
+int connect_to(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// One STATS round trip; the exposition text lands in `text`.
+bool fetch_stats(int fd, FrameDecoder& decoder, std::string& text) {
+    if (!send_all(fd, swarmavail::serve::encode_frame("{\"verb\":\"STATS\"}"))) {
+        return false;
+    }
+    std::string response;
+    std::string error;
+    char buffer[65536];
+    while (true) {
+        const FrameDecoder::Status status = decoder.next(response, error);
+        if (status == FrameDecoder::Status::kFrame) {
+            break;
+        }
+        if (status == FrameDecoder::Status::kError) {
+            std::cerr << "serve_top: protocol error: " << error << "\n";
+            return false;
+        }
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0) {
+            std::cerr << "serve_top: connection closed by server\n";
+            return false;
+        }
+        decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+    swarmavail::serve::JsonValue value;
+    if (!swarmavail::serve::parse_json(response, value, &error)) {
+        std::cerr << "serve_top: unparseable STATS response: " << error << "\n";
+        return false;
+    }
+    const auto* result = value.find("result");
+    const auto* prometheus =
+        result != nullptr ? result->find("prometheus") : nullptr;
+    if (prometheus == nullptr || !prometheus->is_string()) {
+        std::cerr << "serve_top: STATS response has no prometheus text\n";
+        return false;
+    }
+    text = prometheus->as_string();
+    return true;
+}
+
+// Minimal scanner over the server's own exposition shape (`name value`
+// and `name{label="v"} value` lines; _bucket/_sum/_count histograms with
+// cumulative buckets).
+
+bool find_sample(const std::string& text, const std::string& prefix, double& out) {
+    const std::string needle = prefix + " ";
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t len =
+            (eol == std::string::npos ? text.size() : eol) - pos;
+        if (len > needle.size() &&
+            text.compare(pos, needle.size(), needle) == 0) {
+            out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+            return true;
+        }
+        if (eol == std::string::npos) {
+            break;
+        }
+        pos = eol + 1;
+    }
+    return false;
+}
+
+double sample_or_zero(const std::string& text, const std::string& name) {
+    double value = 0.0;
+    find_sample(text, name, value);
+    return value;
+}
+
+struct Histogram {
+    std::vector<std::pair<double, std::uint64_t>> buckets;  ///< (le, cumulative)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+bool read_histogram(const std::string& text, const std::string& family,
+                    Histogram& out) {
+    out = Histogram{};
+    const std::string bucket_prefix = family + "_bucket{le=\"";
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t len =
+            (eol == std::string::npos ? text.size() : eol) - pos;
+        const std::string line = text.substr(pos, len);
+        if (line.compare(0, bucket_prefix.size(), bucket_prefix) == 0) {
+            const std::size_t close = line.find("\"} ", bucket_prefix.size());
+            if (close != std::string::npos) {
+                const std::string le_text =
+                    line.substr(bucket_prefix.size(), close - bucket_prefix.size());
+                const double le = le_text == "+Inf"
+                                      ? std::numeric_limits<double>::infinity()
+                                      : std::strtod(le_text.c_str(), nullptr);
+                out.buckets.emplace_back(
+                    le, std::strtoull(line.c_str() + close + 3, nullptr, 10));
+            }
+        }
+        if (eol == std::string::npos) {
+            break;
+        }
+        pos = eol + 1;
+    }
+    double sum = 0.0;
+    double count = 0.0;
+    find_sample(text, family + "_sum", sum);
+    find_sample(text, family + "_count", count);
+    out.sum = sum;
+    out.count = static_cast<std::uint64_t>(count);
+    return !out.buckets.empty();
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+    if (histogram.count == 0) {
+        return 0.0;
+    }
+    const double target = q * static_cast<double>(histogram.count);
+    for (const auto& [le, cumulative] : histogram.buckets) {
+        if (static_cast<double>(cumulative) >= target) {
+            return le;
+        }
+    }
+    return histogram.buckets.back().first;
+}
+
+std::string format_seconds(double seconds) {
+    char buffer[32];
+    if (seconds <= 0.0) {
+        return "-";
+    }
+    if (seconds < 1.0e-3) {
+        std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1.0e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1.0e3);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+    }
+    return buffer;
+}
+
+constexpr const char* kVerbs[] = {"ping", "eval", "plan", "refine", "stats"};
+constexpr std::size_t kVerbTotal = sizeof(kVerbs) / sizeof(kVerbs[0]);
+constexpr const char* kStages[] = {"decode",  "parse",     "cache",
+                                   "queue_wait", "compute", "serialize",
+                                   "write"};
+
+void render(const std::string& text, const double (&qps)[kVerbTotal],
+            bool have_rates, long poll, int port) {
+    std::printf("serve_top — planning service 127.0.0.1:%d  poll %ld\n\n", port,
+                poll);
+
+    std::printf("%-12s %10s %10s %10s %10s\n", "verb", "qps", "total", "p50",
+                "p99");
+    for (std::size_t v = 0; v < kVerbTotal; ++v) {
+        Histogram histogram;
+        if (!read_histogram(
+                text, std::string("swarmavail_server_latency_seconds_") + kVerbs[v],
+                histogram)) {
+            continue;
+        }
+        char qps_text[32];
+        if (have_rates) {
+            std::snprintf(qps_text, sizeof(qps_text), "%.1f", qps[v]);
+        } else {
+            std::snprintf(qps_text, sizeof(qps_text), "-");
+        }
+        std::printf("%-12s %10s %10llu %10s %10s\n", kVerbs[v], qps_text,
+                    static_cast<unsigned long long>(histogram.count),
+                    format_seconds(histogram_quantile(histogram, 0.50)).c_str(),
+                    format_seconds(histogram_quantile(histogram, 0.99)).c_str());
+    }
+
+    std::printf("\n%-12s %10s %10s %10s\n", "stage", "count", "p50", "p99");
+    for (const char* stage : kStages) {
+        Histogram histogram;
+        if (!read_histogram(
+                text, std::string("swarmavail_server_stage_seconds_") + stage,
+                histogram)) {
+            continue;
+        }
+        std::printf("%-12s %10llu %10s %10s\n", stage,
+                    static_cast<unsigned long long>(histogram.count),
+                    format_seconds(histogram_quantile(histogram, 0.50)).c_str(),
+                    format_seconds(histogram_quantile(histogram, 0.99)).c_str());
+    }
+
+    std::printf("\nqueues   model %.0f  sim %.0f\n",
+                sample_or_zero(text, "swarmavail_server_queue_depth{lane=\"model\"}"),
+                sample_or_zero(text, "swarmavail_server_queue_depth{lane=\"sim\"}"));
+    for (const char* cache : {"model", "refine"}) {
+        const std::string base =
+            std::string("swarmavail_server_") + cache + "_cache_";
+        const double hits = sample_or_zero(text, base + "hits_total");
+        const double misses = sample_or_zero(text, base + "misses_total");
+        const double total = hits + misses;
+        std::printf(
+            "%-8s %6.1f%% hit  (%.0f hits, %.0f misses, %.0f evicted, "
+            "%.0f coalesced, %.0f entries)\n",
+            cache, total > 0.0 ? 100.0 * hits / total : 0.0, hits, misses,
+            sample_or_zero(text, base + "evictions_total"),
+            sample_or_zero(text, base + "coalesced_total"),
+            sample_or_zero(text, base + "entries"));
+    }
+    std::printf("spans    records %.0f  dropped %.0f  slow %.0f\n",
+                sample_or_zero(text, "swarmavail_server_span_records_total"),
+                sample_or_zero(text,
+                               "swarmavail_server_span_records_dropped_total"),
+                sample_or_zero(text, "swarmavail_server_slow_queries_total"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+
+    int port = opt.port;
+    if (port < 0 && !opt.port_file.empty()) {
+        std::ifstream in(opt.port_file);
+        if (!(in >> port)) {
+            std::cerr << "serve_top: cannot read a port from " << opt.port_file
+                      << "\n";
+            return 1;
+        }
+    }
+    if (port <= 0 || port > 65535) {
+        usage_error("need --port or --port-file naming a bound port");
+    }
+
+    const int fd = connect_to(port);
+    if (fd < 0) {
+        std::cerr << "serve_top: cannot connect to 127.0.0.1:" << port << "\n";
+        return 1;
+    }
+    FrameDecoder decoder;
+
+    double previous_totals[kVerbTotal] = {};
+    auto previous_poll = std::chrono::steady_clock::now();
+    bool have_previous = false;
+
+    int rc = 0;
+    for (long poll = 1; opt.iterations < 0 || poll <= opt.iterations; ++poll) {
+        std::string text;
+        if (!fetch_stats(fd, decoder, text)) {
+            rc = 1;
+            break;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(now - previous_poll).count();
+
+        double qps[kVerbTotal] = {};
+        double totals[kVerbTotal] = {};
+        for (std::size_t v = 0; v < kVerbTotal; ++v) {
+            totals[v] = sample_or_zero(
+                text, std::string("swarmavail_server_requests_total{verb=\"") +
+                          kVerbs[v] + "\"}");
+            if (have_previous && elapsed > 0.0) {
+                qps[v] = (totals[v] - previous_totals[v]) / elapsed;
+            }
+            previous_totals[v] = totals[v];
+        }
+        previous_poll = now;
+
+        if (opt.clear) {
+            std::printf("\x1b[H\x1b[2J");
+        }
+        render(text, qps, have_previous, poll, port);
+        std::fflush(stdout);
+        have_previous = true;
+
+        if (opt.iterations < 0 || poll < opt.iterations) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.interval_s));
+        }
+    }
+    ::close(fd);
+    return rc;
+}

@@ -35,6 +35,11 @@ with a live TelemetrySession attached vs. the detached counterpart).
 fingerprints are ON by default, so the "FingerprintOff" row is the
 baseline and the field (attached to the FingerprintOff row alongside the
 measurement it anchors) reports what the plain row pays for them.
+`srv_span_overhead_pct` ("SpanOn" rows) measures the planning router's
+warm path with a RequestSpans scratch attached against the plain warm
+row; `srv_span_idle_overhead_pct` ("SpanIdle" rows) measures the same
+path through the spans-capable route() overload with a null scratch —
+the runtime-disabled cost that the serve CI leg gates at <= 1%.
 
 `phase_profile` embeds the per-phase wall-time breakdown printed by
 bench_phase_profile (--profile), again tolerating a missing file.
@@ -169,6 +174,8 @@ def merge(input_paths, prior_path=None, profile_path=None):
         ("TraceOn", "tracing_overhead_pct", False),
         ("TelemetryOn", "telemetry_overhead_pct", False),
         ("FingerprintOff", "fingerprint_overhead_pct", True),
+        ("SpanOn", "srv_span_overhead_pct", False),
+        ("SpanIdle", "srv_span_idle_overhead_pct", False),
     )
     for entry in entries:
         for marker, field, inverted in overhead_pairs:

@@ -19,6 +19,7 @@
 // values to memoize model-path response fragments.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -54,6 +55,16 @@ struct RefineOutcome {
     bool stopped_early = false;
 };
 
+/// How one get_or_compute call was answered. kCoalesced is the
+/// single-flight win: the entry existed but was still computing, so this
+/// caller blocked on the owner's result instead of duplicating the work
+/// (it still counts as a hit in the hit/miss totals).
+enum class CacheLookup : std::uint8_t {
+    kHit = 0,
+    kMiss = 1,
+    kCoalesced = 2,
+};
+
 /// Bounded single-flight cache; Value must be copyable.
 template <typename Value>
 class SingleFlightCache {
@@ -64,9 +75,11 @@ class SingleFlightCache {
     /// Returns the cached value for `key`, computing it via `compute` on a
     /// miss. Concurrent callers with the same key share one computation.
     /// If `compute` throws, the error is propagated to every waiter and
-    /// the key is forgotten.
+    /// the key is forgotten. `lookup` (nullable) reports how this call
+    /// was answered.
     Value get_or_compute(const std::string& key,
-                         const std::function<Value()>& compute) {
+                         const std::function<Value()>& compute,
+                         CacheLookup* lookup = nullptr) {
         std::shared_ptr<Entry> entry;
         bool owner = false;
         {
@@ -81,6 +94,9 @@ class SingleFlightCache {
                 entry = it->second;
                 hits_ += 1;
             }
+        }
+        if (lookup != nullptr) {
+            *lookup = owner ? CacheLookup::kMiss : CacheLookup::kHit;
         }
         if (owner) {
             try {
@@ -106,6 +122,15 @@ class SingleFlightCache {
             }
         }
         std::unique_lock<std::mutex> entry_lock(entry->mutex);
+        if (!entry->ready) {
+            // Joining an in-flight computation: the single-flight case.
+            // (Atomic, not mutex_-guarded: taking mutex_ here would invert
+            // the mutex_ -> entry->mutex lock order of the lookup above.)
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            if (lookup != nullptr) {
+                *lookup = CacheLookup::kCoalesced;
+            }
+        }
         entry->cv.wait(entry_lock, [&entry] { return entry->ready; });
         if (entry->failed) {
             throw std::runtime_error(entry->error);
@@ -121,10 +146,21 @@ class SingleFlightCache {
         std::unique_lock<std::mutex> lock(mutex_);
         return misses_;
     }
+    /// Completed entries evicted by the FIFO capacity bound.
+    [[nodiscard]] std::uint64_t evictions() const {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return evictions_;
+    }
+    /// Hits that joined an in-flight computation instead of reading a
+    /// completed entry (a subset of hits()).
+    [[nodiscard]] std::uint64_t coalesced() const noexcept {
+        return coalesced_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] std::size_t size() const {
         std::unique_lock<std::mutex> lock(mutex_);
         return entries_.size();
     }
+    [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
 
  private:
     struct Entry {
@@ -144,6 +180,7 @@ class SingleFlightCache {
         while (completed_.size() > max_entries_) {
             entries_.erase(completed_.front());
             completed_.pop_front();
+            evictions_ += 1;
         }
     }
 
@@ -159,6 +196,8 @@ class SingleFlightCache {
     std::deque<std::string> completed_;  ///< FIFO eviction order
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::atomic<std::uint64_t> coalesced_{0};
 };
 
 /// The refinement cache: canonical REFINE key -> deterministic outcome.

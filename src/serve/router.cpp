@@ -194,6 +194,20 @@ std::string error_payload(bool has_id, std::uint64_t id, std::string_view code,
     return out;
 }
 
+/// Maps the cache's lookup report onto the span vocabulary. Unused when
+/// spans are compiled out (the macro erases its one call site).
+[[maybe_unused]] SpanCacheOutcome span_outcome(CacheLookup lookup) {
+    switch (lookup) {
+        case CacheLookup::kMiss:
+            return SpanCacheOutcome::kMiss;
+        case CacheLookup::kCoalesced:
+            return SpanCacheOutcome::kCoalesced;
+        case CacheLookup::kHit:
+            break;
+    }
+    return SpanCacheOutcome::kHit;
+}
+
 void append_counter(std::string& out, std::string_view name, std::string_view help,
                     std::uint64_t value) {
     out += "# HELP ";
@@ -234,32 +248,65 @@ void RequestRouter::set_stats_appender(std::function<void(std::string&)> appende
 }
 
 std::string RequestRouter::handle(const Request& request, ServeError& error,
-                                  bool& ok) {
+                                  bool& ok,
+                                  [[maybe_unused]] RequestSpans* spans) {
     ok = true;
     switch (request.verb) {
         case Verb::kPing:
             return "{\"service\":\"swarmavail-planning\",\"protocol\":1}";
         case Verb::kEval: {
+            SWARMAVAIL_SPAN(spans, begin(SpanStage::kCache));
             const std::string key = canonical_eval_key(request.eval);
-            return model_cache_.get_or_compute(
-                key, [&request] { return eval_fragment(evaluate_model(request.eval)); });
+            CacheLookup lookup = CacheLookup::kHit;
+            std::string fragment = model_cache_.get_or_compute(
+                key,
+                [&] {
+                    SWARMAVAIL_SPAN(spans, begin(SpanStage::kCompute));
+                    std::string out = eval_fragment(evaluate_model(request.eval));
+                    SWARMAVAIL_SPAN(spans, end(SpanStage::kCompute));
+                    return out;
+                },
+                &lookup);
+            SWARMAVAIL_SPAN(spans, end(SpanStage::kCache));
+            SWARMAVAIL_SPAN(spans, set_cache(span_outcome(lookup)));
+            return fragment;
         }
         case Verb::kPlan: {
+            SWARMAVAIL_SPAN(spans, begin(SpanStage::kCache));
             const std::string key = canonical_plan_key(request.plan);
-            return model_cache_.get_or_compute(key, [&request] {
-                return plan_fragment(request.plan, run_plan(request.plan));
-            });
+            CacheLookup lookup = CacheLookup::kHit;
+            std::string fragment = model_cache_.get_or_compute(
+                key,
+                [&] {
+                    SWARMAVAIL_SPAN(spans, begin(SpanStage::kCompute));
+                    std::string out =
+                        plan_fragment(request.plan, run_plan(request.plan));
+                    SWARMAVAIL_SPAN(spans, end(SpanStage::kCompute));
+                    return out;
+                },
+                &lookup);
+            SWARMAVAIL_SPAN(spans, end(SpanStage::kCache));
+            SWARMAVAIL_SPAN(spans, set_cache(span_outcome(lookup)));
+            return fragment;
         }
         case Verb::kRefine: {
+            SWARMAVAIL_SPAN(spans, begin(SpanStage::kCache));
             const std::string key = canonical_refine_key(request.refine);
             const std::size_t threads = config_.refine_threads;
-            const RefineOutcome outcome =
-                refine_cache_.get_or_compute(key, [this, &request, threads] {
+            CacheLookup lookup = CacheLookup::kHit;
+            const RefineOutcome outcome = refine_cache_.get_or_compute(
+                key,
+                [&] {
+                    SWARMAVAIL_SPAN(spans, begin(SpanStage::kCompute));
                     RefineOutcome computed = run_refine(request.refine, threads);
                     refine_fingerprint_xor_.fetch_xor(computed.fingerprint,
                                                       std::memory_order_relaxed);
+                    SWARMAVAIL_SPAN(spans, end(SpanStage::kCompute));
                     return computed;
-                });
+                },
+                &lookup);
+            SWARMAVAIL_SPAN(spans, end(SpanStage::kCache));
+            SWARMAVAIL_SPAN(spans, set_cache(span_outcome(lookup)));
             return refine_fragment(outcome);
         }
         case Verb::kStats: {
@@ -275,11 +322,16 @@ std::string RequestRouter::handle(const Request& request, ServeError& error,
 }
 
 RouteResult RequestRouter::route(std::string_view payload) {
+    return route(payload, nullptr);
+}
+
+RouteResult RequestRouter::route(std::string_view payload, RequestSpans* spans) {
     RouteResult result;
     ServeError error;
     Request request;
     bool parsed = false;
 
+    SWARMAVAIL_SPAN(spans, begin(SpanStage::kParse));
     if (!validate_utf8(payload)) {
         error = {std::string(error_code::kBadUtf8),
                  "request payload is not valid UTF-8"};
@@ -294,6 +346,7 @@ RouteResult RequestRouter::route(std::string_view payload) {
         // parse_request reads "id" before the per-verb members, so even a
         // failed parse echoes the id when one was present and in range.
     }
+    SWARMAVAIL_SPAN(spans, end(SpanStage::kParse, payload.size()));
 
     if (parsed) {
         requests_[static_cast<std::size_t>(request.verb)].fetch_add(
@@ -301,10 +354,13 @@ RouteResult RequestRouter::route(std::string_view payload) {
         result.verb = request.verb;
         try {
             bool ok = true;
-            std::string fragment = handle(request, error, ok);
+            std::string fragment = handle(request, error, ok, spans);
             if (ok) {
                 result.ok = true;
+                SWARMAVAIL_SPAN(spans, begin(SpanStage::kSerialize));
                 result.payload = success_response(request, fragment);
+                SWARMAVAIL_SPAN(spans,
+                                end(SpanStage::kSerialize, result.payload.size()));
                 return result;
             }
         } catch (const std::invalid_argument& e) {
@@ -318,8 +374,10 @@ RouteResult RequestRouter::route(std::string_view payload) {
 
     errors_.fetch_add(1, std::memory_order_relaxed);
     result.ok = false;
+    SWARMAVAIL_SPAN(spans, begin(SpanStage::kSerialize));
     result.payload = error_payload(request.has_id, request.id, error.code,
                                    error.message);
+    SWARMAVAIL_SPAN(spans, end(SpanStage::kSerialize, result.payload.size()));
     return result;
 }
 
@@ -344,12 +402,26 @@ std::string RequestRouter::render_stats() const {
     append_counter(out, "swarmavail_server_model_cache_misses_total",
                    "EVAL/PLAN answers computed from the closed-form models.",
                    model_cache_.misses());
+    append_counter(out, "swarmavail_server_model_cache_evictions_total",
+                   "Model fragments dropped by the FIFO capacity bound.",
+                   model_cache_.evictions());
+    append_counter(out, "swarmavail_server_model_cache_coalesced_total",
+                   "EVAL/PLAN requests that joined an in-flight computation "
+                   "(single-flight).",
+                   model_cache_.coalesced());
     append_counter(out, "swarmavail_server_refine_cache_hits_total",
                    "REFINE answers served from the catalog cache.",
                    refine_cache_.hits());
     append_counter(out, "swarmavail_server_refine_cache_misses_total",
                    "REFINE answers computed by the catalog engine.",
                    refine_cache_.misses());
+    append_counter(out, "swarmavail_server_refine_cache_evictions_total",
+                   "Refine outcomes dropped by the FIFO capacity bound.",
+                   refine_cache_.evictions());
+    append_counter(out, "swarmavail_server_refine_cache_coalesced_total",
+                   "REFINE requests that joined an in-flight simulation "
+                   "(single-flight).",
+                   refine_cache_.coalesced());
 
     out += "# HELP swarmavail_server_model_cache_entries Entries held by the "
            "model fragment cache.\n";

@@ -27,6 +27,7 @@
 
 #include "serve/catalog_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/span.hpp"
 
 namespace swarmavail::serve {
 
@@ -55,6 +56,12 @@ class RequestRouter {
     /// Handles one request payload. Never throws: every failure becomes a
     /// structured {"ok":false,"error":{...}} response.
     [[nodiscard]] RouteResult route(std::string_view payload);
+
+    /// Same, with stage timing: when `spans` is non-null the parse, cache,
+    /// compute, and serialize stages are recorded into it (serve/span.hpp).
+    /// Spans never change the response bytes; null is the fast path (one
+    /// branch per stage boundary).
+    [[nodiscard]] RouteResult route(std::string_view payload, RequestSpans* spans);
 
     /// Builds a structured error response (also used by the server for
     /// frame-level and overload errors that never reach route()).
@@ -88,7 +95,7 @@ class RequestRouter {
 
  private:
     [[nodiscard]] std::string handle(const Request& request, ServeError& error,
-                                     bool& ok);
+                                     bool& ok, RequestSpans* spans);
 
     RouterConfig config_;
     SingleFlightCache<std::string> model_cache_;

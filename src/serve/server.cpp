@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
@@ -66,6 +67,10 @@ std::string histogram_metric_name(Verb verb) {
     return "server.latency_s." + std::string(verb_label(verb));
 }
 
+std::string stage_metric_name(SpanStage stage) {
+    return "server.stage_s." + std::string(span_stage_name(stage));
+}
+
 }  // namespace
 
 /// One client connection. The io thread owns the read side; workers write
@@ -75,6 +80,7 @@ struct PlanningServer::Connection {
     int fd = -1;
     FrameDecoder decoder;
     std::mutex write_mutex;
+    std::uint64_t id = 0;  ///< accept-order id (spans correlate on it)
     bool broken = false;  ///< decoder poisoned or peer gone (io thread only)
 
     explicit Connection(int socket_fd, const ProtocolLimits& limits)
@@ -169,8 +175,51 @@ void PlanningServer::start() {
                 histogram_metric_name(static_cast<Verb>(v)), kLatencyLo, kLatencyHi,
                 kLatencyBins, HistogramScale::kLog2);
         }
+        // Stage histograms exist in every build and run (all-zero when
+        // spans are off) so the STATS exposition keeps one shape; kAccept
+        // is a point event on the io thread and has no histogram.
+        for (std::size_t s = 1; s < kSpanStageCount; ++s) {
+            slot->stage[s] = &slot->registry.histogram(
+                stage_metric_name(static_cast<SpanStage>(s)), kLatencyLo,
+                kLatencyHi, kLatencyBins, HistogramScale::kLog2);
+        }
         slots_.push_back(std::move(slot));
     }
+
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    const bool want_spans =
+        config_.spans || config_.slow_query_seconds > 0.0 ||
+        !config_.span_out.empty() || !config_.slow_query_log.empty() ||
+        config_.span_sink != nullptr || config_.slow_query_sink != nullptr;
+    if (want_spans) {
+        if (!config_.span_out.empty() && config_.span_sink == nullptr) {
+            span_out_stream_ = std::make_unique<std::ofstream>(config_.span_out);
+            if (!*span_out_stream_) {
+                throw std::runtime_error("PlanningServer: cannot open span log " +
+                                         config_.span_out);
+            }
+            span_out_sink_ = std::make_unique<JsonlSpanSink>(*span_out_stream_);
+        }
+        SpanSink* slow = config_.slow_query_sink;
+        if (slow == nullptr && !config_.slow_query_log.empty()) {
+            slow_log_stream_ =
+                std::make_unique<std::ofstream>(config_.slow_query_log);
+            if (!*slow_log_stream_) {
+                throw std::runtime_error(
+                    "PlanningServer: cannot open slow-query log " +
+                    config_.slow_query_log);
+            }
+            slow_log_sink_ = std::make_unique<JsonlSpanSink>(*slow_log_stream_);
+            slow = slow_log_sink_.get();
+        }
+        SpanHubConfig hub_config;
+        hub_config.rings = threads + 1;  // ring 0 = io thread
+        hub_config.ring_capacity = config_.span_ring_capacity;
+        hub_config.slow_threshold_s = config_.slow_query_seconds;
+        span_hub_ = std::make_unique<SpanHub>(hub_config, slow);
+        span_hub_->set_enabled(true);
+    }
+#endif
 
     started_ = true;
     stopped_ = false;
@@ -220,6 +269,22 @@ void PlanningServer::stop() {
         }
     }
     workers_.clear();
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    // Producers are quiesced: drain the span rings (index order) into the
+    // configured sink, then release the file-backed sinks.
+    if (span_hub_ != nullptr) {
+        if (config_.span_sink != nullptr) {
+            span_hub_->drain(*config_.span_sink);
+        } else if (span_out_sink_ != nullptr) {
+            span_hub_->drain(*span_out_sink_);
+        }
+        span_hub_.reset();
+        span_out_sink_.reset();
+        span_out_stream_.reset();
+        slow_log_sink_.reset();
+        slow_log_stream_.reset();
+    }
+#endif
     // 3. Flush exporters: the final snapshot rewrites --prom-out.
     if (telemetry_ != nullptr) {
         publish_telemetry();
@@ -257,7 +322,19 @@ void PlanningServer::send_frame(Connection& connection, std::string_view payload
 void PlanningServer::handle_frames(const std::shared_ptr<Connection>& connection) {
     std::string payload;
     std::string decode_error;
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    SpanHub* hub = (span_hub_ != nullptr && span_hub_->enabled())
+                       ? span_hub_.get()
+                       : nullptr;
+#endif
     while (true) {
+        double decode_t0 = 0.0;
+        double decode_t1 = 0.0;
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        if (hub != nullptr) {
+            decode_t0 = hub->now();
+        }
+#endif
         const FrameDecoder::Status status =
             connection->decoder.next(payload, decode_error);
         if (status == FrameDecoder::Status::kNeedMore) {
@@ -273,8 +350,25 @@ void PlanningServer::handle_frames(const std::shared_ptr<Connection>& connection
             connection->broken = true;
             return;
         }
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        if (hub != nullptr) {
+            decode_t1 = hub->now();
+        }
+#else
+        static_cast<void>(decode_t0);
+        static_cast<void>(decode_t1);
+#endif
         const Lane lane = classify_lane(payload);
         Task task{connection, std::move(payload)};
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        if (hub != nullptr) {
+            task.request_index = hub->next_request();
+            task.connection_id = connection->id;
+            task.decode_t0 = decode_t0;
+            task.decode_t1 = decode_t1;
+            task.enqueue_t = hub->now();
+        }
+#endif
         if (!queues_.try_push(lane, std::move(task))) {
             overloaded_.fetch_add(1, std::memory_order_relaxed);
             send_frame(*connection,
@@ -319,9 +413,23 @@ void PlanningServer::io_loop() {
                 if (client < 0) {
                     break;  // EAGAIN: accepted everything pending
                 }
-                accepted_.fetch_add(1, std::memory_order_relaxed);
-                connections_.push_back(
-                    std::make_shared<Connection>(client, config_.protocol));
+                const std::uint64_t id =
+                    accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+                auto connection =
+                    std::make_shared<Connection>(client, config_.protocol);
+                connection->id = id;
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+                if (span_hub_ != nullptr && span_hub_->enabled()) {
+                    SpanRecord record{};
+                    record.connection = id;
+                    record.stage =
+                        static_cast<std::uint16_t>(SpanStage::kAccept);
+                    record.t_start = span_hub_->now();
+                    record.t_end = record.t_start;
+                    span_hub_->emit(0, record);
+                }
+#endif
+                connections_.push_back(std::move(connection));
             }
         }
         for (std::size_t i = 0; i < polled; ++i) {
@@ -379,7 +487,24 @@ void PlanningServer::worker_loop(std::size_t slot_index, PopMode mode) {
     Task task;
     while (queues_.pop(mode, task)) {
         const auto started = std::chrono::steady_clock::now();
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        SpanHub* hub = (span_hub_ != nullptr && span_hub_->enabled() &&
+                        task.request_index != 0)
+                           ? span_hub_.get()
+                           : nullptr;
+        RequestSpans spans;
+        RequestSpans* spans_ptr = nullptr;
+        if (hub != nullptr) {
+            spans.set_epoch(hub->epoch());
+            spans.note(SpanStage::kDecode, task.decode_t0, task.decode_t1,
+                       task.payload.size());
+            spans.note(SpanStage::kQueueWait, task.enqueue_t, hub->now());
+            spans_ptr = &spans;
+        }
+        const RouteResult result = router_.route(task.payload, spans_ptr);
+#else
         const RouteResult result = router_.route(task.payload);
+#endif
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
                 .count();
@@ -387,11 +512,83 @@ void PlanningServer::worker_loop(std::size_t slot_index, PopMode mode) {
             std::unique_lock<std::mutex> lock(slot.mutex);
             slot.latency[static_cast<std::size_t>(result.verb)]->add(seconds);
         }
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        double write_t0 = 0.0;
+        if (hub != nullptr) {
+            write_t0 = hub->now();
+        }
+#endif
         send_frame(*task.connection, result.payload);
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+        if (hub != nullptr) {
+            spans.note(SpanStage::kWrite, write_t0, hub->now(),
+                       result.payload.size());
+            finish_request_spans(slot, slot_index, task, result.verb, spans);
+        }
+#endif
         task.connection.reset();
         publish_telemetry();
     }
 }
+
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+void PlanningServer::finish_request_spans(WorkerSlot& slot, std::size_t slot_index,
+                                          const Task& task, Verb verb,
+                                          const RequestSpans& spans) {
+    const auto worker = static_cast<std::uint16_t>(slot_index + 1);
+    const auto verb_id = static_cast<std::uint16_t>(verb);
+    const auto lane_id = static_cast<std::uint16_t>(lane_of(verb));
+
+    SpanRecord records[kSpanStageCount];
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < kSpanStageCount; ++s) {
+        const auto stage = static_cast<SpanStage>(s);
+        if (!spans.has(stage)) {
+            continue;
+        }
+        SpanRecord& record = records[count++];
+        record = SpanRecord{};
+        record.request = task.request_index;
+        record.connection = task.connection_id;
+        record.t_start = spans.t0[s];
+        record.t_end = spans.t1[s];
+        record.bytes = spans.stage_bytes[s];
+        record.stage = static_cast<std::uint16_t>(s);
+        record.verb = verb_id;
+        record.lane = lane_id;
+        record.worker = worker;
+        record.cache = spans.cache;
+    }
+
+    // Feed the per-stage histograms; the cache probe excludes the compute
+    // it brackets, so probe cost and compute cost separate cleanly.
+    {
+        std::unique_lock<std::mutex> lock(slot.mutex);
+        for (std::size_t i = 0; i < count; ++i) {
+            const SpanRecord& record = records[i];
+            HistogramMetric* histogram = slot.stage[record.stage];
+            if (histogram == nullptr) {
+                continue;
+            }
+            double duration = record.t_end - record.t_start;
+            if (record.stage == static_cast<std::uint16_t>(SpanStage::kCache)) {
+                duration -= spans.duration(SpanStage::kCompute);
+            }
+            histogram->add(duration < 0.0 ? 0.0 : duration);
+        }
+    }
+
+    // End-to-end latency (decode start -> write end) drives the
+    // slow-query funnel.
+    const double total = spans.has(SpanStage::kDecode)
+                             ? spans.t1[static_cast<std::size_t>(
+                                   SpanStage::kWrite)] -
+                                   spans.t0[static_cast<std::size_t>(
+                                       SpanStage::kDecode)]
+                             : 0.0;
+    span_hub_->finish_request(worker, records, count, total);
+}
+#endif
 
 void PlanningServer::publish_telemetry() {
     if (telemetry_ == nullptr) {
@@ -457,6 +654,60 @@ void PlanningServer::append_server_stats(std::string& out) {
         out += family + "_sum " + format_double_exact(merged.stats().sum()) + "\n";
         out += family + "_count " + std::to_string(merged.total()) + "\n";
     }
+
+    // Per-stage latency histograms, same merge discipline. Fed by request
+    // spans; present (all-zero) even when spans are off or compiled out,
+    // so the exposition's shape never depends on the observer.
+    for (std::size_t s = 1; s < kSpanStageCount; ++s) {
+        HistogramMetric merged(kLatencyLo, kLatencyHi, kLatencyBins,
+                               HistogramScale::kLog2);
+        for (const auto& slot : slots_) {
+            std::unique_lock<std::mutex> lock(slot->mutex);
+            merged.merge(*slot->stage[s]);
+        }
+        const std::string family =
+            "swarmavail_server_stage_seconds_" +
+            std::string(span_stage_name(static_cast<SpanStage>(s)));
+        out += "# HELP " + family + " Request stage latency, seconds.\n";
+        out += "# TYPE " + family + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t bin = 0; bin < merged.bins(); ++bin) {
+            cumulative += merged.bin_count(bin);
+            out += family + "_bucket{le=\"" + format_double_exact(merged.bin_hi(bin)) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += family + "_bucket{le=\"+Inf\"} " + std::to_string(merged.total()) +
+               "\n";
+        out += family + "_sum " + format_double_exact(merged.stats().sum()) + "\n";
+        out += family + "_count " + std::to_string(merged.total()) + "\n";
+    }
+
+    // Span bookkeeping counters (zeros whenever no hub is running).
+    std::uint64_t span_records = 0;
+    std::uint64_t span_dropped = 0;
+    std::uint64_t span_slow = 0;
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    if (span_hub_ != nullptr) {
+        span_records = span_hub_->records_emitted();
+        span_dropped = span_hub_->records_dropped();
+        span_slow = span_hub_->slow_requests();
+    }
+#endif
+    out += "# HELP swarmavail_server_span_records_total Span records emitted "
+           "into the per-thread rings.\n";
+    out += "# TYPE swarmavail_server_span_records_total counter\n";
+    out += "swarmavail_server_span_records_total " + std::to_string(span_records) +
+           "\n";
+    out += "# HELP swarmavail_server_span_records_dropped_total Span records "
+           "overwritten before a drain (ring capacity).\n";
+    out += "# TYPE swarmavail_server_span_records_dropped_total counter\n";
+    out += "swarmavail_server_span_records_dropped_total " +
+           std::to_string(span_dropped) + "\n";
+    out += "# HELP swarmavail_server_slow_queries_total Requests at or above "
+           "the --slow-ms threshold.\n";
+    out += "# TYPE swarmavail_server_slow_queries_total counter\n";
+    out += "swarmavail_server_slow_queries_total " + std::to_string(span_slow) +
+           "\n";
 }
 
 }  // namespace swarmavail::serve

@@ -24,16 +24,26 @@
 // finishes every queued request, flushes the telemetry exporters
 // (--prom-out), and closes the sockets.
 //
-// Observability: per-verb latency histograms live in per-worker
-// {mutex, MetricsRegistry} slots — single-owner registries, merged in
-// index order when the STATS verb renders them — plus queue-depth gauges
-// and accept/overload counters, all under swarmavail_server_* in the
-// Prometheus exposition the router's STATS verb returns.
+// Observability: per-verb latency and per-stage histograms live in
+// per-worker {mutex, MetricsRegistry} slots — single-owner registries,
+// merged in index order when the STATS verb renders them — plus
+// queue-depth gauges and accept/overload counters, all under
+// swarmavail_server_* in the Prometheus exposition the router's STATS
+// verb returns. Request-lifecycle spans (serve/span.hpp) attribute each
+// request's latency to its stages: the io thread stamps decode and
+// enqueue times into the task, the worker measures queue wait, routes
+// with a RequestSpans scratch, brackets the socket write, then feeds the
+// stage histograms and pushes the request's records into its span ring.
+// Requests slower than --slow-ms get their whole breakdown written to
+// the slow-query log the moment they finish. All of it is erased by the
+// trace-off preset (SWARMAVAIL_SPANS_DISABLED) and off by default at
+// runtime; responses are byte-identical either way.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +53,7 @@
 #include "serve/lanes.hpp"
 #include "serve/protocol.hpp"
 #include "serve/router.hpp"
+#include "serve/span.hpp"
 #include "util/metrics.hpp"
 
 namespace swarmavail::telemetry {
@@ -68,6 +79,25 @@ struct ServerConfig {
     std::string prom_out;
     /// Sampling period of the --prom-out session, seconds.
     double prom_interval_s = 0.5;
+
+    // --- request-lifecycle spans (serve/span.hpp). All of these are
+    // ignored when SWARMAVAIL_SPANS_DISABLED is defined (trace-off). ---
+    /// Master runtime gate; any of the sinks/paths below implies it.
+    bool spans = false;
+    /// Records retained per span ring (io thread + one per worker).
+    std::size_t span_ring_capacity = 4096;
+    /// Slow-query threshold, seconds end-to-end (decode start -> write
+    /// end); requests at or above it have their full span breakdown
+    /// written to the slow-query sink as they finish. 0 disables.
+    double slow_query_seconds = 0.0;
+    /// JSONL file receiving every ring's spans at stop(); empty = none.
+    std::string span_out;
+    /// JSONL file receiving slow-query breakdowns; empty = none.
+    std::string slow_query_log;
+    /// In-process sinks for tests; when set they take precedence over the
+    /// span_out / slow_query_log files. Must outlive the server.
+    SpanSink* span_sink = nullptr;
+    SpanSink* slow_query_sink = nullptr;
 };
 
 class PlanningServer {
@@ -107,11 +137,24 @@ class PlanningServer {
         return overloaded_.load(std::memory_order_relaxed);
     }
 
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    /// The span hub, when spans are active (null otherwise). Tests drain
+    /// it through a MemorySpanSink; quiesce the workers first.
+    [[nodiscard]] SpanHub* span_hub() noexcept { return span_hub_.get(); }
+#endif
+
  private:
     struct Connection;
     struct Task {
         std::shared_ptr<Connection> connection;
         std::string payload;
+        // Span bookkeeping the io thread stamps at decode time (all zero
+        // when spans are off; plain data, so it needs no guards).
+        std::uint64_t request_index = 0;
+        std::uint64_t connection_id = 0;
+        double decode_t0 = 0.0;  ///< hub-epoch seconds, decode begin
+        double decode_t1 = 0.0;  ///< hub-epoch seconds, decode end
+        double enqueue_t = 0.0;  ///< hub-epoch seconds, lane push
     };
     /// Single-owner per-worker metrics; STATS merges the registries in
     /// slot-index order under the mutexes.
@@ -120,6 +163,10 @@ class PlanningServer {
         MetricsRegistry registry;
         HistogramMetric* latency[kVerbCount] = {nullptr, nullptr, nullptr,
                                                 nullptr, nullptr};
+        /// Per-stage latency histograms (indexed by SpanStage; kAccept
+        /// unused). Registered unconditionally so the STATS exposition
+        /// keeps one shape whether spans run or not; fed only by spans.
+        HistogramMetric* stage[kSpanStageCount] = {};
     };
 
     void io_loop();
@@ -128,6 +175,13 @@ class PlanningServer {
     void send_frame(Connection& connection, std::string_view payload);
     void append_server_stats(std::string& out);
     void publish_telemetry();
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    /// Feeds the stage histograms and pushes the finished request's span
+    /// records into the worker's ring (slow-query funnel included).
+    void finish_request_spans(WorkerSlot& slot, std::size_t slot_index,
+                              const Task& task, Verb verb,
+                              const RequestSpans& spans);
+#endif
 
     ServerConfig config_;
     RequestRouter router_;
@@ -145,6 +199,16 @@ class PlanningServer {
 
     std::unique_ptr<telemetry::PrometheusTextExporter> prom_exporter_;
     std::unique_ptr<telemetry::TelemetrySession> telemetry_;
+
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+    std::unique_ptr<SpanHub> span_hub_;  ///< null when spans are inactive
+    // File-backed sinks owned by the server (span_out / slow_query_log);
+    // streams outlive their sinks (declaration order = reverse destruction).
+    std::unique_ptr<std::ofstream> span_out_stream_;
+    std::unique_ptr<std::ofstream> slow_log_stream_;
+    std::unique_ptr<JsonlSpanSink> span_out_sink_;
+    std::unique_ptr<JsonlSpanSink> slow_log_sink_;
+#endif
 
     std::atomic<bool> stop_requested_{false};
     bool started_ = false;

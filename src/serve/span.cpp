@@ -1,0 +1,254 @@
+#include "serve/span.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace swarmavail::serve {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+    throw std::invalid_argument("span parse error at line " +
+                                std::to_string(line_no) + ": " + why);
+}
+
+/// Minimal scanner over one JSONL line as emitted by JsonlSpanSink. Like
+/// sim/trace.cpp's reader, it only accepts the writer's own shape, which
+/// keeps the round-trip contract narrow and testable.
+class SpanLineScanner {
+ public:
+    SpanLineScanner(std::string_view line, std::size_t line_no)
+        : line_(line), line_no_(line_no) {}
+
+    void expect(char ch) {
+        if (pos_ >= line_.size() || line_[pos_] != ch) {
+            parse_fail(line_no_, std::string("expected '") + ch + "'");
+        }
+        ++pos_;
+    }
+
+    void expect_key(std::string_view key) {
+        expect('"');
+        if (line_.substr(pos_, key.size()) != key) {
+            parse_fail(line_no_, "expected key \"" + std::string(key) + "\"");
+        }
+        pos_ += key.size();
+        expect('"');
+        expect(':');
+    }
+
+    [[nodiscard]] double read_double() {
+        double value = 0.0;
+        const char* begin = line_.data() + pos_;
+        const char* end = line_.data() + line_.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc{}) {
+            parse_fail(line_no_, "bad number");
+        }
+        pos_ = static_cast<std::size_t>(ptr - line_.data());
+        return value;
+    }
+
+    [[nodiscard]] std::uint64_t read_u64() {
+        std::uint64_t value = 0;
+        const char* begin = line_.data() + pos_;
+        const char* end = line_.data() + line_.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc{}) {
+            parse_fail(line_no_, "bad integer");
+        }
+        pos_ = static_cast<std::size_t>(ptr - line_.data());
+        return value;
+    }
+
+    /// Reads a bare name between quotes (stage and cache-outcome names
+    /// contain no escapes by construction).
+    [[nodiscard]] std::string_view read_name() {
+        expect('"');
+        const std::size_t start = pos_;
+        while (pos_ < line_.size() && line_[pos_] != '"') {
+            ++pos_;
+        }
+        if (pos_ >= line_.size()) {
+            parse_fail(line_no_, "unterminated string");
+        }
+        const std::string_view name = line_.substr(start, pos_ - start);
+        ++pos_;
+        return name;
+    }
+
+    void expect_end() {
+        if (pos_ != line_.size()) {
+            parse_fail(line_no_, "trailing characters");
+        }
+    }
+
+ private:
+    std::string_view line_;
+    std::size_t line_no_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void NullSpanSink::write(const SpanRecord* records, std::size_t count) {
+    static_cast<void>(records);
+    static_cast<void>(count);
+}
+
+void MemorySpanSink::write(const SpanRecord* records, std::size_t count) {
+    records_.insert(records_.end(), records, records + count);
+}
+
+void JsonlSpanSink::write(const SpanRecord* records, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const SpanRecord& r = records[i];
+        os_ << "{\"request\":" << r.request << ",\"conn\":" << r.connection
+            << ",\"stage\":\"" << span_stage_name(static_cast<SpanStage>(r.stage))
+            << "\",\"verb\":" << r.verb << ",\"lane\":" << r.lane
+            << ",\"worker\":" << r.worker
+            << ",\"t0\":" << format_double_exact(r.t_start)
+            << ",\"t1\":" << format_double_exact(r.t_end)
+            << ",\"bytes\":" << r.bytes << ",\"cache\":\""
+            << span_cache_outcome_name(static_cast<SpanCacheOutcome>(r.cache))
+            << "\"}\n";
+    }
+}
+
+void JsonlSpanSink::finish() { os_.flush(); }
+
+std::vector<SpanRecord> read_spans_jsonl(std::istream& in) {
+    std::vector<SpanRecord> out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        SpanLineScanner scan(line, line_no);
+        SpanRecord r;
+        scan.expect('{');
+        scan.expect_key("request");
+        r.request = scan.read_u64();
+        scan.expect(',');
+        scan.expect_key("conn");
+        r.connection = scan.read_u64();
+        scan.expect(',');
+        scan.expect_key("stage");
+        const std::string_view stage_name = scan.read_name();
+        SpanStage stage = SpanStage::kAccept;
+        if (!span_stage_from_name(stage_name, stage)) {
+            parse_fail(line_no, "unknown stage '" + std::string(stage_name) + "'");
+        }
+        r.stage = static_cast<std::uint16_t>(stage);
+        scan.expect(',');
+        scan.expect_key("verb");
+        r.verb = static_cast<std::uint16_t>(scan.read_u64());
+        scan.expect(',');
+        scan.expect_key("lane");
+        r.lane = static_cast<std::uint16_t>(scan.read_u64());
+        scan.expect(',');
+        scan.expect_key("worker");
+        r.worker = static_cast<std::uint16_t>(scan.read_u64());
+        scan.expect(',');
+        scan.expect_key("t0");
+        r.t_start = scan.read_double();
+        scan.expect(',');
+        scan.expect_key("t1");
+        r.t_end = scan.read_double();
+        scan.expect(',');
+        scan.expect_key("bytes");
+        r.bytes = scan.read_u64();
+        scan.expect(',');
+        scan.expect_key("cache");
+        const std::string_view cache_name = scan.read_name();
+        SpanCacheOutcome outcome = SpanCacheOutcome::kNone;
+        if (!span_cache_outcome_from_name(cache_name, outcome)) {
+            parse_fail(line_no,
+                       "unknown cache outcome '" + std::string(cache_name) + "'");
+        }
+        r.cache = static_cast<std::uint32_t>(outcome);
+        scan.expect('}');
+        scan.expect_end();
+        out.push_back(r);
+    }
+    return out;
+}
+
+SpanHub::SpanHub(SpanHubConfig config, SpanSink* slow_sink)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      slow_sink_(slow_sink) {
+    require(config_.rings >= 1, "SpanHub: needs at least one ring");
+    require(config_.ring_capacity >= 1, "SpanHub: ring_capacity must be >= 1");
+    rings_.reserve(config_.rings);
+    for (std::size_t i = 0; i < config_.rings; ++i) {
+        auto ring = std::make_unique<Ring>();
+        ring->records.resize(config_.ring_capacity);
+        rings_.push_back(std::move(ring));
+    }
+}
+
+void SpanHub::append_locked(Ring& ring, const SpanRecord& record) {
+    if (ring.wrapped) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring.records[ring.next] = record;
+    ring.next += 1;
+    if (ring.next == ring.records.size()) {
+        ring.next = 0;
+        ring.wrapped = true;
+    }
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SpanHub::emit(std::size_t ring_index, const SpanRecord& record) {
+    require(ring_index < rings_.size(), "SpanHub: ring index out of range");
+    Ring& ring = *rings_[ring_index];
+    std::unique_lock<std::mutex> lock(ring.mutex);
+    append_locked(ring, record);
+}
+
+void SpanHub::finish_request(std::size_t ring_index, const SpanRecord* records,
+                             std::size_t count, double total_seconds) {
+    require(ring_index < rings_.size(), "SpanHub: ring index out of range");
+    {
+        Ring& ring = *rings_[ring_index];
+        std::unique_lock<std::mutex> lock(ring.mutex);
+        for (std::size_t i = 0; i < count; ++i) {
+            append_locked(ring, records[i]);
+        }
+    }
+    if (slow_sink_ != nullptr && config_.slow_threshold_s > 0.0 &&
+        total_seconds >= config_.slow_threshold_s) {
+        std::unique_lock<std::mutex> lock(slow_mutex_);
+        slow_sink_->write(records, count);
+        slow_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void SpanHub::drain(SpanSink& sink) {
+    for (const std::unique_ptr<Ring>& ring_ptr : rings_) {
+        Ring& ring = *ring_ptr;
+        std::unique_lock<std::mutex> lock(ring.mutex);
+        if (ring.wrapped) {
+            sink.write(ring.records.data() + ring.next,
+                       ring.records.size() - ring.next);
+            sink.write(ring.records.data(), ring.next);
+        } else if (ring.next > 0) {
+            sink.write(ring.records.data(), ring.next);
+        }
+        ring.next = 0;
+        ring.wrapped = false;
+    }
+    sink.finish();
+}
+
+}  // namespace swarmavail::serve

@@ -111,6 +111,78 @@ TEST(ServeCache, EvictsCompletedEntriesFifo) {
     EXPECT_EQ(computed, 4);
 }
 
+TEST(ServeCache, CountsEvictionsAndReportsLookupKinds) {
+    SingleFlightCache<std::string> cache(2);
+    serve::CacheLookup lookup = serve::CacheLookup::kHit;
+    const auto value = [] { return std::string("v"); };
+    cache.get_or_compute("a", value, &lookup);
+    EXPECT_EQ(lookup, serve::CacheLookup::kMiss);
+    cache.get_or_compute("a", value, &lookup);
+    EXPECT_EQ(lookup, serve::CacheLookup::kHit);
+    EXPECT_EQ(cache.evictions(), 0U);
+    cache.get_or_compute("b", value);
+    cache.get_or_compute("c", value);  // evicts "a"
+    EXPECT_EQ(cache.evictions(), 1U);
+    cache.get_or_compute("d", value);  // evicts "b"
+    EXPECT_EQ(cache.evictions(), 2U);
+    EXPECT_EQ(cache.size(), 2U);
+    EXPECT_EQ(cache.max_entries(), 2U);
+}
+
+TEST(ServeCache, CountsCoalescedWaitersAsSingleFlightJoins) {
+    SingleFlightCache<std::string> cache(8);
+    std::atomic<bool> release{false};
+    std::atomic<int> waiting{0};
+    constexpr int kWaiters = 4;
+
+    std::thread owner([&] {
+        cache.get_or_compute("k", [&] {
+            // Hold the computation open until every waiter has joined it.
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(5);
+            while (!release.load() && std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            return std::string("slow");
+        });
+    });
+    std::vector<std::thread> waiters;
+    std::vector<serve::CacheLookup> lookups(
+        kWaiters, serve::CacheLookup::kMiss);
+    waiters.reserve(kWaiters);
+    for (int i = 0; i < kWaiters; ++i) {
+        waiters.emplace_back([&, i] {
+            while (cache.size() == 0) {
+                std::this_thread::yield();  // wait for the entry to exist
+            }
+            waiting.fetch_add(1);
+            cache.get_or_compute(
+                "k", [] { return std::string("never"); },
+                &lookups[static_cast<std::size_t>(i)]);
+        });
+    }
+    while (waiting.load() < kWaiters) {
+        std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.store(true);
+    owner.join();
+    for (std::thread& t : waiters) {
+        t.join();
+    }
+    // Every waiter that observed the in-flight entry reports kCoalesced
+    // and bumps the counter; stragglers that arrived after completion are
+    // plain hits. All of them count as hits.
+    EXPECT_EQ(cache.misses(), 1U);
+    EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kWaiters));
+    std::uint64_t coalesced_lookups = 0;
+    for (const serve::CacheLookup lookup : lookups) {
+        EXPECT_NE(lookup, serve::CacheLookup::kMiss);
+        coalesced_lookups += lookup == serve::CacheLookup::kCoalesced ? 1 : 0;
+    }
+    EXPECT_EQ(cache.coalesced(), coalesced_lookups);
+}
+
 TEST(ServeCache, RefineOutcomeRoundTripsThroughCatalogCache) {
     serve::CatalogCache cache(4);
     serve::RefineOutcome outcome;

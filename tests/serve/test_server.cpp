@@ -15,7 +15,9 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -325,6 +327,200 @@ TEST(PlanningServerTest, StatsExposesServerSeries) {
               std::string::npos)
         << text;
 }
+
+// ---- request-lifecycle spans: observer neutrality ---------------------
+
+// Spans must never change a response byte: the same sequential stream at
+// --threads 1/2/4 with spans off and spans on (in-memory sink) must read
+// identical reply bytes everywhere.
+TEST(PlanningServerTest, SpansDoNotChangeResponseBytesAtAnyThreadCount) {
+    const std::vector<std::string> stream = {kPing,   kEval, kEval, kRefine,
+                                             kRefine, kPlan};
+    std::vector<std::string> baseline;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        for (const bool spans_on : {false, true}) {
+            serve::MemorySpanSink sink;
+            ServerConfig config = small_config(threads);
+            if (spans_on) {
+                config.spans = true;
+                config.span_sink = &sink;
+            }
+            PlanningServer server(config);
+            server.start();
+            TestClient client(server.port());
+            std::vector<std::string> replies;
+            for (const std::string& request : stream) {
+                replies.push_back(client.round_trip(request));
+            }
+            server.stop();
+
+            if (baseline.empty()) {
+                baseline = replies;
+            } else {
+                EXPECT_EQ(replies, baseline)
+                    << "threads=" << threads << " spans=" << spans_on;
+            }
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+            if (spans_on) {
+                // The drain at stop() delivered the rings to our sink.
+                EXPECT_FALSE(sink.records().empty());
+            }
+#endif
+        }
+    }
+}
+
+/// Masks the load-dependent values (histogram buckets/sums/counts and the
+/// span bookkeeping counters) while keeping every series name, label set,
+/// bucket edge, help/type line, and deterministic counter verbatim.
+std::string normalized_stats(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    std::string out;
+    const auto ends_with = [](const std::string& s, std::string_view suffix) {
+        return s.size() >= suffix.size() &&
+               s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '#') {
+            const std::size_t space = line.rfind(' ');
+            if (space != std::string::npos) {
+                const std::string head = line.substr(0, space);
+                if (head.find("_bucket{") != std::string::npos ||
+                    ends_with(head, "_sum") || ends_with(head, "_count") ||
+                    head.rfind("swarmavail_server_span_", 0) == 0 ||
+                    head == "swarmavail_server_slow_queries_total") {
+                    out += head + " V\n";
+                    continue;
+                }
+            }
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+// The STATS merge-ordering satellite: per-worker registries merged in
+// slot-index order must produce one exposition shape — same series, same
+// order, same bucket edges, same deterministic counters — at --threads
+// 1/2/4, with and without spans. Only the latency/stage sample values and
+// span bookkeeping may differ, and those are masked.
+TEST(PlanningServerTest, StatsMergeIsShapeIdenticalAcrossThreadsAndSpans) {
+    const std::vector<std::string> stream = {kPing,   kEval, kEval, kRefine,
+                                             kRefine, kPlan};
+    std::vector<std::string> normalized;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        for (const bool spans_on : {false, true}) {
+            serve::MemorySpanSink sink;
+            ServerConfig config = small_config(threads);
+            if (spans_on) {
+                config.spans = true;
+                config.span_sink = &sink;
+            }
+            PlanningServer server(config);
+            server.start();
+            TestClient client(server.port());
+            for (const std::string& request : stream) {
+                ASSERT_FALSE(client.round_trip(request).empty());
+            }
+            const std::string response =
+                client.round_trip("{\"verb\":\"STATS\",\"id\":9}");
+            server.stop();
+
+            serve::JsonValue value;
+            std::string error;
+            ASSERT_TRUE(serve::parse_json(response, value, &error)) << error;
+            const std::string text =
+                value.find("result")->find("prometheus")->as_string();
+            // The stage families are part of the shape in every build and
+            // mode, spans or not.
+            EXPECT_NE(text.find("swarmavail_server_stage_seconds_queue_wait"),
+                      std::string::npos);
+            EXPECT_NE(text.find("swarmavail_server_stage_seconds_compute"),
+                      std::string::npos);
+            EXPECT_NE(text.find("swarmavail_server_model_cache_evictions_total"),
+                      std::string::npos);
+            EXPECT_NE(text.find("swarmavail_server_refine_cache_coalesced_total"),
+                      std::string::npos);
+            normalized.push_back(normalized_stats(text));
+        }
+    }
+    ASSERT_EQ(normalized.size(), 6U);
+    for (std::size_t i = 1; i < normalized.size(); ++i) {
+        EXPECT_EQ(normalized[i], normalized[0])
+            << "STATS shape diverged (run " << i << ")";
+    }
+}
+
+#if !defined(SWARMAVAIL_SPANS_DISABLED)
+// A request over the slow threshold must arrive at the slow sink as one
+// contiguous block that reconstructs the full stage breakdown.
+TEST(PlanningServerTest, SlowQueryLogReconstructsPerRequestBreakdown) {
+    serve::MemorySpanSink slow;
+    ServerConfig config = small_config(1);
+    config.spans = true;
+    config.slow_query_seconds = 1.0e-9;  // every request is "slow"
+    config.slow_query_sink = &slow;
+    PlanningServer server(config);
+    server.start();
+    TestClient client(server.port());
+    EXPECT_NE(client.round_trip(kEval).find("\"ok\":true"), std::string::npos);
+    server.stop();
+
+    ASSERT_FALSE(slow.records().empty());
+    const std::uint64_t request = slow.records().front().request;
+    EXPECT_GT(request, 0U);
+    std::uint32_t seen = 0;
+    for (const serve::SpanRecord& record : slow.records()) {
+        EXPECT_EQ(record.request, request);  // one request, one block
+        EXPECT_EQ(record.verb, 1U);          // EVAL
+        EXPECT_EQ(record.lane, 0U);          // model lane
+        EXPECT_EQ(record.worker, 1U);        // worker 0's ring
+        EXPECT_EQ(record.cache,
+                  static_cast<std::uint32_t>(serve::SpanCacheOutcome::kMiss));
+        EXPECT_GE(record.t_end, record.t_start);
+        seen |= 1u << record.stage;
+    }
+    for (const serve::SpanStage stage :
+         {serve::SpanStage::kDecode, serve::SpanStage::kParse,
+          serve::SpanStage::kCache, serve::SpanStage::kQueueWait,
+          serve::SpanStage::kCompute, serve::SpanStage::kSerialize,
+          serve::SpanStage::kWrite}) {
+        EXPECT_NE(seen & (1u << static_cast<std::uint32_t>(stage)), 0U)
+            << "missing stage " << serve::span_stage_name(stage);
+    }
+}
+
+// The drained span stream carries the io thread's records first (ring 0:
+// accept spans) and correlates them with worker records by connection id.
+TEST(PlanningServerTest, DrainedSpansCorrelateAcceptWithWorkerStages) {
+    serve::MemorySpanSink sink;
+    ServerConfig config = small_config(2);
+    config.spans = true;
+    config.span_sink = &sink;
+    PlanningServer server(config);
+    server.start();
+    TestClient client(server.port());
+    EXPECT_NE(client.round_trip(kPing).find("\"ok\":true"), std::string::npos);
+    server.stop();
+
+    ASSERT_FALSE(sink.records().empty());
+    const serve::SpanRecord& accept = sink.records().front();
+    EXPECT_EQ(accept.stage, static_cast<std::uint16_t>(serve::SpanStage::kAccept));
+    EXPECT_EQ(accept.worker, 0U);  // ring 0 = io thread, merged first
+    EXPECT_EQ(accept.t_start, accept.t_end);  // point event
+    bool found_write = false;
+    for (const serve::SpanRecord& record : sink.records()) {
+        if (record.stage == static_cast<std::uint16_t>(serve::SpanStage::kWrite)) {
+            EXPECT_EQ(record.connection, accept.connection);
+            EXPECT_GT(record.bytes, 0U);
+            found_write = true;
+        }
+    }
+    EXPECT_TRUE(found_write);
+}
+#endif
 
 TEST(PlanningServerTest, StopIsIdempotentAndRestartableAcrossInstances) {
     auto config = small_config(1);

@@ -191,6 +191,12 @@ TEST(SwarmlintFixtures, ObsMacroCompileOutBad) {
 TEST(SwarmlintFixtures, ObsMacroCompileOutGood) {
     expect_fixture("obs_macro_compile_out_good.cpp");
 }
+TEST(SwarmlintFixtures, SvcGuardedSpanBad) {
+    expect_fixture("svc_guarded_span_bad.cpp");
+}
+TEST(SwarmlintFixtures, SvcGuardedSpanGood) {
+    expect_fixture("svc_guarded_span_good.cpp");
+}
 
 // --- contract + hygiene families -------------------------------------------
 
@@ -250,6 +256,7 @@ TEST(SwarmlintRegistry, ClassifiesLayersByPath) {
     EXPECT_EQ(swarmlint::classify_path("src/util/stats.hpp"), Layer::kSupport);
     EXPECT_EQ(swarmlint::classify_path("src/serve/server.cpp"), Layer::kService);
     EXPECT_EQ(swarmlint::classify_path("src/serve/router.hpp"), Layer::kService);
+    EXPECT_EQ(swarmlint::classify_path("src/serve/span.hpp"), Layer::kObserver);
     EXPECT_EQ(swarmlint::classify_path("tools/swarmlint/main.cpp"), Layer::kOther);
 }
 

@@ -504,6 +504,44 @@ void check_obs_macro_compile_out(RuleContext& ctx) {
     });
 }
 
+void check_svc_guarded_span(RuleContext& ctx) {
+    if (classify_path(ctx.file.path()) != Layer::kService) {
+        return;
+    }
+    const string_view code = ctx.file.code();
+    for_each_identifier(code, [&](string_view name, std::size_t off) {
+        // A touch is a dereference of the span scratch or the hub. Copying
+        // the pointers around (or stamping POD timestamps into a Task) is
+        // not a touch: those survive the trace-off build as dead data.
+        if (name != "spans" && name != "spans_" && name != "span_hub_") {
+            return;
+        }
+        const int line = ctx.file.line_of_offset(off);
+        if (ctx.file.is_directive_line(line)) {
+            return;
+        }
+        const std::size_t p = skip_space(code, off + name.size());
+        if (p + 1 >= code.size() || code[p] != '-' || code[p + 1] != '>') {
+            return;
+        }
+        if (ctx.file.guard_mentions(line, "SWARMAVAIL_SPANS_DISABLED")) {
+            return;
+        }
+        const string_view line_code = ctx.file.code_line(line);
+        for (const std::string& macro : ctx.options.compile_out_macros) {
+            if (line_code.find(macro) != string_view::npos) {
+                return;  // routed through a compile-out-able macro
+            }
+        }
+        ctx.report("svc-guarded-span", line,
+                   "span emission site ('" + std::string(name) +
+                       "->') outside an #if/#ifndef region keyed on "
+                       "SWARMAVAIL_SPANS_DISABLED (and not via the SWARMAVAIL_SPAN "
+                       "macro); the trace-off preset must erase every span call "
+                       "site from the service layer");
+    });
+}
+
 // ---------------------------------------------------------------------------
 // contract-hygiene family
 // ---------------------------------------------------------------------------
@@ -747,7 +785,8 @@ Layer classify_path(std::string_view path) {
     if (starts_with(path, "src/util/metrics.") || starts_with(path, "src/util/telemetry.") ||
         starts_with(path, "src/util/profile.") || starts_with(path, "src/sim/trace.") ||
         starts_with(path, "src/sim/fingerprint.") ||
-        starts_with(path, "src/sim/flight_recorder.")) {
+        starts_with(path, "src/sim/flight_recorder.") ||
+        starts_with(path, "src/serve/span.")) {
         return Layer::kObserver;
     }
     if (starts_with(path, "src/util/random.")) {
@@ -772,7 +811,8 @@ Layer classify_path(std::string_view path) {
 
 bool is_wall_clock_whitelisted(std::string_view path) {
     return starts_with(path, "src/util/telemetry.") ||
-           starts_with(path, "src/util/profile.");
+           starts_with(path, "src/util/profile.") ||
+           starts_with(path, "src/serve/span.");
 }
 
 const std::vector<Rule>& all_rules() {
@@ -787,8 +827,8 @@ const std::vector<Rule>& all_rules() {
          &check_det_random_device},
         {"det-wall-clock",
          "No wall-clock reads (system/steady/high_resolution_clock, time(), "
-         "clock(), ...) in result-producing layers; util/telemetry and "
-         "util/profile are the whitelisted exceptions.",
+         "clock(), ...) in result-producing layers; util/telemetry, "
+         "util/profile and serve/span are the whitelisted exceptions.",
          &check_det_wall_clock},
         {"det-unordered-iter",
          "No range-for or iterator traversal of std::unordered_{map,set} in "
@@ -823,6 +863,12 @@ const std::vector<Rule>& all_rules() {
          "compile-out-able set defined by the trace/telemetry/profile headers "
          "(the trace-off preset's macro set).",
          &check_obs_macro_compile_out},
+        {"svc-guarded-span",
+         "Every span touch in a service file (dereference of the RequestSpans "
+         "scratch or the SpanHub) must sit behind SWARMAVAIL_SPANS_DISABLED "
+         "guards or the SWARMAVAIL_SPAN macro, so the trace-off preset erases "
+         "it.",
+         &check_svc_guarded_span},
         {"contract-require-numeric",
          "Public functions declared in src/ headers that take raw "
          "double/float parameters must contain a SWARMAVAIL_REQUIRE-family "

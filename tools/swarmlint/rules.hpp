@@ -52,6 +52,7 @@ struct LintOptions {
         "SWARMAVAIL_TELEMETRY",
         "SWARMAVAIL_PROF_SCOPE",
         "SWARMAVAIL_FPRINT",
+        "SWARMAVAIL_SPAN",
     };
 
     /// Header-declared functions with raw double/float parameters, indexed
@@ -69,7 +70,7 @@ struct LintOptions {
 enum class Layer {
     kEngine,    ///< result-producing: sim/swarm/catalog/model/queueing/measurement
     kObserver,  ///< util/metrics, util/telemetry, util/profile, sim/trace,
-                ///< sim/fingerprint, sim/flight_recorder
+                ///< sim/fingerprint, sim/flight_recorder, serve/span
     kRandom,    ///< util/random — the one home for entropy primitives
     kSupport,   ///< remaining util/ (stats, check, ...) — result-adjacent
     kService,   ///< src/serve/ — the planning daemon. Wall clocks are its
@@ -81,8 +82,9 @@ enum class Layer {
 
 [[nodiscard]] Layer classify_path(std::string_view path);
 
-/// True for the two files allowed to read wall clocks (telemetry sampling
-/// and phase profiling are wall-time by definition).
+/// True for the observer files allowed to read wall clocks (telemetry
+/// sampling, phase profiling, and request-latency spans are wall-time by
+/// definition).
 [[nodiscard]] bool is_wall_clock_whitelisted(std::string_view path);
 
 struct RuleContext {
